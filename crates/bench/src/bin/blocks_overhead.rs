@@ -1,0 +1,191 @@
+//! Section III-C — the space-side costs of IDA coding, in the paper's two
+//! scenarios:
+//!
+//! **A. Block usage growth.** IDA keeps refresh target blocks alive
+//! instead of letting GC reclaim them. The paper reports the in-use block
+//! increase as 2–4 % of the 512 GB device, equivalently 14–30 % (25 % on
+//! average) of the workloads' own footprints (20–110 GB).
+//!
+//! **B. GC impact under follow-on writes.** With the user space fully
+//! utilized plus 15 % over-provisioning, write-intensive traffic after the
+//! IDA workloads changes GC invocations and erases by only a few percent
+//! (paper: up to 3 %), shrinking as IDA blocks get reclaimed.
+
+use ida_bench::runner::{system_config, to_host_ops, ExperimentScale, SystemUnderTest};
+use ida_bench::table::{f, TextTable};
+use ida_flash::addr::BlockAddr;
+use ida_flash::timing::FlashTiming;
+use ida_ftl::block::BlockState;
+use ida_ssd::retry::RetryConfig;
+use ida_ssd::Simulator;
+use ida_workloads::suite::paper_workloads;
+use ida_workloads::synth::WorkloadSpec;
+
+/// Blocks that hold at least one valid page (plus open blocks): the blocks
+/// GC cannot reclaim for free.
+fn data_holding_blocks(sim: &Simulator) -> u32 {
+    let blocks = sim.ftl().blocks();
+    let geometry = *blocks.geometry();
+    let closed_with_data = blocks
+        .reclaimable_blocks()
+        .filter(|&(_, valid, _)| valid > 0)
+        .count() as u32;
+    let open = (0..geometry.total_blocks())
+        .filter(|&b| blocks.state(BlockAddr(b)) == BlockState::Open)
+        .count() as u32;
+    closed_with_data + open
+}
+
+fn warmed(
+    system: SystemUnderTest,
+    scale: &ExperimentScale,
+    footprint: u64,
+    spec: &WorkloadSpec,
+    convert: bool,
+) -> Simulator {
+    let cfg = system_config(
+        system,
+        scale.geometry,
+        FlashTiming::paper_tlc(),
+        RetryConfig::disabled(),
+    );
+    let mut sim = Simulator::new(cfg);
+    sim.prefill(0..footprint);
+    let aging = spec.scaled_writes(footprint, 0.25, 0xA61);
+    sim.age(&to_host_ops(&aging));
+    sim.set_refresh_period(u64::MAX / 4);
+    if convert {
+        sim.force_refresh_all(1);
+    }
+    sim
+}
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let total_blocks = scale.geometry.total_blocks();
+    println!(
+        "Section III-C — block usage and GC impact (device has {total_blocks} blocks)\n"
+    );
+
+    // --- Part A: block growth at the paper's workload footprints. ---
+    println!("A. Data-holding block growth at paper footprints\n");
+    let mut t = TextTable::new(vec![
+        "Name",
+        "Blocks (base)",
+        "Blocks (IDA)",
+        "Increase % of device",
+        "Increase % of workload",
+    ]);
+    let mut dev_sum = 0.0;
+    let mut wl_sum = 0.0;
+    let presets: Vec<_> = paper_workloads().into_iter().take(4).collect();
+    for preset in &presets {
+        let mut counts = Vec::new();
+        for system in [
+            SystemUnderTest::Baseline,
+            SystemUnderTest::Ida { error_rate: 0.2 },
+        ] {
+            let cfg = system_config(
+                system,
+                scale.geometry,
+                FlashTiming::paper_tlc(),
+                RetryConfig::disabled(),
+            );
+            let sim0 = Simulator::new(cfg);
+            let footprint =
+                ((sim0.ftl().exported_pages() as f64 * preset.footprint_frac) as u64).max(1_000);
+            drop(sim0);
+            let sim = warmed(system, &scale, footprint, &preset.spec, true);
+            counts.push((data_holding_blocks(&sim), footprint));
+        }
+        let (base, footprint) = counts[0];
+        let (ida, _) = counts[1];
+        let dev_inc = (ida as f64 - base as f64) / total_blocks as f64 * 100.0;
+        let wl_blocks = footprint as f64 / scale.geometry.pages_per_block() as f64;
+        let wl_inc = (ida as f64 - base as f64) / wl_blocks * 100.0;
+        dev_sum += dev_inc;
+        wl_sum += wl_inc;
+        t.row(vec![
+            preset.spec.name.clone(),
+            base.to_string(),
+            ida.to_string(),
+            f(dev_inc, 2),
+            f(wl_inc, 1),
+        ]);
+        eprintln!("  A done {}", preset.spec.name);
+    }
+    println!("{}", t.render());
+    println!(
+        "Averages: +{:.2}% of device (paper: 2-4%), +{:.1}% of workload size (paper: 14-30%, avg 25%)\n",
+        dev_sum / presets.len() as f64,
+        wl_sum / presets.len() as f64
+    );
+
+    // --- Part B: GC impact when write-intensive traffic follows on a
+    // fully-utilized device. ---
+    println!("B. Erases under follow-on write-intensive traffic (full device)\n");
+    let mut t2 = TextTable::new(vec![
+        "Name",
+        "Erases base (early/late)",
+        "Erases IDA (early/late)",
+        "Increase % (early -> late)",
+    ]);
+    let mut er_sum = 0.0;
+    for preset in &presets {
+        let mut erases = Vec::new();
+        for system in [
+            SystemUnderTest::Baseline,
+            SystemUnderTest::Ida { error_rate: 0.2 },
+        ] {
+            let cfg = system_config(
+                system,
+                scale.geometry,
+                FlashTiming::paper_tlc(),
+                RetryConfig::disabled(),
+            );
+            let sim0 = Simulator::new(cfg);
+            // "User space fully utilized": fill 70% of exported space so the
+            // follow-on writes run the device at GC steady state.
+            let footprint = (sim0.ftl().exported_pages() as f64 * 0.70) as u64;
+            drop(sim0);
+            let mut sim = warmed(system, &scale, footprint, &preset.spec, true);
+            let writer = WorkloadSpec {
+                read_ratio: 0.0,
+                name: format!("{}-writer", preset.spec.name),
+                seed: preset.spec.seed ^ 0xBEEF,
+                write_size_pages: 4.0,
+                ..preset.spec.clone()
+            };
+            // Two windows: the transient right after the IDA conversions,
+            // and a later window where IDA blocks have been reclaimed.
+            let w1 = writer.scaled_writes(footprint, 0.3, 0xBEEF);
+            let before = sim.ftl().stats().erases;
+            sim.age(&to_host_ops(&w1));
+            let early = sim.ftl().stats().erases - before;
+            let w2 = writer.scaled_writes(footprint, 0.5, 0xBEF0);
+            let mid = sim.ftl().stats().erases;
+            sim.age(&to_host_ops(&w2));
+            let late = sim.ftl().stats().erases - mid;
+            erases.push((early, late));
+        }
+        let ((b_early, b_late), (i_early, i_late)) = (erases[0], erases[1]);
+        let pct = |b: u64, i: u64| {
+            if b == 0 { 0.0 } else { (i as f64 - b as f64) / b as f64 * 100.0 }
+        };
+        let inc_early = pct(b_early, i_early);
+        let inc_late = pct(b_late, i_late);
+        er_sum += inc_late;
+        t2.row(vec![
+            preset.spec.name.clone(),
+            format!("{b_early}/{b_late}"),
+            format!("{i_early}/{i_late}"),
+            format!("{} -> {}", f(inc_early, 1), f(inc_late, 1)),
+        ]);
+        eprintln!("  B done {}", preset.spec.name);
+    }
+    println!("{}", t2.render());
+    println!(
+        "Average late-window erase increase: {:.2}% (paper: up to 3%, shrinking over time)",
+        er_sum / presets.len() as f64
+    );
+}

@@ -1,0 +1,53 @@
+//! Diagnostic dump for one workload under baseline and IDA — not a paper
+//! experiment, a debugging aid.
+
+use ida_bench::runner::{self, ExperimentScale, SystemUnderTest};
+use ida_workloads::suite::paper_workload;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "proj_1".into());
+    let preset = paper_workload(&name).expect("workload");
+    let scale = ExperimentScale::smoke();
+    for system in [
+        SystemUnderTest::Baseline,
+        SystemUnderTest::Ida { error_rate: 0.0 },
+        SystemUnderTest::Ida { error_rate: 0.2 },
+    ] {
+        let run = runner::run_system(&preset, system, &scale);
+        let r = &run.report;
+        let b = &r.breakdown;
+        println!("== {} / {} ==", run.workload, run.system);
+        println!(
+            "  reads: n={} mean={:.1}us p50={:.1}us p99={:.1}us",
+            r.reads.count,
+            r.reads.mean_us(),
+            r.reads.percentile(50.0) as f64 / 1e3,
+            r.reads.percentile(99.0) as f64 / 1e3,
+        );
+        println!(
+            "  writes: n={} mean={:.1}us",
+            r.writes.count,
+            r.writes.mean_us()
+        );
+        println!(
+            "  breakdown: lsb={} csbV={} csbI={} msbV={} msbI={} ida={}",
+            b.lsb, b.csb_lower_valid, b.csb_lower_invalid, b.msb_lower_valid,
+            b.msb_lower_invalid, b.ida
+        );
+        println!(
+            "  ftl: refreshes={} adj={} moves={} gc_runs={} gc_copies={} erases={} idaconv={}",
+            r.ftl.refreshes,
+            r.ftl.voltage_adjusts,
+            r.ftl.refresh_moves,
+            r.ftl.gc_runs,
+            r.ftl.gc_copies,
+            r.ftl.erases,
+            r.ftl.ida_conversions
+        );
+        println!(
+            "  throughput: {:.1} MB/s  makespan={:.2}s",
+            r.throughput_mbps(),
+            (r.last_completion - r.first_arrival) as f64 / 1e9
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 4 — distribution of read accesses across page types and
+//! associated-page validity, measured on the baseline system.
+//!
+//! Paper findings: LSB/CSB/MSB reads are roughly evenly distributed; on
+//! average 18 % of CSB reads occur while the associated LSB is invalid and
+//! 30 % of MSB reads occur while the associated LSB and/or CSB is invalid
+//! (left plot, 11 workloads). The right plot repeats the MSB fraction for
+//! 9 further workloads binned by read ratio.
+
+use ida_bench::runner::{run_system, ExperimentScale, SystemUnderTest};
+use ida_bench::table::{f, TextTable};
+use ida_workloads::suite::{extra_workloads, paper_workloads};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("Figure 4 (left) — read breakdown on the 11 paper workloads\n");
+    let mut t = TextTable::new(vec![
+        "Name",
+        "LSB %",
+        "CSB %",
+        "MSB %",
+        "CSB w/ LSB invalid %",
+        "MSB w/ lower invalid %",
+        "(paper MSB-invalid %)",
+    ]);
+    let mut csb_sum = 0.0;
+    let mut msb_sum = 0.0;
+    let presets = paper_workloads();
+    for preset in &presets {
+        let run = run_system(preset, SystemUnderTest::Baseline, &scale);
+        let b = run.report.breakdown;
+        let total = b.total().max(1) as f64;
+        let csb = (b.csb_lower_valid + b.csb_lower_invalid) as f64;
+        let msb = (b.msb_lower_valid + b.msb_lower_invalid) as f64;
+        csb_sum += b.csb_invalid_fraction();
+        msb_sum += b.msb_invalid_fraction();
+        t.row(vec![
+            preset.spec.name.clone(),
+            f(b.lsb as f64 / total * 100.0, 1),
+            f(csb / total * 100.0, 1),
+            f(msb / total * 100.0, 1),
+            f(b.csb_invalid_fraction() * 100.0, 1),
+            f(b.msb_invalid_fraction() * 100.0, 1),
+            f(preset.paper.msb_invalid_pct, 1),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Averages: CSB-with-invalid-LSB {:.1}% (paper: 18%), MSB-with-invalid-lower {:.1}% (paper: 30%)\n",
+        csb_sum / presets.len() as f64 * 100.0,
+        msb_sum / presets.len() as f64 * 100.0
+    );
+
+    println!("Figure 4 (right) — 9 extra workloads by read ratio\n");
+    let mut t2 = TextTable::new(vec!["Name", "Read ratio %", "MSB w/ lower invalid %"]);
+    for preset in extra_workloads() {
+        let run = run_system(&preset, SystemUnderTest::Baseline, &scale);
+        let b = run.report.breakdown;
+        t2.row(vec![
+            preset.spec.name.clone(),
+            f(preset.spec.read_ratio * 100.0, 0),
+            f(b.msb_invalid_fraction() * 100.0, 1),
+        ]);
+    }
+    println!("{}", t2.render());
+}

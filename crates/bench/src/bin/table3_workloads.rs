@@ -1,0 +1,36 @@
+//! Table III — characteristics of the 11 synthetic workloads, printed
+//! against the paper's reported values.
+//!
+//! The last column (fraction of MSB reads whose LSB/CSB is invalid) is a
+//! device-side property; it is reported by `fig4_read_distribution`.
+
+use ida_bench::table::{f, TextTable};
+use ida_workloads::stats::characterize;
+use ida_workloads::suite::paper_workloads;
+
+fn main() {
+    println!("Table III — workload characteristics (measured vs paper)\n");
+    let mut t = TextTable::new(vec![
+        "Name",
+        "Read Ratio %",
+        "(paper)",
+        "Read Size KB",
+        "(paper)",
+        "Read Data %",
+        "(paper)",
+    ]);
+    for preset in paper_workloads() {
+        let trace = preset.generate(60_000, 20_000);
+        let s = characterize(&trace);
+        t.row(vec![
+            preset.spec.name.clone(),
+            f(s.read_ratio * 100.0, 2),
+            f(preset.paper.read_ratio_pct, 2),
+            f(s.mean_read_kb, 2),
+            f(preset.paper.read_kb, 2),
+            f(s.read_data_ratio * 100.0, 2),
+            f(preset.paper.read_data_pct, 2),
+        ]);
+    }
+    println!("{}", t.render());
+}

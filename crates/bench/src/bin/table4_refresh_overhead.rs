@@ -1,0 +1,59 @@
+//! Table IV — the average overhead the voltage adjustment adds to a data
+//! refresh, per 192-page (64-wordline) block, under IDA-Coding-E20.
+//!
+//! Paper findings: a refresh target block holds ~113 valid pages on
+//! average (98–130); IDA adds ~58 verification reads (≈ half the valid
+//! pages, one per kept page) and ~11.5 writes (the E20 corruption
+//! write-backs, ≈ 20 % of the additional reads).
+
+use ida_bench::runner::{run_system, ExperimentScale, SystemUnderTest};
+use ida_bench::table::{f, TextTable};
+use ida_workloads::suite::paper_workloads;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("Table IV — refresh overhead per block under IDA-Coding-E20\n");
+    let mut t = TextTable::new(vec![
+        "Name",
+        "Valid pages / 192",
+        "(paper)",
+        "Additional reads",
+        "(paper)",
+        "Additional writes",
+        "(paper)",
+    ]);
+    // The paper's per-workload reference values.
+    let paper: &[(&str, f64, f64, f64)] = &[
+        ("proj_1", 122.88, 60.98, 12.19),
+        ("proj_2", 122.21, 60.47, 12.09),
+        ("proj_3", 128.69, 63.77, 12.75),
+        ("proj_4", 114.87, 56.41, 11.28),
+        ("hm_1", 103.34, 51.24, 10.24),
+        ("src1_0", 130.26, 64.29, 12.86),
+        ("src1_1", 102.14, 50.54, 10.11),
+        ("src2_0", 116.36, 57.53, 11.51),
+        ("stg_1", 142.67, 70.68, 14.13),
+        ("usr_1", 98.58, 48.61, 9.72),
+        ("usr_2", 113.69, 56.39, 11.28),
+    ];
+    for preset in paper_workloads() {
+        let run = run_system(&preset, SystemUnderTest::Ida { error_rate: 0.2 }, &scale);
+        let o = run.report.ftl.refresh_overhead;
+        let p = paper
+            .iter()
+            .find(|(n, _, _, _)| *n == preset.spec.name)
+            .expect("paper row");
+        t.row(vec![
+            preset.spec.name.clone(),
+            f(o.mean_valid(), 2),
+            f(p.1, 2),
+            f(o.mean_additional_reads(), 2),
+            f(p.2, 2),
+            f(o.mean_additional_writes(), 2),
+            f(p.3, 2),
+        ]);
+        eprintln!("  finished {}", preset.spec.name);
+    }
+    println!("{}", t.render());
+    println!("Invariant check: additional writes ≈ 20% of additional reads at E20.");
+}

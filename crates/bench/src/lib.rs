@@ -1,0 +1,26 @@
+//! Experiment harness for the IDA-coding reproduction.
+//!
+//! Each table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that drives the pieces below and prints the same rows or
+//! series the paper reports, with the paper's numbers alongside:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table3_workloads` | Table III — workload characteristics |
+//! | `fig4_read_distribution` | Figure 4 — read breakdown by page type/validity |
+//! | `fig8_response_time` | Figure 8 — response time vs adjustment error rate |
+//! | `table4_refresh_overhead` | Table IV — refresh overhead accounting |
+//! | `fig9_delta_tr` | Figure 9 — ΔtR sensitivity |
+//! | `fig10_throughput` | Figure 10 — device throughput |
+//! | `fig11_read_retry` | Figure 11 — early vs late lifetime (read retry) |
+//! | `table5_mlc` | Table V — MLC device |
+//! | `fig6_qlc` | Figure 6 + §V-G — QLC merge and end-to-end run |
+//! | `blocks_overhead` | §III-C — in-use blocks / GC impact |
+//!
+//! The [`runner`] module owns the warm-up → measure protocol shared by all
+//! of them; [`table`] renders aligned text tables.
+
+pub mod runner;
+pub mod table;
+
+pub use runner::{ExperimentScale, ReplayMode, SystemUnderTest, WorkloadRun};

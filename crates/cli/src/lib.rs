@@ -1,0 +1,248 @@
+//! Library half of the `idasim` command-line driver.
+//!
+//! Kept as a library so the argument parsing and command dispatch are unit
+//! testable; `main.rs` is a thin shell around [`run`].
+
+use ida_bench::runner::{
+    normalized_read_response, run_system, ExperimentScale, SystemUnderTest,
+};
+use ida_workloads::stats::characterize;
+use ida_workloads::suite::{paper_workload, paper_workloads};
+use std::fmt::Write as _;
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List the available workloads.
+    List,
+    /// Print the characteristics of one workload.
+    Describe {
+        /// Workload name.
+        workload: String,
+    },
+    /// Compare baseline vs IDA on one workload.
+    Compare {
+        /// Workload name.
+        workload: String,
+        /// Voltage-adjustment error rate (0.0–1.0).
+        error_rate: f64,
+        /// Host requests in the measured trace.
+        requests: usize,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parse command-line arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands or malformed
+/// values.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("list") => Ok(Command::List),
+        Some("describe") => {
+            let workload = args
+                .get(1)
+                .ok_or("describe needs a workload name (try `idasim list`)")?;
+            Ok(Command::Describe {
+                workload: workload.clone(),
+            })
+        }
+        Some("compare") => {
+            let workload = args
+                .get(1)
+                .ok_or("compare needs a workload name (try `idasim list`)")?
+                .clone();
+            let mut error_rate = 0.2;
+            let mut requests = 6_000;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--error-rate" => {
+                        error_rate = args
+                            .get(i + 1)
+                            .ok_or("--error-rate needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad error rate: {e}"))?;
+                        i += 2;
+                    }
+                    "--requests" => {
+                        requests = args
+                            .get(i + 1)
+                            .ok_or("--requests needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad request count: {e}"))?;
+                        i += 2;
+                    }
+                    other => return Err(format!("unknown option: {other}")),
+                }
+            }
+            if !(0.0..=1.0).contains(&error_rate) {
+                return Err(format!("error rate {error_rate} outside [0, 1]"));
+            }
+            Ok(Command::Compare {
+                workload,
+                error_rate,
+                requests,
+            })
+        }
+        Some(other) => Err(format!("unknown command: {other} (try `idasim help`)")),
+    }
+}
+
+/// Execute a command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns a message for unknown workloads.
+pub fn run(cmd: Command) -> Result<String, String> {
+    let mut out = String::new();
+    match cmd {
+        Command::Help => {
+            out.push_str(USAGE);
+        }
+        Command::List => {
+            out.push_str("available workloads (MSR-Cambridge-like, Table III):\n");
+            for p in paper_workloads() {
+                let _ = writeln!(
+                    out,
+                    "  {:8} read ratio {:5.1}%  mean read {:5.1} KB",
+                    p.spec.name, p.paper.read_ratio_pct, p.paper.read_kb
+                );
+            }
+        }
+        Command::Describe { workload } => {
+            let p = paper_workload(&workload).ok_or_else(|| unknown(&workload))?;
+            let trace = p.generate(40_000, 10_000);
+            let s = characterize(&trace);
+            let _ = writeln!(out, "workload {workload}:");
+            let _ = writeln!(out, "  read ratio      {:.2}% (paper {:.2}%)", s.read_ratio * 100.0, p.paper.read_ratio_pct);
+            let _ = writeln!(out, "  mean read size  {:.2} KB (paper {:.2} KB)", s.mean_read_kb, p.paper.read_kb);
+            let _ = writeln!(out, "  read data ratio {:.2}% (paper {:.2}%)", s.read_data_ratio * 100.0, p.paper.read_data_pct);
+            let _ = writeln!(out, "  footprint       {:.1} MB ({}% of device)", s.footprint_mb, (p.footprint_frac * 100.0) as u32);
+        }
+        Command::Compare {
+            workload,
+            error_rate,
+            requests,
+        } => {
+            let p = paper_workload(&workload).ok_or_else(|| unknown(&workload))?;
+            let scale = ExperimentScale::default_scale().with_requests(requests);
+            let base = run_system(&p, SystemUnderTest::Baseline, &scale);
+            let ida = run_system(&p, SystemUnderTest::Ida { error_rate }, &scale);
+            let norm = normalized_read_response(&ida.report, &base.report);
+            let _ = writeln!(out, "workload {workload}, {} requests:", requests);
+            let _ = writeln!(
+                out,
+                "  baseline  mean read response {:9.1} us  (p99 {:9.1} us)",
+                base.report.reads.mean_us(),
+                base.report.reads.percentile(99.0) as f64 / 1e3
+            );
+            let _ = writeln!(
+                out,
+                "  IDA-E{:<3.0} mean read response {:9.1} us  (p99 {:9.1} us)",
+                error_rate * 100.0,
+                ida.report.reads.mean_us(),
+                ida.report.reads.percentile(99.0) as f64 / 1e3
+            );
+            let _ = writeln!(
+                out,
+                "  normalized: {norm:.3}  (read response improved by {:.1}%)",
+                (1.0 - norm) * 100.0
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn unknown(workload: &str) -> String {
+    format!("unknown workload {workload} (try `idasim list`)")
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+idasim — IDA-coding SSD simulator driver
+
+USAGE:
+  idasim list
+  idasim describe <workload>
+  idasim compare <workload> [--error-rate 0.2] [--requests 6000]
+
+Experiment binaries reproducing each paper table/figure live in the
+ida-bench crate, e.g.:
+  cargo run --release -p ida-bench --bin fig8_response_time
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_help_and_list() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&s(&["--help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&s(&["list"])).unwrap(), Command::List);
+    }
+
+    #[test]
+    fn parses_compare_options() {
+        let cmd = parse_args(&s(&[
+            "compare",
+            "proj_1",
+            "--error-rate",
+            "0.5",
+            "--requests",
+            "1000",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Compare {
+                workload: "proj_1".into(),
+                error_rate: 0.5,
+                requests: 1000
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&s(&["describe"])).is_err());
+        assert!(parse_args(&s(&["frobnicate"])).is_err());
+        assert!(parse_args(&s(&["compare", "proj_1", "--error-rate", "2.0"])).is_err());
+        assert!(parse_args(&s(&["compare", "proj_1", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn list_mentions_all_workloads() {
+        let out = run(Command::List).unwrap();
+        for name in ["proj_1", "usr_2", "stg_1"] {
+            assert!(out.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn describe_unknown_workload_errors() {
+        assert!(run(Command::Describe {
+            workload: "nope".into()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn describe_prints_characteristics() {
+        let out = run(Command::Describe {
+            workload: "hm_1".into(),
+        })
+        .unwrap();
+        assert!(out.contains("read ratio"));
+        assert!(out.contains("footprint"));
+    }
+}

@@ -1,0 +1,12 @@
+//! `idasim` — the command-line driver for the IDA-coding SSD simulator.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ida_cli::parse_args(&args).and_then(ida_cli::run) {
+        Ok(out) => print!("{out}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}

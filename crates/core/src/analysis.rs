@@ -1,0 +1,159 @@
+//! Refresh overhead accounting (paper Section III-C and Table IV).
+//!
+//! The paper quantifies the extra work the IDA-modified refresh performs
+//! over the baseline refresh of the same block:
+//!
+//! - additional reads  = `N_target`  (post-adjustment verification reads);
+//! - additional writes = `N_error`   (corrupted kept pages written back);
+//! - writes saved      = `N_target − N_error` (kept pages not rewritten).
+//!
+//! [`RefreshOverhead`] accumulates these quantities over many refresh
+//! operations so the Table IV rows can be reported per workload.
+
+use crate::refresh::RefreshPlan;
+use serde::{Deserialize, Serialize};
+
+/// Accumulated refresh cost statistics across many block refreshes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefreshOverhead {
+    /// Number of block refreshes accumulated.
+    pub refreshes: u64,
+    /// Σ `N_valid` — valid pages encountered.
+    pub valid_pages: u64,
+    /// Σ `N_target` — pages reprogrammed by IDA coding (= additional reads).
+    pub target_pages: u64,
+    /// Σ `N_error` — kept pages corrupted by adjustment (= additional
+    /// writes).
+    pub error_pages: u64,
+    /// Σ pages moved to the new block.
+    pub moved_pages: u64,
+    /// Σ wordlines voltage-adjusted.
+    pub adjusted_wordlines: u64,
+}
+
+impl RefreshOverhead {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one refresh plan into the totals.
+    pub fn record(&mut self, plan: &RefreshPlan) {
+        self.refreshes += 1;
+        self.valid_pages += plan.n_valid() as u64;
+        self.target_pages += plan.n_target() as u64;
+        self.error_pages += plan.n_error() as u64;
+        self.moved_pages += (plan.moves.len() + plan.evictions.len()) as u64;
+        self.adjusted_wordlines += plan.adjusted_wordlines.len() as u64;
+    }
+
+    /// Mean `N_valid` per refresh (Table IV column 2).
+    pub fn mean_valid(&self) -> f64 {
+        self.mean(self.valid_pages)
+    }
+
+    /// Mean additional reads per refresh (Table IV column 3).
+    pub fn mean_additional_reads(&self) -> f64 {
+        self.mean(self.target_pages)
+    }
+
+    /// Mean additional writes per refresh (Table IV column 4).
+    pub fn mean_additional_writes(&self) -> f64 {
+        self.mean(self.error_pages)
+    }
+
+    /// Mean page writes *saved* versus the baseline refresh, which would
+    /// have rewritten every valid page.
+    pub fn mean_writes_saved(&self) -> f64 {
+        self.mean(self.target_pages.saturating_sub(self.error_pages))
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &RefreshOverhead) {
+        self.refreshes += other.refreshes;
+        self.valid_pages += other.valid_pages;
+        self.target_pages += other.target_pages;
+        self.error_pages += other.error_pages;
+        self.moved_pages += other.moved_pages;
+        self.adjusted_wordlines += other.adjusted_wordlines;
+    }
+
+    fn mean(&self, total: u64) -> f64 {
+        if self.refreshes == 0 {
+            0.0
+        } else {
+            total as f64 / self.refreshes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refresh::{RefreshMode, RefreshPlanner};
+    use ida_flash::interference::InterferenceModel;
+
+    fn sample_plan(rate: f64, seed: u64) -> RefreshPlan {
+        let mut p =
+            RefreshPlanner::new(3, RefreshMode::Ida, InterferenceModel::with_seed(rate, seed));
+        // 64 wordlines, mixture of cases.
+        let masks: Vec<u8> = (0..64u32).map(|w| (w % 8) as u8).collect();
+        p.plan_block(&masks)
+    }
+
+    #[test]
+    fn record_accumulates_counts() {
+        let mut acc = RefreshOverhead::new();
+        let plan = sample_plan(0.2, 1);
+        acc.record(&plan);
+        acc.record(&plan);
+        assert_eq!(acc.refreshes, 2);
+        assert_eq!(acc.valid_pages, 2 * plan.n_valid() as u64);
+        assert_eq!(acc.target_pages, 2 * plan.n_target() as u64);
+        assert_eq!(acc.error_pages, 2 * plan.n_error() as u64);
+    }
+
+    #[test]
+    fn means_divide_by_refresh_count() {
+        let mut acc = RefreshOverhead::new();
+        acc.record(&sample_plan(0.2, 1));
+        assert_eq!(acc.mean_valid(), acc.valid_pages as f64);
+        acc.record(&sample_plan(0.2, 2));
+        assert!((acc.mean_valid() - acc.valid_pages as f64 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_accumulator_reports_zero_means() {
+        let acc = RefreshOverhead::new();
+        assert_eq!(acc.mean_valid(), 0.0);
+        assert_eq!(acc.mean_additional_reads(), 0.0);
+        assert_eq!(acc.mean_additional_writes(), 0.0);
+    }
+
+    #[test]
+    fn e20_additional_writes_are_about_a_fifth_of_reads() {
+        // Table IV structure: additional writes ≈ 20 % of additional reads
+        // at the paper's 20 % corruption rate.
+        let mut acc = RefreshOverhead::new();
+        for seed in 0..200 {
+            acc.record(&sample_plan(0.2, seed));
+        }
+        let ratio = acc.mean_additional_writes() / acc.mean_additional_reads();
+        assert!(
+            (ratio - 0.2).abs() < 0.03,
+            "write/read overhead ratio {ratio} should be ≈ 0.2"
+        );
+    }
+
+    #[test]
+    fn merge_combines_accumulators() {
+        let mut a = RefreshOverhead::new();
+        let mut b = RefreshOverhead::new();
+        a.record(&sample_plan(0.1, 3));
+        b.record(&sample_plan(0.1, 4));
+        let mut c = a;
+        c.merge(&b);
+        assert_eq!(c.refreshes, 2);
+        assert_eq!(c.valid_pages, a.valid_pages + b.valid_pages);
+    }
+}

@@ -1,0 +1,54 @@
+//! Invalid Data-Aware (IDA) coding — the paper's primary contribution.
+//!
+//! High-density flash reads different logical pages of a wordline with a
+//! different number of sensing operations (TLC conventional coding: LSB 1,
+//! CSB 2, MSB 4). When the FTL invalidates some pages of a wordline, the
+//! remaining valid pages still pay the full sensing cost, because several
+//! voltage states have become *indistinguishable on the valid bits* yet the
+//! cells still occupy all of them.
+//!
+//! IDA coding merges those duplicated states — moving cells rightward
+//! (higher threshold voltage, the only direction ISPP can go) onto one
+//! representative per group — and re-derives the sensing procedures on the
+//! smaller state set, cutting the sense count of every remaining page:
+//!
+//! | wordline situation (TLC) | CSB senses | MSB senses |
+//! |---|---|---|
+//! | all valid (conventional)  | 2 | 4 |
+//! | LSB invalid → IDA         | 1 | 2 |
+//! | LSB+CSB invalid → IDA     | — | 1 |
+//!
+//! The crate provides:
+//!
+//! - [`merge`] — the state-merge computation for *any* coding scheme and
+//!   invalidation mask (generalizes to MLC and QLC, paper Figure 6);
+//! - [`cases`] — the wordline case table (paper Table I) deciding which
+//!   pages move to a new block and which stay behind under IDA coding;
+//! - [`refresh`] — the modified data-refresh flow (paper Figure 7) that
+//!   hides the voltage-adjustment cost inside the refresh operation;
+//! - [`analysis`] — the read/write overhead accounting of Section III-C.
+//!
+//! # Example
+//!
+//! ```
+//! use ida_core::merge::MergePlan;
+//! use ida_flash::coding::CodingScheme;
+//!
+//! // A TLC wordline whose LSB page was invalidated:
+//! let conventional = CodingScheme::tlc_124();
+//! let plan = MergePlan::compute(&conventional, 0b110); // CSB+MSB valid
+//!
+//! // CSB now reads with 1 sense (was 2), MSB with 2 (was 4):
+//! assert_eq!(plan.merged().sense_count(1), 1);
+//! assert_eq!(plan.merged().sense_count(2), 2);
+//! ```
+
+pub mod analysis;
+pub mod cases;
+pub mod merge;
+pub mod refresh;
+
+pub use analysis::RefreshOverhead;
+pub use cases::{WlAction, WlCase};
+pub use merge::MergePlan;
+pub use refresh::{RefreshMode, RefreshPlan, RefreshPlanner};

@@ -1,0 +1,250 @@
+//! Voltage-state merging — the physical mechanism of IDA coding.
+//!
+//! Given a coding scheme and the set of still-valid bits, states whose
+//! valid-bit projections coincide are merged onto the *highest* state of
+//! their group (paper Figure 5: S1→S8, S2→S7, S3→S6, S4→S5 when the LSB is
+//! invalidated). Choosing the maximum guarantees every move is rightward,
+//! i.e. achievable by ISPP charge injection without an erase.
+
+use ida_flash::coding::{CodingScheme, VoltageState};
+use serde::{Deserialize, Serialize};
+
+/// The result of planning a voltage-state merge for one invalidation mask.
+///
+/// Contains the per-state relocation map (for the ISPP controller) and the
+/// merged [`CodingScheme`] governing reads afterwards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MergePlan {
+    valid_mask: u8,
+    state_map: Vec<VoltageState>,
+    merged: CodingScheme,
+}
+
+impl MergePlan {
+    /// Compute the merge for `coding` when only the bits in `valid_mask`
+    /// are still valid.
+    ///
+    /// Works on *any* coding, full or already merged, so IDA can be applied
+    /// incrementally (e.g. TLC case 2 first, case 4 later when the CSB is
+    /// also invalidated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `valid_mask` requests a bit the coding cannot read (you
+    /// cannot re-validate a bit that was already merged away).
+    pub fn compute(coding: &CodingScheme, valid_mask: u8) -> Self {
+        let readable = coding.readable_bits();
+        assert_eq!(
+            valid_mask & !readable,
+            0,
+            "valid mask {valid_mask:#b} requests bits outside readable set {readable:#b}"
+        );
+
+        // Group live states by their projection on the valid bits; the
+        // representative of each group is its highest member so that every
+        // relocation is a rightward (ISPP-feasible) move.
+        let table = coding.table();
+        let mut rep_for_state: Vec<VoltageState> =
+            (0..coding.state_space() as u8).map(VoltageState).collect();
+        let mut groups: Vec<(u8, Vec<VoltageState>)> = Vec::new();
+        for &s in coding.live_states() {
+            let key = table[s.0 as usize].project(valid_mask).0;
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(s),
+                None => groups.push((key, vec![s])),
+            }
+        }
+        for (_, members) in &groups {
+            let rep = *members.iter().max().expect("group is non-empty");
+            for &m in members {
+                rep_for_state[m.0 as usize] = rep;
+            }
+        }
+        let mut live: Vec<VoltageState> = groups
+            .iter()
+            .map(|(_, members)| *members.iter().max().expect("non-empty"))
+            .collect();
+        live.sort_unstable();
+
+        let merged = CodingScheme::from_parts(
+            format!("{}+ida[valid={valid_mask:#05b}]", coding.name()),
+            coding.bits_per_cell(),
+            valid_mask,
+            table.to_vec(),
+            live,
+        );
+        MergePlan {
+            valid_mask,
+            state_map: rep_for_state,
+            merged,
+        }
+    }
+
+    /// The bit mask this plan preserves.
+    pub fn valid_mask(&self) -> u8 {
+        self.valid_mask
+    }
+
+    /// The relocation map: `state_map()[old_state] = new_state`. Identity
+    /// for states the merge does not touch.
+    pub fn state_map(&self) -> &[VoltageState] {
+        &self.state_map
+    }
+
+    /// The coding scheme in force after the adjustment.
+    pub fn merged(&self) -> &CodingScheme {
+        &self.merged
+    }
+
+    /// Whether this plan actually moves any state (i.e. the merge is
+    /// beneficial at the physical level).
+    pub fn is_trivial(&self) -> bool {
+        self.state_map
+            .iter()
+            .enumerate()
+            .all(|(i, s)| s.0 as usize == i)
+    }
+
+    /// Number of distinct voltage states remaining after the merge.
+    pub fn remaining_states(&self) -> usize {
+        self.merged.live_states().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tlc_lsb_invalid_matches_paper_figure_5() {
+        let plan = MergePlan::compute(&CodingScheme::tlc_124(), 0b110);
+        // S1→S8, S2→S7, S3→S6, S4→S5; S5..S8 stay.
+        let expect = [7, 6, 5, 4, 4, 5, 6, 7];
+        for (s, &e) in expect.iter().enumerate() {
+            assert_eq!(plan.state_map()[s], VoltageState(e), "state S{}", s + 1);
+        }
+        assert_eq!(plan.remaining_states(), 4);
+        assert_eq!(plan.merged().sense_count(1), 1);
+        assert_eq!(plan.merged().sense_count(2), 2);
+    }
+
+    #[test]
+    fn tlc_lsb_and_csb_invalid_merges_to_two_states() {
+        let plan = MergePlan::compute(&CodingScheme::tlc_124(), 0b100);
+        assert_eq!(plan.remaining_states(), 2);
+        assert_eq!(plan.merged().sense_count(2), 1);
+        // MSB=1 states {S1,S4,S5,S8} → S8; MSB=0 states → S7.
+        for s in [0u8, 3, 4, 7] {
+            assert_eq!(plan.state_map()[s as usize], VoltageState(7));
+        }
+        for s in [1u8, 2, 5, 6] {
+            assert_eq!(plan.state_map()[s as usize], VoltageState(6));
+        }
+    }
+
+    #[test]
+    fn mlc_lsb_invalid_halves_msb_senses() {
+        let plan = MergePlan::compute(&CodingScheme::mlc(), 0b10);
+        assert_eq!(plan.remaining_states(), 2);
+        assert_eq!(plan.merged().sense_count(1), 1);
+    }
+
+    #[test]
+    fn qlc_two_lower_bits_invalid_matches_paper_figure_6() {
+        // Bits 1 and 2 invalidated; bits 3 and 4 drop from 4/8 senses to 1/2.
+        let plan = MergePlan::compute(&CodingScheme::qlc(), 0b1100);
+        assert_eq!(plan.remaining_states(), 4);
+        assert_eq!(plan.merged().sense_count(2), 1);
+        assert_eq!(plan.merged().sense_count(3), 2);
+    }
+
+    #[test]
+    fn all_moves_are_rightward_for_every_mask_and_coding() {
+        for coding in [
+            CodingScheme::mlc(),
+            CodingScheme::tlc_124(),
+            CodingScheme::tlc_232(),
+            CodingScheme::qlc(),
+        ] {
+            let full = (coding.state_space() - 1) as u8;
+            for mask in 0..=full {
+                let plan = MergePlan::compute(&coding, mask);
+                for (s, &t) in plan.state_map().iter().enumerate() {
+                    assert!(
+                        t.0 as usize >= s,
+                        "{} mask {mask:#b}: S{} moved left to {t}",
+                        coding.name(),
+                        s + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_mask_merge_is_identity() {
+        let plan = MergePlan::compute(&CodingScheme::tlc_124(), 0b111);
+        assert!(plan.is_trivial());
+        assert_eq!(plan.remaining_states(), 8);
+    }
+
+    #[test]
+    fn empty_mask_collapses_to_single_state() {
+        let plan = MergePlan::compute(&CodingScheme::tlc_124(), 0);
+        assert_eq!(plan.remaining_states(), 1);
+        assert_eq!(plan.merged().live_states(), &[VoltageState(7)]);
+    }
+
+    #[test]
+    fn incremental_merge_equals_direct_merge_sense_counts() {
+        // TLC: merge away LSB first, then CSB; MSB sensing must match the
+        // direct LSB+CSB merge.
+        let step1 = MergePlan::compute(&CodingScheme::tlc_124(), 0b110);
+        let step2 = MergePlan::compute(step1.merged(), 0b100);
+        let direct = MergePlan::compute(&CodingScheme::tlc_124(), 0b100);
+        assert_eq!(
+            step2.merged().sense_count(2),
+            direct.merged().sense_count(2)
+        );
+        assert_eq!(step2.remaining_states(), direct.remaining_states());
+    }
+
+    #[test]
+    fn merged_coding_still_decodes_valid_bits() {
+        for coding in [CodingScheme::tlc_124(), CodingScheme::qlc()] {
+            let full = (coding.state_space() - 1) as u8;
+            for mask in 1..=full {
+                let plan = MergePlan::compute(&coding, mask);
+                for &s in coding.live_states() {
+                    let dest = plan.state_map()[s.0 as usize];
+                    for b in 0..coding.bits_per_cell() {
+                        if mask & (1 << b) != 0 {
+                            assert_eq!(
+                                plan.merged().read_bit(dest, b),
+                                coding.pattern(s).bit(b),
+                                "{} mask {mask:#b} state {s} bit {b}",
+                                coding.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside readable set")]
+    fn cannot_revalidate_merged_bit() {
+        let step1 = MergePlan::compute(&CodingScheme::tlc_124(), 0b110);
+        let _ = MergePlan::compute(step1.merged(), 0b111);
+    }
+
+    #[test]
+    fn alternative_tlc_232_also_benefits() {
+        // The paper notes IDA generalizes to the flatter vendor coding too.
+        let plan = MergePlan::compute(&CodingScheme::tlc_232(), 0b110);
+        assert!(plan.merged().sense_count(1) < 3);
+        assert!(plan.merged().sense_count(2) <= 2);
+        assert_eq!(plan.remaining_states(), 4);
+    }
+}

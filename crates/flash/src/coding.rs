@@ -1,0 +1,626 @@
+//! Multi-level cell coding schemes.
+//!
+//! A coding scheme assigns to each threshold-voltage *state* of a cell a
+//! tuple of bit values, one per logical page carried by the wordline. The
+//! assignment must be a Gray code (adjacent states differ in exactly one
+//! bit) so that a small voltage disturbance corrupts at most one page.
+//!
+//! Reading bit `b` requires sensing the wordline once per *transition* of
+//! bit `b` along the state axis: read voltage `Vj` (0-based `j`) sits
+//! between states `j` and `j+1`, and a sense with `Vj` tells whether the
+//! cell's state is `<= j` ("on") or `> j` ("off"). The per-bit read
+//! procedure is therefore fully determined by the coding table, which is how
+//! this module derives it.
+//!
+//! The conventional TLC coding of the paper's Figure 2 is
+//! [`CodingScheme::tlc_124`]; reading LSB/CSB/MSB takes 1/2/4 senses. The
+//! alternative vendor coding with 2/3/2 senses (Section III-B) is
+//! [`CodingScheme::tlc_232`]. MLC and QLC counterparts are
+//! [`CodingScheme::mlc`] and [`CodingScheme::qlc`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A threshold-voltage state of a cell, 0-based.
+///
+/// State 0 is the erased state (paper's `S1`); higher indices are higher
+/// threshold voltages. ISPP programming can only *increase* the state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VoltageState(pub u8);
+
+impl VoltageState {
+    /// The erased state (all bits read as 1).
+    pub const ERASED: VoltageState = VoltageState(0);
+
+    /// The raw state index.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// The paper's 1-based name for this state (`S1`, `S2`, …).
+    pub fn paper_name(self) -> String {
+        format!("S{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for VoltageState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.paper_name())
+    }
+}
+
+/// The bit values a state encodes, packed into a `u8`.
+///
+/// Bit `b` of the mask is the value of logical page `b` (0 = LSB). Only the
+/// low `bits_per_cell` bits are meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitPattern(pub u8);
+
+impl BitPattern {
+    /// The value (0 or 1) of bit `b`.
+    pub fn bit(self, b: u8) -> u8 {
+        (self.0 >> b) & 1
+    }
+
+    /// This pattern restricted to the bits set in `mask` (other bits
+    /// forced to zero). Used to compare states when some bits are invalid.
+    pub fn project(self, mask: u8) -> BitPattern {
+        BitPattern(self.0 & mask)
+    }
+}
+
+impl fmt::Display for BitPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04b}", self.0)
+    }
+}
+
+/// The sensing procedure that recovers one bit: the ordered set of read
+/// voltages to apply. Read voltage `j` (0-based) distinguishes states
+/// `<= j` from states `> j`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ReadProcedure {
+    /// 0-based read-voltage indices, ascending. In paper terms, index `j`
+    /// is `V(j+1)`.
+    pub voltages: Vec<u8>,
+}
+
+impl ReadProcedure {
+    /// Number of wordline sensing operations this read performs — the
+    /// quantity that determines the memory-access latency.
+    pub fn sense_count(&self) -> u32 {
+        self.voltages.len() as u32
+    }
+
+    /// Decode the bit value stored by a cell in `state`, given the coding
+    /// `table` and `live` state set this procedure was derived from.
+    ///
+    /// The decode emulates the hardware: each sense yields on/off, the
+    /// on/off vector identifies the *interval* between read voltages the
+    /// state lies in, and every live state in one interval shares the bit
+    /// value (that is what makes the procedure valid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identified interval contains no live state (the cell
+    /// was in a state that this coding never programs).
+    pub fn decode(
+        &self,
+        state: VoltageState,
+        table: &[BitPattern],
+        live: &[VoltageState],
+        bit: u8,
+    ) -> u8 {
+        // Interval index = number of read voltages the cell is "off" at.
+        let interval = self
+            .voltages
+            .iter()
+            .filter(|&&v| state.0 > v) // "off" at voltage v
+            .count();
+        let lo = if interval == 0 {
+            0
+        } else {
+            self.voltages[interval - 1] + 1
+        };
+        let rep = live
+            .iter()
+            .copied()
+            .find(|s| s.0 >= lo)
+            .expect("sensing interval contains no live state");
+        table[rep.0 as usize].bit(bit)
+    }
+}
+
+/// A complete multi-level cell coding scheme.
+///
+/// Immutable once built; constructors validate that the table is a proper
+/// Gray code covering all states exactly once (for full codings) or a
+/// consistent partial coding (for merged/IDA codings, where only a subset of
+/// states remains in use).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodingScheme {
+    name: String,
+    bits_per_cell: u8,
+    /// Which bits are readable under this coding (mask). Full codings have
+    /// all `bits_per_cell` bits; merged codings have fewer.
+    readable_bits: u8,
+    /// `table[s]` = bits encoded by state `s`. Always `2^bits_per_cell`
+    /// entries; entries for unused states (merged codings) still hold the
+    /// pre-merge values but are never occupied.
+    table: Vec<BitPattern>,
+    /// States that cells may legitimately occupy under this coding,
+    /// ascending. Full codings: all states.
+    live_states: Vec<VoltageState>,
+    /// Read procedure per bit (index = bit). Bits not readable have an
+    /// empty procedure.
+    reads: Vec<ReadProcedure>,
+}
+
+impl CodingScheme {
+    /// Build a full coding scheme from a Gray-code table.
+    ///
+    /// `table[s]` gives the bit pattern of state `s`; all `2^bits` states
+    /// are live and all bits readable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table length is not `2^bits`, entries are not unique,
+    /// state 0 is not all-ones (the erased state must read as 1s), or
+    /// adjacent states differ in more than one bit (not a Gray code).
+    pub fn from_gray_table(name: impl Into<String>, bits: u8, table: Vec<BitPattern>) -> Self {
+        let name = name.into();
+        let n = 1usize << bits;
+        assert_eq!(table.len(), n, "{name}: table must have {n} entries");
+        let full_mask = (n - 1) as u8;
+        assert_eq!(
+            table[0].0, full_mask,
+            "{name}: erased state must encode all-ones"
+        );
+        let mut seen = vec![false; n];
+        for &p in &table {
+            assert!(
+                (p.0 as usize) < n && !seen[p.0 as usize],
+                "{name}: bit patterns must be a permutation of 0..{n}"
+            );
+            seen[p.0 as usize] = true;
+        }
+        for w in table.windows(2) {
+            let diff = w[0].0 ^ w[1].0;
+            assert_eq!(
+                diff.count_ones(),
+                1,
+                "{name}: adjacent states must differ in exactly one bit (Gray code)"
+            );
+        }
+        let live_states = (0..n as u8).map(VoltageState).collect();
+        Self::from_parts(name, bits, full_mask, table, live_states)
+    }
+
+    /// Build a (possibly partial) coding from explicit parts. Used by the
+    /// IDA merge machinery in `ida-core` to construct merged codings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `live_states` is empty, unsorted, or contains duplicates,
+    /// or if two live states encode the same readable-bit projection.
+    pub fn from_parts(
+        name: impl Into<String>,
+        bits: u8,
+        readable_bits: u8,
+        table: Vec<BitPattern>,
+        live_states: Vec<VoltageState>,
+    ) -> Self {
+        let name = name.into();
+        assert!(!live_states.is_empty(), "{name}: no live states");
+        assert!(
+            live_states.windows(2).all(|w| w[0] < w[1]),
+            "{name}: live states must be strictly ascending"
+        );
+        for w in live_states.windows(2) {
+            // No two adjacent live states may be indistinguishable on
+            // readable bits (a merge must have collapsed them).
+            assert!(
+                table[w[0].0 as usize].project(readable_bits)
+                    != table[w[1].0 as usize].project(readable_bits),
+                "{name}: adjacent live states encode identical readable bits"
+            );
+        }
+        let reads = (0..bits)
+            .map(|b| {
+                if readable_bits & (1 << b) == 0 {
+                    ReadProcedure { voltages: vec![] }
+                } else {
+                    derive_read_procedure(&table, &live_states, b)
+                }
+            })
+            .collect();
+        CodingScheme {
+            name,
+            bits_per_cell: bits,
+            readable_bits,
+            table,
+            live_states,
+            reads,
+        }
+    }
+
+    /// The conventional TLC coding of the paper's Figure 2 (1/2/4 senses
+    /// for LSB/CSB/MSB). Derived from the inverted binary-reflected Gray
+    /// code.
+    pub fn tlc_124() -> Self {
+        Self::from_gray_table("tlc-1-2-4", 3, inverted_brgc_table(3))
+    }
+
+    /// The alternative vendor TLC coding mentioned in Section III-B
+    /// (2/3/2 senses for LSB/CSB/MSB) — much flatter read latencies.
+    pub fn tlc_232() -> Self {
+        // Hamiltonian path on the 3-cube with per-bit transition counts
+        // (2, 3, 2), starting at the erased all-ones state:
+        // 111 → 011 → 001 → 000 → 010 → 110 → 100 → 101  (L,C,M)
+        let pats = [0b111, 0b110, 0b100, 0b000, 0b010, 0b011, 0b001, 0b101];
+        Self::from_gray_table(
+            "tlc-2-3-2",
+            3,
+            pats.iter().map(|&p| BitPattern(p)).collect(),
+        )
+    }
+
+    /// The conventional MLC coding (1/2 senses for LSB/MSB; paper Section
+    /// V-G uses 65 µs / 115 µs for the two page reads).
+    pub fn mlc() -> Self {
+        Self::from_gray_table("mlc-1-2", 2, inverted_brgc_table(2))
+    }
+
+    /// The conventional QLC coding of the paper's Figure 6 (1/2/4/8 senses
+    /// for Bits 1–4).
+    pub fn qlc() -> Self {
+        Self::from_gray_table("qlc-1-2-4-8", 4, inverted_brgc_table(4))
+    }
+
+    /// Single-level cell: one bit, one sense.
+    pub fn slc() -> Self {
+        Self::from_gray_table("slc", 1, inverted_brgc_table(1))
+    }
+
+    /// The conventional coding for a given bits-per-cell (the paper's
+    /// defaults: SLC/MLC/TLC-1-2-4/QLC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `1..=4`.
+    pub fn conventional(bits: u8) -> Self {
+        match bits {
+            1 => Self::slc(),
+            2 => Self::mlc(),
+            3 => Self::tlc_124(),
+            4 => Self::qlc(),
+            _ => panic!("no conventional coding for {bits} bits per cell"),
+        }
+    }
+
+    /// Human-readable scheme name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Bits stored per cell.
+    pub fn bits_per_cell(&self) -> u8 {
+        self.bits_per_cell
+    }
+
+    /// Number of voltage states in the *full* state space (`2^bits`).
+    pub fn state_space(&self) -> usize {
+        1 << self.bits_per_cell
+    }
+
+    /// Mask of bits readable under this coding.
+    pub fn readable_bits(&self) -> u8 {
+        self.readable_bits
+    }
+
+    /// Whether bit `b` can be read under this coding.
+    pub fn is_readable(&self, b: u8) -> bool {
+        self.readable_bits & (1 << b) != 0
+    }
+
+    /// States cells may occupy under this coding, ascending.
+    pub fn live_states(&self) -> &[VoltageState] {
+        &self.live_states
+    }
+
+    /// The coding table (bit pattern per state index).
+    pub fn table(&self) -> &[BitPattern] {
+        &self.table
+    }
+
+    /// The bit pattern encoded by `state`.
+    pub fn pattern(&self, state: VoltageState) -> BitPattern {
+        self.table[state.0 as usize]
+    }
+
+    /// The state that encodes `pattern`, if this coding is full.
+    ///
+    /// For merged codings the pattern is matched on readable bits only and
+    /// against live states only.
+    pub fn state_for(&self, pattern: BitPattern) -> Option<VoltageState> {
+        self.live_states
+            .iter()
+            .copied()
+            .find(|&s| self.table[s.0 as usize].project(self.readable_bits)
+                == pattern.project(self.readable_bits))
+    }
+
+    /// The read procedure for bit `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not readable under this coding.
+    pub fn read_procedure(&self, b: u8) -> &ReadProcedure {
+        assert!(
+            self.is_readable(b),
+            "bit {b} is not readable under coding {}",
+            self.name
+        );
+        &self.reads[b as usize]
+    }
+
+    /// Number of sensing operations needed to read bit `b` — the paper's
+    /// key latency driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not readable under this coding.
+    pub fn sense_count(&self, b: u8) -> u32 {
+        self.read_procedure(b).sense_count()
+    }
+
+    /// Read bit `b` from a cell currently in `state`, via the sensing
+    /// procedure (not a table lookup), so tests exercise the actual
+    /// hardware mechanism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not readable or `state` is not live.
+    pub fn read_bit(&self, state: VoltageState, b: u8) -> u8 {
+        assert!(
+            self.live_states.contains(&state),
+            "state {state} is not live under coding {}",
+            self.name
+        );
+        self.read_procedure(b)
+            .decode(state, &self.table, &self.live_states, b)
+    }
+
+    /// The state a cell must be programmed to in order to store `pattern`
+    /// (all bits), under a full coding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no live state encodes the pattern (cannot happen for full
+    /// codings with in-range patterns).
+    pub fn program_target(&self, pattern: BitPattern) -> VoltageState {
+        self.state_for(pattern).unwrap_or_else(|| {
+            panic!(
+                "pattern {pattern} not representable under coding {}",
+                self.name
+            )
+        })
+    }
+}
+
+/// Derive the sensing procedure for bit `b`: one read voltage per boundary
+/// between consecutive *live* states whose bit-`b` values differ. The read
+/// voltage chosen is the one just below the higher state, which separates
+/// the two groups given that only live states are occupied.
+fn derive_read_procedure(
+    table: &[BitPattern],
+    live_states: &[VoltageState],
+    b: u8,
+) -> ReadProcedure {
+    let mut voltages = Vec::new();
+    for w in live_states.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        if table[lo.0 as usize].bit(b) != table[hi.0 as usize].bit(b) {
+            // Voltage index hi-1 separates states <= hi-1 from >= hi.
+            voltages.push(hi.0 - 1);
+        }
+    }
+    ReadProcedure { voltages }
+}
+
+/// The inverted binary-reflected Gray code table for `bits` bits, with the
+/// convention that logical page `k` (0 = LSB) is bit `bits-1-k` of the
+/// codeword — this reproduces the paper's Figure 2 (TLC) and Figure 6 (QLC)
+/// exactly, including 1/2/4/8 sense counts.
+fn inverted_brgc_table(bits: u8) -> Vec<BitPattern> {
+    let n = 1u16 << bits;
+    (0..n)
+        .map(|s| {
+            let gray = s ^ (s >> 1);
+            let inv = !gray & (n - 1);
+            // Reverse bit order so page 0 (LSB) is the bit that flips once.
+            let mut out = 0u8;
+            for k in 0..bits {
+                let cw_bit = (inv >> (bits - 1 - k)) & 1;
+                out |= (cw_bit as u8) << k;
+            }
+            BitPattern(out)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tlc_124_matches_paper_figure_2() {
+        let c = CodingScheme::tlc_124();
+        // (LSB, CSB, MSB) per state S1..S8 from the paper.
+        let expected = [
+            (1, 1, 1),
+            (1, 1, 0),
+            (1, 0, 0),
+            (1, 0, 1),
+            (0, 0, 1),
+            (0, 0, 0),
+            (0, 1, 0),
+            (0, 1, 1),
+        ];
+        for (s, &(l, cs, m)) in expected.iter().enumerate() {
+            let p = c.pattern(VoltageState(s as u8));
+            assert_eq!((p.bit(0), p.bit(1), p.bit(2)), (l, cs, m), "state S{}", s + 1);
+        }
+    }
+
+    #[test]
+    fn tlc_124_sense_counts_are_1_2_4() {
+        let c = CodingScheme::tlc_124();
+        assert_eq!(c.sense_count(0), 1);
+        assert_eq!(c.sense_count(1), 2);
+        assert_eq!(c.sense_count(2), 4);
+    }
+
+    #[test]
+    fn tlc_124_read_voltages_match_paper() {
+        let c = CodingScheme::tlc_124();
+        // Paper: LSB = {V4}, CSB = {V2, V6}, MSB = {V1, V3, V5, V7};
+        // our indices are 0-based (V1 -> 0).
+        assert_eq!(c.read_procedure(0).voltages, vec![3]);
+        assert_eq!(c.read_procedure(1).voltages, vec![1, 5]);
+        assert_eq!(c.read_procedure(2).voltages, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn tlc_232_sense_counts_are_2_3_2() {
+        let c = CodingScheme::tlc_232();
+        assert_eq!(c.sense_count(0), 2);
+        assert_eq!(c.sense_count(1), 3);
+        assert_eq!(c.sense_count(2), 2);
+    }
+
+    #[test]
+    fn mlc_sense_counts_are_1_2() {
+        let c = CodingScheme::mlc();
+        assert_eq!(c.sense_count(0), 1);
+        assert_eq!(c.sense_count(1), 2);
+    }
+
+    #[test]
+    fn qlc_sense_counts_are_1_2_4_8() {
+        let c = CodingScheme::qlc();
+        assert_eq!(c.sense_count(0), 1);
+        assert_eq!(c.sense_count(1), 2);
+        assert_eq!(c.sense_count(2), 4);
+        assert_eq!(c.sense_count(3), 8);
+    }
+
+    #[test]
+    fn sensing_decode_agrees_with_table_for_all_codings() {
+        for c in [
+            CodingScheme::slc(),
+            CodingScheme::mlc(),
+            CodingScheme::tlc_124(),
+            CodingScheme::tlc_232(),
+            CodingScheme::qlc(),
+        ] {
+            for &s in c.live_states() {
+                for b in 0..c.bits_per_cell() {
+                    assert_eq!(
+                        c.read_bit(s, b),
+                        c.pattern(s).bit(b),
+                        "coding {} state {s} bit {b}",
+                        c.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn program_target_roundtrips() {
+        let c = CodingScheme::tlc_124();
+        for bits in 0..8u8 {
+            let p = BitPattern(bits);
+            let s = c.program_target(p);
+            assert_eq!(c.pattern(s), p);
+        }
+    }
+
+    #[test]
+    fn erased_state_reads_all_ones() {
+        for c in [
+            CodingScheme::mlc(),
+            CodingScheme::tlc_124(),
+            CodingScheme::tlc_232(),
+            CodingScheme::qlc(),
+        ] {
+            for b in 0..c.bits_per_cell() {
+                assert_eq!(c.read_bit(VoltageState::ERASED, b), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_100_programs_to_s5() {
+        // Section III-A: writing LSB=0, CSB=0, MSB=1 puts the cell in S5.
+        let c = CodingScheme::tlc_124();
+        let s = c.program_target(BitPattern(0b100));
+        assert_eq!(s, VoltageState(4)); // S5 is 0-based state 4
+    }
+
+    #[test]
+    #[should_panic(expected = "Gray code")]
+    fn non_gray_table_rejected() {
+        // Swap two entries to break adjacency.
+        let mut t = inverted_brgc_table(2);
+        t.swap(1, 2);
+        let _ = CodingScheme::from_gray_table("bad", 2, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-ones")]
+    fn erased_state_must_be_all_ones() {
+        let t = vec![
+            BitPattern(0b00),
+            BitPattern(0b01),
+            BitPattern(0b11),
+            BitPattern(0b10),
+        ];
+        let _ = CodingScheme::from_gray_table("bad", 2, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "not readable")]
+    fn unreadable_bit_rejected() {
+        let c = CodingScheme::from_parts(
+            "merged",
+            3,
+            0b110, // LSB not readable
+            CodingScheme::tlc_124().table().to_vec(),
+            vec![VoltageState(4), VoltageState(5), VoltageState(6), VoltageState(7)],
+        );
+        let _ = c.sense_count(0);
+    }
+
+    #[test]
+    fn merged_tlc_reads_with_fewer_senses() {
+        // The paper's Figure 5 merged coding: states S5..S8, LSB invalid.
+        let c = CodingScheme::from_parts(
+            "tlc-ida-cm",
+            3,
+            0b110,
+            CodingScheme::tlc_124().table().to_vec(),
+            vec![VoltageState(4), VoltageState(5), VoltageState(6), VoltageState(7)],
+        );
+        assert_eq!(c.sense_count(1), 1); // CSB: V6 only
+        assert_eq!(c.sense_count(2), 2); // MSB: V5, V7
+        assert_eq!(c.read_procedure(1).voltages, vec![5]);
+        assert_eq!(c.read_procedure(2).voltages, vec![4, 6]);
+        // Decodes still correct on the live states.
+        for &s in c.live_states() {
+            assert_eq!(c.read_bit(s, 1), c.pattern(s).bit(1));
+            assert_eq!(c.read_bit(s, 2), c.pattern(s).bit(2));
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Physical organization of the flash array behind an SSD.
+//!
+//! The hierarchy follows the paper's Table II:
+//!
+//! ```text
+//! SSD ─ channels ─ chips ─ dies ─ planes ─ blocks ─ wordlines ─ cells
+//! ```
+//!
+//! A wordline of a `b` bits-per-cell device carries `b` logical pages
+//! (LSB, CSB, MSB for TLC). A block is the erase unit; a page is the
+//! read/program unit.
+
+use serde::{Deserialize, Serialize};
+
+/// The static geometry of an SSD's flash array.
+///
+/// All counts are *per parent* (e.g. `dies_per_chip` is dies in one chip).
+/// The default experiment geometry is a scaled-down version of the paper's
+/// 512 GB device; [`Geometry::paper_512gb`] constructs the full-size one.
+///
+/// # Example
+///
+/// ```
+/// use ida_flash::Geometry;
+///
+/// let g = Geometry::paper_512gb();
+/// assert_eq!(g.total_pages() * g.page_size_bytes as u64,
+///            550_829_555_712); // ~513 GiB of raw TLC capacity
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Geometry {
+    /// Number of channels connecting flash chips to the controller.
+    pub channels: u32,
+    /// Flash chips attached to each channel.
+    pub chips_per_channel: u32,
+    /// Dies in each chip (a die is the unit that executes one array
+    /// operation at a time).
+    pub dies_per_chip: u32,
+    /// Planes in each die.
+    pub planes_per_die: u32,
+    /// Blocks in each plane (the erase unit).
+    pub blocks_per_plane: u32,
+    /// Wordlines in each block.
+    pub wordlines_per_block: u32,
+    /// Bits stored per cell: 1 = SLC, 2 = MLC, 3 = TLC, 4 = QLC.
+    /// Equals the number of logical pages carried by one wordline.
+    pub bits_per_cell: u32,
+    /// Logical page size in bytes.
+    pub page_size_bytes: u32,
+}
+
+impl Geometry {
+    /// The paper's baseline 512 GB TLC SSD (Table II): 4 channels,
+    /// 4 chips/channel, 2 dies/chip, 2 planes/die, 5472 blocks/plane,
+    /// 64 wordlines/block (192 pages), 8 KB pages.
+    pub fn paper_512gb() -> Self {
+        Geometry {
+            channels: 4,
+            chips_per_channel: 4,
+            dies_per_chip: 2,
+            planes_per_die: 2,
+            blocks_per_plane: 5472,
+            wordlines_per_block: 64,
+            bits_per_cell: 3,
+            page_size_bytes: 8 * 1024,
+        }
+    }
+
+    /// A 1/64-scale version of the paper geometry used by the default
+    /// experiment harness: identical channel/chip/die/plane structure and
+    /// identical blocks, but 86 blocks per plane (~8 GB). Keeping the
+    /// parallelism structure identical preserves contention behaviour while
+    /// letting the suite run quickly.
+    pub fn scaled_8gb() -> Self {
+        Geometry {
+            blocks_per_plane: 86,
+            ..Self::paper_512gb()
+        }
+    }
+
+    /// A tiny geometry for unit tests: 2 channels, 1 chip/channel, 1 die,
+    /// 1 plane, 64 blocks, 16 wordlines, TLC, 4 KB pages.
+    pub fn tiny() -> Self {
+        Geometry {
+            channels: 2,
+            chips_per_channel: 1,
+            dies_per_chip: 1,
+            planes_per_die: 1,
+            blocks_per_plane: 64,
+            wordlines_per_block: 16,
+            bits_per_cell: 3,
+            page_size_bytes: 4 * 1024,
+        }
+    }
+
+    /// Replace the bits-per-cell (and thus pages-per-wordline) of this
+    /// geometry, e.g. to derive an MLC or QLC variant of the same array.
+    pub fn with_bits_per_cell(self, bits: u32) -> Self {
+        assert!((1..=4).contains(&bits), "bits per cell must be 1..=4");
+        Geometry {
+            bits_per_cell: bits,
+            ..self
+        }
+    }
+
+    /// Total number of chips in the SSD.
+    pub fn total_chips(&self) -> u32 {
+        self.channels * self.chips_per_channel
+    }
+
+    /// Total number of dies in the SSD.
+    pub fn total_dies(&self) -> u32 {
+        self.total_chips() * self.dies_per_chip
+    }
+
+    /// Total number of planes in the SSD.
+    pub fn total_planes(&self) -> u32 {
+        self.total_dies() * self.planes_per_die
+    }
+
+    /// Total number of blocks in the SSD.
+    pub fn total_blocks(&self) -> u32 {
+        self.total_planes() * self.blocks_per_plane
+    }
+
+    /// Pages carried by one block (`wordlines × bits_per_cell`).
+    pub fn pages_per_block(&self) -> u32 {
+        self.wordlines_per_block * self.bits_per_cell
+    }
+
+    /// Total number of pages in the SSD.
+    pub fn total_pages(&self) -> u64 {
+        self.total_blocks() as u64 * self.pages_per_block() as u64
+    }
+
+    /// Raw capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_pages() * self.page_size_bytes as u64
+    }
+
+    /// Validates internal consistency; panics with a descriptive message on
+    /// nonsensical configurations (zero-sized dimensions etc.).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `bits_per_cell` is outside `1..=4`.
+    pub fn validate(&self) {
+        assert!(self.channels > 0, "geometry: channels must be > 0");
+        assert!(self.chips_per_channel > 0, "geometry: chips_per_channel must be > 0");
+        assert!(self.dies_per_chip > 0, "geometry: dies_per_chip must be > 0");
+        assert!(self.planes_per_die > 0, "geometry: planes_per_die must be > 0");
+        assert!(self.blocks_per_plane > 0, "geometry: blocks_per_plane must be > 0");
+        assert!(self.wordlines_per_block > 0, "geometry: wordlines_per_block must be > 0");
+        assert!(
+            (1..=4).contains(&self.bits_per_cell),
+            "geometry: bits_per_cell must be 1..=4"
+        );
+        assert!(self.page_size_bytes > 0, "geometry: page_size_bytes must be > 0");
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Self::scaled_8gb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_matches_table_ii() {
+        let g = Geometry::paper_512gb();
+        g.validate();
+        assert_eq!(g.total_chips(), 16);
+        assert_eq!(g.total_dies(), 32);
+        assert_eq!(g.total_planes(), 64);
+        // 350,208 blocks as quoted in Section III-C.
+        assert_eq!(g.total_blocks(), 350_208);
+        assert_eq!(g.pages_per_block(), 192);
+    }
+
+    #[test]
+    fn paper_capacity_is_512gb_class() {
+        let g = Geometry::paper_512gb();
+        let gb = g.capacity_bytes() as f64 / 1e9;
+        assert!(gb > 512.0 && gb < 560.0, "capacity {gb} GB out of range");
+    }
+
+    #[test]
+    fn pages_per_block_scales_with_bits_per_cell() {
+        let g = Geometry::tiny();
+        assert_eq!(g.pages_per_block(), 48);
+        assert_eq!(g.with_bits_per_cell(2).pages_per_block(), 32);
+        assert_eq!(g.with_bits_per_cell(4).pages_per_block(), 64);
+    }
+
+    #[test]
+    fn scaled_geometry_keeps_parallelism() {
+        let s = Geometry::scaled_8gb();
+        let p = Geometry::paper_512gb();
+        assert_eq!(s.total_dies(), p.total_dies());
+        assert_eq!(s.planes_per_die, p.planes_per_die);
+        assert_eq!(s.pages_per_block(), p.pages_per_block());
+    }
+
+    #[test]
+    #[should_panic(expected = "bits per cell")]
+    fn with_bits_per_cell_rejects_plc() {
+        let _ = Geometry::tiny().with_bits_per_cell(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "channels")]
+    fn validate_rejects_zero_channels() {
+        let g = Geometry {
+            channels: 0,
+            ..Geometry::tiny()
+        };
+        g.validate();
+    }
+}

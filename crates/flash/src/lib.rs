@@ -1,0 +1,49 @@
+//! NAND flash device model for the IDA-coding reproduction.
+//!
+//! This crate models everything that happens *inside* a flash chip:
+//!
+//! - [`geometry`] — the physical organization of an SSD's flash array
+//!   (channels, chips, dies, planes, blocks, wordlines, pages);
+//! - [`addr`] — strongly-typed physical addresses and conversions;
+//! - [`coding`] — multi-level cell coding schemes (how 1–4 bits map onto the
+//!   threshold-voltage states of a cell, and which read voltages must be
+//!   sensed to recover each bit);
+//! - [`timing`] — per-operation latencies, including the *asymmetric* page
+//!   read latencies that motivate the paper;
+//! - [`wordline`] — a functional, cell-accurate model of a wordline that can
+//!   be programmed, sensed, and voltage-adjusted;
+//! - [`interference`] — the program-interference error model used when
+//!   voltage adjustment corrupts neighboring data.
+//!
+//! The crate is deliberately independent of any FTL or simulator concern: it
+//! answers questions like *"how many sensing operations does reading the CSB
+//! page of this wordline take under its current coding?"* and *"what happens
+//! to the stored bits if these states are merged?"*.
+//!
+//! # Example
+//!
+//! ```
+//! use ida_flash::coding::CodingScheme;
+//!
+//! let tlc = CodingScheme::tlc_124();
+//! // The conventional TLC coding reads LSB/CSB/MSB with 1/2/4 senses.
+//! assert_eq!(tlc.sense_count(0), 1);
+//! assert_eq!(tlc.sense_count(1), 2);
+//! assert_eq!(tlc.sense_count(2), 4);
+//! ```
+
+pub mod addr;
+pub mod block;
+pub mod coding;
+pub mod geometry;
+pub mod interference;
+pub mod timing;
+pub mod wordline;
+
+pub use addr::{BlockAddr, DieAddr, PageAddr, PageType, PlaneAddr, WordlineAddr};
+pub use block::{Block, BlockError};
+pub use coding::{BitPattern, CodingScheme, ReadProcedure, VoltageState};
+pub use geometry::Geometry;
+pub use interference::InterferenceModel;
+pub use timing::{FlashTiming, SimTime, NS_PER_MS, NS_PER_US};
+pub use wordline::{Wordline, WordlineError};

@@ -1,0 +1,336 @@
+//! A functional, cell-accurate wordline model.
+//!
+//! The SSD simulator works at page granularity for speed, but correctness of
+//! the coding machinery (and of the IDA merge in particular) is established
+//! on this model: cells hold real [`VoltageState`]s, programming uses the
+//! coding's program targets, reads go through the sensing procedure, and
+//! voltage adjustment applies a state map that must be ISPP-feasible
+//! (right-only moves).
+
+use crate::coding::{BitPattern, CodingScheme, VoltageState};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors returned by wordline operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WordlineError {
+    /// A page buffer's length does not match the wordline width.
+    WidthMismatch {
+        /// Cells in the wordline.
+        expected: usize,
+        /// Bits supplied.
+        got: usize,
+    },
+    /// Programming was attempted on a non-erased wordline.
+    NotErased,
+    /// A state map tried to move a cell to a lower voltage state, which
+    /// ISPP (charge injection only) cannot do.
+    LeftwardMove {
+        /// The cell's current state.
+        from: VoltageState,
+        /// The requested target state.
+        to: VoltageState,
+    },
+    /// A read was attempted for a bit the current coding cannot recover.
+    BitNotReadable(u8),
+}
+
+impl fmt::Display for WordlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WordlineError::WidthMismatch { expected, got } => {
+                write!(f, "page buffer holds {got} bits, wordline has {expected} cells")
+            }
+            WordlineError::NotErased => write!(f, "wordline must be erased before programming"),
+            WordlineError::LeftwardMove { from, to } => {
+                write!(f, "ISPP cannot move a cell from {from} down to {to}")
+            }
+            WordlineError::BitNotReadable(b) => {
+                write!(f, "bit {b} is not readable under the current coding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WordlineError {}
+
+/// A wordline: a row of cells sharing read/program operations, carrying one
+/// logical page per bit of the cell.
+#[derive(Debug, Clone)]
+pub struct Wordline {
+    cells: Vec<VoltageState>,
+    coding: Arc<CodingScheme>,
+    programmed: bool,
+    /// Cumulative count of sensing operations performed by reads, for
+    /// asserting the latency model against actual behaviour.
+    senses_performed: u64,
+}
+
+impl Wordline {
+    /// Create an erased wordline of `width` cells under `coding`.
+    pub fn new(width: usize, coding: Arc<CodingScheme>) -> Self {
+        Wordline {
+            cells: vec![VoltageState::ERASED; width],
+            coding,
+            programmed: false,
+            senses_performed: 0,
+        }
+    }
+
+    /// Number of cells.
+    pub fn width(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The coding currently governing this wordline.
+    pub fn coding(&self) -> &Arc<CodingScheme> {
+        &self.coding
+    }
+
+    /// Whether data has been programmed since the last erase.
+    pub fn is_programmed(&self) -> bool {
+        self.programmed
+    }
+
+    /// Total sensing operations performed by reads so far.
+    pub fn senses_performed(&self) -> u64 {
+        self.senses_performed
+    }
+
+    /// The raw state of cell `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn cell_state(&self, i: usize) -> VoltageState {
+        self.cells[i]
+    }
+
+    /// Program all logical pages at once. `pages[b][i]` is bit `b` of cell
+    /// `i` (values 0/1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WordlineError::NotErased`] if already programmed, or
+    /// [`WordlineError::WidthMismatch`] if any buffer has the wrong length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages.len()` differs from the coding's bits-per-cell.
+    pub fn program(&mut self, pages: &[Vec<u8>]) -> Result<(), WordlineError> {
+        assert_eq!(
+            pages.len(),
+            self.coding.bits_per_cell() as usize,
+            "one page buffer per cell bit required"
+        );
+        if self.programmed {
+            return Err(WordlineError::NotErased);
+        }
+        for page in pages {
+            if page.len() != self.cells.len() {
+                return Err(WordlineError::WidthMismatch {
+                    expected: self.cells.len(),
+                    got: page.len(),
+                });
+            }
+        }
+        for (i, cell) in self.cells.iter_mut().enumerate() {
+            let mut pat = 0u8;
+            for (b, page) in pages.iter().enumerate() {
+                pat |= (page[i] & 1) << b;
+            }
+            *cell = self.coding.program_target(BitPattern(pat));
+        }
+        self.programmed = true;
+        Ok(())
+    }
+
+    /// Read logical page `bit` through the sensing procedure, returning one
+    /// bit value per cell and recording the senses performed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WordlineError::BitNotReadable`] if the current coding
+    /// cannot recover `bit` (e.g. the LSB of an IDA-merged wordline).
+    pub fn read(&mut self, bit: u8) -> Result<Vec<u8>, WordlineError> {
+        if !self.coding.is_readable(bit) {
+            return Err(WordlineError::BitNotReadable(bit));
+        }
+        self.senses_performed += self.coding.sense_count(bit) as u64;
+        Ok(self
+            .cells
+            .iter()
+            .map(|&s| self.coding.read_bit(s, bit))
+            .collect())
+    }
+
+    /// Erase the wordline: all cells return to the erased state and the
+    /// conventional coding for this bit density is restored.
+    pub fn erase(&mut self) {
+        let bits = self.coding.bits_per_cell();
+        for c in &mut self.cells {
+            *c = VoltageState::ERASED;
+        }
+        self.coding = Arc::new(CodingScheme::conventional(bits));
+        self.programmed = false;
+    }
+
+    /// Apply a voltage adjustment: move every cell through `state_map`
+    /// (`state_map[old] = new`) and switch to `new_coding`. This is the
+    /// physical half of applying IDA coding to a wordline.
+    ///
+    /// Validates ISPP feasibility (no leftward moves) *before* touching any
+    /// cell, so a failed call leaves the wordline unchanged.
+    ///
+    /// Returns the number of cells whose state actually changed (the ISPP
+    /// work performed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WordlineError::LeftwardMove`] if the map would lower any
+    /// occupied cell's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state_map` does not cover the coding's state space.
+    pub fn adjust_voltage(
+        &mut self,
+        state_map: &[VoltageState],
+        new_coding: Arc<CodingScheme>,
+    ) -> Result<usize, WordlineError> {
+        assert_eq!(
+            state_map.len(),
+            self.coding.state_space(),
+            "state map must cover the full state space"
+        );
+        for &cell in &self.cells {
+            let target = state_map[cell.0 as usize];
+            if target < cell {
+                return Err(WordlineError::LeftwardMove {
+                    from: cell,
+                    to: target,
+                });
+            }
+        }
+        let mut moved = 0;
+        for cell in &mut self.cells {
+            let target = state_map[cell.0 as usize];
+            if target != *cell {
+                *cell = target;
+                moved += 1;
+            }
+        }
+        self.coding = new_coding;
+        Ok(moved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tlc() -> Arc<CodingScheme> {
+        Arc::new(CodingScheme::tlc_124())
+    }
+
+    fn bits(n: usize, seed: u64) -> Vec<u8> {
+        // Small deterministic pseudo-random bit pattern.
+        (0..n)
+            .map(|i| (((i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed)) >> 33) as u8 & 1)
+            .collect()
+    }
+
+    #[test]
+    fn program_then_read_roundtrips_all_pages() {
+        let mut wl = Wordline::new(64, tlc());
+        let pages = vec![bits(64, 1), bits(64, 2), bits(64, 3)];
+        wl.program(&pages).unwrap();
+        for b in 0..3u8 {
+            assert_eq!(wl.read(b).unwrap(), pages[b as usize]);
+        }
+    }
+
+    #[test]
+    fn erased_wordline_reads_ones() {
+        let mut wl = Wordline::new(8, tlc());
+        assert_eq!(wl.read(2).unwrap(), vec![1; 8]);
+    }
+
+    #[test]
+    fn double_program_rejected() {
+        let mut wl = Wordline::new(4, tlc());
+        let pages = vec![vec![0; 4], vec![1; 4], vec![0; 4]];
+        wl.program(&pages).unwrap();
+        assert_eq!(wl.program(&pages), Err(WordlineError::NotErased));
+    }
+
+    #[test]
+    fn erase_restores_programmability() {
+        let mut wl = Wordline::new(4, tlc());
+        let pages = vec![vec![0; 4], vec![1; 4], vec![0; 4]];
+        wl.program(&pages).unwrap();
+        wl.erase();
+        assert!(!wl.is_programmed());
+        wl.program(&pages).unwrap();
+    }
+
+    #[test]
+    fn width_mismatch_detected() {
+        let mut wl = Wordline::new(4, tlc());
+        let pages = vec![vec![0; 4], vec![1; 3], vec![0; 4]];
+        assert_eq!(
+            wl.program(&pages),
+            Err(WordlineError::WidthMismatch { expected: 4, got: 3 })
+        );
+    }
+
+    #[test]
+    fn sense_accounting_matches_coding() {
+        let mut wl = Wordline::new(16, tlc());
+        let pages = vec![bits(16, 7), bits(16, 8), bits(16, 9)];
+        wl.program(&pages).unwrap();
+        wl.read(0).unwrap();
+        wl.read(1).unwrap();
+        wl.read(2).unwrap();
+        assert_eq!(wl.senses_performed(), 1 + 2 + 4);
+    }
+
+    #[test]
+    fn leftward_adjustment_rejected_and_atomic() {
+        let mut wl = Wordline::new(4, tlc());
+        let pages = vec![vec![0; 4], vec![0; 4], vec![1; 4]]; // all cells S5
+        wl.program(&pages).unwrap();
+        // Identity map except S5 -> S1 (leftward).
+        let mut map: Vec<VoltageState> = (0..8).map(VoltageState).collect();
+        map[4] = VoltageState(0);
+        let err = wl.adjust_voltage(&map, tlc()).unwrap_err();
+        assert!(matches!(err, WordlineError::LeftwardMove { .. }));
+        assert_eq!(wl.cell_state(0), VoltageState(4)); // unchanged
+    }
+
+    #[test]
+    fn paper_merge_preserves_csb_and_msb() {
+        // Program random data, merge S1..S4 into S8..S5 (the Figure 5 map),
+        // and verify CSB/MSB survive while LSB becomes unreadable.
+        let mut wl = Wordline::new(128, tlc());
+        let pages = vec![bits(128, 11), bits(128, 22), bits(128, 33)];
+        wl.program(&pages).unwrap();
+
+        let map: Vec<VoltageState> = vec![7, 6, 5, 4, 4, 5, 6, 7]
+            .into_iter()
+            .map(VoltageState)
+            .collect();
+        let merged = Arc::new(CodingScheme::from_parts(
+            "tlc-ida-cm",
+            3,
+            0b110,
+            CodingScheme::tlc_124().table().to_vec(),
+            (4..8).map(VoltageState).collect(),
+        ));
+        let moved = wl.adjust_voltage(&map, merged).unwrap();
+        assert!(moved > 0);
+        assert_eq!(wl.read(1).unwrap(), pages[1], "CSB preserved");
+        assert_eq!(wl.read(2).unwrap(), pages[2], "MSB preserved");
+        assert_eq!(wl.read(0), Err(WordlineError::BitNotReadable(0)));
+    }
+}

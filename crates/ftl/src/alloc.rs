@@ -1,0 +1,297 @@
+//! CWDP static page allocation.
+//!
+//! The paper's FTL stripes consecutive page writes across the array in
+//! **C**hannel-first, **W**(chip)-second, **D**ie-third, **P**lane-last
+//! order \[26\], maximizing channel-level parallelism for sequential
+//! traffic. Each plane keeps one active (open) block; pages within a block
+//! fill sequentially, which interleaves LSB/CSB/MSB pages across each
+//! wordline in program order.
+
+use crate::block::BlockTable;
+use ida_flash::addr::{BlockAddr, PageAddr, PlaneAddr};
+use ida_flash::geometry::Geometry;
+use ida_flash::timing::SimTime;
+use std::collections::VecDeque;
+
+/// Per-plane free-block pools plus the CWDP round-robin cursor.
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    geometry: Geometry,
+    /// Planes in CWDP visiting order.
+    plane_order: Vec<PlaneAddr>,
+    cursor: usize,
+    free: Vec<VecDeque<BlockAddr>>,
+    active: Vec<Option<BlockAddr>>,
+}
+
+impl Allocator {
+    /// An allocator with every block of every plane in its free pool.
+    pub fn new(geometry: Geometry) -> Self {
+        geometry.validate();
+        let mut free: Vec<VecDeque<BlockAddr>> =
+            vec![VecDeque::new(); geometry.total_planes() as usize];
+        for b in 0..geometry.total_blocks() {
+            let b = BlockAddr(b);
+            free[b.plane(&geometry).0 as usize].push_back(b);
+        }
+        let plane_order = cwdp_plane_order(&geometry);
+        Allocator {
+            geometry,
+            plane_order,
+            cursor: 0,
+            free,
+            active: vec![None; geometry.total_planes() as usize],
+        }
+    }
+
+    /// Allocate the next physical page in CWDP order, opening fresh blocks
+    /// as needed. Returns `None` when no plane has space left (the caller
+    /// must garbage-collect).
+    pub fn allocate(&mut self, blocks: &mut BlockTable, now: SimTime) -> Option<PageAddr> {
+        for _ in 0..self.plane_order.len() {
+            let plane = self.plane_order[self.cursor];
+            self.cursor = (self.cursor + 1) % self.plane_order.len();
+            if let Some(page) = self.allocate_in_plane(plane, blocks, now) {
+                return Some(page);
+            }
+        }
+        None
+    }
+
+    /// Blocks per plane held back from host allocation so garbage
+    /// collection always has somewhere to relocate a victim's valid pages
+    /// (a victim holds at most one block's worth).
+    pub const GC_RESERVE: u32 = 1;
+
+    /// Allocate a page in a specific plane on behalf of the host: a new
+    /// block is only opened if doing so leaves the GC reserve untouched.
+    pub fn allocate_in_plane(
+        &mut self,
+        plane: PlaneAddr,
+        blocks: &mut BlockTable,
+        now: SimTime,
+    ) -> Option<PageAddr> {
+        self.allocate_in_plane_inner(plane, blocks, now, Self::GC_RESERVE)
+    }
+
+    /// Allocate a page in `plane` for garbage collection, which may dig
+    /// into the reserve (the erase it is about to perform repays it).
+    pub fn allocate_gc(
+        &mut self,
+        plane: PlaneAddr,
+        blocks: &mut BlockTable,
+        now: SimTime,
+    ) -> Option<PageAddr> {
+        self.allocate_in_plane_inner(plane, blocks, now, 0)
+    }
+
+    fn allocate_in_plane_inner(
+        &mut self,
+        plane: PlaneAddr,
+        blocks: &mut BlockTable,
+        now: SimTime,
+        keep_back: u32,
+    ) -> Option<PageAddr> {
+        let slot = plane.0 as usize;
+        if self.active[slot].is_none() {
+            if (self.free[slot].len() as u32) <= keep_back {
+                return None;
+            }
+            let block = self.free[slot].pop_front()?;
+            blocks.open(block);
+            self.active[slot] = Some(block);
+        }
+        let block = self.active[slot].expect("active block just ensured");
+        let off = blocks.allocate_page(block, now);
+        if !blocks.has_room(block) {
+            self.active[slot] = None;
+        }
+        Some(block.page(&self.geometry, off))
+    }
+
+    /// Allocate a page whose *type* (bit index within its wordline) is
+    /// `wanted_bit`, if some plane's write pointer currently sits on such a
+    /// slot — the paper's placement of evicted LSB data into the fast LSB
+    /// pages of new blocks (Section III-C). Falls back to plain CWDP
+    /// allocation when no plane lines up.
+    pub fn allocate_preferring(
+        &mut self,
+        wanted_bit: u8,
+        blocks: &mut BlockTable,
+        now: SimTime,
+    ) -> Option<PageAddr> {
+        let n = self.plane_order.len();
+        for i in 0..n {
+            let plane = self.plane_order[(self.cursor + i) % n];
+            let slot = plane.0 as usize;
+            let next_bit = match self.active[slot] {
+                Some(b) => (blocks.next_offset(b) % self.geometry.bits_per_cell) as u8,
+                None if !self.free[slot].is_empty() => 0,
+                None => continue,
+            };
+            if next_bit == wanted_bit {
+                // The matched plane may still refuse (GC reserve); keep
+                // scanning rather than giving up.
+                if let Some(page) = self.allocate_in_plane(plane, blocks, now) {
+                    self.cursor = (self.cursor + i + 1) % n;
+                    return Some(page);
+                }
+            }
+        }
+        self.allocate(blocks, now)
+    }
+
+    /// Return an erased block to its plane's free pool.
+    pub fn push_free(&mut self, block: BlockAddr) {
+        self.free[block.plane(&self.geometry).0 as usize].push_back(block);
+    }
+
+    /// Free blocks currently pooled in `plane` (not counting the active
+    /// block).
+    pub fn free_count(&self, plane: PlaneAddr) -> u32 {
+        self.free[plane.0 as usize].len() as u32
+    }
+
+    /// The plane with the fewest pooled free blocks, and that count.
+    pub fn tightest_plane(&self) -> (PlaneAddr, u32) {
+        let (i, q) = self
+            .free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, q)| q.len())
+            .expect("at least one plane");
+        (PlaneAddr(i as u32), q.len() as u32)
+    }
+
+    /// The currently active (open) block of `plane`, if any.
+    pub fn active_block(&self, plane: PlaneAddr) -> Option<BlockAddr> {
+        self.active[plane.0 as usize]
+    }
+
+    /// Total free blocks across all planes.
+    pub fn total_free(&self) -> u64 {
+        self.free.iter().map(|q| q.len() as u64).sum()
+    }
+
+    /// Debugging summary: per-plane `(pool length, has active block)`.
+    pub fn pool_snapshot(&self) -> Vec<(u32, bool)> {
+        self.free
+            .iter()
+            .zip(&self.active)
+            .map(|(q, a)| (q.len() as u32, a.is_some()))
+            .collect()
+    }
+}
+
+/// The CWDP plane visiting order: channel varies fastest, then chip, then
+/// die, then plane.
+fn cwdp_plane_order(g: &Geometry) -> Vec<PlaneAddr> {
+    let mut order = Vec::with_capacity(g.total_planes() as usize);
+    for plane in 0..g.planes_per_die {
+        for die in 0..g.dies_per_chip {
+            for chip in 0..g.chips_per_channel {
+                for ch in 0..g.channels {
+                    let flat_die = (ch * g.chips_per_channel + chip) * g.dies_per_chip + die;
+                    order.push(PlaneAddr(flat_die * g.planes_per_die + plane));
+                }
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cwdp_order_visits_channels_first() {
+        let g = Geometry::paper_512gb(); // 4 ch, 4 chips, 2 dies, 2 planes
+        let order = cwdp_plane_order(&g);
+        assert_eq!(order.len(), 64);
+        // First four entries must sit on channels 0..4.
+        let channels: Vec<u32> = order[..4]
+            .iter()
+            .map(|p| p.die(&g).channel(&g))
+            .collect();
+        assert_eq!(channels, vec![0, 1, 2, 3]);
+        // And all on plane 0 of die 0 of chip 0.
+        assert!(order[..4].iter().all(|p| p.0 % g.planes_per_die == 0));
+    }
+
+    #[test]
+    fn consecutive_allocations_stripe_across_channels() {
+        let g = Geometry::tiny(); // 2 channels, 1 chip, 1 die, 1 plane
+        let mut blocks = BlockTable::new(g);
+        let mut alloc = Allocator::new(g);
+        let p0 = alloc.allocate(&mut blocks, 0).unwrap();
+        let p1 = alloc.allocate(&mut blocks, 0).unwrap();
+        assert_ne!(p0.channel(&g), p1.channel(&g));
+    }
+
+    #[test]
+    fn pages_fill_blocks_sequentially_within_a_plane() {
+        let g = Geometry::tiny();
+        let mut blocks = BlockTable::new(g);
+        let mut alloc = Allocator::new(g);
+        let mut offsets = Vec::new();
+        // Two planes alternate; collect plane-0 offsets.
+        for _ in 0..8 {
+            let p = alloc.allocate(&mut blocks, 0).unwrap();
+            if p.block(&g).plane(&g) == PlaneAddr(0) {
+                offsets.push(p.offset_in_block(&g));
+            }
+        }
+        assert_eq!(offsets, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn allocation_exhausts_then_returns_none() {
+        let g = Geometry::tiny();
+        let mut blocks = BlockTable::new(g);
+        let mut alloc = Allocator::new(g);
+        // The host path keeps GC_RESERVE blocks back in every plane.
+        let reserved = (Allocator::GC_RESERVE * g.total_planes()) as u64;
+        let host_visible = g.total_pages() - reserved * g.pages_per_block() as u64;
+        for _ in 0..host_visible {
+            assert!(alloc.allocate(&mut blocks, 0).is_some());
+        }
+        assert_eq!(alloc.allocate(&mut blocks, 0), None);
+        assert_eq!(alloc.total_free(), reserved);
+        // The reserve is still reachable for GC.
+        assert!(alloc.allocate_gc(PlaneAddr(0), &mut blocks, 0).is_some());
+    }
+
+    #[test]
+    fn push_free_recycles_blocks() {
+        let g = Geometry::tiny();
+        let mut blocks = BlockTable::new(g);
+        let mut alloc = Allocator::new(g);
+        let page = alloc.allocate(&mut blocks, 0).unwrap();
+        let block = page.block(&g);
+        // Exhaust, invalidate, erase, recycle.
+        while blocks.has_room(block) {
+            blocks.allocate_page(block, 0);
+        }
+        for _ in 0..g.pages_per_block() {
+            blocks.invalidate_page(block);
+        }
+        blocks.erase(block);
+        let before = alloc.free_count(block.plane(&g));
+        alloc.push_free(block);
+        assert_eq!(alloc.free_count(block.plane(&g)), before + 1);
+    }
+
+    #[test]
+    fn allocate_in_plane_stays_in_plane() {
+        let g = Geometry::tiny();
+        let mut blocks = BlockTable::new(g);
+        let mut alloc = Allocator::new(g);
+        for _ in 0..10 {
+            let p = alloc
+                .allocate_in_plane(PlaneAddr(1), &mut blocks, 0)
+                .unwrap();
+            assert_eq!(p.block(&g).plane(&g), PlaneAddr(1));
+        }
+    }
+}

@@ -1,0 +1,725 @@
+//! The FTL facade: host I/O, garbage collection and data refresh.
+
+use crate::alloc::Allocator;
+use crate::block::{BlockState, BlockTable};
+use crate::config::FtlConfig;
+use crate::gc;
+use crate::map::{Lpn, PageMap};
+use crate::ops::{FlashOp, FlashOpKind, Priority, ReadOp, ReadScenario};
+use crate::refresh::RefreshQueue;
+use crate::stats::FtlStats;
+use ida_core::merge::MergePlan;
+use ida_core::refresh::{RefreshMode, RefreshPlanner};
+use ida_flash::addr::{BlockAddr, PageAddr, PageType};
+use ida_flash::geometry::Geometry;
+use ida_flash::interference::InterferenceModel;
+use ida_flash::timing::SimTime;
+
+/// The flash translation layer.
+///
+/// Owns all logical SSD state and translates host operations into
+/// [`FlashOp`] sequences for the simulator. See the crate docs for an
+/// example.
+#[derive(Debug)]
+pub struct Ftl {
+    cfg: FtlConfig,
+    geometry: Geometry,
+    /// Sense count per bit under conventional coding.
+    sense_conventional: Vec<u32>,
+    /// `sense_merged[keep_mask][bit]` — sense count under the merged coding
+    /// for `keep_mask`, `None` when the bit is unreadable.
+    sense_merged: Vec<Vec<Option<u32>>>,
+    map: PageMap,
+    blocks: BlockTable,
+    alloc: Allocator,
+    refresh_q: RefreshQueue,
+    planner: RefreshPlanner,
+    stats: FtlStats,
+    /// The block currently being refreshed, excluded from GC victim
+    /// selection so its pages are not relocated out from under the plan.
+    refresh_target: Option<BlockAddr>,
+}
+
+impl Ftl {
+    /// Build an FTL over an empty (all-erased) flash array.
+    pub fn new(cfg: FtlConfig) -> Self {
+        cfg.geometry.validate();
+        let bits = cfg.geometry.bits_per_cell as u8;
+        let coding = cfg.coding.scheme(bits);
+        let sense_conventional = (0..bits).map(|b| coding.sense_count(b)).collect();
+        let sense_merged = (0..(1u16 << bits))
+            .map(|mask| {
+                let plan = MergePlan::compute(&coding, mask as u8);
+                (0..bits)
+                    .map(|b| {
+                        plan.merged()
+                            .is_readable(b)
+                            .then(|| plan.merged().sense_count(b))
+                    })
+                    .collect()
+            })
+            .collect();
+        let planner = RefreshPlanner::new(
+            bits,
+            cfg.refresh_mode,
+            InterferenceModel::with_seed(cfg.adjust_error_rate, cfg.seed),
+        );
+        Ftl {
+            map: PageMap::new(cfg.exported_pages(), cfg.geometry.total_pages()),
+            blocks: BlockTable::new(cfg.geometry),
+            alloc: Allocator::new(cfg.geometry),
+            refresh_q: RefreshQueue::new(),
+            planner,
+            geometry: cfg.geometry,
+            sense_conventional,
+            sense_merged,
+            stats: FtlStats::default(),
+            refresh_target: None,
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FtlConfig {
+        &self.cfg
+    }
+
+    /// Change the refresh period for blocks scheduled from now on
+    /// (experiments size the period relative to the trace span).
+    pub fn set_refresh_period(&mut self, period: SimTime) {
+        self.cfg.refresh_period = period;
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &FtlStats {
+        &self.stats
+    }
+
+    /// The block status table (read-only view for metrics/tests).
+    pub fn blocks(&self) -> &BlockTable {
+        &self.blocks
+    }
+
+    /// Number of logical pages the host may address.
+    pub fn exported_pages(&self) -> u64 {
+        self.map.logical_pages()
+    }
+
+    /// Whether physical page `p` currently holds valid data.
+    pub fn is_valid(&self, p: PageAddr) -> bool {
+        self.map.is_valid(p)
+    }
+
+    /// Sensing operations a read of physical page `p` needs under the
+    /// wordline's current coding.
+    pub fn senses_for(&self, p: PageAddr) -> u32 {
+        let bit = p.page_type(&self.geometry).bit_index();
+        let block = p.block(&self.geometry);
+        if self.blocks.state(block) == BlockState::Ida {
+            let wl = p.wordline(&self.geometry).offset_in_block(&self.geometry);
+            let mask = self.blocks.wl_keep_mask(block, wl);
+            if mask != 0 {
+                return self.sense_merged[mask as usize][bit as usize]
+                    .expect("valid page of an adjusted wordline must be readable");
+            }
+        }
+        self.sense_conventional[bit as usize]
+    }
+
+    /// Translate and classify a host read of `lpn`. Returns `None` if the
+    /// LPN was never written (the host reads zeros; no flash work).
+    pub fn read(&mut self, lpn: Lpn) -> Option<ReadOp> {
+        let page = self.map.translate(lpn)?;
+        self.stats.host_reads += 1;
+        let ty = page.page_type(&self.geometry);
+        let senses = self.senses_for(page);
+        let scenario = self.classify_read(page, ty);
+        if scenario == ReadScenario::IdaCoded {
+            self.stats.ida_reads += 1;
+        }
+        Some(ReadOp {
+            page,
+            page_type: ty,
+            senses,
+            scenario,
+            die: page.die(&self.geometry),
+            channel: page.channel(&self.geometry),
+        })
+    }
+
+    fn classify_read(&self, page: PageAddr, ty: PageType) -> ReadScenario {
+        let block = page.block(&self.geometry);
+        let wl = page.wordline(&self.geometry);
+        if self.blocks.state(block) == BlockState::Ida
+            && self
+                .blocks
+                .wl_keep_mask(block, wl.offset_in_block(&self.geometry))
+                != 0
+        {
+            return ReadScenario::IdaCoded;
+        }
+        let bit = ty.bit_index();
+        if bit == 0 {
+            return ReadScenario::Lsb;
+        }
+        let lower_all_valid = (0..bit).all(|b| {
+            self.map
+                .is_valid(wl.page(&self.geometry, PageType::from_bit_index(b)))
+        });
+        match (bit, lower_all_valid) {
+            (1, true) => ReadScenario::CsbLowerValid,
+            (1, false) => ReadScenario::CsbLowerInvalid,
+            (_, true) => ReadScenario::MsbLowerValid,
+            (_, false) => ReadScenario::MsbLowerInvalid,
+        }
+    }
+
+    /// Serve a host page write: allocates a physical page in CWDP order,
+    /// supersedes any previous version, and returns the flash ops to
+    /// execute (GC traffic first if the free pool ran low, then the
+    /// program itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is genuinely out of space even after GC, which
+    /// cannot happen while the host stays within the exported capacity.
+    pub fn write(&mut self, lpn: Lpn, now: SimTime) -> Vec<FlashOp> {
+        let mut ops = Vec::new();
+        self.collect_if_needed(now, &mut ops);
+        let page = match self.alloc.allocate(&mut self.blocks, now) {
+            Some(p) => p,
+            None => {
+                self.force_collect(now, &mut ops);
+                self.alloc
+                    .allocate(&mut self.blocks, now)
+                    .expect("device out of space: host exceeded exported capacity")
+            }
+        };
+        if let Some(old) = self.map.map(lpn, page) {
+            self.blocks.invalidate_page(old.block(&self.geometry));
+        }
+        self.after_allocation(page, now);
+        self.stats.host_writes += 1;
+        ops.push(self.program_op(page, Priority::HostWrite));
+        ops
+    }
+
+    /// Host trim/discard of `lpn`.
+    pub fn trim(&mut self, lpn: Lpn) {
+        if let Some(old) = self.map.unmap(lpn) {
+            self.blocks.invalidate_page(old.block(&self.geometry));
+        }
+    }
+
+    /// The earliest pending refresh due-time, if any (may be stale; calling
+    /// [`Ftl::run_due_refreshes`] at that time resolves staleness).
+    pub fn next_refresh_due(&self) -> Option<SimTime> {
+        self.refresh_q.next_due()
+    }
+
+    /// Execute every refresh due at `now`, returning the flash ops.
+    pub fn run_due_refreshes(&mut self, now: SimTime) -> Vec<FlashOp> {
+        let mut ops = Vec::new();
+        loop {
+            let blocks = &self.blocks;
+            let due = self.refresh_q.pop_due(now, |b, snap| {
+                matches!(blocks.state(b), BlockState::Closed | BlockState::Ida)
+                    && blocks.closed_at(b) == snap
+            });
+            match due {
+                Some(block) => self.refresh_block(block, now, &mut ops),
+                None => break,
+            }
+        }
+        ops
+    }
+
+    /// Refresh one block immediately (also used by tests and experiments
+    /// that drive refresh manually).
+    pub fn refresh_block(&mut self, block: BlockAddr, now: SimTime, ops: &mut Vec<FlashOp>) {
+        self.refresh_target = Some(block);
+        self.refresh_block_inner(block, now, ops);
+        self.refresh_target = None;
+    }
+
+    fn refresh_block_inner(&mut self, block: BlockAddr, now: SimTime, ops: &mut Vec<FlashOp>) {
+        self.stats.refreshes += 1;
+        let state = self.blocks.state(block);
+        let wl_masks = self.wl_valid_masks(block);
+
+        // IDA blocks are reclaimed on their next cycle: baseline move-all,
+        // regardless of the configured mode (Section III-C).
+        let plan = if state == BlockState::Ida || self.planner.mode() == RefreshMode::Baseline {
+            let mut baseline = RefreshPlanner::new(
+                self.geometry.bits_per_cell as u8,
+                RefreshMode::Baseline,
+                InterferenceModel::new(0.0),
+            );
+            baseline.plan_block(&wl_masks)
+        } else {
+            let plan = self.planner.plan_block(&wl_masks);
+            self.stats.refresh_overhead.record(&plan);
+            plan
+        };
+
+        // Step 1: read every valid page (and charge its current coding).
+        for &(wl, bit) in &plan.initial_reads {
+            let page = self.block_page(block, wl, bit);
+            ops.push(self.read_op(page, Priority::Background));
+        }
+        // Step 3: migrate non-beneficial pages (plain CWDP placement) and
+        // evicted pages (placed on same-type — typically fast LSB — slots
+        // of new blocks, Section III-C).
+        for &(wl, bit) in &plan.moves {
+            let page = self.block_page(block, wl, bit);
+            self.relocate_page(page, now, None, ops);
+            self.stats.refresh_moves += 1;
+        }
+        for &(wl, bit) in &plan.evictions {
+            let page = self.block_page(block, wl, bit);
+            let prefer = self.cfg.lsb_placement.then_some(bit);
+            self.relocate_page(page, now, prefer, ops);
+            self.stats.refresh_moves += 1;
+        }
+        // Step 4: voltage-adjust the selected wordlines.
+        if !plan.adjusted_wordlines.is_empty() {
+            let masks: Vec<(u32, u8)> = plan
+                .adjusted_wordlines
+                .iter()
+                .copied()
+                .zip(plan.keep_masks.iter().copied())
+                .collect();
+            self.blocks.mark_ida(block, &masks, now);
+            self.stats.ida_conversions += 1;
+            self.stats.voltage_adjusts += plan.adjusted_wordlines.len() as u64;
+            for _ in &plan.adjusted_wordlines {
+                ops.push(FlashOp {
+                    kind: FlashOpKind::VoltageAdjust,
+                    die: block.die(&self.geometry),
+                    channel: block.channel(&self.geometry),
+                    block,
+                    page: None,
+                    priority: Priority::Background,
+                });
+            }
+            // Step 5: verification reads under the merged coding.
+            for &(wl, bit) in &plan.verify_reads {
+                let page = self.block_page(block, wl, bit);
+                ops.push(self.read_op(page, Priority::Background));
+            }
+            // Step 8: corrupted pages move to the new block after all.
+            for &(wl, bit) in &plan.error_writes {
+                let page = self.block_page(block, wl, bit);
+                self.relocate_page(page, now, None, ops);
+            }
+            // Schedule the forced reclaim of the new IDA block.
+            self.refresh_q
+                .schedule(block, now, now + self.cfg.refresh_period);
+        }
+        // A baseline-refreshed block is left fully invalid for GC to erase.
+    }
+
+    /// Garbage-collect `plane`-local space until the high watermark is
+    /// restored (or no victims remain). Returns whether anything happened.
+    pub fn collect_plane(
+        &mut self,
+        plane: ida_flash::addr::PlaneAddr,
+        now: SimTime,
+        ops: &mut Vec<FlashOp>,
+    ) -> bool {
+        let mut progressed = false;
+        while self.alloc.free_count(plane) < self.cfg.gc_high_watermark {
+            let Some(victim) = gc::select_victim(&self.blocks, plane, self.refresh_target) else {
+                break;
+            };
+            self.collect_victim(victim, now, ops);
+            progressed = true;
+        }
+        progressed
+    }
+
+    /// Reclaim the globally cheapest victim (fewest valid pages; an empty
+    /// carcass whenever one exists). Returns false when nothing is
+    /// reclaimable.
+    fn reclaim_cheapest(&mut self, now: SimTime, ops: &mut Vec<FlashOp>) -> bool {
+        let exclude = self.refresh_target;
+        let full = self.geometry.pages_per_block();
+        let victim = self
+            .blocks
+            .reclaimable_blocks()
+            // Fully valid blocks yield no net space (see gc::select_victim).
+            .filter(|&(b, valid, _)| valid < full && Some(b) != exclude)
+            .min_by_key(|&(_, valid, erases)| (valid, erases))
+            .map(|(b, _, _)| b);
+        match victim {
+            Some(v) => {
+                self.collect_victim(v, now, ops);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Relocate a victim's valid pages within its plane and erase it.
+    fn collect_victim(&mut self, victim: BlockAddr, now: SimTime, ops: &mut Vec<FlashOp>) {
+        self.stats.gc_runs += 1;
+        let plane = victim.plane(&self.geometry);
+        for off in 0..self.geometry.pages_per_block() {
+            let page = victim.page(&self.geometry, off);
+            if self.map.is_valid(page) {
+                ops.push(self.read_op(page, Priority::Background));
+                self.relocate_for_gc(page, plane, now, ops);
+                self.stats.gc_copies += 1;
+            }
+        }
+        self.blocks.erase(victim);
+        self.stats.erases += 1;
+        self.alloc.push_free(victim);
+        ops.push(FlashOp {
+            kind: FlashOpKind::Erase,
+            die: victim.die(&self.geometry),
+            channel: victim.channel(&self.geometry),
+            block: victim,
+            page: None,
+            priority: Priority::Background,
+        });
+    }
+
+    fn collect_if_needed(&mut self, now: SimTime, ops: &mut Vec<FlashOp>) {
+        let (plane, free) = self.alloc.tightest_plane();
+        if free < self.cfg.gc_low_watermark {
+            self.collect_plane(plane, now, ops);
+        }
+    }
+
+    fn force_collect(&mut self, now: SimTime, ops: &mut Vec<FlashOp>) {
+        let planes = self.geometry.total_planes();
+        for p in 0..planes {
+            self.collect_plane(ida_flash::addr::PlaneAddr(p), now, ops);
+        }
+    }
+
+    /// Move a valid page into a freshly allocated location, emitting the
+    /// program op (the read is charged by the caller where appropriate).
+    /// `prefer_bit` requests a destination slot of the given page type.
+    fn relocate_page(
+        &mut self,
+        from: PageAddr,
+        now: SimTime,
+        prefer_bit: Option<u8>,
+        ops: &mut Vec<FlashOp>,
+    ) {
+        self.relocate_page_inner(from, now, prefer_bit, ops);
+    }
+
+    fn relocate_page_inner(
+        &mut self,
+        from: PageAddr,
+        now: SimTime,
+        prefer_bit: Option<u8>,
+        ops: &mut Vec<FlashOp>,
+    ) {
+        let mut dest = self.allocate_maybe_preferring(prefer_bit, now);
+        // Long refresh chains can outrun the watermark GC that the host
+        // write path performs; reclaim the globally cheapest victim (empty
+        // carcasses first) until an allocation succeeds.
+        let mut attempts = 0;
+        while dest.is_none() {
+            attempts += 1;
+            assert!(
+                attempts <= 64 && self.reclaim_cheapest(now, ops),
+                "relocation starved after {attempts} GC attempts \
+                 (free blocks: {}, pools: {:?})",
+                self.alloc.total_free(),
+                self.alloc.pool_snapshot()
+            );
+            dest = self.allocate_maybe_preferring(prefer_bit, now);
+        }
+        self.finish_relocation(from, dest.expect("just filled"), now, ops);
+    }
+
+    /// GC relocation: stays inside the victim's plane using the GC reserve
+    /// (the erase about to happen repays it), so GC can never deadlock on
+    /// its own space demand.
+    fn relocate_for_gc(
+        &mut self,
+        from: PageAddr,
+        plane: ida_flash::addr::PlaneAddr,
+        now: SimTime,
+        ops: &mut Vec<FlashOp>,
+    ) {
+        // Prefer spreading relocated pages across the device (otherwise a
+        // nearly-full victim would eat the very pool its erase refills and
+        // the watermark loop would make no net progress); the per-plane
+        // reserve is the deadlock-free fallback of last resort.
+        let dest = self
+            .alloc
+            .allocate(&mut self.blocks, now)
+            .or_else(|| self.alloc.allocate_gc(plane, &mut self.blocks, now))
+            .expect("GC reserve guarantees relocation space");
+        self.finish_relocation(from, dest, now, ops);
+    }
+
+    fn finish_relocation(
+        &mut self,
+        from: PageAddr,
+        dest: PageAddr,
+        now: SimTime,
+        ops: &mut Vec<FlashOp>,
+    ) {
+        let moved = self.map.relocate(from, dest);
+        assert!(moved.is_some(), "relocation source {from} was invalid");
+        self.blocks.invalidate_page(from.block(&self.geometry));
+        self.after_allocation(dest, now);
+        ops.push(self.program_op(dest, Priority::Background));
+    }
+
+    fn allocate_maybe_preferring(
+        &mut self,
+        prefer_bit: Option<u8>,
+        now: SimTime,
+    ) -> Option<PageAddr> {
+        match prefer_bit {
+            Some(bit) => self.alloc.allocate_preferring(bit, &mut self.blocks, now),
+            None => self.alloc.allocate(&mut self.blocks, now),
+        }
+    }
+
+    /// Post-allocation bookkeeping: schedule refresh when a block closes.
+    fn after_allocation(&mut self, page: PageAddr, now: SimTime) {
+        let block = page.block(&self.geometry);
+        if self.blocks.state(block) == BlockState::Closed
+            && page.offset_in_block(&self.geometry) == self.geometry.pages_per_block() - 1
+        {
+            self.refresh_q
+                .schedule(block, self.blocks.closed_at(block), now + self.cfg.refresh_period);
+        }
+    }
+
+    fn wl_valid_masks(&self, block: BlockAddr) -> Vec<u8> {
+        (0..self.geometry.wordlines_per_block)
+            .map(|w| {
+                let wl = block.wordline(&self.geometry, w);
+                let mut mask = 0u8;
+                for b in 0..self.geometry.bits_per_cell as u8 {
+                    let page = wl.page(&self.geometry, PageType::from_bit_index(b));
+                    if self.map.is_valid(page) {
+                        mask |= 1 << b;
+                    }
+                }
+                mask
+            })
+            .collect()
+    }
+
+    fn block_page(&self, block: BlockAddr, wl: u32, bit: u8) -> PageAddr {
+        block
+            .wordline(&self.geometry, wl)
+            .page(&self.geometry, PageType::from_bit_index(bit))
+    }
+
+    fn read_op(&self, page: PageAddr, priority: Priority) -> FlashOp {
+        FlashOp {
+            kind: FlashOpKind::Read {
+                senses: self.senses_for(page),
+            },
+            die: page.die(&self.geometry),
+            channel: page.channel(&self.geometry),
+            block: page.block(&self.geometry),
+            page: Some(page),
+            priority,
+        }
+    }
+
+    fn program_op(&self, page: PageAddr, priority: Priority) -> FlashOp {
+        FlashOp {
+            kind: FlashOpKind::Program,
+            die: page.die(&self.geometry),
+            channel: page.channel(&self.geometry),
+            block: page.block(&self.geometry),
+            page: Some(page),
+            priority,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ftl_with(mode: RefreshMode) -> Ftl {
+        Ftl::new(FtlConfig {
+            geometry: Geometry::tiny(),
+            refresh_mode: mode,
+            adjust_error_rate: 0.0,
+            refresh_period: 1_000_000,
+            ..FtlConfig::default()
+        })
+    }
+
+    #[test]
+    fn write_then_read_translates() {
+        let mut ftl = ftl_with(RefreshMode::Baseline);
+        let ops = ftl.write(Lpn(7), 0);
+        assert!(matches!(ops.last().unwrap().kind, FlashOpKind::Program));
+        let read = ftl.read(Lpn(7)).unwrap();
+        assert_eq!(read.senses, 1); // first allocation lands on an LSB page
+        assert_eq!(read.scenario, ReadScenario::Lsb);
+    }
+
+    #[test]
+    fn unwritten_lpn_reads_none() {
+        let mut ftl = ftl_with(RefreshMode::Baseline);
+        assert!(ftl.read(Lpn(3)).is_none());
+    }
+
+    #[test]
+    fn overwrite_invalidates_previous_page() {
+        let mut ftl = ftl_with(RefreshMode::Baseline);
+        ftl.write(Lpn(1), 0);
+        let first = ftl.read(Lpn(1)).unwrap().page;
+        ftl.write(Lpn(1), 1);
+        let second = ftl.read(Lpn(1)).unwrap().page;
+        assert_ne!(first, second);
+        assert!(!ftl.is_valid(first));
+    }
+
+    #[test]
+    fn csb_read_with_invalid_lsb_is_classified() {
+        let g = Geometry::tiny();
+        let mut ftl = ftl_with(RefreshMode::Baseline);
+        // Fill one wordline per plane: lpns 0.. land striped; write enough
+        // that WL0 of some block holds LSB/CSB/MSB = lpn (0,2,4) etc.
+        // Simpler: write lpns until some lpn sits on a CSB page.
+        let mut csb_lpn = None;
+        for i in 0..32 {
+            ftl.write(Lpn(i), 0);
+            if ftl.read(Lpn(i)).unwrap().page_type == PageType::Csb {
+                csb_lpn = Some(Lpn(i));
+                break;
+            }
+        }
+        let csb_lpn = csb_lpn.expect("some write landed on a CSB page");
+        let csb_page = ftl.read(csb_lpn).unwrap().page;
+        assert_eq!(
+            ftl.read(csb_lpn).unwrap().scenario,
+            ReadScenario::CsbLowerValid
+        );
+        // Invalidate the LSB of the same wordline by overwriting its owner.
+        let wl = csb_page.wordline(&g);
+        let lsb_page = wl.page(&g, PageType::Lsb);
+        let owner = (0..32)
+            .map(Lpn)
+            .find(|&l| ftl.read(l).map(|r| r.page) == Some(lsb_page))
+            .expect("lsb owner");
+        ftl.write(owner, 1);
+        assert_eq!(
+            ftl.read(csb_lpn).unwrap().scenario,
+            ReadScenario::CsbLowerInvalid
+        );
+    }
+
+    #[test]
+    fn ida_refresh_converts_block_and_speeds_reads() {
+        let g = Geometry::tiny();
+        let mut ftl = ftl_with(RefreshMode::Ida);
+        let pages_per_block = g.pages_per_block() as u64;
+        // Fill a whole stripe so at least one block closes.
+        let to_write = pages_per_block * g.total_planes() as u64;
+        for i in 0..to_write {
+            ftl.write(Lpn(i), 0);
+        }
+        // Find an MSB lpn and invalidate its wordline's LSB + CSB.
+        let msb_lpn = (0..to_write)
+            .map(Lpn)
+            .find(|&l| ftl.read(l).map(|r| r.page_type) == Some(PageType::Msb))
+            .unwrap();
+        let before = ftl.read(msb_lpn).unwrap();
+        assert_eq!(before.senses, 4);
+        let wl = before.page.wordline(&g);
+        for ty in [PageType::Lsb, PageType::Csb] {
+            let p = wl.page(&g, ty);
+            if let Some(owner) = (0..to_write)
+                .map(Lpn)
+                .find(|&l| ftl.read(l).map(|r| r.page) == Some(p))
+            {
+                ftl.write(owner, 1);
+            }
+        }
+        // Refresh the block directly.
+        let block = before.page.block(&g);
+        let mut ops = Vec::new();
+        ftl.refresh_block(block, 10, &mut ops);
+        assert_eq!(ftl.blocks().state(block), BlockState::Ida);
+        let after = ftl.read(msb_lpn).unwrap();
+        assert_eq!(after.scenario, ReadScenario::IdaCoded);
+        assert_eq!(after.senses, 1, "case-4 wordline reads MSB in one sense");
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o.kind, FlashOpKind::VoltageAdjust)));
+    }
+
+    #[test]
+    fn baseline_refresh_empties_the_block() {
+        let g = Geometry::tiny();
+        let mut ftl = ftl_with(RefreshMode::Baseline);
+        let to_write = g.pages_per_block() as u64 * g.total_planes() as u64;
+        for i in 0..to_write {
+            ftl.write(Lpn(i), 0);
+        }
+        let block = ftl.read(Lpn(0)).unwrap().page.block(&g);
+        let mut ops = Vec::new();
+        ftl.refresh_block(block, 10, &mut ops);
+        assert_eq!(ftl.blocks().valid_pages(block), 0);
+        // Data still readable from its new location.
+        assert!(ftl.read(Lpn(0)).is_some());
+        assert_ne!(ftl.read(Lpn(0)).unwrap().page.block(&g), block);
+    }
+
+    #[test]
+    fn gc_reclaims_space_under_pressure() {
+        let mut ftl = ftl_with(RefreshMode::Baseline);
+        let logical = ftl.exported_pages();
+        // Write the full logical space twice; GC must kick in.
+        for round in 0..2u64 {
+            for i in 0..logical {
+                ftl.write(Lpn(i), round);
+            }
+        }
+        assert!(ftl.stats().gc_runs > 0);
+        assert!(ftl.stats().erases > 0);
+        // All data still readable.
+        assert!(ftl.read(Lpn(0)).is_some());
+        assert!(ftl.read(Lpn(logical - 1)).is_some());
+    }
+
+    #[test]
+    fn refresh_due_queue_fires_and_reschedules_ida_blocks() {
+        let g = Geometry::tiny();
+        let mut ftl = ftl_with(RefreshMode::Ida);
+        let to_write = g.pages_per_block() as u64 * g.total_planes() as u64;
+        for i in 0..to_write {
+            ftl.write(Lpn(i), 0);
+        }
+        // Invalidate some pages so IDA applies, then run due refreshes.
+        for i in (0..to_write).step_by(3) {
+            ftl.write(Lpn(i), 100);
+        }
+        let due = ftl.next_refresh_due().expect("blocks closed");
+        let ops = ftl.run_due_refreshes(due);
+        assert!(!ops.is_empty());
+        assert!(ftl.stats().ida_conversions > 0);
+        // The IDA block was rescheduled for forced reclaim.
+        assert!(ftl.next_refresh_due().is_some());
+    }
+
+    #[test]
+    fn trim_invalidates_without_flash_ops() {
+        let mut ftl = ftl_with(RefreshMode::Baseline);
+        ftl.write(Lpn(5), 0);
+        let page = ftl.read(Lpn(5)).unwrap().page;
+        ftl.trim(Lpn(5));
+        assert!(ftl.read(Lpn(5)).is_none());
+        assert!(!ftl.is_valid(page));
+    }
+}

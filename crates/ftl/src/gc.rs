@@ -1,0 +1,122 @@
+//! Greedy, wear-aware garbage collection (paper Table II, \[27\]).
+//!
+//! The victim is the reclaimable block (Closed or IDA) with the fewest
+//! valid pages; erase count breaks ties toward the least-worn block. The
+//! paper notes IDA blocks are *more* likely to become victims because they
+//! hold relatively few valid pages — this falls out naturally here.
+
+use crate::block::BlockTable;
+use ida_flash::addr::{BlockAddr, PlaneAddr};
+use ida_flash::geometry::Geometry;
+
+/// Select the GC victim within `plane`, excluding `exclude` (typically the
+/// refresh target currently being processed). Returns `None` if the plane
+/// has no reclaimable block.
+pub fn select_victim(
+    blocks: &BlockTable,
+    plane: PlaneAddr,
+    exclude: Option<BlockAddr>,
+) -> Option<BlockAddr> {
+    let g: &Geometry = blocks.geometry();
+    let full = g.pages_per_block();
+    blocks
+        .reclaimable_blocks()
+        // A fully valid victim yields no net space — collecting it is pure
+        // wear (and would loop the watermark GC forever).
+        .filter(|&(b, valid, _)| valid < full && b.plane(g) == plane && Some(b) != exclude)
+        .min_by_key(|&(_, valid, erases)| (valid, erases))
+        .map(|(b, _, _)| b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ida_flash::geometry::Geometry;
+
+    fn fill_block(t: &mut BlockTable, b: BlockAddr) {
+        t.open(b);
+        for _ in 0..t.geometry().pages_per_block() {
+            t.allocate_page(b, 0);
+        }
+    }
+
+    #[test]
+    fn picks_block_with_fewest_valid_pages() {
+        let g = Geometry::tiny();
+        let mut t = BlockTable::new(g);
+        fill_block(&mut t, BlockAddr(0));
+        fill_block(&mut t, BlockAddr(1));
+        // Invalidate more pages in block 1.
+        for _ in 0..10 {
+            t.invalidate_page(BlockAddr(1));
+        }
+        t.invalidate_page(BlockAddr(0));
+        assert_eq!(
+            select_victim(&t, PlaneAddr(0), None),
+            Some(BlockAddr(1))
+        );
+    }
+
+    #[test]
+    fn erase_count_breaks_ties() {
+        let g = Geometry::tiny();
+        let mut t = BlockTable::new(g);
+        // Wear out block 0 once.
+        fill_block(&mut t, BlockAddr(0));
+        for _ in 0..g.pages_per_block() {
+            t.invalidate_page(BlockAddr(0));
+        }
+        t.erase(BlockAddr(0));
+        fill_block(&mut t, BlockAddr(0));
+        fill_block(&mut t, BlockAddr(1));
+        // Equal valid counts; block 1 has fewer erases.
+        t.invalidate_page(BlockAddr(0));
+        t.invalidate_page(BlockAddr(1));
+        assert_eq!(
+            select_victim(&t, PlaneAddr(0), None),
+            Some(BlockAddr(1))
+        );
+    }
+
+    #[test]
+    fn exclusion_is_respected() {
+        let g = Geometry::tiny();
+        let mut t = BlockTable::new(g);
+        fill_block(&mut t, BlockAddr(0));
+        t.invalidate_page(BlockAddr(0));
+        assert_eq!(select_victim(&t, PlaneAddr(0), None), Some(BlockAddr(0)));
+        assert_eq!(select_victim(&t, PlaneAddr(0), Some(BlockAddr(0))), None);
+    }
+
+    #[test]
+    fn fully_valid_blocks_are_never_victims() {
+        let g = Geometry::tiny();
+        let mut t = BlockTable::new(g);
+        fill_block(&mut t, BlockAddr(0));
+        // Collecting a fully valid block frees no space: skip it.
+        assert_eq!(select_victim(&t, PlaneAddr(0), None), None);
+        t.invalidate_page(BlockAddr(0));
+        assert_eq!(select_victim(&t, PlaneAddr(0), None), Some(BlockAddr(0)));
+    }
+
+    #[test]
+    fn victim_stays_in_requested_plane() {
+        let g = Geometry::tiny(); // 2 planes (one per channel)
+        let mut t = BlockTable::new(g);
+        fill_block(&mut t, BlockAddr(0)); // plane 0
+        t.invalidate_page(BlockAddr(0));
+        let plane1_block = BlockAddr(g.blocks_per_plane); // first block of plane 1
+        fill_block(&mut t, plane1_block);
+        t.invalidate_page(plane1_block);
+        assert_eq!(
+            select_victim(&t, PlaneAddr(1), None),
+            Some(plane1_block)
+        );
+    }
+
+    #[test]
+    fn empty_plane_yields_none() {
+        let t = BlockTable::new(Geometry::tiny());
+        assert_eq!(select_victim(&t, PlaneAddr(0), None), None);
+    }
+}

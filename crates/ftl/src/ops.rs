@@ -1,0 +1,164 @@
+//! Flash operation descriptors exchanged between the FTL and the
+//! event-driven simulator.
+//!
+//! The FTL updates logical state eagerly and emits [`FlashOp`]s describing
+//! the physical work; the simulator serializes them on dies and channels
+//! and charges latency. Sense counts are captured at emission time so a
+//! later remapping cannot retroactively change an in-flight operation.
+
+use ida_flash::addr::{BlockAddr, DieAddr, PageAddr, PageType};
+use ida_flash::timing::{FlashTiming, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Scheduling class of an operation ("read-first scheduling", Table II):
+/// host reads go ahead of everything else queued on a die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Priority {
+    /// Host read — always served first.
+    HostRead,
+    /// Host write.
+    HostWrite,
+    /// Background work: GC and refresh traffic.
+    Background,
+}
+
+/// The physical kind of a flash operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlashOpKind {
+    /// Page read: `senses` wordline sensing operations followed by a
+    /// channel transfer and ECC decode.
+    Read {
+        /// Number of sensing operations (depends on the page's coding).
+        senses: u32,
+    },
+    /// Page program: channel transfer followed by ISPP programming.
+    Program,
+    /// Block erase.
+    Erase,
+    /// IDA voltage adjustment of one wordline (ISPP pass, no transfer).
+    VoltageAdjust,
+}
+
+/// One unit of physical flash work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlashOp {
+    /// What to do.
+    pub kind: FlashOpKind,
+    /// The die that executes the array operation.
+    pub die: DieAddr,
+    /// The channel used for data transfer (reads/programs).
+    pub channel: u32,
+    /// The target block.
+    pub block: BlockAddr,
+    /// The target page for reads/programs (`None` for erase/adjust).
+    pub page: Option<PageAddr>,
+    /// Scheduling class.
+    pub priority: Priority,
+}
+
+impl FlashOp {
+    /// Time the die's array is busy executing this op.
+    pub fn array_time(&self, t: &FlashTiming) -> SimTime {
+        match self.kind {
+            FlashOpKind::Read { senses } => t.read_latency(senses),
+            FlashOpKind::Program => t.program,
+            FlashOpKind::Erase => t.erase,
+            FlashOpKind::VoltageAdjust => t.voltage_adjust,
+        }
+    }
+
+    /// Time the channel is busy moving this op's data (zero for erase and
+    /// voltage adjustment, which move no page data).
+    pub fn channel_time(&self, t: &FlashTiming) -> SimTime {
+        match self.kind {
+            FlashOpKind::Read { .. } | FlashOpKind::Program => t.transfer,
+            FlashOpKind::Erase | FlashOpKind::VoltageAdjust => 0,
+        }
+    }
+
+    /// Post-transfer controller time (ECC decode; reads only).
+    pub fn controller_time(&self, t: &FlashTiming) -> SimTime {
+        match self.kind {
+            FlashOpKind::Read { .. } => t.ecc_decode,
+            _ => 0,
+        }
+    }
+}
+
+/// The validity scenario a host read falls into — the categories of the
+/// paper's Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReadScenario {
+    /// Read of the fastest page type; no optimization headroom.
+    Lsb,
+    /// CSB read while every lower page (the LSB) is valid.
+    CsbLowerValid,
+    /// CSB read while the LSB is invalid — IDA-eligible.
+    CsbLowerInvalid,
+    /// MSB (or QLC top) read while all lower pages are valid.
+    MsbLowerValid,
+    /// MSB (or QLC top) read while at least one lower page is invalid —
+    /// IDA-eligible.
+    MsbLowerInvalid,
+    /// Read served from an IDA-coded wordline (already merged).
+    IdaCoded,
+}
+
+/// A translated host read: the physical page plus everything the simulator
+/// needs to time and classify it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadOp {
+    /// Physical page to sense.
+    pub page: PageAddr,
+    /// The page's type within its wordline.
+    pub page_type: PageType,
+    /// Sensing operations needed under the wordline's *current* coding.
+    pub senses: u32,
+    /// The Figure 4 scenario this read falls into.
+    pub scenario: ReadScenario,
+    /// The die executing the sense.
+    pub die: DieAddr,
+    /// The channel carrying the transfer.
+    pub channel: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ida_flash::timing::NS_PER_US;
+
+    fn op(kind: FlashOpKind) -> FlashOp {
+        FlashOp {
+            kind,
+            die: DieAddr(0),
+            channel: 0,
+            block: BlockAddr(0),
+            page: None,
+            priority: Priority::Background,
+        }
+    }
+
+    #[test]
+    fn read_times_follow_sense_count() {
+        let t = FlashTiming::paper_tlc();
+        assert_eq!(op(FlashOpKind::Read { senses: 1 }).array_time(&t), 50 * NS_PER_US);
+        assert_eq!(op(FlashOpKind::Read { senses: 4 }).array_time(&t), 150 * NS_PER_US);
+        assert_eq!(op(FlashOpKind::Read { senses: 1 }).channel_time(&t), 48 * NS_PER_US);
+        assert_eq!(op(FlashOpKind::Read { senses: 1 }).controller_time(&t), 20 * NS_PER_US);
+    }
+
+    #[test]
+    fn erase_and_adjust_use_no_channel() {
+        let t = FlashTiming::paper_tlc();
+        assert_eq!(op(FlashOpKind::Erase).channel_time(&t), 0);
+        assert_eq!(op(FlashOpKind::VoltageAdjust).channel_time(&t), 0);
+        assert_eq!(op(FlashOpKind::Erase).array_time(&t), 3_000 * NS_PER_US);
+        assert_eq!(op(FlashOpKind::VoltageAdjust).array_time(&t), 2_300 * NS_PER_US);
+    }
+
+    #[test]
+    fn priority_orders_reads_first() {
+        assert!(Priority::HostRead < Priority::HostWrite);
+        assert!(Priority::HostWrite < Priority::Background);
+    }
+}

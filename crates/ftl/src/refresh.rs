@@ -1,0 +1,123 @@
+//! Refresh scheduling: per-block due times in a priority queue.
+//!
+//! Every block receives a refresh due-time when it closes. Entries carry a
+//! snapshot of the block's close time so that stale entries (the block was
+//! erased and reused since) are discarded on pop.
+
+use ida_flash::addr::BlockAddr;
+use ida_flash::timing::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Entry {
+    due: SimTime,
+    block: BlockAddr,
+    closed_at: SimTime,
+}
+
+/// Priority queue of pending block refreshes.
+#[derive(Debug, Clone, Default)]
+pub struct RefreshQueue {
+    heap: BinaryHeap<Reverse<Entry>>,
+}
+
+impl RefreshQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `block` (closed at `closed_at`) for refresh at `due`.
+    pub fn schedule(&mut self, block: BlockAddr, closed_at: SimTime, due: SimTime) {
+        self.heap.push(Reverse(Entry {
+            due,
+            block,
+            closed_at,
+        }));
+    }
+
+    /// The due time of the earliest pending entry, if any (may be stale;
+    /// staleness is resolved by [`RefreshQueue::pop_due`]).
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.due)
+    }
+
+    /// Pop the earliest entry if it is due at `now`. The caller passes a
+    /// `still_fresh` predicate receiving `(block, closed_at_snapshot)`;
+    /// stale entries are dropped silently and the scan continues.
+    pub fn pop_due(
+        &mut self,
+        now: SimTime,
+        mut still_fresh: impl FnMut(BlockAddr, SimTime) -> bool,
+    ) -> Option<BlockAddr> {
+        while let Some(Reverse(e)) = self.heap.peek().copied() {
+            if e.due > now {
+                return None;
+            }
+            self.heap.pop();
+            if still_fresh(e.block, e.closed_at) {
+                return Some(e.block);
+            }
+        }
+        None
+    }
+
+    /// Number of pending (possibly stale) entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_due_order() {
+        let mut q = RefreshQueue::new();
+        q.schedule(BlockAddr(1), 0, 300);
+        q.schedule(BlockAddr(2), 0, 100);
+        q.schedule(BlockAddr(3), 0, 200);
+        assert_eq!(q.next_due(), Some(100));
+        assert_eq!(q.pop_due(1_000, |_, _| true), Some(BlockAddr(2)));
+        assert_eq!(q.pop_due(1_000, |_, _| true), Some(BlockAddr(3)));
+        assert_eq!(q.pop_due(1_000, |_, _| true), Some(BlockAddr(1)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn not_due_yet_returns_none_without_popping() {
+        let mut q = RefreshQueue::new();
+        q.schedule(BlockAddr(1), 0, 500);
+        assert_eq!(q.pop_due(499, |_, _| true), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn stale_entries_are_skipped() {
+        let mut q = RefreshQueue::new();
+        q.schedule(BlockAddr(1), 10, 100); // stale (block re-closed at 20)
+        q.schedule(BlockAddr(1), 20, 200);
+        let fresh_time = 20;
+        assert_eq!(
+            q.pop_due(1_000, |_, snap| snap == fresh_time),
+            Some(BlockAddr(1))
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn all_stale_yields_none() {
+        let mut q = RefreshQueue::new();
+        q.schedule(BlockAddr(1), 10, 100);
+        q.schedule(BlockAddr(2), 10, 100);
+        assert_eq!(q.pop_due(1_000, |_, _| false), None);
+        assert!(q.is_empty());
+    }
+}

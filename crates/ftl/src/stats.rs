@@ -1,0 +1,63 @@
+//! FTL-level statistics: GC, refresh, wear and block-usage counters.
+
+use ida_core::analysis::RefreshOverhead;
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by the FTL over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FtlStats {
+    /// Host page writes served.
+    pub host_writes: u64,
+    /// Host page reads served.
+    pub host_reads: u64,
+    /// Pages copied by garbage collection.
+    pub gc_copies: u64,
+    /// GC invocations.
+    pub gc_runs: u64,
+    /// Blocks erased.
+    pub erases: u64,
+    /// Refresh operations executed.
+    pub refreshes: u64,
+    /// Pages moved to new blocks by refresh.
+    pub refresh_moves: u64,
+    /// Wordlines voltage-adjusted by IDA refresh.
+    pub voltage_adjusts: u64,
+    /// Blocks converted to IDA coding.
+    pub ida_conversions: u64,
+    /// Host reads served from IDA-coded wordlines.
+    pub ida_reads: u64,
+    /// Refresh overhead accounting (Table IV quantities).
+    pub refresh_overhead: RefreshOverhead,
+}
+
+impl FtlStats {
+    /// Write amplification: total page programs per host page write.
+    pub fn write_amplification(&self) -> f64 {
+        if self.host_writes == 0 {
+            return 0.0;
+        }
+        let total = self.host_writes + self.gc_copies + self.refresh_moves;
+        total as f64 / self.host_writes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_amplification_counts_background_writes() {
+        let stats = FtlStats {
+            host_writes: 100,
+            gc_copies: 30,
+            refresh_moves: 20,
+            ..FtlStats::default()
+        };
+        assert!((stats.write_amplification() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_amplification_of_idle_ftl_is_zero() {
+        assert_eq!(FtlStats::default().write_amplification(), 0.0);
+    }
+}

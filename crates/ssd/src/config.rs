@@ -1,0 +1,103 @@
+//! Simulator configuration.
+
+use crate::retry::RetryConfig;
+use ida_core::refresh::RefreshMode;
+use ida_flash::geometry::Geometry;
+use ida_flash::timing::FlashTiming;
+use ida_ftl::FtlConfig;
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of a simulated SSD.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SsdConfig {
+    /// FTL configuration (geometry, refresh, GC, IDA error rate).
+    pub ftl: FtlConfig,
+    /// Flash timing parameters.
+    pub timing: FlashTiming,
+    /// Read-retry model (disabled by default; Section V-F experiments
+    /// enable it).
+    pub retry: RetryConfig,
+}
+
+impl SsdConfig {
+    /// The paper's baseline TLC SSD at experiment scale (scaled geometry,
+    /// Table II timing, baseline refresh).
+    pub fn paper_baseline() -> Self {
+        SsdConfig {
+            ftl: FtlConfig::default(),
+            timing: FlashTiming::paper_tlc(),
+            retry: RetryConfig::disabled(),
+        }
+    }
+
+    /// The paper baseline with the IDA-modified refresh at corruption rate
+    /// `error_rate` (e.g. `0.20` for IDA-Coding-E20).
+    pub fn paper_ida(error_rate: f64) -> Self {
+        let mut cfg = Self::paper_baseline();
+        cfg.ftl.refresh_mode = RefreshMode::Ida;
+        cfg.ftl.adjust_error_rate = error_rate;
+        cfg
+    }
+
+    /// An MLC variant of the paper configuration (Section V-G).
+    pub fn paper_mlc(mode: RefreshMode, error_rate: f64) -> Self {
+        let mut cfg = Self::paper_baseline();
+        cfg.ftl.geometry = cfg.ftl.geometry.with_bits_per_cell(2);
+        cfg.ftl.refresh_mode = mode;
+        cfg.ftl.adjust_error_rate = error_rate;
+        cfg.timing = FlashTiming::paper_mlc();
+        cfg
+    }
+
+    /// A QLC variant (the paper's future-work device, Figure 6).
+    pub fn paper_qlc(mode: RefreshMode, error_rate: f64) -> Self {
+        let mut cfg = Self::paper_baseline();
+        cfg.ftl.geometry = cfg.ftl.geometry.with_bits_per_cell(4);
+        cfg.ftl.refresh_mode = mode;
+        cfg.ftl.adjust_error_rate = error_rate;
+        cfg
+    }
+
+    /// A tiny configuration for unit tests: tiny geometry, paper timing.
+    pub fn tiny_test() -> Self {
+        SsdConfig {
+            ftl: FtlConfig {
+                geometry: Geometry::tiny(),
+                ..FtlConfig::default()
+            },
+            timing: FlashTiming::paper_tlc(),
+            retry: RetryConfig::disabled(),
+        }
+    }
+}
+
+impl Default for SsdConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ida_config_flips_refresh_mode() {
+        let cfg = SsdConfig::paper_ida(0.2);
+        assert_eq!(cfg.ftl.refresh_mode, RefreshMode::Ida);
+        assert_eq!(cfg.ftl.adjust_error_rate, 0.2);
+    }
+
+    #[test]
+    fn mlc_config_uses_two_bits_and_mlc_timing() {
+        let cfg = SsdConfig::paper_mlc(RefreshMode::Ida, 0.2);
+        assert_eq!(cfg.ftl.geometry.bits_per_cell, 2);
+        assert_eq!(cfg.timing, FlashTiming::paper_mlc());
+    }
+
+    #[test]
+    fn qlc_config_uses_four_bits() {
+        let cfg = SsdConfig::paper_qlc(RefreshMode::Baseline, 0.0);
+        assert_eq!(cfg.ftl.geometry.bits_per_cell, 4);
+    }
+}

@@ -1,0 +1,121 @@
+//! The discrete event queue.
+//!
+//! A binary heap of `(time, sequence, payload)` — the sequence number makes
+//! ordering total and deterministic for simultaneous events.
+
+use ida_flash::timing::SimTime;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// A timestamped event carrying payload `E`.
+#[derive(Debug, Clone)]
+struct Timed<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Timed<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Timed<E> {}
+impl<E> PartialOrd for Timed<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Timed<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Deterministic discrete-event queue.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Timed<E>>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Timed { at, seq, payload }));
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(t)| (t.at, t.payload))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(t)| t.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(5, 1);
+        q.push(5, 2);
+        q.push(5, 3);
+        assert_eq!(q.pop(), Some((5, 1)));
+        assert_eq!(q.pop(), Some((5, 2)));
+        assert_eq!(q.pop(), Some((5, 3)));
+    }
+
+    #[test]
+    fn next_time_peeks_without_popping() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.push(42, ());
+        assert_eq!(q.next_time(), Some(42));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

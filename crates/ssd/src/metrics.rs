@@ -1,0 +1,211 @@
+//! Run metrics: response-time statistics, the Figure 4 read breakdown,
+//! and throughput.
+
+use ida_flash::timing::SimTime;
+use ida_ftl::ReadScenario;
+use serde::{Deserialize, Serialize};
+
+/// Response-time statistics for one operation class.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of completed requests.
+    pub count: u64,
+    /// Sum of response times (ns).
+    pub total_ns: u128,
+    /// All response times, for percentile queries (ns).
+    samples: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// Record one response time.
+    pub fn record(&mut self, ns: SimTime) {
+        self.count += 1;
+        self.total_ns += ns as u128;
+        self.samples.push(ns);
+    }
+
+    /// Mean response time in ns (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Mean response time in µs.
+    pub fn mean_us(&self) -> f64 {
+        self.mean() / 1_000.0
+    }
+
+    /// The `p`-th percentile response time in ns (`0 < p <= 100`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p) && p > 0.0, "percentile out of range");
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    }
+}
+
+/// Counts of host reads per validity scenario — the data behind Figure 4.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadBreakdown {
+    /// LSB reads.
+    pub lsb: u64,
+    /// CSB reads with all lower pages valid.
+    pub csb_lower_valid: u64,
+    /// CSB reads with the LSB invalid.
+    pub csb_lower_invalid: u64,
+    /// MSB reads with all lower pages valid.
+    pub msb_lower_valid: u64,
+    /// MSB reads with some lower page invalid.
+    pub msb_lower_invalid: u64,
+    /// Reads served from IDA-coded wordlines.
+    pub ida: u64,
+}
+
+impl ReadBreakdown {
+    /// Record one classified read.
+    pub fn record(&mut self, scenario: ReadScenario) {
+        match scenario {
+            ReadScenario::Lsb => self.lsb += 1,
+            ReadScenario::CsbLowerValid => self.csb_lower_valid += 1,
+            ReadScenario::CsbLowerInvalid => self.csb_lower_invalid += 1,
+            ReadScenario::MsbLowerValid => self.msb_lower_valid += 1,
+            ReadScenario::MsbLowerInvalid => self.msb_lower_invalid += 1,
+            ReadScenario::IdaCoded => self.ida += 1,
+        }
+    }
+
+    /// Total classified reads.
+    pub fn total(&self) -> u64 {
+        self.lsb
+            + self.csb_lower_valid
+            + self.csb_lower_invalid
+            + self.msb_lower_valid
+            + self.msb_lower_invalid
+            + self.ida
+    }
+
+    /// Fraction of CSB reads whose LSB is invalid (the paper's 18 %
+    /// average), ignoring IDA-coded reads.
+    pub fn csb_invalid_fraction(&self) -> f64 {
+        let csb = self.csb_lower_valid + self.csb_lower_invalid;
+        if csb == 0 {
+            0.0
+        } else {
+            self.csb_lower_invalid as f64 / csb as f64
+        }
+    }
+
+    /// Fraction of MSB reads whose LSB and/or CSB is invalid (the paper's
+    /// 30 % average), ignoring IDA-coded reads.
+    pub fn msb_invalid_fraction(&self) -> f64 {
+        let msb = self.msb_lower_valid + self.msb_lower_invalid;
+        if msb == 0 {
+            0.0
+        } else {
+            self.msb_lower_invalid as f64 / msb as f64
+        }
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Host read response times.
+    pub reads: LatencyStats,
+    /// Host write response times.
+    pub writes: LatencyStats,
+    /// Read classification (Figure 4).
+    pub breakdown: ReadBreakdown,
+    /// First host arrival (ns).
+    pub first_arrival: SimTime,
+    /// Last host completion (ns).
+    pub last_completion: SimTime,
+    /// Host bytes read.
+    pub bytes_read: u64,
+    /// Host bytes written.
+    pub bytes_written: u64,
+    /// FTL statistics snapshot at end of run.
+    pub ftl: ida_ftl::FtlStats,
+    /// Blocks not free at the end of the run (Section III-C tracks the
+    /// in-use block increase caused by IDA coding).
+    pub in_use_blocks: u32,
+}
+
+impl Report {
+    /// Device throughput over the run's makespan, in MB/s.
+    pub fn throughput_mbps(&self) -> f64 {
+        let span = self.last_completion.saturating_sub(self.first_arrival);
+        if span == 0 {
+            return 0.0;
+        }
+        let bytes = (self.bytes_read + self.bytes_written) as f64;
+        bytes / (span as f64 / 1e9) / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_mean_and_percentiles() {
+        let mut s = LatencyStats::default();
+        for v in [100, 200, 300, 400] {
+            s.record(v);
+        }
+        assert_eq!(s.mean(), 250.0);
+        assert_eq!(s.percentile(50.0), 200);
+        assert_eq!(s.percentile(100.0), 400);
+        assert_eq!(s.percentile(1.0), 100);
+    }
+
+    #[test]
+    fn empty_latency_stats_are_zero() {
+        let s = LatencyStats::default();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(50.0), 0);
+    }
+
+    #[test]
+    fn breakdown_fractions_match_counts() {
+        let mut b = ReadBreakdown::default();
+        for _ in 0..82 {
+            b.record(ReadScenario::CsbLowerValid);
+        }
+        for _ in 0..18 {
+            b.record(ReadScenario::CsbLowerInvalid);
+        }
+        for _ in 0..70 {
+            b.record(ReadScenario::MsbLowerValid);
+        }
+        for _ in 0..30 {
+            b.record(ReadScenario::MsbLowerInvalid);
+        }
+        assert!((b.csb_invalid_fraction() - 0.18).abs() < 1e-9);
+        assert!((b.msb_invalid_fraction() - 0.30).abs() < 1e-9);
+        assert_eq!(b.total(), 200);
+    }
+
+    #[test]
+    fn throughput_uses_makespan() {
+        let report = Report {
+            bytes_read: 1_000_000,
+            bytes_written: 0,
+            first_arrival: 0,
+            last_completion: 1_000_000_000, // 1 s
+            ..Report::default()
+        };
+        assert!((report.throughput_mbps() - 1.0).abs() < 1e-9);
+    }
+}

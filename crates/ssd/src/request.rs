@@ -1,0 +1,60 @@
+//! Host request model.
+
+use ida_flash::timing::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HostOpKind {
+    /// Host read.
+    Read,
+    /// Host write.
+    Write,
+}
+
+/// One host I/O request, already aligned to logical pages.
+///
+/// Traces produced by `ida-workloads` are sequences of `HostOp`s sorted by
+/// arrival time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostOp {
+    /// Arrival time (ns).
+    pub at: SimTime,
+    /// Read or write.
+    pub kind: HostOpKind,
+    /// First logical page touched.
+    pub lpn: u64,
+    /// Number of consecutive logical pages.
+    pub pages: u32,
+}
+
+impl HostOp {
+    /// The logical pages this request touches.
+    pub fn lpns(&self) -> impl Iterator<Item = u64> + '_ {
+        self.lpn..self.lpn + self.pages as u64
+    }
+}
+
+/// In-flight bookkeeping for one host request.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingRequest {
+    pub arrival: SimTime,
+    pub kind: HostOpKind,
+    pub outstanding: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpns_iterates_the_extent() {
+        let op = HostOp {
+            at: 0,
+            kind: HostOpKind::Read,
+            lpn: 10,
+            pages: 3,
+        };
+        assert_eq!(op.lpns().collect::<Vec<_>>(), vec![10, 11, 12]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Read-retry model (paper Section V-F).
+//!
+//! Late in an SSD's lifetime the raw bit error rate rises and LDPC decoding
+//! of a first, coarse sense may fail; the controller then *re-senses* the
+//! page with shifted read voltages, possibly several times, before soft
+//! decoding succeeds. Each retry repeats the page's full sensing procedure,
+//! so a retry on a conventional MSB page costs another 150 µs while a retry
+//! on an IDA-coded page costs only its reduced sensing time — which is why
+//! the paper measures a *larger* IDA benefit (42.3 %) in the retry-heavy
+//! late lifetime.
+//!
+//! We model decoding failure per sensing attempt as an independent
+//! Bernoulli trial with probability `failure_prob`, capped at
+//! `max_retries` extra attempts (after which heroic soft decoding is
+//! assumed to succeed), following the failure-probability-vs-extra-sensing
+//! framing of LDPC-in-SSD \[38\].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the retry model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryConfig {
+    /// Probability that any given sensing attempt fails to decode.
+    pub failure_prob: f64,
+    /// Maximum extra attempts charged to one read.
+    pub max_retries: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RetryConfig {
+    /// No retries (early lifetime; the paper's default system).
+    pub fn disabled() -> Self {
+        RetryConfig {
+            failure_prob: 0.0,
+            max_retries: 0,
+            seed: 0xEE77,
+        }
+    }
+
+    /// A late-lifetime device where `failure_prob` of sensing attempts
+    /// need another attempt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failure_prob` is not in `[0, 1)`.
+    pub fn late_lifetime(failure_prob: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&failure_prob),
+            "failure probability must be in [0, 1), got {failure_prob}"
+        );
+        RetryConfig {
+            failure_prob,
+            max_retries: 5,
+            seed: 0xEE77,
+        }
+    }
+}
+
+/// Stateful sampler of per-read retry counts.
+#[derive(Debug, Clone)]
+pub struct RetryModel {
+    cfg: RetryConfig,
+    rng: StdRng,
+}
+
+impl RetryModel {
+    /// A sampler for `cfg`.
+    pub fn new(cfg: RetryConfig) -> Self {
+        RetryModel {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RetryConfig {
+        &self.cfg
+    }
+
+    /// Sample the number of *extra* sensing attempts for one host read.
+    pub fn sample_retries(&mut self) -> u32 {
+        if self.cfg.failure_prob <= 0.0 {
+            return 0;
+        }
+        let mut retries = 0;
+        while retries < self.cfg.max_retries && self.rng.gen_bool(self.cfg.failure_prob) {
+            retries += 1;
+        }
+        retries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_model_never_retries() {
+        let mut m = RetryModel::new(RetryConfig::disabled());
+        assert!((0..1000).all(|_| m.sample_retries() == 0));
+    }
+
+    #[test]
+    fn retries_are_capped() {
+        let mut m = RetryModel::new(RetryConfig {
+            failure_prob: 0.99,
+            max_retries: 3,
+            seed: 1,
+        });
+        assert!((0..1000).all(|_| m.sample_retries() <= 3));
+        assert!((0..1000).any(|_| m.sample_retries() == 3));
+    }
+
+    #[test]
+    fn mean_retries_tracks_geometric_distribution() {
+        let p = 0.5;
+        let mut m = RetryModel::new(RetryConfig::late_lifetime(p));
+        let n = 50_000;
+        let total: u32 = (0..n).map(|_| m.sample_retries()).sum();
+        let mean = total as f64 / n as f64;
+        // Geometric mean p/(1-p) = 1.0, slightly reduced by the cap.
+        assert!((mean - 0.97).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "failure probability")]
+    fn certain_failure_rejected() {
+        let _ = RetryConfig::late_lifetime(1.0);
+    }
+}

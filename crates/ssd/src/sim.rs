@@ -1,0 +1,700 @@
+//! The event-driven simulation engine.
+
+use crate::config::SsdConfig;
+use crate::event::EventQueue;
+use crate::metrics::Report;
+use crate::request::{HostOp, HostOpKind, PendingRequest};
+use crate::retry::RetryModel;
+use ida_flash::addr::BlockAddr;
+use ida_flash::timing::SimTime;
+use ida_ftl::block::BlockState;
+use ida_ftl::{FlashOp, FlashOpKind, Ftl, Lpn, Priority};
+use std::collections::VecDeque;
+
+/// An operation queued on a die, with its request linkage and sampled
+/// retry count.
+#[derive(Debug, Clone, Copy)]
+struct SimOp {
+    op: FlashOp,
+    req: Option<usize>,
+    retries: u32,
+}
+
+/// Per-die scheduler state: one queue per priority class.
+///
+/// Two occupancy tracks model program/erase *suspension* (read-first
+/// scheduling): reads serialize on `read_free_at` only — an in-flight
+/// program yields its array to an arriving read — while programs, erases
+/// and voltage adjustments wait for both tracks.
+#[derive(Debug, Clone, Default)]
+struct DieState {
+    /// When the sensing path is next free (reads gate on this alone).
+    read_free_at: SimTime,
+    /// When the program/erase path is next free.
+    other_free_at: SimTime,
+    /// Earliest already-scheduled wake-up, to avoid event storms.
+    wake_at: Option<SimTime>,
+    queues: [VecDeque<SimOp>; 3],
+}
+
+impl DieState {
+    fn enqueue(&mut self, op: SimOp) {
+        let q = match op.op.priority {
+            Priority::HostRead => 0,
+            Priority::HostWrite => 1,
+            Priority::Background => 2,
+        };
+        self.queues[q].push_back(op);
+    }
+
+    /// Peek the next op in priority order.
+    fn peek(&self) -> Option<&SimOp> {
+        self.queues.iter().find_map(|q| q.front())
+    }
+
+    fn dequeue(&mut self) -> Option<SimOp> {
+        self.queues.iter_mut().find_map(|q| q.pop_front())
+    }
+
+    fn pending(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// The `i`-th trace entry arrives.
+    Arrival(usize),
+    /// A die's array/register became free; try to start its next op.
+    DieFree(u32),
+    /// A host-linked flash op completed end-to-end.
+    OpDone { req: usize },
+    /// Wake up to run due refreshes.
+    RefreshWake,
+}
+
+/// The SSD simulator. Owns the FTL; state (mapping, wear, IDA blocks)
+/// persists across [`Simulator::run`] calls so experiments can warm up
+/// (prefill + age + steady-state refresh) and then measure.
+#[derive(Debug)]
+pub struct Simulator {
+    cfg: SsdConfig,
+    ftl: Ftl,
+    retry: RetryModel,
+    dies: Vec<DieState>,
+    channels: Vec<SimTime>,
+    /// Base simulation time: measured runs start where warmup ended.
+    clock: SimTime,
+}
+
+impl Simulator {
+    /// Build a simulator over an empty SSD.
+    pub fn new(cfg: SsdConfig) -> Self {
+        let g = cfg.ftl.geometry;
+        Simulator {
+            ftl: Ftl::new(cfg.ftl.clone()),
+            retry: RetryModel::new(cfg.retry),
+            dies: (0..g.total_dies()).map(|_| DieState::default()).collect(),
+            channels: vec![0; g.channels as usize],
+            cfg,
+            clock: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SsdConfig {
+        &self.cfg
+    }
+
+    /// The underlying FTL (for inspection in tests and experiments).
+    pub fn ftl(&self) -> &Ftl {
+        &self.ftl
+    }
+
+    /// The current simulation clock (advances across runs).
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Warm-up: write `lpns` logically (no timing, no metrics), e.g. to
+    /// pre-fill the workload's footprint.
+    pub fn prefill(&mut self, lpns: impl IntoIterator<Item = u64>) {
+        let now = self.clock;
+        for lpn in lpns {
+            let _ = self.ftl.write(Lpn(lpn), now);
+        }
+    }
+
+    /// Warm-up: apply the write traffic of `trace` logically (reads are
+    /// skipped, timestamps ignored). Establishes the invalidation pattern
+    /// without charging time.
+    pub fn age(&mut self, trace: &[HostOp]) {
+        let now = self.clock;
+        for op in trace {
+            if op.kind == HostOpKind::Write {
+                for lpn in op.lpns() {
+                    let _ = self.ftl.write(Lpn(lpn), now);
+                }
+            }
+        }
+    }
+
+    /// Change the refresh period applied to blocks scheduled from now on.
+    pub fn set_refresh_period(&mut self, period: SimTime) {
+        self.cfg.ftl.refresh_period = period;
+        self.ftl.set_refresh_period(period);
+    }
+
+    /// Warm-up: refresh every closed block that still holds valid pages,
+    /// without charging time. Establishes the steady state in which
+    /// long-lived blocks have been through at least one refresh cycle
+    /// (IDA-converting them when the mode says so).
+    ///
+    /// Block refresh timestamps are staggered across `stagger_span` ns so
+    /// that the *next* refresh cycle (IDA-block reclaims in particular)
+    /// trickles through the measured run instead of arriving as one storm —
+    /// mirroring the staggered block ages of a long-running device.
+    pub fn force_refresh_all(&mut self, stagger_span: SimTime) {
+        let base = self.clock;
+        let candidates: Vec<BlockAddr> = self
+            .ftl
+            .blocks()
+            .reclaimable_blocks()
+            .filter(|&(b, valid, _)| valid > 0 && self.ftl.blocks().state(b) == BlockState::Closed)
+            .map(|(b, _, _)| b)
+            .collect();
+        let n = candidates.len().max(1) as u64;
+        let mut discard = Vec::new();
+        for (i, b) in candidates.into_iter().enumerate() {
+            let when = base + stagger_span * i as u64 / n;
+            self.ftl.refresh_block(b, when, &mut discard);
+            discard.clear();
+        }
+    }
+
+    /// Run a timed simulation of `trace` (must be sorted by arrival time;
+    /// arrival times are offsets added to the current clock). Returns the
+    /// run's metrics; FTL state persists for subsequent runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not sorted by arrival time.
+    pub fn run(&mut self, trace: Vec<HostOp>) -> Report {
+        assert!(
+            trace.windows(2).all(|w| w[0].at <= w[1].at),
+            "trace must be sorted by arrival time"
+        );
+        self.run_inner(trace, None)
+    }
+
+    /// Run `trace` in closed-loop mode: arrival timestamps are ignored and
+    /// the host keeps exactly `queue_depth` requests outstanding — the
+    /// saturation replay used for device-throughput comparisons (Figure
+    /// 10). Returns the run's metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth == 0`.
+    pub fn run_closed_loop(&mut self, trace: Vec<HostOp>, queue_depth: usize) -> Report {
+        assert!(queue_depth > 0, "queue depth must be positive");
+        self.run_inner(trace, Some(queue_depth))
+    }
+
+    fn run_inner(&mut self, trace: Vec<HostOp>, closed_depth: Option<usize>) -> Report {
+        let base = self.clock;
+        let mut report = Report {
+            first_arrival: base
+                + closed_depth.map_or(trace.first().map_or(0, |op| op.at), |_| 0),
+            last_completion: base,
+            ..Report::default()
+        };
+        let mut events: EventQueue<Ev> = EventQueue::new();
+        let mut requests: Vec<PendingRequest> = Vec::with_capacity(trace.len());
+        let mut completed = 0usize;
+        let mut wake_at: Option<SimTime> = None;
+        // Next trace entry to dispatch in closed-loop mode.
+        let mut next_dispatch = 0usize;
+
+        match closed_depth {
+            None => {
+                if !trace.is_empty() {
+                    events.push(base + trace[0].at, Ev::Arrival(0));
+                }
+            }
+            Some(depth) => {
+                while next_dispatch < trace.len().min(depth) {
+                    events.push(base, Ev::Arrival(next_dispatch));
+                    next_dispatch += 1;
+                }
+            }
+        }
+
+        while let Some((now, ev)) = events.pop() {
+            self.clock = now;
+            // Serve due refreshes before anything else at this instant.
+            if self.ftl.next_refresh_due().is_some_and(|d| d <= now) {
+                let ops = self.ftl.run_due_refreshes(now);
+                self.enqueue_all(now, ops, None);
+            }
+            match ev {
+                Ev::Arrival(i) => {
+                    let host = trace[i];
+                    if closed_depth.is_none() && i + 1 < trace.len() {
+                        events.push(base + trace[i + 1].at, Ev::Arrival(i + 1));
+                    }
+                    self.serve_host(now, host, &mut requests, &mut report, &mut completed);
+                    // A request that completed instantly (nothing mapped)
+                    // frees its closed-loop slot immediately.
+                    if closed_depth.is_some()
+                        && requests.last().is_some_and(|r| r.outstanding == 0)
+                        && next_dispatch < trace.len()
+                    {
+                        events.push(now, Ev::Arrival(next_dispatch));
+                        next_dispatch += 1;
+                    }
+                }
+                Ev::DieFree(die) => self.try_start(die, now, &mut events),
+                Ev::OpDone { req } => {
+                    let r = &mut requests[req];
+                    r.outstanding -= 1;
+                    if r.outstanding == 0 {
+                        let resp = now - r.arrival;
+                        match r.kind {
+                            HostOpKind::Read => report.reads.record(resp),
+                            HostOpKind::Write => report.writes.record(resp),
+                        }
+                        report.last_completion = report.last_completion.max(now);
+                        completed += 1;
+                        // Closed loop: a freed slot admits the next request.
+                        if closed_depth.is_some() && next_dispatch < trace.len() {
+                            events.push(now, Ev::Arrival(next_dispatch));
+                            next_dispatch += 1;
+                        }
+                    }
+                }
+                Ev::RefreshWake => {
+                    wake_at = None;
+                }
+            }
+            // Start any dies made runnable by newly enqueued work.
+            self.kick_idle_dies(now, &mut events);
+            // Stop once every host request has completed.
+            let all_arrived = requests.len() == trace.len();
+            if all_arrived && completed == requests.len() {
+                break;
+            }
+            // Keep a wake event pending for the next refresh so idle gaps
+            // still run refreshes at the right time.
+            if let Some(due) = self.ftl.next_refresh_due() {
+                let due = due.max(now);
+                if wake_at.is_none_or(|w| due < w) {
+                    events.push(due, Ev::RefreshWake);
+                    wake_at = Some(due);
+                }
+            }
+        }
+        report.ftl = *self.ftl.stats();
+        report.in_use_blocks = self.ftl.blocks().in_use_blocks();
+        report
+    }
+
+    fn serve_host(
+        &mut self,
+        now: SimTime,
+        host: HostOp,
+        requests: &mut Vec<PendingRequest>,
+        report: &mut Report,
+        completed: &mut usize,
+    ) {
+        let page_bytes = self.cfg.ftl.geometry.page_size_bytes as u64;
+        let req_idx = requests.len();
+        requests.push(PendingRequest {
+            arrival: now,
+            kind: host.kind,
+            outstanding: 0,
+        });
+        match host.kind {
+            HostOpKind::Read => {
+                report.bytes_read += host.pages as u64 * page_bytes;
+                let mut ops = Vec::new();
+                for lpn in host.lpns() {
+                    if let Some(read) = self.ftl.read(Lpn(lpn)) {
+                        report.breakdown.record(read.scenario);
+                        ops.push(FlashOp {
+                            kind: FlashOpKind::Read { senses: read.senses },
+                            die: read.die,
+                            channel: read.channel,
+                            block: read.page.block(&self.cfg.ftl.geometry),
+                            page: Some(read.page),
+                            priority: Priority::HostRead,
+                        });
+                    }
+                }
+                requests[req_idx].outstanding = self.enqueue_all(now, ops, Some(req_idx));
+            }
+            HostOpKind::Write => {
+                report.bytes_written += host.pages as u64 * page_bytes;
+                let mut all_ops = Vec::new();
+                for lpn in host.lpns() {
+                    all_ops.extend(self.ftl.write(Lpn(lpn), now));
+                }
+                requests[req_idx].outstanding = self.enqueue_all(now, all_ops, Some(req_idx));
+            }
+        }
+        // A write whose program ops were all background (cannot happen) or
+        // a request with zero linked ops completes immediately.
+        if requests[req_idx].outstanding == 0 {
+            match requests[req_idx].kind {
+                HostOpKind::Read => report.reads.record(0),
+                HostOpKind::Write => report.writes.record(0),
+            }
+            report.last_completion = report.last_completion.max(now);
+            *completed += 1;
+        }
+    }
+
+    /// Enqueue ops to their dies; host-priority ops link to `req`.
+    /// Returns how many ops were linked to the request.
+    fn enqueue_all(&mut self, _now: SimTime, ops: Vec<FlashOp>, req: Option<usize>) -> u32 {
+        let mut linked_count = 0;
+        for op in ops {
+            let linked = match op.priority {
+                Priority::HostRead | Priority::HostWrite => req,
+                Priority::Background => None,
+            };
+            if linked.is_some() {
+                linked_count += 1;
+            }
+            let retries = if matches!(op.kind, FlashOpKind::Read { .. })
+                && op.priority == Priority::HostRead
+            {
+                self.retry.sample_retries()
+            } else {
+                0
+            };
+            self.dies[op.die.0 as usize].enqueue(SimOp {
+                op,
+                req: linked,
+                retries,
+            });
+        }
+        linked_count
+    }
+
+    fn kick_idle_dies(&mut self, now: SimTime, events: &mut EventQueue<Ev>) {
+        for die in 0..self.dies.len() as u32 {
+            if self.dies[die as usize].pending() > 0 {
+                self.try_start(die, now, events);
+            }
+        }
+    }
+
+    /// Start every queued op on `die` that can begin at `now`, scheduling
+    /// a wake-up for the first one that cannot.
+    fn try_start(&mut self, die: u32, now: SimTime, events: &mut EventQueue<Ev>) {
+        let t = self.cfg.timing;
+        let d = die as usize;
+        if self.dies[d].wake_at.is_some_and(|w| w <= now) {
+            self.dies[d].wake_at = None;
+        }
+        loop {
+            let Some(next) = self.dies[d].peek() else {
+                return;
+            };
+            let is_read = matches!(next.op.kind, FlashOpKind::Read { .. });
+            // Reads gate on the sensing path only (program/erase
+            // suspension under read-first scheduling); everything else
+            // waits for both tracks.
+            let ready_at = if is_read {
+                self.dies[d].read_free_at
+            } else {
+                self.dies[d].read_free_at.max(self.dies[d].other_free_at)
+            };
+            if ready_at > now {
+                // Schedule a wake-up unless an earlier one is pending.
+                if self.dies[d].wake_at.is_none_or(|w| ready_at < w) {
+                    events.push(ready_at, Ev::DieFree(die));
+                    self.dies[d].wake_at = Some(ready_at);
+                }
+                return;
+            }
+            let sim_op = self.dies[d].dequeue().expect("peeked");
+            let ch = sim_op.op.channel as usize;
+            let completion = match sim_op.op.kind {
+                FlashOpKind::Read { senses } => {
+                    // Sense (× retries) then transfer, serialized on the
+                    // channel as one window (DiskSim SSD-extension style:
+                    // the chip holds the bus for the whole read), then ECC
+                    // decode off the critical resource.
+                    let array = t.read_latency(senses) * (1 + sim_op.retries) as SimTime;
+                    let start = now.max(self.channels[ch]);
+                    let tx_end = start + array + t.transfer;
+                    self.channels[ch] = tx_end;
+                    self.dies[d].read_free_at = tx_end;
+                    tx_end + t.ecc_decode
+                }
+                FlashOpKind::Program => {
+                    let tx_start = now.max(self.channels[ch]);
+                    let tx_end = tx_start + t.transfer;
+                    self.channels[ch] = tx_end;
+                    let array_end = tx_end + t.program;
+                    self.dies[d].other_free_at = array_end;
+                    array_end
+                }
+                FlashOpKind::Erase => {
+                    self.dies[d].other_free_at = now + t.erase;
+                    now + t.erase
+                }
+                FlashOpKind::VoltageAdjust => {
+                    self.dies[d].other_free_at = now + t.voltage_adjust;
+                    now + t.voltage_adjust
+                }
+            };
+            if let Some(req) = sim_op.req {
+                events.push(completion, Ev::OpDone { req });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SsdConfig;
+    use ida_flash::timing::NS_PER_US;
+
+    fn write_then_read_trace(n: u64, gap: SimTime) -> Vec<HostOp> {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push(HostOp {
+                at: i * gap,
+                kind: HostOpKind::Write,
+                lpn: i,
+                pages: 1,
+            });
+        }
+        for i in 0..n {
+            t.push(HostOp {
+                at: (n + i) * gap,
+                kind: HostOpKind::Read,
+                lpn: i,
+                pages: 1,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn single_uncontended_read_costs_the_three_stages() {
+        let mut sim = Simulator::new(SsdConfig::tiny_test());
+        sim.prefill(0..1);
+        let report = sim.run(vec![HostOp {
+            at: 0,
+            kind: HostOpKind::Read,
+            lpn: 0,
+            pages: 1,
+        }]);
+        // LSB read: 50 µs sense + 48 µs transfer + 20 µs ECC.
+        assert_eq!(report.reads.count, 1);
+        assert_eq!(report.reads.mean() as u64, 118 * NS_PER_US);
+    }
+
+    #[test]
+    fn writes_and_reads_complete() {
+        let mut sim = Simulator::new(SsdConfig::tiny_test());
+        let report = sim.run(write_then_read_trace(64, 100 * NS_PER_US));
+        assert_eq!(report.reads.count, 64);
+        assert_eq!(report.writes.count, 64);
+        assert!(report.reads.mean() > 0.0);
+        assert!(report.writes.mean() >= 2_300.0 * NS_PER_US as f64);
+        assert!(report.last_completion > report.first_arrival);
+    }
+
+    #[test]
+    fn unmapped_read_is_instant() {
+        let mut sim = Simulator::new(SsdConfig::tiny_test());
+        let report = sim.run(vec![HostOp {
+            at: 0,
+            kind: HostOpKind::Read,
+            lpn: 5,
+            pages: 1,
+        }]);
+        assert_eq!(report.reads.count, 1);
+        assert_eq!(report.reads.mean(), 0.0);
+    }
+
+    #[test]
+    fn queueing_inflates_response_times() {
+        let mut sim = Simulator::new(SsdConfig::tiny_test());
+        sim.prefill(0..8);
+        // 8 simultaneous reads of pages that share dies.
+        let trace: Vec<HostOp> = (0..8)
+            .map(|i| HostOp {
+                at: 0,
+                kind: HostOpKind::Read,
+                lpn: i,
+                pages: 1,
+            })
+            .collect();
+        let report = sim.run(trace);
+        // With 2 dies, the last read waits behind three others.
+        assert!(report.reads.percentile(100.0) > 2 * 118 * NS_PER_US);
+    }
+
+    #[test]
+    fn multi_page_request_completes_once() {
+        let mut sim = Simulator::new(SsdConfig::tiny_test());
+        sim.prefill(0..16);
+        let report = sim.run(vec![HostOp {
+            at: 0,
+            kind: HostOpKind::Read,
+            lpn: 0,
+            pages: 16,
+        }]);
+        assert_eq!(report.reads.count, 1);
+        assert_eq!(report.bytes_read, 16 * 4096);
+    }
+
+    #[test]
+    fn clock_persists_across_runs() {
+        let mut sim = Simulator::new(SsdConfig::tiny_test());
+        sim.prefill(0..1);
+        let r1 = sim.run(vec![HostOp {
+            at: 0,
+            kind: HostOpKind::Read,
+            lpn: 0,
+            pages: 1,
+        }]);
+        let t1 = sim.now();
+        assert!(t1 >= r1.last_completion);
+        let r2 = sim.run(vec![HostOp {
+            at: 10,
+            kind: HostOpKind::Read,
+            lpn: 0,
+            pages: 1,
+        }]);
+        assert!(r2.first_arrival >= t1);
+    }
+
+    #[test]
+    fn retry_model_inflates_read_latency() {
+        let mut cfg = SsdConfig::tiny_test();
+        cfg.retry = crate::retry::RetryConfig {
+            failure_prob: 0.9999,
+            max_retries: 2,
+            seed: 7,
+        };
+        let mut slow = Simulator::new(cfg);
+        slow.prefill(0..1);
+        let r_slow = slow.run(vec![HostOp {
+            at: 0,
+            kind: HostOpKind::Read,
+            lpn: 0,
+            pages: 1,
+        }]);
+        // 3 sensing attempts of 50 µs instead of 1.
+        assert_eq!(r_slow.reads.mean() as u64, (150 + 48 + 20) * NS_PER_US);
+    }
+
+    #[test]
+    fn closed_loop_completes_all_requests() {
+        let mut sim = Simulator::new(SsdConfig::tiny_test());
+        sim.prefill(0..256);
+        let trace: Vec<HostOp> = (0..256)
+            .map(|i| HostOp {
+                at: 0, // timestamps ignored in closed loop
+                kind: HostOpKind::Read,
+                lpn: i,
+                pages: 1,
+            })
+            .collect();
+        let report = sim.run_closed_loop(trace, 8);
+        assert_eq!(report.reads.count, 256);
+        assert!(report.throughput_mbps() > 0.0);
+    }
+
+    #[test]
+    fn closed_loop_throughput_grows_with_queue_depth() {
+        let trace: Vec<HostOp> = (0..512)
+            .map(|i| HostOp {
+                at: 0,
+                kind: HostOpKind::Read,
+                lpn: i % 256,
+                pages: 1,
+            })
+            .collect();
+        let mut tp = Vec::new();
+        for depth in [1usize, 16] {
+            let mut sim = Simulator::new(SsdConfig::tiny_test());
+            sim.prefill(0..256);
+            let report = sim.run_closed_loop(trace.clone(), depth);
+            tp.push(report.throughput_mbps());
+        }
+        assert!(
+            tp[1] > tp[0] * 1.5,
+            "parallelism should raise throughput: qd1={} qd16={}",
+            tp[0],
+            tp[1]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth")]
+    fn closed_loop_rejects_zero_depth() {
+        let mut sim = Simulator::new(SsdConfig::tiny_test());
+        let _ = sim.run_closed_loop(vec![], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_trace_rejected() {
+        let mut sim = Simulator::new(SsdConfig::tiny_test());
+        let _ = sim.run(vec![
+            HostOp { at: 10, kind: HostOpKind::Read, lpn: 0, pages: 1 },
+            HostOp { at: 5, kind: HostOpKind::Read, lpn: 1, pages: 1 },
+        ]);
+    }
+
+    #[test]
+    fn refresh_fires_inside_the_measured_window() {
+        let mut cfg = SsdConfig::tiny_test();
+        cfg.ftl.refresh_mode = ida_core::refresh::RefreshMode::Ida;
+        cfg.ftl.adjust_error_rate = 0.0;
+        cfg.ftl.refresh_period = 1_000_000; // 1 ms, in force before prefill
+        let mut sim = Simulator::new(cfg);
+        // Close a block's worth of pages, then run a trace that spans past
+        // the refresh due time.
+        let g = sim.config().ftl.geometry;
+        let to_write = g.pages_per_block() as u64 * g.total_planes() as u64;
+        sim.prefill(0..to_write);
+        let before = sim.ftl().stats().refreshes;
+        let report = sim.run(vec![
+            HostOp { at: 0, kind: HostOpKind::Read, lpn: 0, pages: 1 },
+            HostOp { at: 50_000_000, kind: HostOpKind::Read, lpn: 1, pages: 1 },
+        ]);
+        // Prefilled blocks were due 1 ms after close; the 50 ms idle gap
+        // must have run them via the refresh wake event.
+        assert!(sim.ftl().stats().refreshes > before);
+        assert!(sim.ftl().stats().ida_conversions > 0 || report.reads.count == 2);
+    }
+
+    #[test]
+    fn background_ops_do_not_block_host_read_starts() {
+        // A read arriving while a program is in flight on the same die
+        // starts sensing immediately (suspension).
+        let mut sim = Simulator::new(SsdConfig::tiny_test());
+        sim.prefill(0..64);
+        // One write then an immediate read of a page on the same die: the
+        // read's response must not include the 2.3 ms program.
+        let victim_page = 0u64;
+        let report = sim.run(vec![
+            HostOp { at: 0, kind: HostOpKind::Write, lpn: 62, pages: 2 },
+            HostOp { at: 1_000, kind: HostOpKind::Read, lpn: victim_page, pages: 1 },
+        ]);
+        assert!(
+            report.reads.mean() < 1_000_000.0,
+            "read should bypass the in-flight program, got {} ns",
+            report.reads.mean()
+        );
+    }
+}

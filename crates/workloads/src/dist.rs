@@ -1,0 +1,244 @@
+//! Distribution samplers used by the trace generator.
+//!
+//! Implemented directly on `rand` so the crate needs no further
+//! dependencies: a Zipf rank sampler (precomputed CDF + binary search), an
+//! exponential gap sampler (inverse CDF), and a rank-scattering
+//! multiplicative hash that spreads hot ranks over the address space.
+
+use rand::Rng;
+
+/// Zipf(θ) distribution over ranks `0..n` (rank 0 hottest).
+///
+/// Sampling uses a precomputed cumulative table and binary search —
+/// O(n) memory, O(log n) per sample, exact.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A Zipf distribution over `n` ranks with exponent `theta`
+    /// (`theta = 0` is uniform; ≈ 0.8–1.2 matches storage-trace skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(theta >= 0.0, "zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is degenerate (single rank).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Sample a rank.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Sample an exponential gap with the given mean (ns), via inverse CDF.
+pub fn exponential_gap<R: Rng>(rng: &mut R, mean_ns: f64) -> u64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (-mean_ns * u.ln()).round().max(0.0) as u64
+}
+
+/// A bijective rank scatterer: maps rank `i` to `(i·g) mod n` with
+/// `gcd(g, n) = 1`, so the hottest ranks do not cluster at the start of
+/// the address space (which would concentrate them in a handful of flash
+/// blocks) yet every page is reachable exactly once.
+#[derive(Debug, Clone, Copy)]
+pub struct Scatter {
+    n: u64,
+    mult: u64,
+}
+
+impl Scatter {
+    /// A scatterer over `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u64) -> Self {
+        Self::with_salt(n, 0)
+    }
+
+    /// A scatterer over `0..n` whose mapping differs per `salt`, so two
+    /// streams (e.g. reads and updates) can rank the same domain with
+    /// different hot sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_salt(n: u64, salt: u64) -> Self {
+        assert!(n > 0, "scatter domain must be non-empty");
+        // Start near a salt-dependent fraction of n and walk down to the
+        // nearest multiplier coprime with n (guaranteed to exist: 1 is
+        // coprime with everything).
+        let frac = [0.618_033_988_75, 0.414_213_562_37, 0.324_717_957_24, 0.754_877_666_25]
+            [(salt % 4) as usize];
+        let mut mult = ((n as f64 * frac) as u64).max(1);
+        while gcd(mult, n) != 1 {
+            mult -= 1;
+        }
+        Scatter { n, mult }
+    }
+
+    /// The scattered position of rank `i`.
+    pub fn apply(&self, i: u64) -> u64 {
+        ((i % self.n) as u128 * self.mult as u128 % self.n as u128) as u64
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// A request-size sampler: a mix of small (1-page), medium and large
+/// extents tuned to hit a target mean while keeping the long-tailed shape
+/// of real block traces.
+#[derive(Debug, Clone)]
+pub struct SizeMix {
+    mean_pages: f64,
+    max_pages: u32,
+}
+
+impl SizeMix {
+    /// A size distribution with the given mean (pages ≥ 1) and cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_pages < 1` or the cap is below the mean.
+    pub fn new(mean_pages: f64, max_pages: u32) -> Self {
+        assert!(mean_pages >= 1.0, "mean size must be at least one page");
+        assert!(
+            max_pages as f64 >= mean_pages,
+            "size cap below the requested mean"
+        );
+        SizeMix {
+            mean_pages,
+            max_pages,
+        }
+    }
+
+    /// Sample a request size in pages (≥ 1).
+    ///
+    /// Geometric-like: with probability 1/mean stop at each page. The
+    /// geometric mean is exactly `mean_pages` (before capping).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        if self.mean_pages <= 1.0 {
+            return 1;
+        }
+        let p_stop = 1.0 / self.mean_pages;
+        let mut size = 1;
+        while size < self.max_pages && !rng.gen_bool(p_stop) {
+            size += 1;
+        }
+        size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_rank_zero_is_hottest() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[500]);
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.1, "uniform spread expected");
+    }
+
+    #[test]
+    fn exponential_gap_has_requested_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| exponential_gap(&mut rng, 1000.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1000.0).abs() < 20.0, "mean {mean}");
+    }
+
+    #[test]
+    fn scatter_is_a_bijection_for_any_n() {
+        for n in [1u64, 2, 7, 4096, 5000, 12345] {
+            let sc = Scatter::new(n);
+            let mut seen = vec![false; n as usize];
+            for i in 0..n {
+                let s = sc.apply(i);
+                assert!(!seen[s as usize], "collision at {i} for n={n}");
+                seen[s as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_spreads_adjacent_ranks() {
+        let sc = Scatter::new(100_000);
+        let d = sc.apply(1).abs_diff(sc.apply(0));
+        assert!(d > 1_000, "adjacent ranks should land far apart, got {d}");
+    }
+
+    #[test]
+    fn size_mix_hits_the_mean() {
+        let s = SizeMix::new(5.0, 256);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| s.sample(&mut rng) as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn size_mix_of_one_is_constant() {
+        let s = SizeMix::new(1.0, 16);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!((0..100).all(|_| s.sample(&mut rng) == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_empty_domain() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

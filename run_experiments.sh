@@ -1,0 +1,7 @@
+#!/bin/bash
+cd /root/repo
+for exp in table3_workloads fig4_read_distribution fig8_response_time table4_refresh_overhead fig9_delta_tr fig10_throughput fig11_read_retry table5_mlc fig6_qlc blocks_overhead ablation_lsb_placement ablation_coding_232; do
+  echo "=== $exp ==="
+  cargo run --release -p ida-bench --bin $exp > results/$exp.txt 2> results/$exp.log
+  echo "done $exp"
+done

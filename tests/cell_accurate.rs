@@ -1,0 +1,125 @@
+//! Cross-validation of the page-level FTL against the cell-accurate flash
+//! model: after host churn and IDA refreshes, every mapped logical page's
+//! data must survive bit-for-bit in a physical reconstruction, and the
+//! sensing cost the FTL charges must equal what the cells actually need.
+
+use ida_core::merge::MergePlan;
+use ida_core::refresh::RefreshMode;
+use ida_flash::block::Block;
+use ida_flash::coding::CodingScheme;
+use ida_flash::geometry::Geometry;
+use ida_ftl::block::BlockState;
+use ida_ftl::{Ftl, FtlConfig, Lpn};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const WIDTH: usize = 16; // cells per wordline in the reconstruction
+
+/// Deterministic page payload for a logical page.
+fn payload(lpn: u64) -> Vec<u8> {
+    (0..WIDTH)
+        .map(|i| ((lpn.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64)) >> 7) as u8 & 1)
+        .collect()
+}
+
+#[test]
+fn ftl_state_reconstructs_bit_for_bit_on_real_cells() {
+    let g = Geometry::tiny();
+    let mut ftl = Ftl::new(FtlConfig {
+        geometry: g,
+        refresh_mode: RefreshMode::Ida,
+        adjust_error_rate: 0.0, // interference is sampled, not cell-modeled
+        ..FtlConfig::default()
+    });
+
+    // Host churn: fill a third of the space, overwrite every 3rd LPN, then
+    // refresh every closed block (converting eligible wordlines).
+    let lpns = ftl.exported_pages() / 3;
+    for lpn in 0..lpns {
+        ftl.write(Lpn(lpn), 0);
+    }
+    for lpn in (0..lpns).step_by(3) {
+        ftl.write(Lpn(lpn), 1);
+    }
+    let targets: Vec<_> = ftl
+        .blocks()
+        .reclaimable_blocks()
+        .filter(|&(b, v, _)| v > 0 && ftl.blocks().state(b) == BlockState::Closed)
+        .map(|(b, _, _)| b)
+        .collect();
+    let mut ops = Vec::new();
+    for b in targets {
+        ftl.refresh_block(b, 10, &mut ops);
+        ops.clear();
+    }
+    assert!(ftl.stats().ida_conversions > 0, "test needs IDA wordlines");
+
+    // Reconstruct every physical block on real cells. Map each mapped
+    // LPN's payload to its physical offset; unknown (invalid) offsets get
+    // filler data.
+    let mut contents: HashMap<(u32, u32), Vec<u8>> = HashMap::new();
+    let mut owners: HashMap<(u32, u32), Lpn> = HashMap::new();
+    for lpn in 0..lpns {
+        if let Some(read) = ftl.read(Lpn(lpn)) {
+            let key = (
+                read.page.block(&g).index(),
+                read.page.offset_in_block(&g),
+            );
+            contents.insert(key, payload(lpn));
+            owners.insert(key, Lpn(lpn));
+        }
+    }
+
+    let conventional = CodingScheme::conventional(g.bits_per_cell as u8);
+    let mut checked_pages = 0u32;
+    let mut checked_ida = 0u32;
+    for b in 0..g.total_blocks() {
+        let block_addr = ida_flash::addr::BlockAddr(b);
+        let state = ftl.blocks().state(block_addr);
+        if !matches!(state, BlockState::Closed | BlockState::Ida) {
+            continue;
+        }
+        // Program the physical image in order.
+        let mut cells = Block::new(g.wordlines_per_block, WIDTH, g.bits_per_cell as u8);
+        for off in 0..g.pages_per_block() {
+            let data = contents
+                .get(&(b, off))
+                .cloned()
+                .unwrap_or_else(|| payload(u64::MAX - off as u64));
+            cells.program(off, data).unwrap();
+        }
+        // Apply the FTL's recorded IDA conversions wordline by wordline.
+        for wl in 0..g.wordlines_per_block {
+            let keep = ftl.blocks().wl_keep_mask(block_addr, wl);
+            if keep != 0 {
+                let plan = MergePlan::compute(&conventional, keep);
+                cells
+                    .adjust_wordline(wl, plan.state_map(), Arc::new(plan.merged().clone()))
+                    .unwrap();
+            }
+        }
+        // Every mapped page must read back its payload with the FTL's
+        // advertised sense count.
+        for off in 0..g.pages_per_block() {
+            let Some(owner) = owners.get(&(b, off)) else {
+                continue;
+            };
+            let (bits, senses) = cells.read(off).unwrap_or_else(|e| {
+                panic!("block {b} offset {off} unreadable on real cells: {e}")
+            });
+            assert_eq!(bits, payload(owner.0), "data corrupted at block {b} offset {off}");
+            let page = block_addr.page(&g, off);
+            assert_eq!(
+                senses,
+                ftl.senses_for(page),
+                "sense-count mismatch at block {b} offset {off}"
+            );
+            checked_pages += 1;
+            if ftl.blocks().wl_keep_mask(block_addr, off / g.bits_per_cell) != 0 {
+                checked_ida += 1;
+            }
+        }
+    }
+    assert!(checked_pages > 500, "only {checked_pages} pages checked");
+    assert!(checked_ida > 100, "only {checked_ida} IDA pages checked");
+}

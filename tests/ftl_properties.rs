@@ -1,0 +1,161 @@
+//! Property-based tests of the FTL under random host op streams: mapping
+//! consistency, valid-count accounting, sense-count sanity, and refresh/GC
+//! robustness.
+
+use ida_core::refresh::RefreshMode;
+use ida_flash::addr::BlockAddr;
+use ida_flash::geometry::Geometry;
+use ida_ftl::block::BlockState;
+use ida_ftl::{Ftl, FtlConfig, Lpn};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum HostAction {
+    Write(u16),
+    Trim(u16),
+    Read(u16),
+    RefreshOne,
+}
+
+fn action_strategy() -> impl Strategy<Value = HostAction> {
+    prop_oneof![
+        4 => (0u16..800).prop_map(HostAction::Write),
+        1 => (0u16..800).prop_map(HostAction::Trim),
+        3 => (0u16..800).prop_map(HostAction::Read),
+        1 => Just(HostAction::RefreshOne),
+    ]
+}
+
+fn new_ftl(mode: RefreshMode) -> Ftl {
+    Ftl::new(FtlConfig {
+        geometry: Geometry::tiny(),
+        refresh_mode: mode,
+        adjust_error_rate: 0.25,
+        ..FtlConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mapping_stays_consistent_under_random_ops(
+        actions in prop::collection::vec(action_strategy(), 1..400),
+        mode in prop_oneof![Just(RefreshMode::Baseline), Just(RefreshMode::Ida)],
+    ) {
+        let mut ftl = new_ftl(mode);
+        let mut shadow: HashMap<u16, u64> = HashMap::new();
+        let mut clock = 0u64;
+        for action in actions {
+            clock += 1;
+            match action {
+                HostAction::Write(lpn) => {
+                    ftl.write(Lpn(lpn as u64), clock);
+                    *shadow.entry(lpn).or_insert(0) += 1;
+                }
+                HostAction::Trim(lpn) => {
+                    ftl.trim(Lpn(lpn as u64));
+                    shadow.remove(&lpn);
+                }
+                HostAction::Read(lpn) => {
+                    let got = ftl.read(Lpn(lpn as u64));
+                    prop_assert_eq!(
+                        got.is_some(),
+                        shadow.contains_key(&lpn),
+                        "mapping presence diverged for lpn {}", lpn
+                    );
+                    if let Some(r) = got {
+                        prop_assert!(r.senses >= 1 && r.senses <= 4);
+                        prop_assert!(ftl.is_valid(r.page));
+                    }
+                }
+                HostAction::RefreshOne => {
+                    let target = ftl
+                        .blocks()
+                        .reclaimable_blocks()
+                        .find(|&(_, v, _)| v > 0)
+                        .map(|(b, _, _)| b);
+                    if let Some(b) = target {
+                        let mut ops = Vec::new();
+                        ftl.refresh_block(b, clock, &mut ops);
+                    }
+                }
+            }
+        }
+        // Every shadow entry still readable; every absent entry unmapped.
+        for (&lpn, _) in &shadow {
+            prop_assert!(ftl.read(Lpn(lpn as u64)).is_some());
+        }
+    }
+
+    #[test]
+    fn block_valid_counts_match_the_page_map(
+        writes in prop::collection::vec(0u16..600, 50..300),
+    ) {
+        let mut ftl = new_ftl(RefreshMode::Ida);
+        for (i, lpn) in writes.iter().enumerate() {
+            ftl.write(Lpn(*lpn as u64), i as u64);
+        }
+        let g = *ftl.blocks().geometry();
+        for b in 0..g.total_blocks() {
+            let block = BlockAddr(b);
+            if ftl.blocks().state(block) == BlockState::Free {
+                continue;
+            }
+            let counted = (0..g.pages_per_block())
+                .filter(|&off| ftl.is_valid(block.page(&g, off)))
+                .count() as u32;
+            prop_assert_eq!(
+                counted,
+                ftl.blocks().valid_pages(block),
+                "valid-count mismatch in block {}", b
+            );
+        }
+    }
+
+    #[test]
+    fn senses_match_block_coding_state(
+        writes in prop::collection::vec(0u16..500, 100..300),
+        refresh_rounds in 1usize..3,
+    ) {
+        let mut ftl = new_ftl(RefreshMode::Ida);
+        for (i, lpn) in writes.iter().enumerate() {
+            ftl.write(Lpn(*lpn as u64), i as u64);
+        }
+        for round in 0..refresh_rounds {
+            let targets: Vec<BlockAddr> = ftl
+                .blocks()
+                .reclaimable_blocks()
+                .filter(|&(_, v, _)| v > 0)
+                .map(|(b, _, _)| b)
+                .collect();
+            let mut ops = Vec::new();
+            for b in targets {
+                ftl.refresh_block(b, 1000 + round as u64, &mut ops);
+                ops.clear();
+            }
+        }
+        let g = *ftl.blocks().geometry();
+        for lpn in writes {
+            if let Some(r) = ftl.read(Lpn(lpn as u64)) {
+                let block = r.page.block(&g);
+                let wl = r.page.wordline(&g).offset_in_block(&g);
+                let mask = if ftl.blocks().state(block) == BlockState::Ida {
+                    ftl.blocks().wl_keep_mask(block, wl)
+                } else {
+                    0
+                };
+                if mask == 0 {
+                    // Conventional coding: 1/2/4 senses by page type.
+                    let expect = [1u32, 2, 4][r.page_type.bit_index() as usize];
+                    prop_assert_eq!(r.senses, expect);
+                } else {
+                    prop_assert!(r.senses < [1u32, 2, 4][r.page_type.bit_index() as usize]
+                        || r.page_type.bit_index() == 0,
+                        "IDA wordline must read faster");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Conservation laws of the modified data refresh, checked on the real FTL
+//! (not just the planner): page accounting, Section III-C's read/write
+//! formulas, IDA block lifecycle, and mapping integrity through refresh,
+//! GC and IDA churn.
+
+use ida_core::refresh::RefreshMode;
+use ida_flash::addr::{BlockAddr, PageType};
+use ida_flash::geometry::Geometry;
+use ida_ftl::block::BlockState;
+use ida_ftl::{FlashOpKind, Ftl, FtlConfig, Lpn};
+
+fn ftl(mode: RefreshMode, error_rate: f64) -> Ftl {
+    Ftl::new(FtlConfig {
+        geometry: Geometry::tiny(),
+        refresh_mode: mode,
+        adjust_error_rate: error_rate,
+        refresh_period: 1_000_000_000,
+        ..FtlConfig::default()
+    })
+}
+
+/// Fill the device footprint and overwrite a stride of LPNs to create a
+/// realistic invalidation pattern. Returns the written LPN count.
+fn churn(ftl: &mut Ftl, stride: usize) -> u64 {
+    let pages = ftl.exported_pages() / 2;
+    for lpn in 0..pages {
+        ftl.write(Lpn(lpn), 0);
+    }
+    for lpn in (0..pages).step_by(stride) {
+        ftl.write(Lpn(lpn), 1);
+    }
+    pages
+}
+
+#[test]
+fn refresh_op_counts_follow_section_iii_c() {
+    let mut f = ftl(RefreshMode::Ida, 0.2);
+    let written = churn(&mut f, 3);
+    // Refresh every closed block once, counting ops.
+    let closed: Vec<BlockAddr> = f
+        .blocks()
+        .reclaimable_blocks()
+        .filter(|&(b, v, _)| v > 0 && f.blocks().state(b) == BlockState::Closed)
+        .map(|(b, _, _)| b)
+        .collect();
+    assert!(!closed.is_empty());
+    let before = f.stats().refresh_overhead;
+    let mut reads = 0usize;
+    let mut writes = 0usize;
+    let mut adjusts = 0usize;
+    for b in closed {
+        let mut ops = Vec::new();
+        f.refresh_block(b, 100, &mut ops);
+        for op in &ops {
+            match op.kind {
+                FlashOpKind::Read { .. } => reads += 1,
+                FlashOpKind::Program => writes += 1,
+                FlashOpKind::VoltageAdjust => adjusts += 1,
+                FlashOpKind::Erase => {}
+            }
+        }
+    }
+    let o = f.stats().refresh_overhead;
+    let d_valid = o.valid_pages - before.valid_pages;
+    let d_target = o.target_pages - before.target_pages;
+    let d_error = o.error_pages - before.error_pages;
+    // N_reads = N_valid + N_target, N_writes = N_valid - N_target + N_error.
+    assert_eq!(reads as u64, d_valid + d_target);
+    assert_eq!(writes as u64, d_valid - d_target + d_error);
+    assert_eq!(adjusts as u64, o.adjusted_wordlines - before.adjusted_wordlines);
+    // E20: errors should be a nontrivial but minority fraction of targets.
+    assert!(d_error > 0 && d_error < d_target / 2);
+    // All data remains readable afterwards.
+    for lpn in 0..written {
+        assert!(f.read(Lpn(lpn)).is_some(), "lost {lpn:?} during refresh");
+    }
+}
+
+#[test]
+fn baseline_refresh_writes_equal_valid_pages() {
+    let mut f = ftl(RefreshMode::Baseline, 0.0);
+    churn(&mut f, 4);
+    let block = f
+        .blocks()
+        .reclaimable_blocks()
+        .find(|&(_, v, _)| v > 0)
+        .map(|(b, _, _)| b)
+        .unwrap();
+    let valid = f.blocks().valid_pages(block) as usize;
+    let mut ops = Vec::new();
+    f.refresh_block(block, 50, &mut ops);
+    let reads = ops
+        .iter()
+        .filter(|o| matches!(o.kind, FlashOpKind::Read { .. }))
+        .count();
+    let writes = ops
+        .iter()
+        .filter(|o| matches!(o.kind, FlashOpKind::Program))
+        .count();
+    assert_eq!(reads, valid);
+    assert_eq!(writes, valid);
+    assert_eq!(f.blocks().valid_pages(block), 0);
+}
+
+#[test]
+fn ida_blocks_are_reclaimed_on_their_next_cycle() {
+    let mut f = ftl(RefreshMode::Ida, 0.0);
+    churn(&mut f, 3);
+    let block = f
+        .blocks()
+        .reclaimable_blocks()
+        .find(|&(b, v, _)| v > 0 && f.blocks().state(b) == BlockState::Closed)
+        .map(|(b, _, _)| b)
+        .unwrap();
+    let mut ops = Vec::new();
+    f.refresh_block(block, 10, &mut ops);
+    assert_eq!(f.blocks().state(block), BlockState::Ida);
+    assert!(f.blocks().valid_pages(block) > 0);
+    // Second refresh: forced reclaim empties the IDA block.
+    ops.clear();
+    f.refresh_block(block, 20, &mut ops);
+    assert_eq!(f.blocks().valid_pages(block), 0);
+    assert!(
+        ops.iter().all(|o| !matches!(o.kind, FlashOpKind::VoltageAdjust)),
+        "reclaim must not re-adjust"
+    );
+}
+
+#[test]
+fn ida_reads_use_merged_sense_counts_per_wordline_case() {
+    let g = Geometry::tiny();
+    let mut f = ftl(RefreshMode::Ida, 0.0);
+    let pages = f.exported_pages() / 2;
+    for lpn in 0..pages {
+        f.write(Lpn(lpn), 0);
+    }
+    // Make one wordline case 2 (LSB invalid) and another case 4
+    // (LSB+CSB invalid) inside the same block.
+    let any = f.read(Lpn(0)).unwrap().page;
+    let block = any.block(&g);
+    let owner_of = |f: &mut Ftl, page| {
+        (0..pages)
+            .map(Lpn)
+            .find(|&l| f.read(l).map(|r| r.page) == Some(page))
+    };
+    let wl2 = block.wordline(&g, 2);
+    let wl4 = block.wordline(&g, 4);
+    for (wl, kill) in [(wl2, vec![PageType::Lsb]), (wl4, vec![PageType::Lsb, PageType::Csb])] {
+        for ty in kill {
+            let p = wl.page(&g, ty);
+            if let Some(owner) = owner_of(&mut f, p) {
+                f.write(owner, 1);
+            }
+        }
+    }
+    let msb2_owner = owner_of(&mut f, wl2.page(&g, PageType::Msb)).unwrap();
+    let msb4_owner = owner_of(&mut f, wl4.page(&g, PageType::Msb)).unwrap();
+    let csb2_owner = owner_of(&mut f, wl2.page(&g, PageType::Csb)).unwrap();
+
+    let mut ops = Vec::new();
+    f.refresh_block(block, 5, &mut ops);
+
+    // Case 2 wordline: CSB 1 sense, MSB 2 senses. Case 4: MSB 1 sense.
+    assert_eq!(f.read(csb2_owner).unwrap().senses, 1);
+    assert_eq!(f.read(msb2_owner).unwrap().senses, 2);
+    assert_eq!(f.read(msb4_owner).unwrap().senses, 1);
+}
+
+#[test]
+fn gc_reclaims_ida_blocks_and_preserves_data() {
+    let mut f = ftl(RefreshMode::Ida, 0.1);
+    let logical = f.exported_pages();
+    // Fill, refresh everything, then overwrite heavily to force GC through
+    // IDA blocks.
+    for lpn in 0..logical {
+        f.write(Lpn(lpn), 0);
+    }
+    let closed: Vec<BlockAddr> = f
+        .blocks()
+        .reclaimable_blocks()
+        .filter(|&(b, v, _)| v > 0 && f.blocks().state(b) == BlockState::Closed)
+        .map(|(b, _, _)| b)
+        .collect();
+    let mut ops = Vec::new();
+    for b in closed {
+        f.refresh_block(b, 1, &mut ops);
+        ops.clear();
+    }
+    assert!(f.stats().ida_conversions > 0);
+    for round in 2..5u64 {
+        for lpn in 0..logical {
+            f.write(Lpn(lpn), round);
+        }
+    }
+    assert!(f.stats().gc_runs > 0, "overwrites must trigger GC");
+    for lpn in (0..logical).step_by(97) {
+        assert!(f.read(Lpn(lpn)).is_some(), "data lost through GC of IDA blocks");
+    }
+}
