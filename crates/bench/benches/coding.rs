@@ -1,62 +1,57 @@
 //! Microbenchmarks of the coding hot paths: sensing-procedure decode,
 //! program-target lookup, and IDA merge planning.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ida_bench::microbench::bench;
 use ida_core::merge::MergePlan;
 use ida_flash::coding::{BitPattern, CodingScheme, VoltageState};
+use std::hint::black_box;
 
-fn bench_read_bit(c: &mut Criterion) {
-    let mut g = c.benchmark_group("coding/read_bit");
+fn bench_read_bit() {
     for coding in [CodingScheme::tlc_124(), CodingScheme::qlc()] {
-        g.bench_function(coding.name().to_string(), |b| {
-            let states: Vec<VoltageState> = coding.live_states().to_vec();
-            let bits = coding.bits_per_cell();
-            b.iter(|| {
-                let mut acc = 0u32;
-                for &s in &states {
-                    for bit in 0..bits {
-                        acc += coding.read_bit(black_box(s), bit) as u32;
-                    }
+        let name = format!("coding/read_bit/{}", coding.name());
+        let states: Vec<VoltageState> = coding.live_states().to_vec();
+        let bits = coding.bits_per_cell();
+        bench(&name, || {
+            let mut acc = 0u32;
+            for &s in &states {
+                for bit in 0..bits {
+                    acc += coding.read_bit(black_box(s), bit) as u32;
                 }
-                acc
-            })
-        });
-    }
-    g.finish();
-}
-
-fn bench_program_target(c: &mut Criterion) {
-    let coding = CodingScheme::tlc_124();
-    c.bench_function("coding/program_target", |b| {
-        b.iter(|| {
-            let mut acc = 0u8;
-            for v in 0..8u8 {
-                acc ^= coding.program_target(black_box(BitPattern(v))).index();
             }
             acc
-        })
+        });
+    }
+}
+
+fn bench_program_target() {
+    let coding = CodingScheme::tlc_124();
+    bench("coding/program_target", || {
+        let mut acc = 0u8;
+        for v in 0..8u8 {
+            acc ^= coding.program_target(black_box(BitPattern(v))).index();
+        }
+        acc
     });
 }
 
-fn bench_merge_plan(c: &mut Criterion) {
-    let mut g = c.benchmark_group("coding/merge_plan");
+fn bench_merge_plan() {
     for (name, coding) in [
-        ("tlc", CodingScheme::tlc_124()),
-        ("qlc", CodingScheme::qlc()),
+        ("coding/merge_plan/tlc", CodingScheme::tlc_124()),
+        ("coding/merge_plan/qlc", CodingScheme::qlc()),
     ] {
-        g.bench_function(name, |b| {
-            let full = (coding.state_space() - 1) as u8;
-            b.iter(|| {
-                let mut total = 0usize;
-                for mask in 0..=full {
-                    total += MergePlan::compute(black_box(&coding), mask).remaining_states();
-                }
-                total
-            })
+        let full = (coding.state_space() - 1) as u8;
+        bench(name, || {
+            let mut total = 0usize;
+            for mask in 0..=full {
+                total += MergePlan::compute(black_box(&coding), mask).remaining_states();
+            }
+            total
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_read_bit, bench_program_target, bench_merge_plan);
-criterion_main!(benches);
+fn main() {
+    bench_read_bit();
+    bench_program_target();
+    bench_merge_plan();
+}

@@ -1,44 +1,43 @@
 //! Microbenchmark of the simulator's event queue (push/pop throughput) and
 //! the refresh due-queue.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ida_bench::microbench::bench;
 use ida_flash::addr::BlockAddr;
 use ida_ftl::refresh::RefreshQueue;
 use ida_ssd::event::EventQueue;
+use std::hint::black_box;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue/push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            // Interleaved pattern: half ordered, half reversed.
-            for i in 0..5_000u64 {
-                q.push(black_box(i * 2), i);
-                q.push(black_box(20_000 - i), i);
-            }
-            let mut acc = 0u64;
-            while let Some((t, v)) = q.pop() {
-                acc = acc.wrapping_add(t ^ v);
-            }
-            acc
-        })
+fn bench_event_queue() {
+    bench("event_queue/push_pop_10k", || {
+        let mut q = EventQueue::new();
+        // Interleaved pattern: half ordered, half reversed.
+        for i in 0..5_000u64 {
+            q.push(black_box(i * 2), i);
+            q.push(black_box(20_000 - i), i);
+        }
+        let mut acc = 0u64;
+        while let Some((t, v)) = q.pop() {
+            acc = acc.wrapping_add(t ^ v);
+        }
+        acc
     });
 }
 
-fn bench_refresh_queue(c: &mut Criterion) {
-    c.bench_function("refresh_queue/schedule_pop_4k", |b| {
-        b.iter(|| {
-            let mut q = RefreshQueue::new();
-            for i in 0..4_000u32 {
-                q.schedule(BlockAddr(i), 0, black_box((i as u64 * 37) % 10_000));
-            }
-            let mut n = 0;
-            while q.pop_due(u64::MAX, |_, _| true).is_some() {
-                n += 1;
-            }
-            n
-        })
+fn bench_refresh_queue() {
+    bench("refresh_queue/schedule_pop_4k", || {
+        let mut q = RefreshQueue::new();
+        for i in 0..4_000u32 {
+            q.schedule(BlockAddr(i), 0, black_box((i as u64 * 37) % 10_000));
+        }
+        let mut n = 0;
+        while q.pop_due(u64::MAX, |_, _| true).is_some() {
+            n += 1;
+        }
+        n
     });
 }
 
-criterion_group!(benches, bench_event_queue, bench_refresh_queue);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_refresh_queue();
+}

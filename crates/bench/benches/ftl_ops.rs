@@ -1,10 +1,11 @@
 //! Microbenchmarks of FTL operations: host write/read translation and a
 //! full block refresh (baseline vs IDA).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ida_bench::microbench::{bench, bench_with_setup};
 use ida_core::refresh::RefreshMode;
 use ida_flash::geometry::Geometry;
 use ida_ftl::{Ftl, FtlConfig, Lpn};
+use std::hint::black_box;
 
 fn ftl(mode: RefreshMode) -> Ftl {
     Ftl::new(FtlConfig {
@@ -15,66 +16,62 @@ fn ftl(mode: RefreshMode) -> Ftl {
     })
 }
 
-fn bench_write_path(c: &mut Criterion) {
-    c.bench_function("ftl/write_1k_pages", |b| {
-        b.iter(|| {
-            let mut f = ftl(RefreshMode::Baseline);
-            for i in 0..1_000u64 {
-                black_box(f.write(Lpn(i), i));
-            }
-            f.stats().host_writes
-        })
+fn bench_write_path() {
+    bench("ftl/write_1k_pages", || {
+        let mut f = ftl(RefreshMode::Baseline);
+        for i in 0..1_000u64 {
+            black_box(f.write(Lpn(i), i));
+        }
+        f.stats().host_writes
     });
 }
 
-fn bench_read_translation(c: &mut Criterion) {
+fn bench_read_translation() {
     let mut f = ftl(RefreshMode::Baseline);
     for i in 0..2_000u64 {
         f.write(Lpn(i), i);
     }
-    c.bench_function("ftl/read_translate_2k", |b| {
-        b.iter(|| {
-            let mut senses = 0u64;
-            for i in 0..2_000u64 {
-                senses += f.read(black_box(Lpn(i))).map_or(0, |r| r.senses as u64);
-            }
-            senses
-        })
+    bench("ftl/read_translate_2k", || {
+        let mut senses = 0u64;
+        for i in 0..2_000u64 {
+            senses += f.read(black_box(Lpn(i))).map_or(0, |r| r.senses as u64);
+        }
+        senses
     });
 }
 
-fn bench_refresh_block(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ftl/refresh_block");
+fn bench_refresh_block() {
     for (name, mode) in [
-        ("baseline", RefreshMode::Baseline),
-        ("ida", RefreshMode::Ida),
+        ("ftl/refresh_block/baseline", RefreshMode::Baseline),
+        ("ftl/refresh_block/ida", RefreshMode::Ida),
     ] {
-        g.bench_function(name, |b| {
-            b.iter_with_setup(
-                || {
-                    let mut f = ftl(mode);
-                    let geom = Geometry::tiny();
-                    let per_block = geom.pages_per_block() as u64;
-                    for i in 0..per_block * geom.total_planes() as u64 {
-                        f.write(Lpn(i), 0);
-                    }
-                    // Invalidate a third of the pages.
-                    for i in (0..per_block * geom.total_planes() as u64).step_by(3) {
-                        f.write(Lpn(i), 1);
-                    }
-                    let block = f.read(Lpn(1)).unwrap().page.block(&geom);
-                    (f, block)
-                },
-                |(mut f, block)| {
-                    let mut ops = Vec::new();
-                    f.refresh_block(black_box(block), 10, &mut ops);
-                    ops.len()
-                },
-            )
-        });
+        bench_with_setup(
+            name,
+            || {
+                let mut f = ftl(mode);
+                let geom = Geometry::tiny();
+                let per_block = geom.pages_per_block() as u64;
+                for i in 0..per_block * geom.total_planes() as u64 {
+                    f.write(Lpn(i), 0);
+                }
+                // Invalidate a third of the pages.
+                for i in (0..per_block * geom.total_planes() as u64).step_by(3) {
+                    f.write(Lpn(i), 1);
+                }
+                let block = f.read(Lpn(1)).unwrap().page.block(&geom);
+                (f, block)
+            },
+            |(mut f, block)| {
+                let mut ops = Vec::new();
+                f.refresh_block(black_box(block), 10, &mut ops);
+                ops.len()
+            },
+        );
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_write_path, bench_read_translation, bench_refresh_block);
-criterion_main!(benches);
+fn main() {
+    bench_write_path();
+    bench_read_translation();
+    bench_refresh_block();
+}

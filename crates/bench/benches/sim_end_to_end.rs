@@ -1,28 +1,25 @@
 //! End-to-end simulator throughput: events per second on a small trace,
-//! baseline vs IDA.
+//! baseline vs IDA. This is the bench the observability layer's "<2 %
+//! overhead with tracing disabled" budget is measured against.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ida_bench::microbench::bench;
 use ida_bench::runner::{run_system, ExperimentScale, SystemUnderTest};
 use ida_workloads::suite::paper_workload;
+use std::hint::black_box;
 
-fn bench_small_run(c: &mut Criterion) {
+fn main() {
     let preset = paper_workload("hm_1").expect("workload");
     let scale = ExperimentScale::smoke().with_requests(800);
-    let mut g = c.benchmark_group("sim/end_to_end_800req");
-    g.sample_size(10);
     for (name, system) in [
-        ("baseline", SystemUnderTest::Baseline),
-        ("ida_e20", SystemUnderTest::Ida { error_rate: 0.2 }),
+        ("sim/end_to_end_800req/baseline", SystemUnderTest::Baseline),
+        (
+            "sim/end_to_end_800req/ida_e20",
+            SystemUnderTest::Ida { error_rate: 0.2 },
+        ),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let run = run_system(black_box(&preset), system, &scale);
-                run.report.reads.count
-            })
+        bench(name, || {
+            let run = run_system(black_box(&preset), system, &scale);
+            run.report.reads.count
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_small_run);
-criterion_main!(benches);

@@ -19,11 +19,7 @@ use ida_workloads::suite::paper_workloads;
 fn main() {
     let scale = ExperimentScale::from_env();
     let presets = paper_workloads();
-    let mut t = TextTable::new(vec![
-        "Name",
-        "IDA-E20 on 1-2-4",
-        "IDA-E20 on 2-3-2",
-    ]);
+    let mut t = TextTable::new(vec!["Name", "IDA-E20 on 1-2-4", "IDA-E20 on 2-3-2"]);
     let mut sums = [0.0f64; 2];
     for preset in &presets {
         let mut row = vec![preset.spec.name.clone()];

@@ -63,9 +63,7 @@ fn warmed(
 fn main() {
     let scale = ExperimentScale::from_env();
     let total_blocks = scale.geometry.total_blocks();
-    println!(
-        "Section III-C — block usage and GC impact (device has {total_blocks} blocks)\n"
-    );
+    println!("Section III-C — block usage and GC impact (device has {total_blocks} blocks)\n");
 
     // --- Part A: block growth at the paper's workload footprints. ---
     println!("A. Data-holding block growth at paper footprints\n");
@@ -170,7 +168,11 @@ fn main() {
         }
         let ((b_early, b_late), (i_early, i_late)) = (erases[0], erases[1]);
         let pct = |b: u64, i: u64| {
-            if b == 0 { 0.0 } else { (i as f64 - b as f64) / b as f64 * 100.0 }
+            if b == 0 {
+                0.0
+            } else {
+                (i as f64 - b as f64) / b as f64 * 100.0
+            }
         };
         let inc_early = pct(b_early, i_early);
         let inc_late = pct(b_late, i_late);

@@ -31,8 +31,12 @@ fn main() {
         );
         println!(
             "  breakdown: lsb={} csbV={} csbI={} msbV={} msbI={} ida={}",
-            b.lsb, b.csb_lower_valid, b.csb_lower_invalid, b.msb_lower_valid,
-            b.msb_lower_invalid, b.ida
+            b.lsb,
+            b.csb_lower_valid,
+            b.csb_lower_invalid,
+            b.msb_lower_valid,
+            b.msb_lower_invalid,
+            b.ida
         );
         println!(
             "  ftl: refreshes={} adj={} moves={} gc_runs={} gc_copies={} erases={} idaconv={}",

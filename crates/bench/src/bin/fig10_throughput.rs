@@ -16,10 +16,14 @@ fn main() {
     let scale = ExperimentScale::from_env();
     let depth = 32;
     let presets = paper_workloads();
+    // Throughput columns are decimal megabytes per second (10^6 bytes/s,
+    // `Report::throughput_mbps`); the MiB/s column shows the binary unit
+    // (2^20 bytes/s) for cross-checking against tools that report MiB.
     let mut t = TextTable::new(vec![
         "Name",
         "Baseline MB/s",
         "IDA-E20 MB/s",
+        "IDA-E20 MiB/s",
         "Normalized",
     ]);
     let mut sum = 0.0;
@@ -44,13 +48,15 @@ fn main() {
             preset.spec.name.clone(),
             f(base.throughput_mbps(), 1),
             f(ida.throughput_mbps(), 1),
+            f(ida.throughput_mibps(), 1),
             f(norm, 3),
         ]);
         eprintln!("  finished {}", preset.spec.name);
     }
     println!(
-        "Figure 10 — device throughput, closed loop at queue depth {depth} (higher is better)\n"
+        "Figure 10 — device throughput, closed loop at queue depth {depth} (higher is better)"
     );
+    println!("MB/s = 10^6 bytes/s (decimal); MiB/s = 2^20 bytes/s (binary)\n");
     println!("{}", t.render());
     println!(
         "Average normalized throughput: {:.3} (paper: ≈ 1.10)",

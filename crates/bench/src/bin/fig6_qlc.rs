@@ -21,14 +21,7 @@ fn main() {
     // Part 1 — the Figure 6 merge table.
     println!("Figure 6 — QLC sense counts before/after IDA merges\n");
     let qlc = CodingScheme::qlc();
-    let mut t = TextTable::new(vec![
-        "Scenario",
-        "Bit1",
-        "Bit2",
-        "Bit3",
-        "Bit4",
-        "States",
-    ]);
+    let mut t = TextTable::new(vec!["Scenario", "Bit1", "Bit2", "Bit3", "Bit4", "States"]);
     let sense = |c: &CodingScheme, b: u8| {
         if c.is_readable(b) {
             c.sense_count(b).to_string()

@@ -20,6 +20,7 @@
 //! The [`runner`] module owns the warm-up → measure protocol shared by all
 //! of them; [`table`] renders aligned text tables.
 
+pub mod microbench;
 pub mod runner;
 pub mod table;
 

@@ -1,0 +1,84 @@
+//! A small, dependency-free microbenchmark harness.
+//!
+//! Replaces the external `criterion` crate for the `benches/` targets
+//! (which keep `harness = false`): each bench routine is warmed up, then
+//! timed over fixed-size batches, and the median per-iteration time is
+//! printed as `name ... <ns>/iter`. Not statistically rigorous — intended
+//! for spotting order-of-magnitude regressions on the hot paths, offline.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How many timed batches to collect per benchmark.
+const BATCHES: usize = 15;
+/// Target wall time per batch.
+const BATCH_TARGET: Duration = Duration::from_millis(25);
+/// Warmup wall time before calibration.
+const WARMUP: Duration = Duration::from_millis(100);
+
+/// Time `f`, printing the median ns/iter under `name`.
+pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) {
+    // Warmup, also measuring a rough per-iteration cost for calibration.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < WARMUP {
+        black_box(f());
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_nanos() / warm_iters.max(1) as u128;
+    let batch_iters = (BATCH_TARGET.as_nanos() / per_iter.max(1)).clamp(1, 1 << 20) as u64;
+
+    let mut samples: Vec<u128> = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..batch_iters {
+            black_box(f());
+        }
+        samples.push(start.elapsed().as_nanos() / batch_iters as u128);
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    println!("{name:<40} {median:>12} ns/iter  (min {lo}, max {hi}, {batch_iters} iters/batch)");
+}
+
+/// Time `routine` over inputs rebuilt by `setup` before every call; the
+/// setup cost is excluded from the timing.
+pub fn bench_with_setup<T, R, S: FnMut() -> T, F: FnMut(T) -> R>(
+    name: &str,
+    mut setup: S,
+    mut routine: F,
+) {
+    // Setup is typically much more expensive than the routine here
+    // (building and filling an FTL), so time each call individually.
+    let iters = 10u32;
+    // Warmup round.
+    black_box(routine(setup()));
+
+    let mut samples: Vec<u128> = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        samples.push(start.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    println!("{name:<40} {median:>12} ns/iter  (min {lo}, max {hi}, {iters} runs)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_prints() {
+        bench("selftest/add", || std::hint::black_box(2u64) + 2);
+    }
+
+    #[test]
+    fn bench_with_setup_runs() {
+        bench_with_setup("selftest/vec", || vec![1u8; 64], |v| v.len());
+    }
+}

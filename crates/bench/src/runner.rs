@@ -13,10 +13,13 @@
 use ida_core::refresh::RefreshMode;
 use ida_flash::geometry::Geometry;
 use ida_flash::timing::{FlashTiming, SimTime};
+use ida_obs::gauge::GaugeSet;
+use ida_obs::trace::{JsonlSink, SinkHandle, TraceEvent};
 use ida_ssd::retry::RetryConfig;
 use ida_ssd::{HostOp, HostOpKind, Report, Simulator, SsdConfig};
 use ida_workloads::suite::WorkloadPreset;
 use ida_workloads::trace::{OpKind, Trace};
+use std::path::{Path, PathBuf};
 
 /// How big an experiment run is.
 #[derive(Debug, Clone)]
@@ -78,6 +81,104 @@ impl ExperimentScale {
             }
         }
         scale
+    }
+}
+
+/// Default gauge sampling interval: 1 ms of simulated time.
+pub const DEFAULT_GAUGE_INTERVAL_NS: u64 = 1_000_000;
+
+/// Observability options threaded into measured runs: where to write the
+/// event trace and metrics report, whether to show progress, and how
+/// often to sample gauges. The default (all off) adds no overhead — the
+/// simulator keeps its null sink.
+#[derive(Debug, Clone, Default)]
+pub struct ObsOptions {
+    /// Write the run's event trace as JSONL to this path.
+    pub trace_out: Option<PathBuf>,
+    /// Write the run's [`Report`] as JSON to this path.
+    pub metrics_json: Option<PathBuf>,
+    /// Report run progress on stderr.
+    pub progress: bool,
+    /// Gauge sampling interval in simulated ns (`None` = no gauges;
+    /// defaults to [`DEFAULT_GAUGE_INTERVAL_NS`] when metrics are
+    /// requested).
+    pub gauge_interval_ns: Option<u64>,
+}
+
+impl ObsOptions {
+    /// Options selected by environment variables, for the experiment
+    /// binaries: `IDA_TRACE_OUT=<path>`, `IDA_METRICS_JSON=<path>`,
+    /// `IDA_PROGRESS=1`, `IDA_GAUGE_INTERVAL_US=<n>`.
+    pub fn from_env() -> Self {
+        ObsOptions {
+            trace_out: std::env::var_os("IDA_TRACE_OUT").map(PathBuf::from),
+            metrics_json: std::env::var_os("IDA_METRICS_JSON").map(PathBuf::from),
+            progress: std::env::var("IDA_PROGRESS").is_ok_and(|v| v != "0" && !v.is_empty()),
+            gauge_interval_ns: std::env::var("IDA_GAUGE_INTERVAL_US")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(|us| us.max(1) * 1_000),
+        }
+    }
+
+    /// Whether any output or progress option is set.
+    pub fn any(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_json.is_some() || self.progress
+    }
+
+    /// A copy whose output paths carry a per-run `label` suffix
+    /// (`trace.jsonl` → `trace.<label>.jsonl`), so one option set can
+    /// serve several runs without the later overwriting the earlier.
+    pub fn suffixed(&self, label: &str) -> Self {
+        ObsOptions {
+            trace_out: self.trace_out.as_deref().map(|p| suffix_path(p, label)),
+            metrics_json: self.metrics_json.as_deref().map(|p| suffix_path(p, label)),
+            ..self.clone()
+        }
+    }
+
+    /// Attach the selected sinks to `sim`. Call before warm-up so trace
+    /// event counts match the cumulative end-of-run FTL counters.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the trace file cannot be created.
+    pub fn attach(&self, sim: &mut Simulator, label: &str) -> std::io::Result<()> {
+        if let Some(path) = &self.trace_out {
+            let handle = SinkHandle::new(JsonlSink::create(path)?);
+            handle.emit_with(|| TraceEvent::RunStart {
+                t: sim.now(),
+                label: label.to_string(),
+            });
+            sim.set_trace(handle);
+        }
+        if let Some(interval) = self.gauge_interval_ns {
+            sim.set_gauges(GaugeSet::every(interval));
+        } else if self.metrics_json.is_some() {
+            sim.set_gauges(GaugeSet::every(DEFAULT_GAUGE_INTERVAL_NS));
+        }
+        sim.set_progress(self.progress);
+        Ok(())
+    }
+
+    /// Flush the trace and write the metrics report, as configured.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either file cannot be written.
+    pub fn finish(&self, sim: &Simulator, report: &Report) -> std::io::Result<()> {
+        sim.flush_trace()?;
+        if let Some(path) = &self.metrics_json {
+            std::fs::write(path, report.to_json() + "\n")?;
+        }
+        Ok(())
+    }
+}
+
+fn suffix_path(path: &Path, label: &str) -> PathBuf {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) => path.with_extension(format!("{label}.{ext}")),
+        None => path.with_extension(label),
     }
 }
 
@@ -200,6 +301,14 @@ pub fn warmed_simulator(
     scale: &ExperimentScale,
 ) -> (Simulator, Trace) {
     let mut sim = Simulator::new(cfg);
+    let trace = warm_up(&mut sim, preset, scale);
+    (sim, trace)
+}
+
+/// Run the warm-up protocol on an existing simulator (so observability
+/// sinks attached at creation see the warm-up events too) and return the
+/// measured trace.
+pub fn warm_up(sim: &mut Simulator, preset: &WorkloadPreset, scale: &ExperimentScale) -> Trace {
     let exported = sim.ftl().exported_pages();
     let footprint = ((exported as f64 * preset.footprint_frac) as u64).max(1_000);
 
@@ -224,26 +333,55 @@ pub fn warmed_simulator(
     //    opens with partially invalidated blocks (paper Table IV).
     let reage2 = to_host_ops(&preset.reage_trace2(footprint));
     sim.age(&reage2);
-    (sim, trace)
+    trace
 }
 
 /// Run one workload on one system at the paper's TLC timing.
+///
+/// Observability options are picked up from the environment (see
+/// [`ObsOptions::from_env`]); output paths get a `<workload>_<system>`
+/// suffix so sweeps over several runs don't overwrite each other.
 pub fn run_system(
     preset: &WorkloadPreset,
     system: SystemUnderTest,
     scale: &ExperimentScale,
 ) -> WorkloadRun {
+    let obs = ObsOptions::from_env();
+    let obs = obs.suffixed(&format!("{}_{}", preset.spec.name, system.label()));
+    run_system_obs(preset, system, scale, &obs).expect("observability output failed")
+}
+
+/// [`run_system`] with explicit observability options (used by the CLI;
+/// paths are taken as given, without a per-run suffix).
+///
+/// # Errors
+///
+/// Fails if a requested trace or metrics file cannot be written.
+pub fn run_system_obs(
+    preset: &WorkloadPreset,
+    system: SystemUnderTest,
+    scale: &ExperimentScale,
+    obs: &ObsOptions,
+) -> std::io::Result<WorkloadRun> {
     let cfg = system_config(
         system,
         scale.geometry,
         FlashTiming::paper_tlc(),
         RetryConfig::disabled(),
     );
-    WorkloadRun {
+    let mut sim = Simulator::new(cfg);
+    obs.attach(
+        &mut sim,
+        &format!("{}/{}", preset.spec.name, system.label()),
+    )?;
+    let trace = warm_up(&mut sim, preset, scale);
+    let report = sim.run(to_host_ops(&trace));
+    obs.finish(&sim, &report)?;
+    Ok(WorkloadRun {
         workload: preset.spec.name.clone(),
         system: system.label(),
-        report: run_config(preset, cfg, scale),
-    }
+        report,
+    })
 }
 
 /// Normalized mean read response time of `ida` versus `baseline`
@@ -276,11 +414,7 @@ mod tests {
         let preset = paper_workload("proj_1").unwrap();
         let scale = ExperimentScale::smoke();
         let base = run_system(&preset, SystemUnderTest::Baseline, &scale);
-        let ida = run_system(
-            &preset,
-            SystemUnderTest::Ida { error_rate: 0.0 },
-            &scale,
-        );
+        let ida = run_system(&preset, SystemUnderTest::Ida { error_rate: 0.0 }, &scale);
         let norm = normalized_read_response(&ida.report, &base.report);
         assert!(
             norm < 0.95,

@@ -4,11 +4,12 @@
 //! testable; `main.rs` is a thin shell around [`run`].
 
 use ida_bench::runner::{
-    normalized_read_response, run_system, ExperimentScale, SystemUnderTest,
+    normalized_read_response, run_system_obs, ExperimentScale, ObsOptions, SystemUnderTest,
 };
 use ida_workloads::stats::characterize;
 use ida_workloads::suite::{paper_workload, paper_workloads};
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +29,12 @@ pub enum Command {
         error_rate: f64,
         /// Host requests in the measured trace.
         requests: usize,
+        /// Write each run's event trace as JSONL (per-system suffix added).
+        trace_out: Option<PathBuf>,
+        /// Write each run's metrics report as JSON (per-system suffix added).
+        metrics_json: Option<PathBuf>,
+        /// Report run progress on stderr.
+        progress: bool,
     },
     /// Print usage.
     Help,
@@ -58,6 +65,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .clone();
             let mut error_rate = 0.2;
             let mut requests = 6_000;
+            let mut trace_out = None;
+            let mut metrics_json = None;
+            let mut progress = false;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -77,6 +87,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             .map_err(|e| format!("bad request count: {e}"))?;
                         i += 2;
                     }
+                    "--trace-out" => {
+                        trace_out = Some(PathBuf::from(
+                            args.get(i + 1).ok_or("--trace-out needs a path")?,
+                        ));
+                        i += 2;
+                    }
+                    "--metrics-json" => {
+                        metrics_json = Some(PathBuf::from(
+                            args.get(i + 1).ok_or("--metrics-json needs a path")?,
+                        ));
+                        i += 2;
+                    }
+                    "--progress" => {
+                        progress = true;
+                        i += 1;
+                    }
                     other => return Err(format!("unknown option: {other}")),
                 }
             }
@@ -87,6 +113,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 workload,
                 error_rate,
                 requests,
+                trace_out,
+                metrics_json,
+                progress,
             })
         }
         Some(other) => Err(format!("unknown command: {other} (try `idasim help`)")),
@@ -119,20 +148,68 @@ pub fn run(cmd: Command) -> Result<String, String> {
             let trace = p.generate(40_000, 10_000);
             let s = characterize(&trace);
             let _ = writeln!(out, "workload {workload}:");
-            let _ = writeln!(out, "  read ratio      {:.2}% (paper {:.2}%)", s.read_ratio * 100.0, p.paper.read_ratio_pct);
-            let _ = writeln!(out, "  mean read size  {:.2} KB (paper {:.2} KB)", s.mean_read_kb, p.paper.read_kb);
-            let _ = writeln!(out, "  read data ratio {:.2}% (paper {:.2}%)", s.read_data_ratio * 100.0, p.paper.read_data_pct);
-            let _ = writeln!(out, "  footprint       {:.1} MB ({}% of device)", s.footprint_mb, (p.footprint_frac * 100.0) as u32);
+            let _ = writeln!(
+                out,
+                "  read ratio      {:.2}% (paper {:.2}%)",
+                s.read_ratio * 100.0,
+                p.paper.read_ratio_pct
+            );
+            let _ = writeln!(
+                out,
+                "  mean read size  {:.2} KB (paper {:.2} KB)",
+                s.mean_read_kb, p.paper.read_kb
+            );
+            let _ = writeln!(
+                out,
+                "  read data ratio {:.2}% (paper {:.2}%)",
+                s.read_data_ratio * 100.0,
+                p.paper.read_data_pct
+            );
+            let _ = writeln!(
+                out,
+                "  footprint       {:.1} MB ({}% of device)",
+                s.footprint_mb,
+                (p.footprint_frac * 100.0) as u32
+            );
         }
         Command::Compare {
             workload,
             error_rate,
             requests,
+            trace_out,
+            metrics_json,
+            progress,
         } => {
             let p = paper_workload(&workload).ok_or_else(|| unknown(&workload))?;
             let scale = ExperimentScale::default_scale().with_requests(requests);
-            let base = run_system(&p, SystemUnderTest::Baseline, &scale);
-            let ida = run_system(&p, SystemUnderTest::Ida { error_rate }, &scale);
+            let obs = ObsOptions {
+                trace_out,
+                metrics_json,
+                progress,
+                gauge_interval_ns: None,
+            };
+            let mut runs = Vec::new();
+            for system in [
+                SystemUnderTest::Baseline,
+                SystemUnderTest::Ida { error_rate },
+            ] {
+                let run_obs = obs.suffixed(&system.label());
+                runs.push(
+                    run_system_obs(&p, system, &scale, &run_obs)
+                        .map_err(|e| format!("observability output failed: {e}"))?,
+                );
+                for (what, path) in [
+                    ("trace", &run_obs.trace_out),
+                    ("metrics", &run_obs.metrics_json),
+                ] {
+                    if let Some(path) = path {
+                        let _ =
+                            writeln!(out, "wrote {} {what} to {}", system.label(), path.display());
+                    }
+                }
+            }
+            let ida = runs.pop().expect("two runs");
+            let base = runs.pop().expect("two runs");
             let norm = normalized_read_response(&ida.report, &base.report);
             let _ = writeln!(out, "workload {workload}, {} requests:", requests);
             let _ = writeln!(
@@ -170,6 +247,13 @@ USAGE:
   idasim list
   idasim describe <workload>
   idasim compare <workload> [--error-rate 0.2] [--requests 6000]
+                 [--trace-out <path.jsonl>] [--metrics-json <path.json>]
+                 [--progress]
+
+Observability (compare): --trace-out writes the run's event stream as
+JSONL and --metrics-json writes the full report (latency histograms,
+counters, gauges) as JSON; both get a per-system suffix, e.g.
+trace.jsonl -> trace.Baseline.jsonl. --progress reports on stderr.
 
 Experiment binaries reproducing each paper table/figure live in the
 ida-bench crate, e.g.:
@@ -207,9 +291,40 @@ mod tests {
             Command::Compare {
                 workload: "proj_1".into(),
                 error_rate: 0.5,
-                requests: 1000
+                requests: 1000,
+                trace_out: None,
+                metrics_json: None,
+                progress: false,
             }
         );
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let cmd = parse_args(&s(&[
+            "compare",
+            "hm_1",
+            "--trace-out",
+            "out/trace.jsonl",
+            "--metrics-json",
+            "out/metrics.json",
+            "--progress",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Compare {
+                trace_out,
+                metrics_json,
+                progress,
+                ..
+            } => {
+                assert_eq!(trace_out, Some(PathBuf::from("out/trace.jsonl")));
+                assert_eq!(metrics_json, Some(PathBuf::from("out/metrics.json")));
+                assert!(progress);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse_args(&s(&["compare", "hm_1", "--trace-out"])).is_err());
     }
 
     #[test]

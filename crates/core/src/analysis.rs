@@ -11,10 +11,9 @@
 //! operations so the Table IV rows can be reported per workload.
 
 use crate::refresh::RefreshPlan;
-use serde::{Deserialize, Serialize};
 
 /// Accumulated refresh cost statistics across many block refreshes.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RefreshOverhead {
     /// Number of block refreshes accumulated.
     pub refreshes: u64,
@@ -94,8 +93,11 @@ mod tests {
     use ida_flash::interference::InterferenceModel;
 
     fn sample_plan(rate: f64, seed: u64) -> RefreshPlan {
-        let mut p =
-            RefreshPlanner::new(3, RefreshMode::Ida, InterferenceModel::with_seed(rate, seed));
+        let mut p = RefreshPlanner::new(
+            3,
+            RefreshMode::Ida,
+            InterferenceModel::with_seed(rate, seed),
+        );
         // 64 wordlines, mixture of cases.
         let masks: Vec<u8> = (0..64u32).map(|w| (w % 8) as u8).collect();
         p.plan_block(&masks)

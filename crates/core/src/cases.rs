@@ -19,18 +19,16 @@
 //! bits below it. For TLC this reproduces Table I exactly; for QLC it
 //! reproduces Figure 6.
 
-use serde::{Deserialize, Serialize};
-
 /// One of the paper's eight TLC wordline cases (Table I), generalized to a
 /// validity bitmask. Constructed via [`WlCase::classify`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WlCase {
     bits_per_cell: u8,
     valid_mask: u8,
 }
 
 /// The refresh-time action for one wordline.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WlAction {
     /// No valid pages — nothing to do (Table I case 8).
     Nothing,
@@ -144,8 +142,7 @@ impl WlCase {
         if self.valid_mask == 0 {
             return WlAction::Nothing;
         }
-        let valid_bits =
-            |mask: u8| (0..self.bits_per_cell).filter(move |b| mask & (1 << b) != 0);
+        let valid_bits = |mask: u8| (0..self.bits_per_cell).filter(move |b| mask & (1 << b) != 0);
         if !self.top_valid() || self.bits_per_cell == 1 {
             return WlAction::MoveAll {
                 pages: valid_bits(self.valid_mask).collect(),

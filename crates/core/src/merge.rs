@@ -7,13 +7,12 @@
 //! i.e. achievable by ISPP charge injection without an erase.
 
 use ida_flash::coding::{CodingScheme, VoltageState};
-use serde::{Deserialize, Serialize};
 
 /// The result of planning a voltage-state merge for one invalidation mask.
 ///
 /// Contains the per-state relocation map (for the ISPP controller) and the
 /// merged [`CodingScheme`] governing reads afterwards.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MergePlan {
     valid_mask: u8,
     state_map: Vec<VoltageState>,

@@ -19,14 +19,13 @@
 
 use crate::cases::{WlAction, WlCase};
 use ida_flash::interference::InterferenceModel;
-use serde::{Deserialize, Serialize};
 
 /// A page within the refresh target block: wordline index and bit (page
 /// type) index.
 pub type PageRef = (u32, u8);
 
 /// Whether the refresh runs the baseline flow or the IDA-modified flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RefreshMode {
     /// Original refresh: move every valid page to the new block.
     Baseline,
@@ -35,7 +34,7 @@ pub enum RefreshMode {
 }
 
 /// The planned operations of one block refresh.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RefreshPlan {
     /// Step 1: valid pages read out and ECC-corrected (`N_valid` of them).
     pub initial_reads: Vec<PageRef>,

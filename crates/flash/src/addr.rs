@@ -15,7 +15,6 @@
 //! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
 
 use crate::geometry::Geometry;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The kind of logical page a physical page is, within its wordline.
@@ -24,7 +23,7 @@ use std::fmt;
 /// fastest-to-read page, higher ordinals need more sensing operations under
 /// conventional coding. For QLC the four types are, in paper terms,
 /// Bit 1 → `Lsb`, Bit 2 → `Csb`, Bit 3 → `Msb`, Bit 4 → `Top`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PageType {
     /// Least-significant bit page (1 sense under conventional coding).
     Lsb,
@@ -85,7 +84,7 @@ impl fmt::Display for PageType {
 macro_rules! flat_addr {
     ($(#[$doc:meta])* $name:ident($repr:ty)) => {
         $(#[$doc])*
-        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub $repr);
 
         impl $name {

@@ -41,7 +41,10 @@ impl fmt::Display for BlockError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BlockError::OutOfOrderProgram { expected, got } => {
-                write!(f, "pages program in order: expected offset {expected}, got {got}")
+                write!(
+                    f,
+                    "pages program in order: expected offset {expected}, got {got}"
+                )
             }
             BlockError::Full => write!(f, "block is fully programmed"),
             BlockError::Wordline(e) => write!(f, "wordline error: {e}"),
@@ -206,7 +209,11 @@ mod tests {
     fn bits(width: usize, seed: u64) -> Vec<u8> {
         (0..width)
             .map(|i| {
-                (((i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed)) >> 17) as u8 & 1
+                (((i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(seed))
+                    >> 17) as u8
+                    & 1
             })
             .collect()
     }
@@ -232,7 +239,10 @@ mod tests {
         b.program(0, bits(8, 0)).unwrap();
         assert_eq!(
             b.program(2, bits(8, 1)),
-            Err(BlockError::OutOfOrderProgram { expected: 1, got: 2 })
+            Err(BlockError::OutOfOrderProgram {
+                expected: 1,
+                got: 2
+            })
         );
     }
 

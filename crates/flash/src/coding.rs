@@ -18,14 +18,13 @@
 //! [`CodingScheme::tlc_232`]. MLC and QLC counterparts are
 //! [`CodingScheme::mlc`] and [`CodingScheme::qlc`].
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A threshold-voltage state of a cell, 0-based.
 ///
 /// State 0 is the erased state (paper's `S1`); higher indices are higher
 /// threshold voltages. ISPP programming can only *increase* the state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VoltageState(pub u8);
 
 impl VoltageState {
@@ -53,7 +52,7 @@ impl fmt::Display for VoltageState {
 ///
 /// Bit `b` of the mask is the value of logical page `b` (0 = LSB). Only the
 /// low `bits_per_cell` bits are meaningful.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BitPattern(pub u8);
 
 impl BitPattern {
@@ -78,7 +77,7 @@ impl fmt::Display for BitPattern {
 /// The sensing procedure that recovers one bit: the ordered set of read
 /// voltages to apply. Read voltage `j` (0-based) distinguishes states
 /// `<= j` from states `> j`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ReadProcedure {
     /// 0-based read-voltage indices, ascending. In paper terms, index `j`
     /// is `V(j+1)`.
@@ -137,7 +136,7 @@ impl ReadProcedure {
 /// Gray code covering all states exactly once (for full codings) or a
 /// consistent partial coding (for merged/IDA codings, where only a subset of
 /// states remains in use).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CodingScheme {
     name: String,
     bits_per_cell: u8,
@@ -343,11 +342,10 @@ impl CodingScheme {
     /// For merged codings the pattern is matched on readable bits only and
     /// against live states only.
     pub fn state_for(&self, pattern: BitPattern) -> Option<VoltageState> {
-        self.live_states
-            .iter()
-            .copied()
-            .find(|&s| self.table[s.0 as usize].project(self.readable_bits)
-                == pattern.project(self.readable_bits))
+        self.live_states.iter().copied().find(|&s| {
+            self.table[s.0 as usize].project(self.readable_bits)
+                == pattern.project(self.readable_bits)
+        })
     }
 
     /// The read procedure for bit `b`.
@@ -469,7 +467,12 @@ mod tests {
         ];
         for (s, &(l, cs, m)) in expected.iter().enumerate() {
             let p = c.pattern(VoltageState(s as u8));
-            assert_eq!((p.bit(0), p.bit(1), p.bit(2)), (l, cs, m), "state S{}", s + 1);
+            assert_eq!(
+                (p.bit(0), p.bit(1), p.bit(2)),
+                (l, cs, m),
+                "state S{}",
+                s + 1
+            );
         }
     }
 
@@ -598,7 +601,12 @@ mod tests {
             3,
             0b110, // LSB not readable
             CodingScheme::tlc_124().table().to_vec(),
-            vec![VoltageState(4), VoltageState(5), VoltageState(6), VoltageState(7)],
+            vec![
+                VoltageState(4),
+                VoltageState(5),
+                VoltageState(6),
+                VoltageState(7),
+            ],
         );
         let _ = c.sense_count(0);
     }
@@ -611,7 +619,12 @@ mod tests {
             3,
             0b110,
             CodingScheme::tlc_124().table().to_vec(),
-            vec![VoltageState(4), VoltageState(5), VoltageState(6), VoltageState(7)],
+            vec![
+                VoltageState(4),
+                VoltageState(5),
+                VoltageState(6),
+                VoltageState(7),
+            ],
         );
         assert_eq!(c.sense_count(1), 1); // CSB: V6 only
         assert_eq!(c.sense_count(2), 2); // MSB: V5, V7

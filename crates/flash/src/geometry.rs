@@ -10,8 +10,6 @@
 //! (LSB, CSB, MSB for TLC). A block is the erase unit; a page is the
 //! read/program unit.
 
-use serde::{Deserialize, Serialize};
-
 /// The static geometry of an SSD's flash array.
 ///
 /// All counts are *per parent* (e.g. `dies_per_chip` is dies in one chip).
@@ -27,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(g.total_pages() * g.page_size_bytes as u64,
 ///            550_829_555_712); // ~513 GiB of raw TLC capacity
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Geometry {
     /// Number of channels connecting flash chips to the controller.
     pub channels: u32,
@@ -146,16 +144,34 @@ impl Geometry {
     /// Panics if any dimension is zero or `bits_per_cell` is outside `1..=4`.
     pub fn validate(&self) {
         assert!(self.channels > 0, "geometry: channels must be > 0");
-        assert!(self.chips_per_channel > 0, "geometry: chips_per_channel must be > 0");
-        assert!(self.dies_per_chip > 0, "geometry: dies_per_chip must be > 0");
-        assert!(self.planes_per_die > 0, "geometry: planes_per_die must be > 0");
-        assert!(self.blocks_per_plane > 0, "geometry: blocks_per_plane must be > 0");
-        assert!(self.wordlines_per_block > 0, "geometry: wordlines_per_block must be > 0");
+        assert!(
+            self.chips_per_channel > 0,
+            "geometry: chips_per_channel must be > 0"
+        );
+        assert!(
+            self.dies_per_chip > 0,
+            "geometry: dies_per_chip must be > 0"
+        );
+        assert!(
+            self.planes_per_die > 0,
+            "geometry: planes_per_die must be > 0"
+        );
+        assert!(
+            self.blocks_per_plane > 0,
+            "geometry: blocks_per_plane must be > 0"
+        );
+        assert!(
+            self.wordlines_per_block > 0,
+            "geometry: wordlines_per_block must be > 0"
+        );
         assert!(
             (1..=4).contains(&self.bits_per_cell),
             "geometry: bits_per_cell must be 1..=4"
         );
-        assert!(self.page_size_bytes > 0, "geometry: page_size_bytes must be > 0");
+        assert!(
+            self.page_size_bytes > 0,
+            "geometry: page_size_bytes must be > 0"
+        );
     }
 }
 

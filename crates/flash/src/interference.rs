@@ -10,27 +10,20 @@
 //! This module provides that Bernoulli model plus a raw-bit-error-rate
 //! helper used by the read-retry experiments (Section V-F).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use ida_obs::rng::Rng64;
 
 /// Bernoulli page-corruption model for voltage adjustment.
 ///
 /// `IDA-Coding-E20` in the paper corresponds to
 /// `InterferenceModel::new(0.20)`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InterferenceModel {
     corrupt_prob: f64,
     rng_seed: u64,
-    #[serde(skip, default = "InterferenceModel::default_rng")]
-    rng: StdRng,
+    rng: Rng64,
 }
 
 impl InterferenceModel {
-    fn default_rng() -> StdRng {
-        StdRng::seed_from_u64(0)
-    }
-
     /// A model in which each page reprogrammed by IDA coding is corrupted
     /// with probability `corrupt_prob`, deterministic under the default
     /// seed.
@@ -55,7 +48,7 @@ impl InterferenceModel {
         InterferenceModel {
             corrupt_prob,
             rng_seed: seed,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng64::seed_from_u64(seed),
         }
     }
 
@@ -77,7 +70,7 @@ impl InterferenceModel {
 
     /// Reset the model's RNG to its seed so a run can be replayed.
     pub fn reset(&mut self) {
-        self.rng = StdRng::seed_from_u64(self.rng_seed);
+        self.rng = Rng64::seed_from_u64(self.rng_seed);
     }
 }
 

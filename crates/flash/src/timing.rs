@@ -17,8 +17,6 @@
 //! which reproduces 50/100/150 µs for `tR_base = 50 µs, ΔtR = 50 µs` and the
 //! MLC device's 65/115 µs for `tR_base = 65 µs, ΔtR = 50 µs`.
 
-use serde::{Deserialize, Serialize};
-
 /// Simulation time in nanoseconds.
 pub type SimTime = u64;
 
@@ -29,7 +27,7 @@ pub const NS_PER_US: SimTime = 1_000;
 pub const NS_PER_MS: SimTime = 1_000_000;
 
 /// Per-operation flash timing parameters (paper Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlashTiming {
     /// Sensing latency of a 1-sense page read (the LSB read), ns.
     pub read_base: SimTime,

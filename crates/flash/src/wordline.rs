@@ -39,7 +39,10 @@ impl fmt::Display for WordlineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WordlineError::WidthMismatch { expected, got } => {
-                write!(f, "page buffer holds {got} bits, wordline has {expected} cells")
+                write!(
+                    f,
+                    "page buffer holds {got} bits, wordline has {expected} cells"
+                )
             }
             WordlineError::NotErased => write!(f, "wordline must be erased before programming"),
             WordlineError::LeftwardMove { from, to } => {
@@ -236,7 +239,13 @@ mod tests {
     fn bits(n: usize, seed: u64) -> Vec<u8> {
         // Small deterministic pseudo-random bit pattern.
         (0..n)
-            .map(|i| (((i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed)) >> 33) as u8 & 1)
+            .map(|i| {
+                (((i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed))
+                    >> 33) as u8
+                    & 1
+            })
             .collect()
     }
 
@@ -280,7 +289,10 @@ mod tests {
         let pages = vec![vec![0; 4], vec![1; 3], vec![0; 4]];
         assert_eq!(
             wl.program(&pages),
-            Err(WordlineError::WidthMismatch { expected: 4, got: 3 })
+            Err(WordlineError::WidthMismatch {
+                expected: 4,
+                got: 3
+            })
         );
     }
 

@@ -210,10 +210,7 @@ mod tests {
         let order = cwdp_plane_order(&g);
         assert_eq!(order.len(), 64);
         // First four entries must sit on channels 0..4.
-        let channels: Vec<u32> = order[..4]
-            .iter()
-            .map(|p| p.die(&g).channel(&g))
-            .collect();
+        let channels: Vec<u32> = order[..4].iter().map(|p| p.die(&g).channel(&g)).collect();
         assert_eq!(channels, vec![0, 1, 2, 3]);
         // And all on plane 0 of die 0 of chip 0.
         assert!(order[..4].iter().all(|p| p.0 % g.planes_per_die == 0));

@@ -10,10 +10,9 @@
 use ida_flash::addr::BlockAddr;
 use ida_flash::geometry::Geometry;
 use ida_flash::timing::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Lifecycle state of a block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockState {
     /// Erased and ready for allocation.
     Free,
@@ -41,6 +40,11 @@ struct BlockInfo {
 pub struct BlockTable {
     geometry: Geometry,
     blocks: Vec<BlockInfo>,
+    /// Blocks currently in the `Ida` state (kept incrementally so gauges
+    /// can sample it without an O(blocks) scan).
+    ida_blocks: u32,
+    /// Wordlines currently carrying a merged (non-zero keep mask) coding.
+    adjusted_wordlines: u64,
 }
 
 impl BlockTable {
@@ -57,7 +61,12 @@ impl BlockTable {
                 wl_masks: vec![0; geometry.wordlines_per_block as usize],
             })
             .collect();
-        BlockTable { geometry, blocks }
+        BlockTable {
+            geometry,
+            blocks,
+            ida_blocks: 0,
+            adjusted_wordlines: 0,
+        }
     }
 
     fn info(&self, b: BlockAddr) -> &BlockInfo {
@@ -114,7 +123,11 @@ impl BlockTable {
     pub fn allocate_page(&mut self, b: BlockAddr, now: SimTime) -> u32 {
         let pages = self.geometry.pages_per_block();
         let info = self.info_mut(b);
-        assert_eq!(info.state, BlockState::Open, "allocation in non-open block {b}");
+        assert_eq!(
+            info.state,
+            BlockState::Open,
+            "allocation in non-open block {b}"
+        );
         let off = info.write_ptr;
         assert!(off < pages, "open block {b} overflowed");
         info.write_ptr += 1;
@@ -167,6 +180,13 @@ impl BlockTable {
             "erase of block {b} with {} valid pages",
             info.valid_pages
         );
+        let was_ida = info.state == BlockState::Ida;
+        let adjusted = info.wl_masks.iter().filter(|&&m| m != 0).count() as u64;
+        if was_ida {
+            self.ida_blocks -= 1;
+            self.adjusted_wordlines -= adjusted;
+        }
+        let info = self.info_mut(b);
         info.state = BlockState::Free;
         info.write_ptr = 0;
         info.erase_count += 1;
@@ -184,13 +204,25 @@ impl BlockTable {
     pub fn mark_ida(&mut self, b: BlockAddr, wl_masks: &[(u32, u8)], now: SimTime) {
         let wls = self.geometry.wordlines_per_block;
         let info = self.info_mut(b);
-        assert_eq!(info.state, BlockState::Closed, "IDA conversion of non-closed block {b}");
+        assert_eq!(
+            info.state,
+            BlockState::Closed,
+            "IDA conversion of non-closed block {b}"
+        );
         info.state = BlockState::Ida;
         info.closed_at = now;
+        let mut adjusted = 0u64;
         for &(wl, mask) in wl_masks {
             assert!(wl < wls, "wordline {wl} out of range");
+            // A closed block's masks are all zero, so every non-zero mask
+            // written here is a newly adjusted wordline.
+            if mask != 0 {
+                adjusted += 1;
+            }
             info.wl_masks[wl as usize] = mask;
         }
+        self.ida_blocks += 1;
+        self.adjusted_wordlines += adjusted;
     }
 
     /// The IDA keep mask of wordline `wl` in block `b`; 0 means the
@@ -203,8 +235,11 @@ impl BlockTable {
     /// counts (used by GC victim search).
     pub fn reclaimable_blocks(&self) -> impl Iterator<Item = (BlockAddr, u32, u32)> + '_ {
         self.blocks.iter().enumerate().filter_map(|(i, info)| {
-            matches!(info.state, BlockState::Closed | BlockState::Ida)
-                .then_some((BlockAddr(i as u32), info.valid_pages, info.erase_count))
+            matches!(info.state, BlockState::Closed | BlockState::Ida).then_some((
+                BlockAddr(i as u32),
+                info.valid_pages,
+                info.erase_count,
+            ))
         })
     }
 
@@ -215,6 +250,18 @@ impl BlockTable {
             .iter()
             .filter(|i| i.state != BlockState::Free)
             .count() as u32
+    }
+
+    /// Blocks currently in the `Ida` state (O(1); maintained incrementally
+    /// for gauge sampling).
+    pub fn ida_blocks(&self) -> u32 {
+        self.ida_blocks
+    }
+
+    /// Wordlines currently carrying a merged coding — the device's
+    /// "dirty wordline" population (O(1)).
+    pub fn adjusted_wordlines(&self) -> u64 {
+        self.adjusted_wordlines
     }
 
     /// Sum of erase counts across all blocks.
@@ -338,6 +385,28 @@ mod tests {
         let mut t = table();
         t.open(BlockAddr(9));
         assert_eq!(t.in_use_blocks(), 1);
+    }
+
+    #[test]
+    fn ida_counters_track_mark_and_erase() {
+        let mut t = table();
+        assert_eq!(t.ida_blocks(), 0);
+        assert_eq!(t.adjusted_wordlines(), 0);
+        let b = BlockAddr(0);
+        t.open(b);
+        let pages = t.geometry().pages_per_block();
+        for _ in 0..pages {
+            t.allocate_page(b, 0);
+        }
+        t.mark_ida(b, &[(0, 0b110), (3, 0b100), (4, 0)], 5);
+        assert_eq!(t.ida_blocks(), 1);
+        assert_eq!(t.adjusted_wordlines(), 2, "zero masks are not adjusted");
+        for _ in 0..pages {
+            t.invalidate_page(b);
+        }
+        t.erase(b);
+        assert_eq!(t.ida_blocks(), 0);
+        assert_eq!(t.adjusted_wordlines(), 0);
     }
 
     #[test]

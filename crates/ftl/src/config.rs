@@ -4,7 +4,6 @@ use ida_core::refresh::RefreshMode;
 use ida_flash::coding::CodingScheme;
 use ida_flash::geometry::Geometry;
 use ida_flash::timing::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Nanoseconds in one simulated day, for refresh-period constants.
 pub const NS_PER_DAY: SimTime = 86_400_000_000_000;
@@ -12,7 +11,7 @@ pub const NS_PER_DAY: SimTime = 86_400_000_000_000;
 /// Which coding scheme the device programs cells with. IDA coding merges
 /// states of *any* scheme (paper Section III-B), so the FTL is generic
 /// over this choice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CodingVariant {
     /// The density-appropriate conventional coding (SLC/MLC/TLC-1-2-4/QLC).
     Conventional,
@@ -39,7 +38,7 @@ impl CodingVariant {
 }
 
 /// Configuration of the flash translation layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FtlConfig {
     /// Physical array organization.
     pub geometry: Geometry,
@@ -116,7 +115,10 @@ mod tests {
         let c = CodingVariant::Conventional.scheme(3);
         assert_eq!(c.sense_count(2), 4);
         let alt = CodingVariant::Tlc232.scheme(3);
-        assert_eq!((alt.sense_count(0), alt.sense_count(1), alt.sense_count(2)), (2, 3, 2));
+        assert_eq!(
+            (alt.sense_count(0), alt.sense_count(1), alt.sense_count(2)),
+            (2, 3, 2)
+        );
     }
 
     #[test]

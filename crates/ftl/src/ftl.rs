@@ -14,6 +14,7 @@ use ida_flash::addr::{BlockAddr, PageAddr, PageType};
 use ida_flash::geometry::Geometry;
 use ida_flash::interference::InterferenceModel;
 use ida_flash::timing::SimTime;
+use ida_obs::trace::{SinkHandle, TraceEvent};
 
 /// The flash translation layer.
 ///
@@ -38,6 +39,8 @@ pub struct Ftl {
     /// The block currently being refreshed, excluded from GC victim
     /// selection so its pages are not relocated out from under the plan.
     refresh_target: Option<BlockAddr>,
+    /// Trace sink for GC/refresh/IDA events (null — free — by default).
+    trace: SinkHandle,
 }
 
 impl Ftl {
@@ -75,8 +78,16 @@ impl Ftl {
             sense_merged,
             stats: FtlStats::default(),
             refresh_target: None,
+            trace: SinkHandle::null(),
             cfg,
         }
+    }
+
+    /// Attach a trace sink. The simulator shares its own handle so FTL
+    /// events (GC, refresh, IDA conversion) interleave with flash events
+    /// in one stream.
+    pub fn set_trace(&mut self, trace: SinkHandle) {
+        self.trace = trace;
     }
 
     /// The configuration in force.
@@ -244,6 +255,7 @@ impl Ftl {
 
     fn refresh_block_inner(&mut self, block: BlockAddr, now: SimTime, ops: &mut Vec<FlashOp>) {
         self.stats.refreshes += 1;
+        let moves_before = self.stats.refresh_moves;
         let state = self.blocks.state(block);
         let wl_masks = self.wl_valid_masks(block);
 
@@ -292,6 +304,11 @@ impl Ftl {
             self.blocks.mark_ida(block, &masks, now);
             self.stats.ida_conversions += 1;
             self.stats.voltage_adjusts += plan.adjusted_wordlines.len() as u64;
+            self.trace.emit_with(|| TraceEvent::IdaConversion {
+                t: now,
+                block: block.0 as u64,
+                wordlines: plan.adjusted_wordlines.len() as u32,
+            });
             for _ in &plan.adjusted_wordlines {
                 ops.push(FlashOp {
                     kind: FlashOpKind::VoltageAdjust,
@@ -317,6 +334,13 @@ impl Ftl {
                 .schedule(block, now, now + self.cfg.refresh_period);
         }
         // A baseline-refreshed block is left fully invalid for GC to erase.
+        self.trace.emit_with(|| TraceEvent::RefreshBlock {
+            t: now,
+            block: block.0 as u64,
+            moves: (self.stats.refresh_moves - moves_before) as u32,
+            adjusted_wordlines: plan.adjusted_wordlines.len() as u32,
+            ida: !plan.adjusted_wordlines.is_empty(),
+        });
     }
 
     /// Garbage-collect `plane`-local space until the high watermark is
@@ -364,14 +388,21 @@ impl Ftl {
     fn collect_victim(&mut self, victim: BlockAddr, now: SimTime, ops: &mut Vec<FlashOp>) {
         self.stats.gc_runs += 1;
         let plane = victim.plane(&self.geometry);
+        let mut copies = 0u32;
         for off in 0..self.geometry.pages_per_block() {
             let page = victim.page(&self.geometry, off);
             if self.map.is_valid(page) {
                 ops.push(self.read_op(page, Priority::Background));
                 self.relocate_for_gc(page, plane, now, ops);
                 self.stats.gc_copies += 1;
+                copies += 1;
             }
         }
+        self.trace.emit_with(|| TraceEvent::GcRun {
+            t: now,
+            block: victim.0 as u64,
+            copies,
+        });
         self.blocks.erase(victim);
         self.stats.erases += 1;
         self.alloc.push_free(victim);
@@ -491,8 +522,11 @@ impl Ftl {
         if self.blocks.state(block) == BlockState::Closed
             && page.offset_in_block(&self.geometry) == self.geometry.pages_per_block() - 1
         {
-            self.refresh_q
-                .schedule(block, self.blocks.closed_at(block), now + self.cfg.refresh_period);
+            self.refresh_q.schedule(
+                block,
+                self.blocks.closed_at(block),
+                now + self.cfg.refresh_period,
+            );
         }
     }
 

@@ -51,10 +51,7 @@ mod tests {
             t.invalidate_page(BlockAddr(1));
         }
         t.invalidate_page(BlockAddr(0));
-        assert_eq!(
-            select_victim(&t, PlaneAddr(0), None),
-            Some(BlockAddr(1))
-        );
+        assert_eq!(select_victim(&t, PlaneAddr(0), None), Some(BlockAddr(1)));
     }
 
     #[test]
@@ -72,10 +69,7 @@ mod tests {
         // Equal valid counts; block 1 has fewer erases.
         t.invalidate_page(BlockAddr(0));
         t.invalidate_page(BlockAddr(1));
-        assert_eq!(
-            select_victim(&t, PlaneAddr(0), None),
-            Some(BlockAddr(1))
-        );
+        assert_eq!(select_victim(&t, PlaneAddr(0), None), Some(BlockAddr(1)));
     }
 
     #[test]
@@ -108,10 +102,7 @@ mod tests {
         let plane1_block = BlockAddr(g.blocks_per_plane); // first block of plane 1
         fill_block(&mut t, plane1_block);
         t.invalidate_page(plane1_block);
-        assert_eq!(
-            select_victim(&t, PlaneAddr(1), None),
-            Some(plane1_block)
-        );
+        assert_eq!(select_victim(&t, PlaneAddr(1), None), Some(plane1_block));
     }
 
     #[test]

@@ -1,11 +1,10 @@
 //! Page-level logical-to-physical mapping.
 
 use ida_flash::addr::PageAddr;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A logical page number — the host-visible page address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Lpn(pub u64);
 
 impl fmt::Display for Lpn {

@@ -8,11 +8,10 @@
 
 use ida_flash::addr::{BlockAddr, DieAddr, PageAddr, PageType};
 use ida_flash::timing::{FlashTiming, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Scheduling class of an operation ("read-first scheduling", Table II):
 /// host reads go ahead of everything else queued on a die.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Priority {
     /// Host read — always served first.
     HostRead,
@@ -23,7 +22,7 @@ pub enum Priority {
 }
 
 /// The physical kind of a flash operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlashOpKind {
     /// Page read: `senses` wordline sensing operations followed by a
     /// channel transfer and ECC decode.
@@ -40,7 +39,7 @@ pub enum FlashOpKind {
 }
 
 /// One unit of physical flash work.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlashOp {
     /// What to do.
     pub kind: FlashOpKind,
@@ -87,7 +86,7 @@ impl FlashOp {
 
 /// The validity scenario a host read falls into — the categories of the
 /// paper's Figure 4.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReadScenario {
     /// Read of the fastest page type; no optimization headroom.
     Lsb,
@@ -104,9 +103,23 @@ pub enum ReadScenario {
     IdaCoded,
 }
 
+impl ReadScenario {
+    /// Stable snake_case label, used by trace events and JSON reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReadScenario::Lsb => "lsb",
+            ReadScenario::CsbLowerValid => "csb_lower_valid",
+            ReadScenario::CsbLowerInvalid => "csb_lower_invalid",
+            ReadScenario::MsbLowerValid => "msb_lower_valid",
+            ReadScenario::MsbLowerInvalid => "msb_lower_invalid",
+            ReadScenario::IdaCoded => "ida_coded",
+        }
+    }
+}
+
 /// A translated host read: the physical page plus everything the simulator
 /// needs to time and classify it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReadOp {
     /// Physical page to sense.
     pub page: PageAddr,
@@ -141,10 +154,22 @@ mod tests {
     #[test]
     fn read_times_follow_sense_count() {
         let t = FlashTiming::paper_tlc();
-        assert_eq!(op(FlashOpKind::Read { senses: 1 }).array_time(&t), 50 * NS_PER_US);
-        assert_eq!(op(FlashOpKind::Read { senses: 4 }).array_time(&t), 150 * NS_PER_US);
-        assert_eq!(op(FlashOpKind::Read { senses: 1 }).channel_time(&t), 48 * NS_PER_US);
-        assert_eq!(op(FlashOpKind::Read { senses: 1 }).controller_time(&t), 20 * NS_PER_US);
+        assert_eq!(
+            op(FlashOpKind::Read { senses: 1 }).array_time(&t),
+            50 * NS_PER_US
+        );
+        assert_eq!(
+            op(FlashOpKind::Read { senses: 4 }).array_time(&t),
+            150 * NS_PER_US
+        );
+        assert_eq!(
+            op(FlashOpKind::Read { senses: 1 }).channel_time(&t),
+            48 * NS_PER_US
+        );
+        assert_eq!(
+            op(FlashOpKind::Read { senses: 1 }).controller_time(&t),
+            20 * NS_PER_US
+        );
     }
 
     #[test]
@@ -153,7 +178,10 @@ mod tests {
         assert_eq!(op(FlashOpKind::Erase).channel_time(&t), 0);
         assert_eq!(op(FlashOpKind::VoltageAdjust).channel_time(&t), 0);
         assert_eq!(op(FlashOpKind::Erase).array_time(&t), 3_000 * NS_PER_US);
-        assert_eq!(op(FlashOpKind::VoltageAdjust).array_time(&t), 2_300 * NS_PER_US);
+        assert_eq!(
+            op(FlashOpKind::VoltageAdjust).array_time(&t),
+            2_300 * NS_PER_US
+        );
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! FTL-level statistics: GC, refresh, wear and block-usage counters.
 
 use ida_core::analysis::RefreshOverhead;
-use serde::{Deserialize, Serialize};
 
 /// Counters accumulated by the FTL over a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FtlStats {
     /// Host page writes served.
     pub host_writes: u64,

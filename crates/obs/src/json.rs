@@ -1,0 +1,137 @@
+//! A minimal, deterministic JSON writer.
+//!
+//! Fields are emitted in insertion order with no whitespace, so the same
+//! data always serializes to the same bytes — the property the trace
+//! determinism guarantee rests on. Floats use Rust's shortest-roundtrip
+//! `Display`, which is also deterministic.
+
+use std::fmt::Write as _;
+
+/// Escape `s` for use inside a JSON string literal (without quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builder for one JSON object, `{...}`.
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObj { buf: String::new() }
+    }
+
+    fn sep(&mut self) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":\"{}\"", escape(key), escape(value));
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":{}", escape(key), value);
+        self
+    }
+
+    /// Add a 128-bit unsigned integer field.
+    pub fn u128(mut self, key: &str, value: u128) -> Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":{}", escape(key), value);
+        self
+    }
+
+    /// Add a float field (`null` for non-finite values).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.sep();
+        if value.is_finite() {
+            let _ = write!(self.buf, "\"{}\":{}", escape(key), value);
+        } else {
+            let _ = write!(self.buf, "\"{}\":null", escape(key));
+        }
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":{}", escape(key), value);
+        self
+    }
+
+    /// Add a field whose value is already-rendered JSON.
+    pub fn raw(mut self, key: &str, json: &str) -> Self {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\":{}", escape(key), json);
+        self
+    }
+
+    /// Render the object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Render an iterator of already-rendered JSON values as an array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let body: Vec<String> = items.into_iter().collect();
+    format!("[{}]", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_renders_in_insertion_order() {
+        let s = JsonObj::new()
+            .str("name", "hm_1")
+            .u64("count", 42)
+            .f64("mean", 1.5)
+            .bool("ok", true)
+            .finish();
+        assert_eq!(s, r#"{"name":"hm_1","count":42,"mean":1.5,"ok":true}"#);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let s = JsonObj::new().f64("x", f64::NAN).finish();
+        assert_eq!(s, r#"{"x":null}"#);
+    }
+
+    #[test]
+    fn arrays_join_rendered_values() {
+        assert_eq!(array(["1".into(), "2".into()]), "[1,2]");
+        assert_eq!(array(Vec::<String>::new()), "[]");
+    }
+}

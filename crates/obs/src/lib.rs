@@ -1,0 +1,36 @@
+//! Observability for the IDA-coding simulation stack.
+//!
+//! Three pillars, all dependency-free so the offline tier-1 build stays
+//! green:
+//!
+//! - **structured event tracing** ([`trace`]): typed [`trace::TraceEvent`]s
+//!   carrying the simulated timestamp, flowing through a pluggable
+//!   [`trace::TraceSink`] (a zero-cost null sink, a bounded ring buffer,
+//!   and a JSONL file sink). A fixed-seed run produces a byte-identical
+//!   trace.
+//! - **streaming metrics** ([`hist`], [`gauge`]): a fixed-memory
+//!   log-bucketed histogram for latency percentiles without keeping every
+//!   sample, and time-series gauges sampled on a sim-time interval.
+//! - **run reporting** ([`json`], [`progress`]): a minimal deterministic
+//!   JSON writer used by `Report::to_json` and the JSONL sink, plus a
+//!   wall-clock progress heartbeat for long experiment runs.
+//!
+//! The crate also hosts the workspace's deterministic RNG ([`rng`]):
+//! reproducible seeded randomness is what makes byte-identical traces
+//! possible, and keeping it here (instead of the external `rand` crate)
+//! lets every other crate build offline.
+
+pub mod gauge;
+pub mod hist;
+pub mod json;
+pub mod progress;
+pub mod rng;
+pub mod trace;
+
+pub use gauge::{GaugePoint, GaugeSeries, GaugeSet};
+pub use hist::LogHistogram;
+pub use progress::Progress;
+pub use rng::Rng64;
+pub use trace::{
+    HostClass, JsonlSink, NullSink, RingSink, SinkHandle, TraceEvent, TraceSink, VecSink,
+};

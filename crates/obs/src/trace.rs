@@ -1,0 +1,643 @@
+//! Structured event tracing.
+//!
+//! Every layer of the simulation stack emits typed [`TraceEvent`]s carrying
+//! the simulated timestamp. Events flow through a pluggable [`TraceSink`]:
+//! the zero-cost [`NullSink`] (the default — emission sites skip event
+//! construction entirely when the sink is off), a bounded [`RingSink`]
+//! keeping the last N events in memory, a [`JsonlSink`] appending one JSON
+//! object per line to a file, and a [`VecSink`] for tests.
+//!
+//! Determinism contract: simulation inputs (config + seeds) fully determine
+//! the event sequence, and [`TraceEvent::to_json_line`] renders fields in a
+//! fixed order with integer-only values — so a fixed-seed run produces a
+//! byte-identical JSONL trace.
+
+use crate::json::JsonObj;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+use std::rc::Rc;
+
+/// Simulated time in nanoseconds (mirrors `ida_flash::timing::SimTime`
+/// without a dependency edge).
+pub type SimNs = u64;
+
+/// Host operation class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostClass {
+    /// Host read.
+    Read,
+    /// Host write.
+    Write,
+}
+
+impl HostClass {
+    /// Stable lowercase label used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HostClass::Read => "read",
+            HostClass::Write => "write",
+        }
+    }
+}
+
+/// One simulation event. The `t` field is always the simulated timestamp
+/// (ns) at which the event occurred; the stream a run emits is
+/// monotonically non-decreasing in `t`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A labeled run began (written by the harness, not the simulator).
+    RunStart {
+        /// Simulated time of the run start.
+        t: SimNs,
+        /// Harness-chosen label (workload × system).
+        label: String,
+    },
+    /// A host request entered the device.
+    HostArrival {
+        /// Arrival time.
+        t: SimNs,
+        /// Request index within the run.
+        req: u64,
+        /// Read or write.
+        class: HostClass,
+        /// First logical page.
+        lpn: u64,
+        /// Extent length in pages.
+        pages: u32,
+    },
+    /// A host request completed (its last flash op finished).
+    HostComplete {
+        /// Completion time.
+        t: SimNs,
+        /// Request index within the run.
+        req: u64,
+        /// Read or write.
+        class: HostClass,
+        /// Response time (completion − arrival), ns.
+        latency_ns: u64,
+    },
+    /// A host read page was translated and classified by the FTL.
+    ReadIssued {
+        /// Issue time.
+        t: SimNs,
+        /// Logical page.
+        lpn: u64,
+        /// Physical page.
+        page: u64,
+        /// Page type within its wordline (`lsb`/`csb`/`msb`/...).
+        page_type: &'static str,
+        /// Sensing operations under the wordline's current coding.
+        senses: u32,
+        /// Figure 4 validity scenario label.
+        scenario: &'static str,
+    },
+    /// A page sense started on a die.
+    FlashSense {
+        /// Start time.
+        t: SimNs,
+        /// Executing die.
+        die: u32,
+        /// Transfer channel.
+        channel: u32,
+        /// Physical block.
+        block: u64,
+        /// Physical page.
+        page: u64,
+        /// Sensing operations charged.
+        senses: u32,
+        /// Extra read-retry attempts charged.
+        retries: u32,
+        /// Whether this is background (GC/refresh) traffic.
+        background: bool,
+    },
+    /// A page program started on a die.
+    FlashProgram {
+        /// Start time.
+        t: SimNs,
+        /// Executing die.
+        die: u32,
+        /// Transfer channel.
+        channel: u32,
+        /// Physical block.
+        block: u64,
+        /// Physical page.
+        page: u64,
+        /// Whether this is background (GC/refresh) traffic.
+        background: bool,
+    },
+    /// A block erase started on a die.
+    FlashErase {
+        /// Start time.
+        t: SimNs,
+        /// Executing die.
+        die: u32,
+        /// Erased block.
+        block: u64,
+    },
+    /// An IDA voltage adjustment of one wordline started on a die.
+    VoltageAdjust {
+        /// Start time.
+        t: SimNs,
+        /// Executing die.
+        die: u32,
+        /// Adjusted block.
+        block: u64,
+    },
+    /// A host read needed extra sensing attempts (read retry).
+    ReadRetry {
+        /// Start time of the retried read.
+        t: SimNs,
+        /// Executing die.
+        die: u32,
+        /// Extra attempts beyond the first.
+        extra: u32,
+    },
+    /// Garbage collection reclaimed one victim block.
+    GcRun {
+        /// GC time.
+        t: SimNs,
+        /// Victim block.
+        block: u64,
+        /// Valid pages copied out.
+        copies: u32,
+    },
+    /// A block went through data refresh.
+    RefreshBlock {
+        /// Refresh time.
+        t: SimNs,
+        /// Refreshed block.
+        block: u64,
+        /// Pages migrated to new blocks.
+        moves: u32,
+        /// Wordlines voltage-adjusted (0 under baseline refresh).
+        adjusted_wordlines: u32,
+        /// Whether the IDA flow ran (vs. baseline move-all).
+        ida: bool,
+    },
+    /// A block was converted to IDA coding.
+    IdaConversion {
+        /// Conversion time.
+        t: SimNs,
+        /// Converted block.
+        block: u64,
+        /// Wordlines now carrying a merged coding.
+        wordlines: u32,
+    },
+}
+
+impl TraceEvent {
+    /// The simulated timestamp of the event.
+    pub fn timestamp(&self) -> SimNs {
+        match *self {
+            TraceEvent::RunStart { t, .. }
+            | TraceEvent::HostArrival { t, .. }
+            | TraceEvent::HostComplete { t, .. }
+            | TraceEvent::ReadIssued { t, .. }
+            | TraceEvent::FlashSense { t, .. }
+            | TraceEvent::FlashProgram { t, .. }
+            | TraceEvent::FlashErase { t, .. }
+            | TraceEvent::VoltageAdjust { t, .. }
+            | TraceEvent::ReadRetry { t, .. }
+            | TraceEvent::GcRun { t, .. }
+            | TraceEvent::RefreshBlock { t, .. }
+            | TraceEvent::IdaConversion { t, .. } => t,
+        }
+    }
+
+    /// Stable event-kind label (the `ev` field of the JSONL encoding).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStart { .. } => "run_start",
+            TraceEvent::HostArrival { .. } => "host_arrival",
+            TraceEvent::HostComplete { .. } => "host_complete",
+            TraceEvent::ReadIssued { .. } => "read_issued",
+            TraceEvent::FlashSense { .. } => "sense",
+            TraceEvent::FlashProgram { .. } => "program",
+            TraceEvent::FlashErase { .. } => "erase",
+            TraceEvent::VoltageAdjust { .. } => "voltage_adjust",
+            TraceEvent::ReadRetry { .. } => "read_retry",
+            TraceEvent::GcRun { .. } => "gc_run",
+            TraceEvent::RefreshBlock { .. } => "refresh_block",
+            TraceEvent::IdaConversion { .. } => "ida_conversion",
+        }
+    }
+
+    /// Render as one JSONL line (no trailing newline). Field order is
+    /// fixed; all values are integers or short strings, so the encoding is
+    /// byte-deterministic.
+    pub fn to_json_line(&self) -> String {
+        let o = JsonObj::new()
+            .str("ev", self.kind())
+            .u64("t", self.timestamp());
+        match self {
+            TraceEvent::RunStart { label, .. } => o.str("label", label),
+            TraceEvent::HostArrival {
+                req,
+                class,
+                lpn,
+                pages,
+                ..
+            } => o
+                .u64("req", *req)
+                .str("class", class.as_str())
+                .u64("lpn", *lpn)
+                .u64("pages", *pages as u64),
+            TraceEvent::HostComplete {
+                req,
+                class,
+                latency_ns,
+                ..
+            } => o
+                .u64("req", *req)
+                .str("class", class.as_str())
+                .u64("latency_ns", *latency_ns),
+            TraceEvent::ReadIssued {
+                lpn,
+                page,
+                page_type,
+                senses,
+                scenario,
+                ..
+            } => o
+                .u64("lpn", *lpn)
+                .u64("page", *page)
+                .str("page_type", page_type)
+                .u64("senses", *senses as u64)
+                .str("scenario", scenario),
+            TraceEvent::FlashSense {
+                die,
+                channel,
+                block,
+                page,
+                senses,
+                retries,
+                background,
+                ..
+            } => o
+                .u64("die", *die as u64)
+                .u64("channel", *channel as u64)
+                .u64("block", *block)
+                .u64("page", *page)
+                .u64("senses", *senses as u64)
+                .u64("retries", *retries as u64)
+                .bool("background", *background),
+            TraceEvent::FlashProgram {
+                die,
+                channel,
+                block,
+                page,
+                background,
+                ..
+            } => o
+                .u64("die", *die as u64)
+                .u64("channel", *channel as u64)
+                .u64("block", *block)
+                .u64("page", *page)
+                .bool("background", *background),
+            TraceEvent::FlashErase { die, block, .. } => {
+                o.u64("die", *die as u64).u64("block", *block)
+            }
+            TraceEvent::VoltageAdjust { die, block, .. } => {
+                o.u64("die", *die as u64).u64("block", *block)
+            }
+            TraceEvent::ReadRetry { die, extra, .. } => {
+                o.u64("die", *die as u64).u64("extra", *extra as u64)
+            }
+            TraceEvent::GcRun { block, copies, .. } => {
+                o.u64("block", *block).u64("copies", *copies as u64)
+            }
+            TraceEvent::RefreshBlock {
+                block,
+                moves,
+                adjusted_wordlines,
+                ida,
+                ..
+            } => o
+                .u64("block", *block)
+                .u64("moves", *moves as u64)
+                .u64("adjusted_wordlines", *adjusted_wordlines as u64)
+                .bool("ida", *ida),
+            TraceEvent::IdaConversion {
+                block, wordlines, ..
+            } => o.u64("block", *block).u64("wordlines", *wordlines as u64),
+        }
+        .finish()
+    }
+}
+
+/// A consumer of trace events.
+pub trait TraceSink: std::fmt::Debug {
+    /// Whether events should be constructed and delivered at all.
+    /// Emission sites skip event construction when this is `false`,
+    /// making the disabled path effectively free.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consume one event.
+    fn record(&mut self, ev: &TraceEvent);
+
+    /// Flush any buffered output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from file-backed sinks.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The zero-cost default sink: reports itself disabled, drops everything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _ev: &TraceEvent) {}
+}
+
+/// A bounded in-memory sink keeping the most recent `capacity` events —
+/// the "flight recorder" for post-mortem inspection without unbounded
+/// memory.
+#[derive(Debug, Clone, Default)]
+pub struct RingSink {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    /// Events dropped because the ring was full.
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring keeping the last `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity,
+            events: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// How many events were evicted to honor the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev.clone());
+    }
+}
+
+/// An unbounded in-memory sink retaining every event — for tests.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    /// All recorded events, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Render every event as JSONL (one line per event, trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.events.push(ev.clone());
+    }
+}
+
+/// A file sink writing one JSON object per line (JSONL).
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: BufWriter<File>,
+    lines: u64,
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path` and return a sink writing to it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(JsonlSink {
+            out: BufWriter::new(File::create(path)?),
+            lines: 0,
+        })
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        // I/O errors on a best-effort trace must not abort the simulation;
+        // they surface on the explicit flush instead.
+        let _ = writeln!(self.out, "{}", ev.to_json_line());
+        self.lines += 1;
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// A cloneable handle to a shared sink, so the simulator and the FTL it
+/// owns can write interleaved events to one stream. The enabled flag is
+/// cached at construction: `on()` is a branch on a local bool, and
+/// emission sites construct events only behind it.
+#[derive(Debug, Clone)]
+pub struct SinkHandle {
+    on: bool,
+    inner: Rc<RefCell<dyn TraceSink>>,
+}
+
+impl Default for SinkHandle {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl SinkHandle {
+    /// The disabled handle (wraps [`NullSink`]).
+    pub fn null() -> Self {
+        SinkHandle {
+            on: false,
+            inner: Rc::new(RefCell::new(NullSink)),
+        }
+    }
+
+    /// Wrap an owned sink.
+    pub fn new<S: TraceSink + 'static>(sink: S) -> Self {
+        let on = sink.enabled();
+        SinkHandle {
+            on,
+            inner: Rc::new(RefCell::new(sink)),
+        }
+    }
+
+    /// Wrap an externally shared sink (the caller keeps its typed `Rc` to
+    /// inspect the sink afterwards — how tests read back a `VecSink`).
+    pub fn from_shared(sink: Rc<RefCell<dyn TraceSink>>) -> Self {
+        let on = sink.borrow().enabled();
+        SinkHandle { on, inner: sink }
+    }
+
+    /// Whether emission sites should construct events.
+    #[inline]
+    pub fn on(&self) -> bool {
+        self.on
+    }
+
+    /// Deliver an event built by `f` if the sink is enabled. The closure
+    /// is never called on the disabled path.
+    #[inline]
+    pub fn emit_with<F: FnOnce() -> TraceEvent>(&self, f: F) {
+        if self.on {
+            self.inner.borrow_mut().record(&f());
+        }
+    }
+
+    /// Flush the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from file-backed sinks.
+    pub fn flush(&self) -> io::Result<()> {
+        self.inner.borrow_mut().flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: SimNs) -> TraceEvent {
+        TraceEvent::FlashErase {
+            t,
+            die: 1,
+            block: 9,
+        }
+    }
+
+    #[test]
+    fn jsonl_encoding_is_stable() {
+        let e = TraceEvent::HostArrival {
+            t: 5,
+            req: 2,
+            class: HostClass::Read,
+            lpn: 77,
+            pages: 4,
+        };
+        assert_eq!(
+            e.to_json_line(),
+            r#"{"ev":"host_arrival","t":5,"req":2,"class":"read","lpn":77,"pages":4}"#
+        );
+        assert_eq!(e.timestamp(), 5);
+        assert_eq!(e.kind(), "host_arrival");
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+        let h = SinkHandle::null();
+        assert!(!h.on());
+        // The closure must not run on the disabled path.
+        h.emit_with(|| unreachable!("disabled sink constructed an event"));
+    }
+
+    #[test]
+    fn ring_sink_keeps_the_tail() {
+        let mut r = RingSink::new(3);
+        for t in 0..10 {
+            r.record(&ev(t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 7);
+        let ts: Vec<SimNs> = r.events().map(|e| e.timestamp()).collect();
+        assert_eq!(ts, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn vec_sink_records_everything_in_order() {
+        let sink = Rc::new(RefCell::new(VecSink::new()));
+        let h = SinkHandle::from_shared(sink.clone());
+        assert!(h.on());
+        for t in [1, 2, 3] {
+            h.emit_with(|| ev(t));
+        }
+        assert_eq!(sink.borrow().events.len(), 3);
+        let jsonl = sink.borrow().to_jsonl();
+        assert_eq!(jsonl.lines().count(), 3);
+        assert!(jsonl.starts_with(r#"{"ev":"erase","t":1"#));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join("ida_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        {
+            let mut s = JsonlSink::create(&path).unwrap();
+            for t in 0..5 {
+                s.record(&ev(t));
+            }
+            assert_eq!(s.lines(), 5);
+            s.flush().unwrap();
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 5);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -5,10 +5,9 @@ use ida_core::refresh::RefreshMode;
 use ida_flash::geometry::Geometry;
 use ida_flash::timing::FlashTiming;
 use ida_ftl::FtlConfig;
-use serde::{Deserialize, Serialize};
 
 /// Full configuration of a simulated SSD.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SsdConfig {
     /// FTL configuration (geometry, refresh, GC, IDA error rate).
     pub ftl: FtlConfig,

@@ -1,30 +1,70 @@
 //! Run metrics: response-time statistics, the Figure 4 read breakdown,
-//! and throughput.
+//! throughput, and machine/human-readable run reports.
 
 use ida_flash::timing::SimTime;
 use ida_ftl::ReadScenario;
-use serde::{Deserialize, Serialize};
+use ida_obs::gauge::GaugeSeries;
+use ida_obs::hist::LogHistogram;
+use ida_obs::json::{array, JsonObj};
 
 /// Response-time statistics for one operation class.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Backed by a fixed-memory log-bucketed histogram: memory stays constant
+/// no matter how many requests a run completes, and percentile queries
+/// walk the buckets (O(buckets)) instead of cloning and sorting a sample
+/// vector. Count, sum, mean, min and max are exact; percentiles are
+/// accurate to one bucket width (≈ 3 %). Tests that need exact
+/// percentiles can opt into [`LatencyStats::exact`], which additionally
+/// keeps every sample.
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencyStats {
     /// Number of completed requests.
     pub count: u64,
     /// Sum of response times (ns).
     pub total_ns: u128,
-    /// All response times, for percentile queries (ns).
-    samples: Vec<u64>,
+    hist: LogHistogram,
+    /// Exact samples, kept only in [`LatencyStats::exact`] mode.
+    samples: Option<Vec<u64>>,
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats {
+            count: 0,
+            total_ns: 0,
+            hist: LogHistogram::new(),
+            samples: None,
+        }
+    }
 }
 
 impl LatencyStats {
+    /// Histogram-backed stats (the default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stats that additionally retain every sample, making `percentile`
+    /// exact. Memory grows with the request count — for tests and small
+    /// diagnostic runs only.
+    pub fn exact() -> Self {
+        LatencyStats {
+            samples: Some(Vec::new()),
+            ..Self::default()
+        }
+    }
+
     /// Record one response time.
     pub fn record(&mut self, ns: SimTime) {
         self.count += 1;
         self.total_ns += ns as u128;
-        self.samples.push(ns);
+        self.hist.record(ns);
+        if let Some(samples) = &mut self.samples {
+            samples.push(ns);
+        }
     }
 
-    /// Mean response time in ns (0 when empty).
+    /// Mean response time in ns (0 when empty). Exact.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -33,30 +73,90 @@ impl LatencyStats {
         }
     }
 
-    /// Mean response time in µs.
+    /// Mean response time in µs. Exact.
     pub fn mean_us(&self) -> f64 {
         self.mean() / 1_000.0
     }
 
+    /// Maximum recorded response time in ns (0 when empty). Exact.
+    pub fn max(&self) -> u64 {
+        self.hist.max()
+    }
+
     /// The `p`-th percentile response time in ns (`0 < p <= 100`).
+    /// Accurate to one histogram bucket width (`p = 100` and exact mode
+    /// are fully exact).
     ///
     /// # Panics
     ///
     /// Panics if `p` is out of range.
     pub fn percentile(&self, p: f64) -> u64 {
-        assert!((0.0..=100.0).contains(&p) && p > 0.0, "percentile out of range");
-        if self.samples.is_empty() {
-            return 0;
+        assert!(
+            (0.0..=100.0).contains(&p) && p > 0.0,
+            "percentile out of range"
+        );
+        if let Some(samples) = &self.samples {
+            if samples.is_empty() {
+                return 0;
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            return sorted[rank.saturating_sub(1).min(sorted.len() - 1)];
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+        self.hist.percentile(p)
+    }
+
+    /// The underlying histogram (for serialization and merging).
+    pub fn histogram(&self) -> &LogHistogram {
+        &self.hist
+    }
+
+    /// Summary as a JSON object string (count, mean, percentiles, max).
+    pub fn to_json(&self) -> String {
+        JsonObj::new()
+            .u64("count", self.count)
+            .u128("total_ns", self.total_ns)
+            .f64("mean_ns", self.mean())
+            .u64(
+                "p50_ns",
+                if self.count == 0 {
+                    0
+                } else {
+                    self.percentile(50.0)
+                },
+            )
+            .u64(
+                "p90_ns",
+                if self.count == 0 {
+                    0
+                } else {
+                    self.percentile(90.0)
+                },
+            )
+            .u64(
+                "p99_ns",
+                if self.count == 0 {
+                    0
+                } else {
+                    self.percentile(99.0)
+                },
+            )
+            .u64(
+                "p999_ns",
+                if self.count == 0 {
+                    0
+                } else {
+                    self.percentile(99.9)
+                },
+            )
+            .u64("max_ns", self.max())
+            .finish()
     }
 }
 
 /// Counts of host reads per validity scenario — the data behind Figure 4.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReadBreakdown {
     /// LSB reads.
     pub lsb: u64,
@@ -82,6 +182,18 @@ impl ReadBreakdown {
             ReadScenario::MsbLowerValid => self.msb_lower_valid += 1,
             ReadScenario::MsbLowerInvalid => self.msb_lower_invalid += 1,
             ReadScenario::IdaCoded => self.ida += 1,
+        }
+    }
+
+    /// The count recorded for `scenario`.
+    pub fn count_for(&self, scenario: ReadScenario) -> u64 {
+        match scenario {
+            ReadScenario::Lsb => self.lsb,
+            ReadScenario::CsbLowerValid => self.csb_lower_valid,
+            ReadScenario::CsbLowerInvalid => self.csb_lower_invalid,
+            ReadScenario::MsbLowerValid => self.msb_lower_valid,
+            ReadScenario::MsbLowerInvalid => self.msb_lower_invalid,
+            ReadScenario::IdaCoded => self.ida,
         }
     }
 
@@ -116,10 +228,22 @@ impl ReadBreakdown {
             self.msb_lower_invalid as f64 / msb as f64
         }
     }
+
+    /// Counts as a JSON object string.
+    pub fn to_json(&self) -> String {
+        JsonObj::new()
+            .u64("lsb", self.lsb)
+            .u64("csb_lower_valid", self.csb_lower_valid)
+            .u64("csb_lower_invalid", self.csb_lower_invalid)
+            .u64("msb_lower_valid", self.msb_lower_valid)
+            .u64("msb_lower_invalid", self.msb_lower_invalid)
+            .u64("ida", self.ida)
+            .finish()
+    }
 }
 
 /// The result of one simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Report {
     /// Host read response times.
     pub reads: LatencyStats,
@@ -140,10 +264,15 @@ pub struct Report {
     /// Blocks not free at the end of the run (Section III-C tracks the
     /// in-use block increase caused by IDA coding).
     pub in_use_blocks: u32,
+    /// Time-series gauges sampled during the run (empty unless gauge
+    /// sampling was enabled on the simulator).
+    pub gauges: Vec<GaugeSeries>,
 }
 
 impl Report {
-    /// Device throughput over the run's makespan, in MB/s.
+    /// Device throughput over the run's makespan, in MB/s (decimal
+    /// megabytes, 10^6 bytes — the storage-industry convention the paper
+    /// uses). See [`Report::throughput_mibps`] for the binary unit.
     pub fn throughput_mbps(&self) -> f64 {
         let span = self.last_completion.saturating_sub(self.first_arrival);
         if span == 0 {
@@ -152,6 +281,106 @@ impl Report {
         let bytes = (self.bytes_read + self.bytes_written) as f64;
         bytes / (span as f64 / 1e9) / 1e6
     }
+
+    /// Device throughput over the run's makespan, in MiB/s (binary
+    /// mebibytes, 2^20 bytes).
+    pub fn throughput_mibps(&self) -> f64 {
+        let span = self.last_completion.saturating_sub(self.first_arrival);
+        if span == 0 {
+            return 0.0;
+        }
+        let bytes = (self.bytes_read + self.bytes_written) as f64;
+        bytes / (span as f64 / 1e9) / (1u64 << 20) as f64
+    }
+
+    /// The full report as one deterministic JSON object string: latency
+    /// histogram summaries, the Figure 4 breakdown, FTL counter
+    /// snapshots, throughput, and any sampled gauge series.
+    pub fn to_json(&self) -> String {
+        let f = &self.ftl;
+        let counters = JsonObj::new()
+            .u64("host_writes", f.host_writes)
+            .u64("host_reads", f.host_reads)
+            .u64("gc_runs", f.gc_runs)
+            .u64("gc_copies", f.gc_copies)
+            .u64("erases", f.erases)
+            .u64("refreshes", f.refreshes)
+            .u64("refresh_moves", f.refresh_moves)
+            .u64("voltage_adjusts", f.voltage_adjusts)
+            .u64("ida_conversions", f.ida_conversions)
+            .u64("ida_reads", f.ida_reads)
+            .f64("write_amplification", f.write_amplification())
+            .finish();
+        JsonObj::new()
+            .raw("reads", &self.reads.to_json())
+            .raw("writes", &self.writes.to_json())
+            .raw("breakdown", &self.breakdown.to_json())
+            .u64("first_arrival_ns", self.first_arrival)
+            .u64("last_completion_ns", self.last_completion)
+            .u64("bytes_read", self.bytes_read)
+            .u64("bytes_written", self.bytes_written)
+            .f64("throughput_mbps", self.throughput_mbps())
+            .f64("throughput_mibps", self.throughput_mibps())
+            .raw("ftl", &counters)
+            .u64("in_use_blocks", self.in_use_blocks as u64)
+            .raw("gauges", &array(self.gauges.iter().map(|g| g.to_json())))
+            .finish()
+    }
+
+    /// A human-readable summary table of the run.
+    pub fn render_table(&self) -> String {
+        fn row(out: &mut String, k: &str, v: String) {
+            out.push_str(&format!("  {k:<24} {v:>16}\n"));
+        }
+        let mut out = String::from("run report\n");
+        for (name, s) in [("reads", &self.reads), ("writes", &self.writes)] {
+            out.push_str(&format!("{name}:\n"));
+            row(&mut out, "count", s.count.to_string());
+            row(&mut out, "mean", format!("{:.1} us", s.mean_us()));
+            if s.count > 0 {
+                row(
+                    &mut out,
+                    "p50 / p99",
+                    format!(
+                        "{:.1} / {:.1} us",
+                        s.percentile(50.0) as f64 / 1e3,
+                        s.percentile(99.0) as f64 / 1e3
+                    ),
+                );
+                row(&mut out, "max", format!("{:.1} us", s.max() as f64 / 1e3));
+            }
+        }
+        out.push_str("device:\n");
+        row(
+            &mut out,
+            "throughput",
+            format!(
+                "{:.1} MB/s ({:.1} MiB/s)",
+                self.throughput_mbps(),
+                self.throughput_mibps()
+            ),
+        );
+        row(&mut out, "in-use blocks", self.in_use_blocks.to_string());
+        row(
+            &mut out,
+            "write amplification",
+            format!("{:.3}", self.ftl.write_amplification()),
+        );
+        out.push_str("ftl counters:\n");
+        for (k, v) in [
+            ("gc runs", self.ftl.gc_runs),
+            ("gc copies", self.ftl.gc_copies),
+            ("erases", self.ftl.erases),
+            ("refreshes", self.ftl.refreshes),
+            ("refresh moves", self.ftl.refresh_moves),
+            ("ida conversions", self.ftl.ida_conversions),
+            ("voltage adjusts", self.ftl.voltage_adjusts),
+            ("ida reads", self.ftl.ida_reads),
+        ] {
+            row(&mut out, k, v.to_string());
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -159,8 +388,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn latency_mean_and_percentiles() {
-        let mut s = LatencyStats::default();
+    fn latency_mean_and_percentiles_exact_mode() {
+        let mut s = LatencyStats::exact();
         for v in [100, 200, 300, 400] {
             s.record(v);
         }
@@ -171,10 +400,38 @@ mod tests {
     }
 
     #[test]
+    fn histogram_mode_percentiles_are_bucket_accurate() {
+        let mut s = LatencyStats::default();
+        for v in [100u64, 200, 300, 400] {
+            s.record(v);
+        }
+        assert_eq!(s.mean(), 250.0);
+        assert_eq!(s.percentile(100.0), 400);
+        let p50 = s.percentile(50.0);
+        let width = LogHistogram::width_of(200);
+        assert!(p50.abs_diff(200) <= width, "p50 {p50} vs 200 ± {width}");
+    }
+
+    #[test]
     fn empty_latency_stats_are_zero() {
         let s = LatencyStats::default();
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.percentile(50.0), 0);
+        assert_eq!(s.max(), 0);
+    }
+
+    #[test]
+    fn histogram_memory_is_flat() {
+        // The histogram path must not keep per-sample state: record a
+        // large stream and check only the aggregate fields changed.
+        let mut s = LatencyStats::default();
+        for i in 0..1_000_000u64 {
+            s.record(i % 1_000_000);
+        }
+        assert_eq!(s.count, 1_000_000);
+        assert!(s.samples.is_none());
+        let p99 = s.percentile(99.0);
+        assert!(p99.abs_diff(990_000) <= LogHistogram::width_of(990_000));
     }
 
     #[test]
@@ -195,6 +452,7 @@ mod tests {
         assert!((b.csb_invalid_fraction() - 0.18).abs() < 1e-9);
         assert!((b.msb_invalid_fraction() - 0.30).abs() < 1e-9);
         assert_eq!(b.total(), 200);
+        assert_eq!(b.count_for(ReadScenario::CsbLowerInvalid), 18);
     }
 
     #[test]
@@ -207,5 +465,45 @@ mod tests {
             ..Report::default()
         };
         assert!((report.throughput_mbps() - 1.0).abs() < 1e-9);
+        // MiB/s is smaller by exactly 10^6 / 2^20.
+        let ratio = report.throughput_mibps() / report.throughput_mbps();
+        assert!((ratio - 1e6 / (1u64 << 20) as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_complete() {
+        let mut report = Report::default();
+        report.reads.record(118_000);
+        report.writes.record(2_348_000);
+        report.breakdown.record(ReadScenario::Lsb);
+        report.bytes_read = 4096;
+        report.first_arrival = 0;
+        report.last_completion = 118_000;
+        let a = report.to_json();
+        let b = report.to_json();
+        assert_eq!(a, b, "serialization must be deterministic");
+        for key in [
+            "\"reads\":",
+            "\"writes\":",
+            "\"breakdown\":",
+            "\"p99_ns\":",
+            "\"throughput_mbps\":",
+            "\"throughput_mibps\":",
+            "\"ftl\":",
+            "\"gauges\":",
+            "\"gc_runs\":",
+        ] {
+            assert!(a.contains(key), "missing {key} in {a}");
+        }
+    }
+
+    #[test]
+    fn report_table_renders_key_lines() {
+        let mut report = Report::default();
+        report.reads.record(118_000);
+        let table = report.render_table();
+        assert!(table.contains("reads:"));
+        assert!(table.contains("throughput"));
+        assert!(table.contains("ida conversions"));
     }
 }

@@ -1,10 +1,9 @@
 //! Host request model.
 
 use ida_flash::timing::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Read or write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HostOpKind {
     /// Host read.
     Read,
@@ -16,7 +15,7 @@ pub enum HostOpKind {
 ///
 /// Traces produced by `ida-workloads` are sequences of `HostOp`s sorted by
 /// arrival time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HostOp {
     /// Arrival time (ns).
     pub at: SimTime,

@@ -15,12 +15,10 @@
 //! assumed to succeed), following the failure-probability-vs-extra-sensing
 //! framing of LDPC-in-SSD \[38\].
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use ida_obs::rng::Rng64;
 
 /// Configuration of the retry model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryConfig {
     /// Probability that any given sensing attempt fails to decode.
     pub failure_prob: f64,
@@ -63,14 +61,14 @@ impl RetryConfig {
 #[derive(Debug, Clone)]
 pub struct RetryModel {
     cfg: RetryConfig,
-    rng: StdRng,
+    rng: Rng64,
 }
 
 impl RetryModel {
     /// A sampler for `cfg`.
     pub fn new(cfg: RetryConfig) -> Self {
         RetryModel {
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rng: Rng64::seed_from_u64(cfg.seed),
             cfg,
         }
     }

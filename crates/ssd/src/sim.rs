@@ -9,7 +9,17 @@ use ida_flash::addr::BlockAddr;
 use ida_flash::timing::SimTime;
 use ida_ftl::block::BlockState;
 use ida_ftl::{FlashOp, FlashOpKind, Ftl, Lpn, Priority};
+use ida_obs::gauge::GaugeSet;
+use ida_obs::progress::Progress;
+use ida_obs::trace::{HostClass, SinkHandle, TraceEvent};
 use std::collections::VecDeque;
+
+fn host_class(kind: HostOpKind) -> HostClass {
+    match kind {
+        HostOpKind::Read => HostClass::Read,
+        HostOpKind::Write => HostClass::Write,
+    }
+}
 
 /// An operation queued on a die, with its request linkage and sampled
 /// retry count.
@@ -85,6 +95,12 @@ pub struct Simulator {
     channels: Vec<SimTime>,
     /// Base simulation time: measured runs start where warmup ended.
     clock: SimTime,
+    /// Trace sink handle (shared with the FTL). Null by default.
+    trace: SinkHandle,
+    /// Time-series gauge sampler. Disabled by default.
+    gauges: GaugeSet,
+    /// Whether runs report progress on stderr.
+    progress: bool,
 }
 
 impl Simulator {
@@ -98,7 +114,36 @@ impl Simulator {
             channels: vec![0; g.channels as usize],
             cfg,
             clock: 0,
+            trace: SinkHandle::null(),
+            gauges: GaugeSet::disabled(),
+            progress: false,
         }
+    }
+
+    /// Attach a trace sink. The handle is shared with the FTL, so FTL
+    /// events (GC, refresh, IDA conversion) and simulator events (host
+    /// traffic, flash ops) interleave into one stream. Attach before any
+    /// warmup if trace counters must match end-of-run [`ida_ftl::FtlStats`].
+    pub fn set_trace(&mut self, trace: SinkHandle) {
+        self.ftl.set_trace(trace.clone());
+        self.trace = trace;
+    }
+
+    /// Flush the attached trace sink (no-op for the null sink).
+    pub fn flush_trace(&self) -> std::io::Result<()> {
+        self.trace.flush()
+    }
+
+    /// Attach a gauge sampler; queue depth, in-use blocks and adjusted
+    /// wordlines are sampled on its interval during timed runs, and the
+    /// collected series are drained into each run's [`Report::gauges`].
+    pub fn set_gauges(&mut self, gauges: GaugeSet) {
+        self.gauges = gauges;
+    }
+
+    /// Enable or disable stderr progress reporting for timed runs.
+    pub fn set_progress(&mut self, on: bool) {
+        self.progress = on;
     }
 
     /// The configuration in force.
@@ -203,8 +248,7 @@ impl Simulator {
     fn run_inner(&mut self, trace: Vec<HostOp>, closed_depth: Option<usize>) -> Report {
         let base = self.clock;
         let mut report = Report {
-            first_arrival: base
-                + closed_depth.map_or(trace.first().map_or(0, |op| op.at), |_| 0),
+            first_arrival: base + closed_depth.map_or(trace.first().map_or(0, |op| op.at), |_| 0),
             last_completion: base,
             ..Report::default()
         };
@@ -214,6 +258,11 @@ impl Simulator {
         let mut wake_at: Option<SimTime> = None;
         // Next trace entry to dispatch in closed-loop mode.
         let mut next_dispatch = 0usize;
+        let mut progress = if self.progress {
+            Progress::new("sim", trace.len() as u64)
+        } else {
+            Progress::disabled()
+        };
 
         match closed_depth {
             None => {
@@ -231,6 +280,10 @@ impl Simulator {
 
         while let Some((now, ev)) = events.pop() {
             self.clock = now;
+            if self.gauges.enabled() && self.gauges.due(now) {
+                self.sample_gauges(now);
+            }
+            let done_before = completed;
             // Serve due refreshes before anything else at this instant.
             if self.ftl.next_refresh_due().is_some_and(|d| d <= now) {
                 let ops = self.ftl.run_due_refreshes(now);
@@ -259,10 +312,17 @@ impl Simulator {
                     r.outstanding -= 1;
                     if r.outstanding == 0 {
                         let resp = now - r.arrival;
-                        match r.kind {
+                        let kind = r.kind;
+                        match kind {
                             HostOpKind::Read => report.reads.record(resp),
                             HostOpKind::Write => report.writes.record(resp),
                         }
+                        self.trace.emit_with(|| TraceEvent::HostComplete {
+                            t: now,
+                            req: req as u64,
+                            class: host_class(kind),
+                            latency_ns: resp,
+                        });
                         report.last_completion = report.last_completion.max(now);
                         completed += 1;
                         // Closed loop: a freed slot admits the next request.
@@ -275,6 +335,9 @@ impl Simulator {
                 Ev::RefreshWake => {
                     wake_at = None;
                 }
+            }
+            if completed > done_before {
+                progress.tick((completed - done_before) as u64);
             }
             // Start any dies made runnable by newly enqueued work.
             self.kick_idle_dies(now, &mut events);
@@ -293,9 +356,29 @@ impl Simulator {
                 }
             }
         }
+        progress.finish();
+        if self.gauges.enabled() {
+            // One final sample so every run ends with a data point.
+            self.sample_gauges(self.clock);
+            report.gauges = self.gauges.take_series();
+        }
         report.ftl = *self.ftl.stats();
         report.in_use_blocks = self.ftl.blocks().in_use_blocks();
         report
+    }
+
+    fn sample_gauges(&mut self, now: SimTime) {
+        let queued: u64 = self.dies.iter().map(|d| d.pending() as u64).sum();
+        let in_use = self.ftl.blocks().in_use_blocks() as u64;
+        let adjusted = self.ftl.blocks().adjusted_wordlines();
+        self.gauges.sample(
+            now,
+            &[
+                ("queue_depth", queued),
+                ("in_use_blocks", in_use),
+                ("adjusted_wordlines", adjusted),
+            ],
+        );
     }
 
     fn serve_host(
@@ -313,6 +396,13 @@ impl Simulator {
             kind: host.kind,
             outstanding: 0,
         });
+        self.trace.emit_with(|| TraceEvent::HostArrival {
+            t: now,
+            req: req_idx as u64,
+            class: host_class(host.kind),
+            lpn: host.lpn,
+            pages: host.pages,
+        });
         match host.kind {
             HostOpKind::Read => {
                 report.bytes_read += host.pages as u64 * page_bytes;
@@ -320,8 +410,18 @@ impl Simulator {
                 for lpn in host.lpns() {
                     if let Some(read) = self.ftl.read(Lpn(lpn)) {
                         report.breakdown.record(read.scenario);
+                        self.trace.emit_with(|| TraceEvent::ReadIssued {
+                            t: now,
+                            lpn,
+                            page: read.page.0,
+                            page_type: read.page_type.label(),
+                            senses: read.senses,
+                            scenario: read.scenario.label(),
+                        });
                         ops.push(FlashOp {
-                            kind: FlashOpKind::Read { senses: read.senses },
+                            kind: FlashOpKind::Read {
+                                senses: read.senses,
+                            },
                             die: read.die,
                             channel: read.channel,
                             block: read.page.block(&self.cfg.ftl.geometry),
@@ -348,6 +448,12 @@ impl Simulator {
                 HostOpKind::Read => report.reads.record(0),
                 HostOpKind::Write => report.writes.record(0),
             }
+            self.trace.emit_with(|| TraceEvent::HostComplete {
+                t: now,
+                req: req_idx as u64,
+                class: host_class(host.kind),
+                latency_ns: 0,
+            });
             report.last_completion = report.last_completion.max(now);
             *completed += 1;
         }
@@ -419,6 +525,41 @@ impl Simulator {
                 return;
             }
             let sim_op = self.dies[d].dequeue().expect("peeked");
+            self.trace.emit_with(|| {
+                let op = sim_op.op;
+                let background = op.priority == Priority::Background;
+                let block = op.block.0 as u64;
+                let page = op.page.map_or(0, |p| p.0);
+                match op.kind {
+                    FlashOpKind::Read { senses } => TraceEvent::FlashSense {
+                        t: now,
+                        die,
+                        channel: op.channel,
+                        block,
+                        page,
+                        senses,
+                        retries: sim_op.retries,
+                        background,
+                    },
+                    FlashOpKind::Program => TraceEvent::FlashProgram {
+                        t: now,
+                        die,
+                        channel: op.channel,
+                        block,
+                        page,
+                        background,
+                    },
+                    FlashOpKind::Erase => TraceEvent::FlashErase { t: now, die, block },
+                    FlashOpKind::VoltageAdjust => TraceEvent::VoltageAdjust { t: now, die, block },
+                }
+            });
+            if sim_op.retries > 0 {
+                self.trace.emit_with(|| TraceEvent::ReadRetry {
+                    t: now,
+                    die,
+                    extra: sim_op.retries,
+                });
+            }
             let ch = sim_op.op.channel as usize;
             let completion = match sim_op.op.kind {
                 FlashOpKind::Read { senses } => {
@@ -650,8 +791,18 @@ mod tests {
     fn unsorted_trace_rejected() {
         let mut sim = Simulator::new(SsdConfig::tiny_test());
         let _ = sim.run(vec![
-            HostOp { at: 10, kind: HostOpKind::Read, lpn: 0, pages: 1 },
-            HostOp { at: 5, kind: HostOpKind::Read, lpn: 1, pages: 1 },
+            HostOp {
+                at: 10,
+                kind: HostOpKind::Read,
+                lpn: 0,
+                pages: 1,
+            },
+            HostOp {
+                at: 5,
+                kind: HostOpKind::Read,
+                lpn: 1,
+                pages: 1,
+            },
         ]);
     }
 
@@ -669,8 +820,18 @@ mod tests {
         sim.prefill(0..to_write);
         let before = sim.ftl().stats().refreshes;
         let report = sim.run(vec![
-            HostOp { at: 0, kind: HostOpKind::Read, lpn: 0, pages: 1 },
-            HostOp { at: 50_000_000, kind: HostOpKind::Read, lpn: 1, pages: 1 },
+            HostOp {
+                at: 0,
+                kind: HostOpKind::Read,
+                lpn: 0,
+                pages: 1,
+            },
+            HostOp {
+                at: 50_000_000,
+                kind: HostOpKind::Read,
+                lpn: 1,
+                pages: 1,
+            },
         ]);
         // Prefilled blocks were due 1 ms after close; the 50 ms idle gap
         // must have run them via the refresh wake event.
@@ -688,8 +849,18 @@ mod tests {
         // read's response must not include the 2.3 ms program.
         let victim_page = 0u64;
         let report = sim.run(vec![
-            HostOp { at: 0, kind: HostOpKind::Write, lpn: 62, pages: 2 },
-            HostOp { at: 1_000, kind: HostOpKind::Read, lpn: victim_page, pages: 1 },
+            HostOp {
+                at: 0,
+                kind: HostOpKind::Write,
+                lpn: 62,
+                pages: 2,
+            },
+            HostOp {
+                at: 1_000,
+                kind: HostOpKind::Read,
+                lpn: victim_page,
+                pages: 1,
+            },
         ]);
         assert!(
             report.reads.mean() < 1_000_000.0,

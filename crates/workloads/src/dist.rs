@@ -1,11 +1,12 @@
 //! Distribution samplers used by the trace generator.
 //!
-//! Implemented directly on `rand` so the crate needs no further
-//! dependencies: a Zipf rank sampler (precomputed CDF + binary search), an
+//! Implemented directly on the workspace's deterministic RNG
+//! ([`ida_obs::rng::Rng64`]) so the crate needs no external dependencies:
+//! a Zipf rank sampler (precomputed CDF + binary search), an
 //! exponential gap sampler (inverse CDF), and a rank-scattering
 //! multiplicative hash that spreads hot ranks over the address space.
 
-use rand::Rng;
+use ida_obs::rng::Rng64;
 
 /// Zipf(θ) distribution over ranks `0..n` (rank 0 hottest).
 ///
@@ -49,15 +50,15 @@ impl Zipf {
     }
 
     /// Sample a rank.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut Rng64) -> usize {
+        let u = rng.gen_f64();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 }
 
 /// Sample an exponential gap with the given mean (ns), via inverse CDF.
-pub fn exponential_gap<R: Rng>(rng: &mut R, mean_ns: f64) -> u64 {
-    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+pub fn exponential_gap(rng: &mut Rng64, mean_ns: f64) -> u64 {
+    let u = rng.gen_range_f64(f64::EPSILON, 1.0);
     (-mean_ns * u.ln()).round().max(0.0) as u64
 }
 
@@ -93,8 +94,12 @@ impl Scatter {
         // Start near a salt-dependent fraction of n and walk down to the
         // nearest multiplier coprime with n (guaranteed to exist: 1 is
         // coprime with everything).
-        let frac = [0.618_033_988_75, 0.414_213_562_37, 0.324_717_957_24, 0.754_877_666_25]
-            [(salt % 4) as usize];
+        let frac = [
+            0.618_033_988_75,
+            0.414_213_562_37,
+            0.324_717_957_24,
+            0.754_877_666_25,
+        ][(salt % 4) as usize];
         let mut mult = ((n as f64 * frac) as u64).max(1);
         while gcd(mult, n) != 1 {
             mult -= 1;
@@ -146,7 +151,7 @@ impl SizeMix {
     ///
     /// Geometric-like: with probability 1/mean stop at each page. The
     /// geometric mean is exactly `mean_pages` (before capping).
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+    pub fn sample(&self, rng: &mut Rng64) -> u32 {
         if self.mean_pages <= 1.0 {
             return 1;
         }
@@ -162,13 +167,11 @@ impl SizeMix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn zipf_rank_zero_is_hottest() {
         let z = Zipf::new(1000, 1.0);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::seed_from_u64(1);
         let mut counts = vec![0u32; 1000];
         for _ in 0..100_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -180,8 +183,8 @@ mod tests {
     #[test]
     fn zipf_theta_zero_is_roughly_uniform() {
         let z = Zipf::new(10, 0.0);
-        let mut rng = StdRng::seed_from_u64(2);
-        let mut counts = vec![0u32; 10];
+        let mut rng = Rng64::seed_from_u64(2);
+        let mut counts = [0u32; 10];
         for _ in 0..100_000 {
             counts[z.sample(&mut rng)] += 1;
         }
@@ -192,7 +195,7 @@ mod tests {
 
     #[test]
     fn exponential_gap_has_requested_mean() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng64::seed_from_u64(3);
         let n = 100_000;
         let total: u64 = (0..n).map(|_| exponential_gap(&mut rng, 1000.0)).sum();
         let mean = total as f64 / n as f64;
@@ -222,7 +225,7 @@ mod tests {
     #[test]
     fn size_mix_hits_the_mean() {
         let s = SizeMix::new(5.0, 256);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng64::seed_from_u64(4);
         let n = 100_000;
         let total: u64 = (0..n).map(|_| s.sample(&mut rng) as u64).sum();
         let mean = total as f64 / n as f64;
@@ -232,7 +235,7 @@ mod tests {
     #[test]
     fn size_mix_of_one_is_constant() {
         let s = SizeMix::new(1.0, 16);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng64::seed_from_u64(5);
         assert!((0..100).all(|_| s.sample(&mut rng) == 1));
     }
 

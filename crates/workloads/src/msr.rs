@@ -75,7 +75,12 @@ pub fn parse_msr<R: BufRead>(r: R, page_size: u32) -> io::Result<Trace> {
         let end = offset + size.max(1);
         let last_page = (end - 1) / page_size as u64;
         let pages = (last_page - page + 1) as u32;
-        records.push(TraceRecord { at, kind, page, pages });
+        records.push(TraceRecord {
+            at,
+            kind,
+            page,
+            pages,
+        });
     }
     records.sort_by_key(|r| r.at);
     Ok(Trace { page_size, records })

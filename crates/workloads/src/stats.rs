@@ -3,10 +3,9 @@
 //! property measured by the simulator's read breakdown).
 
 use crate::trace::{OpKind, Trace};
-use serde::{Deserialize, Serialize};
 
 /// Aggregate characteristics of a trace.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct WorkloadStats {
     /// Total requests.
     pub requests: u64,
@@ -47,7 +46,11 @@ pub fn characterize(trace: &Trace) -> WorkloadStats {
     let total_pages = read_pages + write_pages;
     WorkloadStats {
         requests: total,
-        read_ratio: if total == 0 { 0.0 } else { reads as f64 / total as f64 },
+        read_ratio: if total == 0 {
+            0.0
+        } else {
+            reads as f64 / total as f64
+        },
         mean_read_kb: if reads == 0 {
             0.0
         } else {
@@ -78,10 +81,30 @@ mod tests {
         let t = Trace {
             page_size: 8192,
             records: vec![
-                TraceRecord { at: 0, kind: OpKind::Read, page: 0, pages: 4 },
-                TraceRecord { at: 10, kind: OpKind::Read, page: 8, pages: 2 },
-                TraceRecord { at: 20, kind: OpKind::Write, page: 0, pages: 3 },
-                TraceRecord { at: 1_000_000_000, kind: OpKind::Read, page: 16, pages: 6 },
+                TraceRecord {
+                    at: 0,
+                    kind: OpKind::Read,
+                    page: 0,
+                    pages: 4,
+                },
+                TraceRecord {
+                    at: 10,
+                    kind: OpKind::Read,
+                    page: 8,
+                    pages: 2,
+                },
+                TraceRecord {
+                    at: 20,
+                    kind: OpKind::Write,
+                    page: 0,
+                    pages: 3,
+                },
+                TraceRecord {
+                    at: 1_000_000_000,
+                    kind: OpKind::Read,
+                    page: 16,
+                    pages: 6,
+                },
             ],
         };
         let s = characterize(&t);
@@ -95,7 +118,10 @@ mod tests {
 
     #[test]
     fn empty_trace_is_all_zero() {
-        let t = Trace { page_size: 4096, records: vec![] };
+        let t = Trace {
+            page_size: 4096,
+            records: vec![],
+        };
         assert_eq!(characterize(&t), WorkloadStats::default());
     }
 }

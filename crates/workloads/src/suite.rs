@@ -6,10 +6,9 @@
 //! numbers so experiment binaries can print paper-vs-measured side by side.
 
 use crate::synth::WorkloadSpec;
-use serde::{Deserialize, Serialize};
 
 /// The values Table III reports for one workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PaperRow {
     /// Read request ratio, percent.
     pub read_ratio_pct: f64,
@@ -22,7 +21,7 @@ pub struct PaperRow {
 }
 
 /// A runnable workload: generator spec + paper reference + sizing hints.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadPreset {
     /// The trace generator parameters.
     pub spec: WorkloadSpec,
@@ -181,12 +180,7 @@ impl WorkloadPreset {
         self.writes_only(footprint_pages, self.reage_volume, 0xA63)
     }
 
-    fn writes_only(
-        &self,
-        footprint_pages: u64,
-        volume: f64,
-        salt: u64,
-    ) -> crate::trace::Trace {
+    fn writes_only(&self, footprint_pages: u64, volume: f64, salt: u64) -> crate::trace::Trace {
         let target_pages = (footprint_pages as f64 * volume) as u64;
         let mean_write = self.spec.write_size_pages.max(1.0);
         let requests = ((target_pages as f64 / mean_write).ceil() as usize).max(1);

@@ -18,12 +18,10 @@
 
 use crate::dist::{exponential_gap, Scatter, SizeMix, Zipf};
 use crate::trace::{OpKind, Trace, TraceRecord};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use ida_obs::rng::Rng64;
 
 /// Parameters of one synthetic workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Workload name (e.g. `proj_1`).
     pub name: String,
@@ -74,7 +72,7 @@ impl Default for WorkloadSpec {
             intra_gap_ns: 20_000.0,    // 20 µs inside a burst
             burst_len: 16.0,
             page_size: 8 * 1024,
-            seed: 0x1DA_77,
+            seed: 0x0001_DA77,
         }
     }
 }
@@ -113,7 +111,7 @@ impl WorkloadSpec {
         ] {
             assert!((0.0..=1.0).contains(&v), "{what} must be in [0,1], got {v}");
         }
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng64::seed_from_u64(self.seed);
         let read_zipf = Zipf::new(footprint_pages.min(1 << 22) as usize, self.read_theta);
         let update_domain = ((footprint_pages as f64 * self.update_fraction) as u64).max(1);
         let write_zipf = Zipf::new(update_domain.min(1 << 22) as usize, self.write_theta);
@@ -188,10 +186,7 @@ mod tests {
         let spec = WorkloadSpec::default();
         let t = spec.generate(5_000, 2_000);
         assert!(t.records.windows(2).all(|w| w[0].at <= w[1].at));
-        assert!(t
-            .records
-            .iter()
-            .all(|r| r.page + r.pages as u64 <= 5_000));
+        assert!(t.records.iter().all(|r| r.page + r.pages as u64 <= 5_000));
         assert_eq!(t.records.len(), 2_000);
     }
 
@@ -202,11 +197,7 @@ mod tests {
             ..WorkloadSpec::default()
         };
         let t = spec.generate(10_000, 20_000);
-        let reads = t
-            .records
-            .iter()
-            .filter(|r| r.kind == OpKind::Read)
-            .count() as f64;
+        let reads = t.records.iter().filter(|r| r.kind == OpKind::Read).count() as f64;
         let ratio = reads / t.records.len() as f64;
         assert!((ratio - 0.8).abs() < 0.01, "ratio {ratio}");
     }

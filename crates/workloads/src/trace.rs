@@ -4,12 +4,11 @@
 //! converting to simulator host ops is a field-for-field mapping. A small
 //! CSV codec allows traces to be saved and replayed.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
 /// Read or write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Host read.
     Read,
@@ -27,7 +26,7 @@ impl fmt::Display for OpKind {
 }
 
 /// One trace record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Arrival time in nanoseconds from trace start.
     pub at: u64,
@@ -40,7 +39,7 @@ pub struct TraceRecord {
 }
 
 /// A complete trace plus the page size its records assume.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
     /// Logical page size in bytes.
     pub page_size: u32,
@@ -87,9 +86,7 @@ impl Trace {
     pub fn read_csv<R: BufRead>(r: R) -> io::Result<Self> {
         let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
         let mut lines = r.lines();
-        let header = lines
-            .next()
-            .ok_or_else(|| bad("empty trace".into()))??;
+        let header = lines.next().ok_or_else(|| bad("empty trace".into()))??;
         let page_size: u32 = header
             .strip_prefix("# page_size=")
             .ok_or_else(|| bad(format!("bad header: {header}")))?
@@ -103,7 +100,11 @@ impl Trace {
                 continue;
             }
             let mut parts = line.split(',');
-            let mut next = || parts.next().ok_or_else(|| bad(format!("short line: {line}")));
+            let mut next = || {
+                parts
+                    .next()
+                    .ok_or_else(|| bad(format!("short line: {line}")))
+            };
             let at = next()?.parse().map_err(|e| bad(format!("bad time: {e}")))?;
             let kind = match next()? {
                 "R" => OpKind::Read,
@@ -111,8 +112,15 @@ impl Trace {
                 other => return Err(bad(format!("bad op kind: {other}"))),
             };
             let page = next()?.parse().map_err(|e| bad(format!("bad page: {e}")))?;
-            let pages = next()?.parse().map_err(|e| bad(format!("bad count: {e}")))?;
-            records.push(TraceRecord { at, kind, page, pages });
+            let pages = next()?
+                .parse()
+                .map_err(|e| bad(format!("bad count: {e}")))?;
+            records.push(TraceRecord {
+                at,
+                kind,
+                page,
+                pages,
+            });
         }
         Ok(Trace { page_size, records })
     }
@@ -126,9 +134,24 @@ mod tests {
         Trace {
             page_size: 8192,
             records: vec![
-                TraceRecord { at: 0, kind: OpKind::Write, page: 0, pages: 4 },
-                TraceRecord { at: 100, kind: OpKind::Read, page: 2, pages: 1 },
-                TraceRecord { at: 250, kind: OpKind::Read, page: 10, pages: 8 },
+                TraceRecord {
+                    at: 0,
+                    kind: OpKind::Write,
+                    page: 0,
+                    pages: 4,
+                },
+                TraceRecord {
+                    at: 100,
+                    kind: OpKind::Read,
+                    page: 2,
+                    pages: 1,
+                },
+                TraceRecord {
+                    at: 250,
+                    kind: OpKind::Read,
+                    page: 10,
+                    pages: 8,
+                },
             ],
         }
     }
@@ -151,7 +174,10 @@ mod tests {
 
     #[test]
     fn empty_trace_metrics_are_zero() {
-        let t = Trace { page_size: 4096, records: vec![] };
+        let t = Trace {
+            page_size: 4096,
+            records: vec![],
+        };
         assert_eq!(t.span(), 0);
         assert_eq!(t.footprint_pages(), 0);
     }

@@ -10,7 +10,12 @@ use ida_flash::wordline::Wordline;
 use std::sync::Arc;
 
 fn print_coding(c: &CodingScheme) {
-    println!("== {} ({} bits/cell, {} states) ==", c.name(), c.bits_per_cell(), c.state_space());
+    println!(
+        "== {} ({} bits/cell, {} states) ==",
+        c.name(),
+        c.bits_per_cell(),
+        c.state_space()
+    );
     print!("state:");
     for &s in c.live_states() {
         print!(" {:>4}", s.paper_name());
@@ -31,13 +36,21 @@ fn print_coding(c: &CodingScheme) {
             .iter()
             .map(|&j| format!("V{}", j + 1))
             .collect();
-        println!("   reads with {{{}}} = {} sense(s)", v.join(","), c.sense_count(b));
+        println!(
+            "   reads with {{{}}} = {} sense(s)",
+            v.join(","),
+            c.sense_count(b)
+        );
     }
     println!();
 }
 
 fn main() {
-    for c in [CodingScheme::mlc(), CodingScheme::tlc_124(), CodingScheme::tlc_232()] {
+    for c in [
+        CodingScheme::mlc(),
+        CodingScheme::tlc_124(),
+        CodingScheme::tlc_232(),
+    ] {
         print_coding(&c);
     }
 
@@ -46,7 +59,11 @@ fn main() {
     let plan = MergePlan::compute(&tlc, 0b110);
     for (s, &t) in plan.state_map().iter().enumerate() {
         if s as u8 != t.0 {
-            println!("  {} -> {}", VoltageState(s as u8).paper_name(), t.paper_name());
+            println!(
+                "  {} -> {}",
+                VoltageState(s as u8).paper_name(),
+                t.paper_name()
+            );
         }
     }
     print_coding(plan.merged());
@@ -69,8 +86,12 @@ fn main() {
     let lsb: Vec<u8> = (0..16).map(|i| (i / 2) % 2).collect();
     let csb: Vec<u8> = (0..16).map(|i| (i / 4) % 2).collect();
     let msb: Vec<u8> = (0..16).map(|i| (i / 8) % 2).collect();
-    wl.program(&[lsb, csb.clone(), msb.clone()]).expect("erased wordline");
-    println!("programmed a 16-cell wordline; senses so far: {}", wl.senses_performed());
+    wl.program(&[lsb, csb.clone(), msb.clone()])
+        .expect("erased wordline");
+    println!(
+        "programmed a 16-cell wordline; senses so far: {}",
+        wl.senses_performed()
+    );
 
     let plan = MergePlan::compute(&coding, 0b110);
     let moved = wl

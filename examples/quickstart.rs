@@ -66,5 +66,8 @@ fn main() {
             .count()
     );
     assert!(after.senses < before.senses);
-    println!("MSB read cost dropped from 4 senses to {} — that is IDA coding.", after.senses);
+    println!(
+        "MSB read cost dropped from 4 senses to {} — that is IDA coding.",
+        after.senses
+    );
 }

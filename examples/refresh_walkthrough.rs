@@ -17,9 +17,9 @@ fn main() {
         let desc = match &action {
             WlAction::Nothing => "nothing to do".to_string(),
             WlAction::MoveAll { pages } => format!("move pages {pages:?} to the new block"),
-            WlAction::Ida { move_out, keep } => format!(
-                "evict {move_out:?}, adjust voltage, keep {keep:?} under IDA coding"
-            ),
+            WlAction::Ida { move_out, keep } => {
+                format!("evict {move_out:?}, adjust voltage, keep {keep:?} under IDA coding")
+            }
         };
         println!(
             "case {} (LSB {} CSB {} MSB {}): {desc}",
@@ -34,12 +34,12 @@ fn main() {
     // A 64-wordline block with a representative mix of cases.
     let masks: Vec<u8> = (0..64u32)
         .map(|w| match w % 8 {
-            0 | 1 | 2 => 0b111, // fully valid
-            3 => 0b110,         // LSB invalid
-            4 => 0b101,         // CSB invalid
-            5 => 0b100,         // LSB+CSB invalid
-            6 => 0b011,         // MSB invalid
-            _ => 0b000,         // empty
+            0..=2 => 0b111, // fully valid
+            3 => 0b110,     // LSB invalid
+            4 => 0b101,     // CSB invalid
+            5 => 0b100,     // LSB+CSB invalid
+            6 => 0b011,     // MSB invalid
+            _ => 0b000,     // empty
         })
         .collect();
     let mut planner = RefreshPlanner::new(3, RefreshMode::Ida, InterferenceModel::paper_e20());
@@ -48,19 +48,44 @@ fn main() {
     println!("valid pages (N_valid)          = {}", plan.n_valid());
     println!("pages kept under IDA (N_target) = {}", plan.n_target());
     println!("adjustment-corrupted (N_error)  = {}", plan.n_error());
-    println!("wordlines voltage-adjusted      = {}", plan.adjusted_wordlines.len());
-    println!("pages moved / evicted           = {} / {}", plan.moves.len(), plan.evictions.len());
+    println!(
+        "wordlines voltage-adjusted      = {}",
+        plan.adjusted_wordlines.len()
+    );
+    println!(
+        "pages moved / evicted           = {} / {}",
+        plan.moves.len(),
+        plan.evictions.len()
+    );
     println!();
-    println!("total refresh reads  = N_valid + N_target          = {}", plan.total_reads());
-    println!("total refresh writes = N_valid - N_target + N_error = {}", plan.total_writes());
+    println!(
+        "total refresh reads  = N_valid + N_target          = {}",
+        plan.total_reads()
+    );
+    println!(
+        "total refresh writes = N_valid - N_target + N_error = {}",
+        plan.total_writes()
+    );
 
     println!("\n--- Table IV-style accounting over 100 refreshes ---\n");
     let mut acc = RefreshOverhead::new();
     for _ in 0..100 {
         acc.record(&planner.plan_block(&masks));
     }
-    println!("mean valid pages per refresh: {:6.2} / 192", acc.mean_valid());
-    println!("mean additional reads:        {:6.2}", acc.mean_additional_reads());
-    println!("mean additional writes:       {:6.2}", acc.mean_additional_writes());
-    println!("mean writes saved vs baseline:{:6.2}", acc.mean_writes_saved());
+    println!(
+        "mean valid pages per refresh: {:6.2} / 192",
+        acc.mean_valid()
+    );
+    println!(
+        "mean additional reads:        {:6.2}",
+        acc.mean_additional_reads()
+    );
+    println!(
+        "mean additional writes:       {:6.2}",
+        acc.mean_additional_writes()
+    );
+    println!(
+        "mean writes saved vs baseline:{:6.2}",
+        acc.mean_writes_saved()
+    );
 }

@@ -42,8 +42,7 @@ fn load_msr(path: &str) -> Trace {
 
 fn load_csv(path: &str) -> Trace {
     let file = File::open(path).unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
-    Trace::read_csv(BufReader::new(file))
-        .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+    Trace::read_csv(BufReader::new(file)).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
 }
 
 fn replay(trace: &Trace, path: &str) {

@@ -61,10 +61,7 @@ fn ftl_state_reconstructs_bit_for_bit_on_real_cells() {
     let mut owners: HashMap<(u32, u32), Lpn> = HashMap::new();
     for lpn in 0..lpns {
         if let Some(read) = ftl.read(Lpn(lpn)) {
-            let key = (
-                read.page.block(&g).index(),
-                read.page.offset_in_block(&g),
-            );
+            let key = (read.page.block(&g).index(), read.page.offset_in_block(&g));
             contents.insert(key, payload(lpn));
             owners.insert(key, Lpn(lpn));
         }
@@ -104,10 +101,14 @@ fn ftl_state_reconstructs_bit_for_bit_on_real_cells() {
             let Some(owner) = owners.get(&(b, off)) else {
                 continue;
             };
-            let (bits, senses) = cells.read(off).unwrap_or_else(|e| {
-                panic!("block {b} offset {off} unreadable on real cells: {e}")
-            });
-            assert_eq!(bits, payload(owner.0), "data corrupted at block {b} offset {off}");
+            let (bits, senses) = cells
+                .read(off)
+                .unwrap_or_else(|e| panic!("block {b} offset {off} unreadable on real cells: {e}"));
+            assert_eq!(
+                bits,
+                payload(owner.0),
+                "data corrupted at block {b} offset {off}"
+            );
             let page = block_addr.page(&g, off);
             assert_eq!(
                 senses,

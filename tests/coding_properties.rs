@@ -1,149 +1,165 @@
-//! Property-based tests of the coding and merge machinery: for every
+//! Property-style tests of the coding and merge machinery: for every
 //! coding scheme, every invalidation mask, and arbitrary data, the IDA
 //! merge must preserve valid bits, move cells only rightward, and never
 //! increase any sense count.
+//!
+//! The mask/coding/case spaces are small enough to enumerate exhaustively,
+//! which is stronger than sampling; the data-dependent checks use the
+//! workspace's seeded deterministic RNG.
 
 use ida_core::cases::{WlAction, WlCase};
 use ida_core::merge::MergePlan;
 use ida_flash::coding::{BitPattern, CodingScheme, VoltageState};
 use ida_flash::wordline::Wordline;
-use proptest::prelude::*;
+use ida_obs::rng::Rng64;
 use std::sync::Arc;
 
-fn coding_strategy() -> impl Strategy<Value = CodingScheme> {
-    prop_oneof![
-        Just(CodingScheme::mlc()),
-        Just(CodingScheme::tlc_124()),
-        Just(CodingScheme::tlc_232()),
-        Just(CodingScheme::qlc()),
+fn all_codings() -> Vec<CodingScheme> {
+    vec![
+        CodingScheme::mlc(),
+        CodingScheme::tlc_124(),
+        CodingScheme::tlc_232(),
+        CodingScheme::qlc(),
     ]
 }
 
-proptest! {
-    #[test]
-    fn merge_preserves_valid_bits_for_any_data(
-        coding in coding_strategy(),
-        mask in 0u8..16,
-        data in prop::collection::vec(0u8..16, 32),
-    ) {
+#[test]
+fn merge_preserves_valid_bits_for_any_data() {
+    // Exhaustive: every coding × every mask × every cell pattern.
+    for coding in all_codings() {
         let full = (coding.state_space() - 1) as u8;
-        let mask = mask & full;
-        let plan = MergePlan::compute(&coding, mask);
-        for &cell in &data {
-            let pat = BitPattern(cell & full);
-            let state = coding.program_target(pat);
-            let merged_state = plan.state_map()[state.0 as usize];
+        for raw_mask in 0u8..16 {
+            let mask = raw_mask & full;
+            let plan = MergePlan::compute(&coding, mask);
+            for cell in 0..coding.state_space() as u8 {
+                let pat = BitPattern(cell & full);
+                let state = coding.program_target(pat);
+                let merged_state = plan.state_map()[state.0 as usize];
+                for b in 0..coding.bits_per_cell() {
+                    if mask & (1 << b) != 0 {
+                        assert_eq!(
+                            plan.merged().read_bit(merged_state, b),
+                            pat.bit(b),
+                            "bit {} of pattern {:#b} corrupted by merge (mask {:#b})",
+                            b,
+                            pat.0,
+                            mask
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn merge_moves_are_ispp_feasible_and_senses_never_grow() {
+    for coding in all_codings() {
+        let full = (coding.state_space() - 1) as u8;
+        for raw_mask in 0u8..16 {
+            let mask = raw_mask & full;
+            let plan = MergePlan::compute(&coding, mask);
+            for (s, &t) in plan.state_map().iter().enumerate() {
+                assert!(t.0 as usize >= s, "leftward move S{} -> {}", s + 1, t);
+            }
             for b in 0..coding.bits_per_cell() {
                 if mask & (1 << b) != 0 {
-                    prop_assert_eq!(
-                        plan.merged().read_bit(merged_state, b),
-                        pat.bit(b),
-                        "bit {} of pattern {:#b} corrupted by merge (mask {:#b})",
-                        b, pat.0, mask
+                    assert!(
+                        plan.merged().sense_count(b) <= coding.sense_count(b),
+                        "sense count grew for bit {b}"
                     );
                 }
             }
+            assert!(plan.remaining_states() <= coding.live_states().len());
         }
     }
+}
 
-    #[test]
-    fn merge_moves_are_ispp_feasible_and_senses_never_grow(
-        coding in coding_strategy(),
-        mask in 0u8..16,
-    ) {
-        let full = (coding.state_space() - 1) as u8;
-        let mask = mask & full;
-        let plan = MergePlan::compute(&coding, mask);
-        for (s, &t) in plan.state_map().iter().enumerate() {
-            prop_assert!(t.0 as usize >= s, "leftward move S{} -> {}", s + 1, t);
-        }
-        for b in 0..coding.bits_per_cell() {
-            if mask & (1 << b) != 0 {
-                prop_assert!(
-                    plan.merged().sense_count(b) <= coding.sense_count(b),
-                    "sense count grew for bit {b}"
-                );
-            }
-        }
-        prop_assert!(plan.remaining_states() <= coding.live_states().len());
-    }
-
-    #[test]
-    fn wordline_roundtrips_any_pages_through_program_and_merge(
-        seed_bits in prop::collection::vec(0u8..8, 24),
-        mask in 1u8..8,
-    ) {
-        let coding = Arc::new(CodingScheme::tlc_124());
-        let mut wl = Wordline::new(seed_bits.len(), coding.clone());
-        let pages: Vec<Vec<u8>> = (0..3)
-            .map(|b| seed_bits.iter().map(|&v| (v >> b) & 1).collect())
-            .collect();
-        wl.program(&pages).unwrap();
-        let plan = MergePlan::compute(&coding, mask);
-        wl.adjust_voltage(plan.state_map(), Arc::new(plan.merged().clone()))
-            .unwrap();
-        for b in 0..3u8 {
-            if mask & (1 << b) != 0 {
-                prop_assert_eq!(wl.read(b).unwrap(), pages[b as usize].clone());
-            } else {
-                prop_assert!(wl.read(b).is_err());
+#[test]
+fn wordline_roundtrips_any_pages_through_program_and_merge() {
+    let coding = Arc::new(CodingScheme::tlc_124());
+    let mut rng = Rng64::seed_from_u64(0x1DA_C0DE);
+    for mask in 1u8..8 {
+        for _rep in 0..8 {
+            let seed_bits: Vec<u8> = (0..24).map(|_| rng.gen_below(8) as u8).collect();
+            let mut wl = Wordline::new(seed_bits.len(), coding.clone());
+            let pages: Vec<Vec<u8>> = (0..3)
+                .map(|b| seed_bits.iter().map(|&v| (v >> b) & 1).collect())
+                .collect();
+            wl.program(&pages).unwrap();
+            let plan = MergePlan::compute(&coding, mask);
+            wl.adjust_voltage(plan.state_map(), Arc::new(plan.merged().clone()))
+                .unwrap();
+            for b in 0..3u8 {
+                if mask & (1 << b) != 0 {
+                    assert_eq!(wl.read(b).unwrap(), pages[b as usize].clone());
+                } else {
+                    assert!(wl.read(b).is_err());
+                }
             }
         }
     }
+}
 
-    #[test]
-    fn case_actions_partition_the_valid_pages(bits in 1u8..5, mask in 0u8..16) {
+#[test]
+fn case_actions_partition_the_valid_pages() {
+    // Exhaustive over bits-per-cell × validity mask.
+    for bits in 1u8..5 {
         let full = ((1u16 << bits) - 1) as u8;
-        let mask = mask & full;
-        let action = WlCase::classify(bits, mask).action();
-        let mut covered = 0u8;
-        match &action {
-            WlAction::Nothing => prop_assert_eq!(mask, 0),
-            WlAction::MoveAll { pages } => {
-                for &p in pages {
-                    covered |= 1 << p;
+        for raw_mask in 0u8..16 {
+            let mask = raw_mask & full;
+            let action = WlCase::classify(bits, mask).action();
+            let mut covered = 0u8;
+            match &action {
+                WlAction::Nothing => assert_eq!(mask, 0),
+                WlAction::MoveAll { pages } => {
+                    for &p in pages {
+                        covered |= 1 << p;
+                    }
+                    assert_eq!(covered, mask, "MoveAll must cover all valid pages");
                 }
-                prop_assert_eq!(covered, mask, "MoveAll must cover all valid pages");
-            }
-            WlAction::Ida { move_out, keep } => {
-                for &p in move_out {
-                    prop_assert!(mask & (1 << p) != 0, "evicting an invalid page");
-                    covered |= 1 << p;
+                WlAction::Ida { move_out, keep } => {
+                    for &p in move_out {
+                        assert!(mask & (1 << p) != 0, "evicting an invalid page");
+                        covered |= 1 << p;
+                    }
+                    let keep_mask = action.keep_mask();
+                    // Valid pages are either evicted or kept, never both/neither.
+                    assert_eq!(covered | (keep_mask & mask), mask);
+                    assert_eq!(covered & keep_mask, 0);
+                    // Kept set must include the top bit and exclude bit 0.
+                    assert!(keep_mask & (1 << (bits - 1)) != 0);
+                    assert_eq!(keep_mask & 1, 0);
+                    let _ = keep;
                 }
-                let keep_mask = action.keep_mask();
-                // Valid pages are either evicted or kept, never both/neither.
-                prop_assert_eq!(covered | (keep_mask & mask), mask);
-                prop_assert_eq!(covered & keep_mask, 0);
-                // Kept set must include the top bit and exclude bit 0.
-                prop_assert!(keep_mask & (1 << (bits - 1)) != 0);
-                prop_assert_eq!(keep_mask & 1, 0);
-                let _ = keep;
             }
         }
     }
+}
 
-    #[test]
-    fn incremental_merges_commute_with_direct_merges(
-        first in 0u8..3, second in 0u8..3,
-    ) {
-        // Invalidate two (possibly equal) bits of TLC in sequence; sense
-        // counts must match the direct merge of the union.
-        let coding = CodingScheme::tlc_124();
-        let full = 0b111u8;
-        let m1 = full & !(1 << first);
-        let m2 = m1 & !(1 << second);
-        let step1 = MergePlan::compute(&coding, m1);
-        let step2 = MergePlan::compute(step1.merged(), m2);
-        let direct = MergePlan::compute(&coding, m2);
-        for b in 0..3 {
-            if m2 & (1 << b) != 0 {
-                prop_assert_eq!(
-                    step2.merged().sense_count(b),
-                    direct.merged().sense_count(b)
-                );
+#[test]
+fn incremental_merges_commute_with_direct_merges() {
+    // Invalidate two (possibly equal) bits of TLC in sequence; sense
+    // counts must match the direct merge of the union. Exhaustive.
+    for first in 0u8..3 {
+        for second in 0u8..3 {
+            let coding = CodingScheme::tlc_124();
+            let full = 0b111u8;
+            let m1 = full & !(1 << first);
+            let m2 = m1 & !(1 << second);
+            let step1 = MergePlan::compute(&coding, m1);
+            let step2 = MergePlan::compute(step1.merged(), m2);
+            let direct = MergePlan::compute(&coding, m2);
+            for b in 0..3 {
+                if m2 & (1 << b) != 0 {
+                    assert_eq!(
+                        step2.merged().sense_count(b),
+                        direct.merged().sense_count(b)
+                    );
+                }
             }
+            assert_eq!(step2.remaining_states(), direct.remaining_states());
         }
-        prop_assert_eq!(step2.remaining_states(), direct.remaining_states());
     }
 }
 

@@ -41,7 +41,10 @@ fn benefit_decays_with_adjustment_error_rate() {
     let e0 = norm_at(0.0);
     let e40 = norm_at(0.4);
     let e80 = norm_at(0.8);
-    assert!(e0 < e40 && e40 < e80, "decay violated: E0={e0} E40={e40} E80={e80}");
+    assert!(
+        e0 < e40 && e40 < e80,
+        "decay violated: E0={e0} E40={e40} E80={e80}"
+    );
     assert!(e80 < 1.02, "even E80 should not clearly hurt, got {e80}");
 }
 

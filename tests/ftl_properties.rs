@@ -1,13 +1,14 @@
-//! Property-based tests of the FTL under random host op streams: mapping
+//! Property-style tests of the FTL under random host op streams: mapping
 //! consistency, valid-count accounting, sense-count sanity, and refresh/GC
-//! robustness.
+//! robustness. Randomness comes from the workspace's seeded deterministic
+//! RNG, so every run exercises the same (large) set of cases.
 
 use ida_core::refresh::RefreshMode;
 use ida_flash::addr::BlockAddr;
 use ida_flash::geometry::Geometry;
 use ida_ftl::block::BlockState;
 use ida_ftl::{Ftl, FtlConfig, Lpn};
-use proptest::prelude::*;
+use ida_obs::rng::Rng64;
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -18,13 +19,15 @@ enum HostAction {
     RefreshOne,
 }
 
-fn action_strategy() -> impl Strategy<Value = HostAction> {
-    prop_oneof![
-        4 => (0u16..800).prop_map(HostAction::Write),
-        1 => (0u16..800).prop_map(HostAction::Trim),
-        3 => (0u16..800).prop_map(HostAction::Read),
-        1 => Just(HostAction::RefreshOne),
-    ]
+/// Weighted action sampler mirroring the old proptest strategy:
+/// 4 writes : 1 trim : 3 reads : 1 refresh.
+fn sample_action(rng: &mut Rng64) -> HostAction {
+    match rng.gen_below(9) {
+        0..=3 => HostAction::Write(rng.gen_below(800) as u16),
+        4 => HostAction::Trim(rng.gen_below(800) as u16),
+        5..=7 => HostAction::Read(rng.gen_below(800) as u16),
+        _ => HostAction::RefreshOne,
+    }
 }
 
 fn new_ftl(mode: RefreshMode) -> Ftl {
@@ -36,20 +39,22 @@ fn new_ftl(mode: RefreshMode) -> Ftl {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn mapping_stays_consistent_under_random_ops(
-        actions in prop::collection::vec(action_strategy(), 1..400),
-        mode in prop_oneof![Just(RefreshMode::Baseline), Just(RefreshMode::Ida)],
-    ) {
+#[test]
+fn mapping_stays_consistent_under_random_ops() {
+    let mut rng = Rng64::seed_from_u64(0xF71_0001);
+    for case in 0..48 {
+        let mode = if case % 2 == 0 {
+            RefreshMode::Baseline
+        } else {
+            RefreshMode::Ida
+        };
+        let n_actions = rng.gen_range_u64(1, 400) as usize;
         let mut ftl = new_ftl(mode);
         let mut shadow: HashMap<u16, u64> = HashMap::new();
         let mut clock = 0u64;
-        for action in actions {
+        for _ in 0..n_actions {
             clock += 1;
-            match action {
+            match sample_action(&mut rng) {
                 HostAction::Write(lpn) => {
                     ftl.write(Lpn(lpn as u64), clock);
                     *shadow.entry(lpn).or_insert(0) += 1;
@@ -60,14 +65,14 @@ proptest! {
                 }
                 HostAction::Read(lpn) => {
                     let got = ftl.read(Lpn(lpn as u64));
-                    prop_assert_eq!(
+                    assert_eq!(
                         got.is_some(),
                         shadow.contains_key(&lpn),
-                        "mapping presence diverged for lpn {}", lpn
+                        "mapping presence diverged for lpn {lpn}"
                     );
                     if let Some(r) = got {
-                        prop_assert!(r.senses >= 1 && r.senses <= 4);
-                        prop_assert!(ftl.is_valid(r.page));
+                        assert!(r.senses >= 1 && r.senses <= 4);
+                        assert!(ftl.is_valid(r.page));
                     }
                 }
                 HostAction::RefreshOne => {
@@ -84,18 +89,20 @@ proptest! {
             }
         }
         // Every shadow entry still readable; every absent entry unmapped.
-        for (&lpn, _) in &shadow {
-            prop_assert!(ftl.read(Lpn(lpn as u64)).is_some());
+        for &lpn in shadow.keys() {
+            assert!(ftl.read(Lpn(lpn as u64)).is_some());
         }
     }
+}
 
-    #[test]
-    fn block_valid_counts_match_the_page_map(
-        writes in prop::collection::vec(0u16..600, 50..300),
-    ) {
+#[test]
+fn block_valid_counts_match_the_page_map() {
+    let mut rng = Rng64::seed_from_u64(0xF71_0002);
+    for _case in 0..24 {
+        let n_writes = rng.gen_range_u64(50, 300) as usize;
         let mut ftl = new_ftl(RefreshMode::Ida);
-        for (i, lpn) in writes.iter().enumerate() {
-            ftl.write(Lpn(*lpn as u64), i as u64);
+        for i in 0..n_writes {
+            ftl.write(Lpn(rng.gen_below(600)), i as u64);
         }
         let g = *ftl.blocks().geometry();
         for b in 0..g.total_blocks() {
@@ -106,22 +113,25 @@ proptest! {
             let counted = (0..g.pages_per_block())
                 .filter(|&off| ftl.is_valid(block.page(&g, off)))
                 .count() as u32;
-            prop_assert_eq!(
+            assert_eq!(
                 counted,
                 ftl.blocks().valid_pages(block),
-                "valid-count mismatch in block {}", b
+                "valid-count mismatch in block {b}"
             );
         }
     }
+}
 
-    #[test]
-    fn senses_match_block_coding_state(
-        writes in prop::collection::vec(0u16..500, 100..300),
-        refresh_rounds in 1usize..3,
-    ) {
+#[test]
+fn senses_match_block_coding_state() {
+    let mut rng = Rng64::seed_from_u64(0xF71_0003);
+    for _case in 0..24 {
+        let n_writes = rng.gen_range_u64(100, 300) as usize;
+        let refresh_rounds = rng.gen_range_u64(1, 3) as usize;
+        let writes: Vec<u64> = (0..n_writes).map(|_| rng.gen_below(500)).collect();
         let mut ftl = new_ftl(RefreshMode::Ida);
-        for (i, lpn) in writes.iter().enumerate() {
-            ftl.write(Lpn(*lpn as u64), i as u64);
+        for (i, &lpn) in writes.iter().enumerate() {
+            ftl.write(Lpn(lpn), i as u64);
         }
         for round in 0..refresh_rounds {
             let targets: Vec<BlockAddr> = ftl
@@ -138,7 +148,7 @@ proptest! {
         }
         let g = *ftl.blocks().geometry();
         for lpn in writes {
-            if let Some(r) = ftl.read(Lpn(lpn as u64)) {
+            if let Some(r) = ftl.read(Lpn(lpn)) {
                 let block = r.page.block(&g);
                 let wl = r.page.wordline(&g).offset_in_block(&g);
                 let mask = if ftl.blocks().state(block) == BlockState::Ida {
@@ -149,11 +159,13 @@ proptest! {
                 if mask == 0 {
                     // Conventional coding: 1/2/4 senses by page type.
                     let expect = [1u32, 2, 4][r.page_type.bit_index() as usize];
-                    prop_assert_eq!(r.senses, expect);
+                    assert_eq!(r.senses, expect);
                 } else {
-                    prop_assert!(r.senses < [1u32, 2, 4][r.page_type.bit_index() as usize]
-                        || r.page_type.bit_index() == 0,
-                        "IDA wordline must read faster");
+                    assert!(
+                        r.senses < [1u32, 2, 4][r.page_type.bit_index() as usize]
+                            || r.page_type.bit_index() == 0,
+                        "IDA wordline must read faster"
+                    );
                 }
             }
         }

@@ -67,7 +67,10 @@ fn refresh_op_counts_follow_section_iii_c() {
     // N_reads = N_valid + N_target, N_writes = N_valid - N_target + N_error.
     assert_eq!(reads as u64, d_valid + d_target);
     assert_eq!(writes as u64, d_valid - d_target + d_error);
-    assert_eq!(adjusts as u64, o.adjusted_wordlines - before.adjusted_wordlines);
+    assert_eq!(
+        adjusts as u64,
+        o.adjusted_wordlines - before.adjusted_wordlines
+    );
     // E20: errors should be a nontrivial but minority fraction of targets.
     assert!(d_error > 0 && d_error < d_target / 2);
     // All data remains readable afterwards.
@@ -121,7 +124,8 @@ fn ida_blocks_are_reclaimed_on_their_next_cycle() {
     f.refresh_block(block, 20, &mut ops);
     assert_eq!(f.blocks().valid_pages(block), 0);
     assert!(
-        ops.iter().all(|o| !matches!(o.kind, FlashOpKind::VoltageAdjust)),
+        ops.iter()
+            .all(|o| !matches!(o.kind, FlashOpKind::VoltageAdjust)),
         "reclaim must not re-adjust"
     );
 }
@@ -145,7 +149,10 @@ fn ida_reads_use_merged_sense_counts_per_wordline_case() {
     };
     let wl2 = block.wordline(&g, 2);
     let wl4 = block.wordline(&g, 4);
-    for (wl, kill) in [(wl2, vec![PageType::Lsb]), (wl4, vec![PageType::Lsb, PageType::Csb])] {
+    for (wl, kill) in [
+        (wl2, vec![PageType::Lsb]),
+        (wl4, vec![PageType::Lsb, PageType::Csb]),
+    ] {
         for ty in kill {
             let p = wl.page(&g, ty);
             if let Some(owner) = owner_of(&mut f, p) {
@@ -194,6 +201,9 @@ fn gc_reclaims_ida_blocks_and_preserves_data() {
     }
     assert!(f.stats().gc_runs > 0, "overwrites must trigger GC");
     for lpn in (0..logical).step_by(97) {
-        assert!(f.read(Lpn(lpn)).is_some(), "data lost through GC of IDA blocks");
+        assert!(
+            f.read(Lpn(lpn)).is_some(),
+            "data lost through GC of IDA blocks"
+        );
     }
 }
