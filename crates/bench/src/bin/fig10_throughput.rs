@@ -3,63 +3,22 @@
 //!
 //! Paper findings: every workload gains throughput, ~10 % on average —
 //! the reduced read latencies outweigh the extra refresh reads/writes.
+//!
+//! Runs on the `ida-sweep` engine (see `fig8_response_time` for the
+//! worker/journal environment knobs).
 
-use ida_bench::runner::{
-    run_config_mode, system_config, ExperimentScale, ReplayMode, SystemUnderTest,
-};
-use ida_bench::table::{f, TextTable};
-use ida_flash::timing::FlashTiming;
-use ida_ssd::retry::RetryConfig;
-use ida_workloads::suite::paper_workloads;
+use ida_bench::runner::ExperimentScale;
+use ida_bench::sweep::{builtin_grid, render_fig10, run_grid};
+use ida_sweep::SweepConfig;
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    let depth = 32;
-    let presets = paper_workloads();
-    // Throughput columns are decimal megabytes per second (10^6 bytes/s,
-    // `Report::throughput_mbps`); the MiB/s column shows the binary unit
-    // (2^20 bytes/s) for cross-checking against tools that report MiB.
-    let mut t = TextTable::new(vec![
-        "Name",
-        "Baseline MB/s",
-        "IDA-E20 MB/s",
-        "IDA-E20 MiB/s",
-        "Normalized",
-    ]);
-    let mut sum = 0.0;
-    for preset in &presets {
-        let base_cfg = system_config(
-            SystemUnderTest::Baseline,
-            scale.geometry,
-            FlashTiming::paper_tlc(),
-            RetryConfig::disabled(),
-        );
-        let ida_cfg = system_config(
-            SystemUnderTest::Ida { error_rate: 0.2 },
-            scale.geometry,
-            FlashTiming::paper_tlc(),
-            RetryConfig::disabled(),
-        );
-        let base = run_config_mode(preset, base_cfg, &scale, ReplayMode::ClosedLoop(depth));
-        let ida = run_config_mode(preset, ida_cfg, &scale, ReplayMode::ClosedLoop(depth));
-        let norm = ida.throughput_mbps() / base.throughput_mbps().max(1e-9);
-        sum += norm;
-        t.row(vec![
-            preset.spec.name.clone(),
-            f(base.throughput_mbps(), 1),
-            f(ida.throughput_mbps(), 1),
-            f(ida.throughput_mibps(), 1),
-            f(norm, 3),
-        ]);
-        eprintln!("  finished {}", preset.spec.name);
-    }
-    println!(
-        "Figure 10 — device throughput, closed loop at queue depth {depth} (higher is better)"
-    );
-    println!("MB/s = 10^6 bytes/s (decimal); MiB/s = 2^20 bytes/s (binary)\n");
-    println!("{}", t.render());
-    println!(
-        "Average normalized throughput: {:.3} (paper: ≈ 1.10)",
-        sum / presets.len() as f64
-    );
+    let mut cfg = SweepConfig::from_env().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    cfg.progress = true;
+    let spec = builtin_grid("fig10").expect("fig10 grid");
+    let outcome = run_grid(&spec, &scale, &cfg).expect("sweep journal I/O failed");
+    print!("{}", render_fig10(&outcome));
 }

@@ -3,47 +3,25 @@
 //!
 //! Paper findings: IDA-Coding-E0 improves mean read response time by 31 %,
 //! E20 by 28 %, E50 by 20.2 %, and E80 drops below 7 %.
+//!
+//! Runs on the `ida-sweep` engine: the 11 × 10 grid executes on
+//! `IDA_JOBS` parallel workers (default: all cores), checkpoints every
+//! finished cell to `IDA_JOURNAL` when set, and aggregates
+//! deterministically — the table below is byte-identical for any worker
+//! count.
 
-use ida_bench::runner::{normalized_read_response, run_system, ExperimentScale, SystemUnderTest};
-use ida_bench::table::{f, TextTable};
-use ida_workloads::suite::paper_workloads;
+use ida_bench::runner::ExperimentScale;
+use ida_bench::sweep::{builtin_grid, render_fig8, run_grid};
+use ida_sweep::SweepConfig;
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    let error_rates = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
-    let presets = paper_workloads();
-
-    let mut header = vec!["Name".to_string()];
-    header.extend(error_rates.iter().map(|e| format!("E{:.0}", e * 100.0)));
-    let mut t = TextTable::new(header);
-
-    let mut sums = vec![0.0; error_rates.len()];
-    for preset in &presets {
-        let baseline = run_system(preset, SystemUnderTest::Baseline, &scale);
-        let mut row = vec![preset.spec.name.clone()];
-        for (i, &e) in error_rates.iter().enumerate() {
-            let ida = run_system(preset, SystemUnderTest::Ida { error_rate: e }, &scale);
-            let norm = normalized_read_response(&ida.report, &baseline.report);
-            sums[i] += norm;
-            row.push(f(norm, 3));
-        }
-        t.row(row);
-        eprintln!("  finished {}", preset.spec.name);
-    }
-    let mut avg_row = vec!["AVERAGE".to_string()];
-    for s in &sums {
-        avg_row.push(f(s / presets.len() as f64, 3));
-    }
-    t.row(avg_row);
-
-    println!("Figure 8 — normalized read response time (lower is better)\n");
-    println!("{}", t.render());
-    println!("Paper averages: E0 ≈ 0.69, E20 ≈ 0.72, E50 ≈ 0.798, E80 ≈ 0.93");
-    println!(
-        "Measured averages: E0 = {:.3}, E20 = {:.3}, E50 = {:.3}, E80 = {:.3}",
-        sums[0] / presets.len() as f64,
-        sums[2] / presets.len() as f64,
-        sums[5] / presets.len() as f64,
-        sums[8] / presets.len() as f64,
-    );
+    let mut cfg = SweepConfig::from_env().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    cfg.progress = true;
+    let spec = builtin_grid("fig8").expect("fig8 grid");
+    let outcome = run_grid(&spec, &scale, &cfg).expect("sweep journal I/O failed");
+    print!("{}", render_fig8(&outcome));
 }

@@ -4,57 +4,22 @@
 //!
 //! Paper findings: improvements grow with ΔtR — ~14 % at 30 µs, ~28 % at
 //! the default 50 µs, ~49 % at 70 µs (up to 83 % for usr_1).
+//!
+//! Runs on the `ida-sweep` engine (see `fig8_response_time` for the
+//! worker/journal environment knobs).
 
-use ida_bench::runner::{
-    normalized_read_response, run_config, system_config, ExperimentScale, SystemUnderTest,
-};
-use ida_bench::table::{f, TextTable};
-use ida_flash::timing::FlashTiming;
-use ida_ssd::retry::RetryConfig;
-use ida_workloads::suite::paper_workloads;
+use ida_bench::runner::ExperimentScale;
+use ida_bench::sweep::{builtin_grid, render_fig9, run_grid};
+use ida_sweep::SweepConfig;
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    let deltas = [30u64, 40, 50, 60, 70];
-    let presets = paper_workloads();
-
-    let mut header = vec!["Name".to_string()];
-    header.extend(deltas.iter().map(|d| format!("dTR={d}us")));
-    let mut t = TextTable::new(header);
-    let mut sums = vec![0.0; deltas.len()];
-
-    for preset in &presets {
-        let mut row = vec![preset.spec.name.clone()];
-        for (i, &d) in deltas.iter().enumerate() {
-            let timing = FlashTiming::paper_tlc().with_delta_tr_us(d);
-            let base_cfg = system_config(
-                SystemUnderTest::Baseline,
-                scale.geometry,
-                timing,
-                RetryConfig::disabled(),
-            );
-            let ida_cfg = system_config(
-                SystemUnderTest::Ida { error_rate: 0.2 },
-                scale.geometry,
-                timing,
-                RetryConfig::disabled(),
-            );
-            let base = run_config(preset, base_cfg, &scale);
-            let ida = run_config(preset, ida_cfg, &scale);
-            let norm = normalized_read_response(&ida, &base);
-            sums[i] += norm;
-            row.push(f(norm, 3));
-        }
-        t.row(row);
-        eprintln!("  finished {}", preset.spec.name);
-    }
-    let mut avg = vec!["AVERAGE".to_string()];
-    for s in &sums {
-        avg.push(f(s / presets.len() as f64, 3));
-    }
-    t.row(avg);
-
-    println!("Figure 9 — normalized read response of IDA-E20 vs ΔtR (lower is better)\n");
-    println!("{}", t.render());
-    println!("Paper: ΔtR=30µs ⇒ ~0.86, ΔtR=50µs ⇒ ~0.72, ΔtR=70µs ⇒ ~0.51 on average.");
+    let mut cfg = SweepConfig::from_env().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    cfg.progress = true;
+    let spec = builtin_grid("fig9").expect("fig9 grid");
+    let outcome = run_grid(&spec, &scale, &cfg).expect("sweep journal I/O failed");
+    print!("{}", render_fig9(&outcome));
 }

@@ -18,10 +18,16 @@
 //! | `blocks_overhead` | §III-C — in-use blocks / GC impact |
 //!
 //! The [`runner`] module owns the warm-up → measure protocol shared by all
-//! of them; [`table`] renders aligned text tables.
+//! of them; [`table`] renders aligned text tables. Grid-shaped
+//! experiments (Figures 8–10) run on the `ida-sweep` orchestration
+//! engine through [`sweep`], which gives them parallel workers
+//! (`--jobs`/`IDA_JOBS`), checkpoint/resume journals, and per-cell
+//! failure isolation while keeping aggregated output byte-identical to
+//! a serial run.
 
 pub mod microbench;
 pub mod runner;
+pub mod sweep;
 pub mod table;
 
 pub use runner::{ExperimentScale, ReplayMode, SystemUnderTest, WorkloadRun};

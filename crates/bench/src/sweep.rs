@@ -1,0 +1,386 @@
+//! The `SweepSpec`-driven entry point onto the [`ida_sweep`] engine.
+//!
+//! This module is the bridge between the generic orchestration engine
+//! and the paper's experiments: it defines the built-in grids (Figure 8,
+//! Figure 9, Figure 10), knows how to execute one [`Cell`] as a full
+//! warm-up → measure simulation, and renders aggregated outcomes into
+//! the same tables the standalone experiment binaries print.
+//!
+//! Determinism: a cell's simulator seed is its
+//! [`Cell::stream_seed`] — a pure function of the cell's coordinates —
+//! and the workload generators are seeded by the preset, so a cell's
+//! payload never depends on which worker ran it or in what order.
+//! Panics inside a cell (unknown workload, malformed parameter) flow
+//! into the engine's per-cell failure records instead of aborting the
+//! whole sweep.
+
+use crate::runner::{run_config_mode, system_config, ExperimentScale, ReplayMode, SystemUnderTest};
+use crate::table::{f, TextTable};
+use ida_flash::timing::FlashTiming;
+use ida_obs::json::JsonObj;
+use ida_ssd::retry::RetryConfig;
+use ida_ssd::Report;
+use ida_sweep::{jsonv, Cell, SweepConfig, SweepOutcome, SweepSpec};
+use ida_workloads::suite::{paper_workload, paper_workloads};
+
+/// The voltage-adjustment error rates of Figure 8 (E0–E80).
+pub const FIG8_ERROR_RATES: [f64; 9] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+
+/// The ΔtR axis of Figure 9, in µs.
+pub const FIG9_DELTA_TR_US: [u64; 5] = [30, 40, 50, 60, 70];
+
+/// The closed-loop queue depth of Figure 10.
+pub const FIG10_QUEUE_DEPTH: usize = 32;
+
+/// The names [`builtin_grid`] understands.
+pub const BUILTIN_GRIDS: [&str; 3] = ["fig8", "fig9", "fig10"];
+
+fn workload_names() -> Vec<String> {
+    paper_workloads().into_iter().map(|p| p.spec.name).collect()
+}
+
+fn ida_label(error_rate: f64) -> String {
+    SystemUnderTest::Ida { error_rate }.label()
+}
+
+/// The grid behind a built-in sweep name (`fig8`, `fig9`, `fig10`).
+pub fn builtin_grid(name: &str) -> Option<SweepSpec> {
+    let workloads = workload_names();
+    match name {
+        "fig8" => {
+            let mut systems = vec!["Baseline".to_string()];
+            systems.extend(FIG8_ERROR_RATES.iter().map(|&e| ida_label(e)));
+            Some(SweepSpec::new("fig8", workloads, systems))
+        }
+        "fig9" => Some(
+            SweepSpec::new("fig9", workloads, vec!["Baseline".into(), ida_label(0.2)]).with_axis(
+                "dtr_us",
+                FIG9_DELTA_TR_US.iter().map(|d| d.to_string()).collect(),
+            ),
+        ),
+        "fig10" => Some(
+            SweepSpec::new("fig10", workloads, vec!["Baseline".into(), ida_label(0.2)])
+                .with_axis("replay", vec![format!("qd{FIG10_QUEUE_DEPTH}")]),
+        ),
+        _ => None,
+    }
+}
+
+/// Parse a system label (`Baseline`, `IDA-E20`) back into a
+/// [`SystemUnderTest`].
+///
+/// # Errors
+///
+/// Returns a message for unrecognized labels.
+pub fn parse_system(label: &str) -> Result<SystemUnderTest, String> {
+    if label == "Baseline" {
+        return Ok(SystemUnderTest::Baseline);
+    }
+    if let Some(pct) = label.strip_prefix("IDA-E") {
+        let pct: f64 = pct
+            .parse()
+            .map_err(|_| format!("bad IDA error rate in system label {label:?}"))?;
+        return Ok(SystemUnderTest::Ida {
+            error_rate: pct / 100.0,
+        });
+    }
+    Err(format!(
+        "unknown system label {label:?} (expected Baseline or IDA-E<pct>)"
+    ))
+}
+
+/// The per-cell result payload: the slice of the [`Report`] the sweep
+/// renderers (and downstream analysis) consume, as deterministic JSON.
+pub fn metrics_json(report: &Report) -> String {
+    JsonObj::new()
+        .u64("reads", report.reads.count)
+        .f64("mean_read_ns", report.reads.mean())
+        .u64("p50_read_ns", report.reads.percentile(50.0))
+        .u64("p99_read_ns", report.reads.percentile(99.0))
+        .u64("writes", report.writes.count)
+        .f64("mean_write_ns", report.writes.mean())
+        .f64("throughput_mbps", report.throughput_mbps())
+        .f64("throughput_mibps", report.throughput_mibps())
+        .u64("ida_reads", report.breakdown.ida)
+        .u64("in_use_blocks", report.in_use_blocks as u64)
+        .finish()
+}
+
+/// Execute one cell: look up the workload, configure the system under
+/// test with the cell's private seed, run the warm-up → measure
+/// protocol, and render the metrics payload.
+///
+/// # Panics
+///
+/// Panics on unknown workloads, system labels, or malformed parameters —
+/// the engine catches these as per-cell failures.
+pub fn run_cell(cell: &Cell, scale: &ExperimentScale) -> String {
+    let preset = paper_workload(&cell.workload)
+        .unwrap_or_else(|| panic!("unknown workload {}", cell.workload));
+    let system = parse_system(&cell.system).unwrap_or_else(|e| panic!("{e}"));
+    let mut timing = FlashTiming::paper_tlc();
+    if let Some(d) = cell.param("dtr_us") {
+        let d: u64 = d
+            .parse()
+            .unwrap_or_else(|_| panic!("bad dtr_us parameter {d:?}"));
+        timing = timing.with_delta_tr_us(d);
+    }
+    let mode = match cell.param("replay") {
+        None | Some("open") => ReplayMode::OpenLoop,
+        Some(qd) => match qd.strip_prefix("qd").and_then(|n| n.parse().ok()) {
+            Some(depth) => ReplayMode::ClosedLoop(depth),
+            None => panic!("bad replay parameter {qd:?} (expected open or qd<depth>)"),
+        },
+    };
+    let mut cfg = system_config(system, scale.geometry, timing, RetryConfig::disabled());
+    cfg.ftl.seed = cell.stream_seed;
+    let report = run_config_mode(&preset, cfg, scale, mode);
+    metrics_json(&report)
+}
+
+/// Run a grid on the engine: expand the spec, execute every cell at
+/// `scale` on `cfg.jobs` workers (with checkpoint/resume when a journal
+/// is configured), and collect the outcome.
+///
+/// # Errors
+///
+/// Fails on journal I/O errors; cell panics become failure records.
+pub fn run_grid(
+    spec: &SweepSpec,
+    scale: &ExperimentScale,
+    cfg: &SweepConfig,
+) -> std::io::Result<SweepOutcome> {
+    let cells = spec.cells();
+    let outcomes = ida_sweep::run_cells(&spec.name, &cells, cfg, |cell| run_cell(cell, scale))?;
+    Ok(SweepOutcome {
+        sweep: spec.name.clone(),
+        outcomes,
+    })
+}
+
+/// A numeric metric from a cell's payload (`None` if the cell failed or
+/// the key is absent).
+pub fn metric(
+    outcome: &SweepOutcome,
+    workload: &str,
+    system: &str,
+    params: &[(&str, &str)],
+    key: &str,
+) -> Option<f64> {
+    let payload = outcome.payload(workload, system, params)?;
+    jsonv::parse(payload).ok()?.get(key)?.as_f64()
+}
+
+fn failed_note(outcome: &SweepOutcome) -> String {
+    if outcome.failed_count() == 0 {
+        String::new()
+    } else {
+        let failed: Vec<String> = outcome
+            .outcomes
+            .iter()
+            .filter(|o| o.payload().is_none())
+            .map(|o| o.cell.id())
+            .collect();
+        format!(
+            "\nWARNING: {} cell(s) failed and are missing above: {}\n",
+            failed.len(),
+            failed.join(", ")
+        )
+    }
+}
+
+/// Render a built-in grid's outcome as its figure table.
+///
+/// # Errors
+///
+/// Returns a message for unknown sweep names.
+pub fn render(outcome: &SweepOutcome) -> Result<String, String> {
+    match outcome.sweep.as_str() {
+        "fig8" => Ok(render_fig8(outcome)),
+        "fig9" => Ok(render_fig9(outcome)),
+        "fig10" => Ok(render_fig10(outcome)),
+        other => Err(format!("no renderer for sweep {other:?}")),
+    }
+}
+
+/// Figure 8 table: normalized read response per workload × error rate.
+pub fn render_fig8(outcome: &SweepOutcome) -> String {
+    let workloads = workload_names();
+    let mut header = vec!["Name".to_string()];
+    header.extend(
+        FIG8_ERROR_RATES
+            .iter()
+            .map(|e| format!("E{:.0}", e * 100.0)),
+    );
+    let mut t = TextTable::new(header);
+    let mut sums = vec![0.0; FIG8_ERROR_RATES.len()];
+    for w in &workloads {
+        let base = metric(outcome, w, "Baseline", &[], "mean_read_ns").unwrap_or(0.0);
+        let mut row = vec![w.clone()];
+        for (i, &e) in FIG8_ERROR_RATES.iter().enumerate() {
+            let ida = metric(outcome, w, &ida_label(e), &[], "mean_read_ns");
+            let norm = match ida {
+                Some(ida) if base > 0.0 => ida / base,
+                _ => 1.0,
+            };
+            sums[i] += norm;
+            row.push(f(norm, 3));
+        }
+        t.row(row);
+    }
+    let mut avg_row = vec!["AVERAGE".to_string()];
+    for s in &sums {
+        avg_row.push(f(s / workloads.len() as f64, 3));
+    }
+    t.row(avg_row);
+
+    let mut out = String::from("Figure 8 — normalized read response time (lower is better)\n\n");
+    out.push_str(&t.render());
+    out.push('\n');
+    out.push_str("Paper averages: E0 ≈ 0.69, E20 ≈ 0.72, E50 ≈ 0.798, E80 ≈ 0.93\n");
+    out.push_str(&format!(
+        "Measured averages: E0 = {:.3}, E20 = {:.3}, E50 = {:.3}, E80 = {:.3}\n",
+        sums[0] / workloads.len() as f64,
+        sums[2] / workloads.len() as f64,
+        sums[5] / workloads.len() as f64,
+        sums[8] / workloads.len() as f64,
+    ));
+    out.push_str(&failed_note(outcome));
+    out
+}
+
+/// Figure 9 table: normalized read response of IDA-E20 per ΔtR.
+pub fn render_fig9(outcome: &SweepOutcome) -> String {
+    let workloads = workload_names();
+    let mut header = vec!["Name".to_string()];
+    header.extend(FIG9_DELTA_TR_US.iter().map(|d| format!("dTR={d}us")));
+    let mut t = TextTable::new(header);
+    let mut sums = vec![0.0; FIG9_DELTA_TR_US.len()];
+    for w in &workloads {
+        let mut row = vec![w.clone()];
+        for (i, &d) in FIG9_DELTA_TR_US.iter().enumerate() {
+            let dtr = d.to_string();
+            let params: &[(&str, &str)] = &[("dtr_us", &dtr)];
+            let base = metric(outcome, w, "Baseline", params, "mean_read_ns").unwrap_or(0.0);
+            let ida = metric(outcome, w, &ida_label(0.2), params, "mean_read_ns");
+            let norm = match ida {
+                Some(ida) if base > 0.0 => ida / base,
+                _ => 1.0,
+            };
+            sums[i] += norm;
+            row.push(f(norm, 3));
+        }
+        t.row(row);
+    }
+    let mut avg = vec!["AVERAGE".to_string()];
+    for s in &sums {
+        avg.push(f(s / workloads.len() as f64, 3));
+    }
+    t.row(avg);
+
+    let mut out =
+        String::from("Figure 9 — normalized read response of IDA-E20 vs ΔtR (lower is better)\n\n");
+    out.push_str(&t.render());
+    out.push('\n');
+    out.push_str("Paper: ΔtR=30µs ⇒ ~0.86, ΔtR=50µs ⇒ ~0.72, ΔtR=70µs ⇒ ~0.51 on average.\n");
+    out.push_str(&failed_note(outcome));
+    out
+}
+
+/// Figure 10 table: closed-loop device throughput, baseline vs IDA-E20.
+pub fn render_fig10(outcome: &SweepOutcome) -> String {
+    let workloads = workload_names();
+    let qd = format!("qd{FIG10_QUEUE_DEPTH}");
+    let params: &[(&str, &str)] = &[("replay", &qd)];
+    let mut t = TextTable::new(vec![
+        "Name",
+        "Baseline MB/s",
+        "IDA-E20 MB/s",
+        "IDA-E20 MiB/s",
+        "Normalized",
+    ]);
+    let mut sum = 0.0;
+    for w in &workloads {
+        let base = metric(outcome, w, "Baseline", params, "throughput_mbps").unwrap_or(0.0);
+        let ida = metric(outcome, w, &ida_label(0.2), params, "throughput_mbps").unwrap_or(0.0);
+        let ida_mib =
+            metric(outcome, w, &ida_label(0.2), params, "throughput_mibps").unwrap_or(0.0);
+        let norm = ida / base.max(1e-9);
+        sum += norm;
+        t.row(vec![
+            w.clone(),
+            f(base, 1),
+            f(ida, 1),
+            f(ida_mib, 1),
+            f(norm, 3),
+        ]);
+    }
+    let mut out = format!(
+        "Figure 10 — device throughput, closed loop at queue depth {FIG10_QUEUE_DEPTH} (higher is better)\n"
+    );
+    out.push_str("MB/s = 10^6 bytes/s (decimal); MiB/s = 2^20 bytes/s (binary)\n\n");
+    out.push_str(&t.render());
+    out.push('\n');
+    out.push_str(&format!(
+        "Average normalized throughput: {:.3} (paper: ≈ 1.10)\n",
+        sum / workloads.len() as f64
+    ));
+    out.push_str(&failed_note(outcome));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_grids_expand_to_the_paper_dimensions() {
+        // Fig 8: 11 workloads × (1 baseline + 9 error rates).
+        assert_eq!(builtin_grid("fig8").unwrap().len(), 11 * 10);
+        // Fig 9: 11 workloads × 5 ΔtR points × (baseline + IDA-E20).
+        assert_eq!(builtin_grid("fig9").unwrap().len(), 11 * 5 * 2);
+        // Fig 10: 11 workloads × (baseline + IDA-E20).
+        assert_eq!(builtin_grid("fig10").unwrap().len(), 11 * 2);
+        assert!(builtin_grid("fig99").is_none());
+        for name in BUILTIN_GRIDS {
+            assert!(builtin_grid(name).is_some(), "missing grid {name}");
+        }
+    }
+
+    #[test]
+    fn system_labels_round_trip() {
+        assert_eq!(parse_system("Baseline"), Ok(SystemUnderTest::Baseline));
+        assert_eq!(
+            parse_system("IDA-E20"),
+            Ok(SystemUnderTest::Ida { error_rate: 0.2 })
+        );
+        for e in FIG8_ERROR_RATES {
+            let label = SystemUnderTest::Ida { error_rate: e }.label();
+            assert_eq!(
+                parse_system(&label),
+                Ok(SystemUnderTest::Ida { error_rate: e })
+            );
+        }
+        assert!(parse_system("IDA-EX").is_err());
+        assert!(parse_system("Turbo").is_err());
+    }
+
+    #[test]
+    fn metrics_payload_has_the_renderer_keys() {
+        let mut report = Report::default();
+        report.reads.record(118_000);
+        let json = metrics_json(&report);
+        let v = jsonv::parse(&json).unwrap();
+        for key in [
+            "reads",
+            "mean_read_ns",
+            "p99_read_ns",
+            "throughput_mbps",
+            "throughput_mibps",
+            "ida_reads",
+        ] {
+            assert!(v.get(key).is_some(), "missing {key} in {json}");
+        }
+        assert_eq!(v.get("mean_read_ns").unwrap().as_f64(), Some(118_000.0));
+    }
+}

@@ -6,6 +6,9 @@
 use ida_bench::runner::{
     normalized_read_response, run_system_obs, ExperimentScale, ObsOptions, SystemUnderTest,
 };
+use ida_bench::sweep::{builtin_grid, render, run_grid, BUILTIN_GRIDS};
+use ida_sweep::pool::parse_jobs;
+use ida_sweep::SweepConfig;
 use ida_workloads::stats::characterize;
 use ida_workloads::suite::{paper_workload, paper_workloads};
 use std::fmt::Write as _;
@@ -34,6 +37,24 @@ pub enum Command {
         /// Write each run's metrics report as JSON (per-system suffix added).
         metrics_json: Option<PathBuf>,
         /// Report run progress on stderr.
+        progress: bool,
+    },
+    /// Run an experiment grid on the parallel sweep engine.
+    Sweep {
+        /// Grid name (`fig8`, `fig9`, `fig10`).
+        grid: String,
+        /// Worker threads (`None` = `IDA_JOBS` or all cores).
+        jobs: Option<usize>,
+        /// Checkpoint journal path (resume skips journaled cells).
+        journal: Option<PathBuf>,
+        /// Write the aggregated JSON here (stdout gets the rendered
+        /// table); without it the JSON itself goes to stdout.
+        out: Option<PathBuf>,
+        /// Use the smoke-test scale.
+        smoke: bool,
+        /// Override the measured request count.
+        requests: Option<usize>,
+        /// Report per-cell progress (with ETA) on stderr.
         progress: bool,
     },
     /// Print usage.
@@ -115,6 +136,70 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 requests,
                 trace_out,
                 metrics_json,
+                progress,
+            })
+        }
+        Some("sweep") => {
+            let grid = args
+                .get(1)
+                .filter(|g| !g.starts_with("--"))
+                .ok_or_else(|| {
+                    format!(
+                        "sweep needs a grid name (one of: {})",
+                        BUILTIN_GRIDS.join(", ")
+                    )
+                })?
+                .clone();
+            let mut jobs = None;
+            let mut journal = None;
+            let mut out = None;
+            let mut smoke = false;
+            let mut requests = None;
+            let mut progress = false;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--jobs" => {
+                        jobs = Some(parse_jobs(args.get(i + 1).ok_or("--jobs needs a value")?)?);
+                        i += 2;
+                    }
+                    "--journal" => {
+                        journal = Some(PathBuf::from(
+                            args.get(i + 1).ok_or("--journal needs a path")?,
+                        ));
+                        i += 2;
+                    }
+                    "--out" => {
+                        out = Some(PathBuf::from(args.get(i + 1).ok_or("--out needs a path")?));
+                        i += 2;
+                    }
+                    "--smoke" => {
+                        smoke = true;
+                        i += 1;
+                    }
+                    "--requests" => {
+                        requests = Some(
+                            args.get(i + 1)
+                                .ok_or("--requests needs a value")?
+                                .parse()
+                                .map_err(|e| format!("bad request count: {e}"))?,
+                        );
+                        i += 2;
+                    }
+                    "--progress" => {
+                        progress = true;
+                        i += 1;
+                    }
+                    other => return Err(format!("unknown option: {other}")),
+                }
+            }
+            Ok(Command::Sweep {
+                grid,
+                jobs,
+                journal,
+                out,
+                smoke,
+                requests,
                 progress,
             })
         }
@@ -231,6 +316,62 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 (1.0 - norm) * 100.0
             );
         }
+        Command::Sweep {
+            grid,
+            jobs,
+            journal,
+            out: out_path,
+            smoke,
+            requests,
+            progress,
+        } => {
+            let spec = builtin_grid(&grid).ok_or_else(|| {
+                format!(
+                    "unknown sweep grid {grid} (one of: {})",
+                    BUILTIN_GRIDS.join(", ")
+                )
+            })?;
+            let mut scale = if smoke {
+                ExperimentScale::smoke()
+            } else {
+                ExperimentScale::from_env()
+            };
+            if let Some(r) = requests {
+                scale.requests = r;
+            }
+            // Environment supplies defaults (IDA_JOBS, IDA_JOURNAL);
+            // explicit flags win.
+            let mut cfg = SweepConfig::from_env()?;
+            if let Some(j) = jobs {
+                cfg.jobs = j;
+            }
+            if journal.is_some() {
+                cfg.journal = journal;
+            }
+            cfg.progress = progress;
+            let outcome =
+                run_grid(&spec, &scale, &cfg).map_err(|e| format!("sweep failed: {e}"))?;
+            let json = outcome.aggregate_json();
+            match out_path {
+                Some(path) => {
+                    std::fs::write(&path, json + "\n")
+                        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                    out.push_str(&render(&outcome)?);
+                    let _ = writeln!(
+                        out,
+                        "\nsweep {grid} on {} worker(s): {}\nwrote aggregate to {}",
+                        cfg.jobs,
+                        outcome.summary(),
+                        path.display()
+                    );
+                }
+                // No --out: machine-readable aggregate on stdout.
+                None => {
+                    out.push_str(&json);
+                    out.push('\n');
+                }
+            }
+        }
     }
     Ok(out)
 }
@@ -249,15 +390,26 @@ USAGE:
   idasim compare <workload> [--error-rate 0.2] [--requests 6000]
                  [--trace-out <path.jsonl>] [--metrics-json <path.json>]
                  [--progress]
+  idasim sweep <grid> [--jobs N] [--journal <path.jsonl>]
+               [--out <path.json>] [--smoke] [--requests N] [--progress]
 
 Observability (compare): --trace-out writes the run's event stream as
 JSONL and --metrics-json writes the full report (latency histograms,
 counters, gauges) as JSON; both get a per-system suffix, e.g.
 trace.jsonl -> trace.Baseline.jsonl. --progress reports on stderr.
 
+Sweep: runs a whole experiment grid (fig8, fig9, fig10) on the
+parallel orchestration engine. --jobs N (or IDA_JOBS) sets the worker
+count, default all cores; aggregated output is byte-identical for any
+worker count. --journal appends one checkpoint record per finished
+cell; re-invoking with the same journal resumes, re-running only
+incomplete cells. With --out the aggregate JSON goes to the file and
+the figure table to stdout; without it the JSON goes to stdout.
+
 Experiment binaries reproducing each paper table/figure live in the
 ida-bench crate, e.g.:
   cargo run --release -p ida-bench --bin fig8_response_time
+(fig8/fig9/fig10 binaries honor IDA_JOBS and IDA_JOURNAL too.)
 ";
 
 #[cfg(test)]
@@ -333,6 +485,80 @@ mod tests {
         assert!(parse_args(&s(&["frobnicate"])).is_err());
         assert!(parse_args(&s(&["compare", "proj_1", "--error-rate", "2.0"])).is_err());
         assert!(parse_args(&s(&["compare", "proj_1", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_sweep_options() {
+        let cmd = parse_args(&s(&[
+            "sweep",
+            "fig8",
+            "--jobs",
+            "4",
+            "--journal",
+            "results/fig8.journal.jsonl",
+            "--out",
+            "results/fig8.json",
+            "--smoke",
+            "--progress",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Sweep {
+                grid: "fig8".into(),
+                jobs: Some(4),
+                journal: Some(PathBuf::from("results/fig8.journal.jsonl")),
+                out: Some(PathBuf::from("results/fig8.json")),
+                smoke: true,
+                requests: None,
+                progress: true,
+            }
+        );
+        let defaults = parse_args(&s(&["sweep", "fig9"])).unwrap();
+        assert_eq!(
+            defaults,
+            Command::Sweep {
+                grid: "fig9".into(),
+                jobs: None,
+                journal: None,
+                out: None,
+                smoke: false,
+                requests: None,
+                progress: false,
+            }
+        );
+    }
+
+    #[test]
+    fn sweep_jobs_validation_rejects_zero_and_garbage() {
+        let zero = parse_args(&s(&["sweep", "fig8", "--jobs", "0"])).unwrap_err();
+        assert!(zero.contains("at least 1"), "unhelpful error: {zero}");
+        let word = parse_args(&s(&["sweep", "fig8", "--jobs", "four"])).unwrap_err();
+        assert!(word.contains("positive integer"), "unhelpful error: {word}");
+        assert!(parse_args(&s(&["sweep", "fig8", "--jobs", "-1"])).is_err());
+        assert!(parse_args(&s(&["sweep", "fig8", "--jobs", "2.5"])).is_err());
+        assert!(parse_args(&s(&["sweep", "fig8", "--jobs"])).is_err());
+        // The same validator guards IDA_JOBS (SweepConfig::from_env).
+        assert!(ida_sweep::pool::parse_jobs("0").is_err());
+        assert!(ida_sweep::pool::parse_jobs("8").is_ok());
+    }
+
+    #[test]
+    fn sweep_needs_a_grid_name() {
+        assert!(parse_args(&s(&["sweep"])).is_err());
+        assert!(parse_args(&s(&["sweep", "--jobs", "2"])).is_err());
+        assert!(parse_args(&s(&["sweep", "fig8", "--bogus"])).is_err());
+        let err = run(Command::Sweep {
+            grid: "fig99".into(),
+            jobs: Some(1),
+            journal: None,
+            out: None,
+            smoke: true,
+            requests: None,
+            progress: false,
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown sweep grid"), "unhelpful error: {err}");
     }
 
     #[test]

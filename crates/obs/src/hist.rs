@@ -119,19 +119,23 @@ impl LogHistogram {
         self.max
     }
 
-    /// The `p`-th percentile (`0 < p <= 100`), accurate to one bucket width.
-    /// `p = 100` returns the exact maximum. Returns 0 when empty.
+    /// The `p`-th percentile (`0 <= p <= 100`), accurate to one bucket
+    /// width. `p = 0` returns the exact minimum and `p = 100` the exact
+    /// maximum. Returns 0 when empty.
     ///
     /// # Panics
     ///
-    /// Panics if `p` is out of range.
+    /// Panics if `p` is outside `[0, 100]` (including NaN).
     pub fn percentile(&self, p: f64) -> u64 {
         assert!(
-            (0.0..=100.0).contains(&p) && p > 0.0,
-            "percentile out of range"
+            (0.0..=100.0).contains(&p),
+            "percentile {p} outside [0, 100]"
         );
         if self.count == 0 {
             return 0;
+        }
+        if p <= 0.0 {
+            return self.min;
         }
         if p >= 100.0 {
             return self.max;
@@ -273,11 +277,35 @@ mod tests {
     #[test]
     fn empty_histogram_is_zero() {
         let h = LogHistogram::new();
-        assert_eq!(h.percentile(50.0), 0);
+        for p in [0.0, 0.1, 50.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), 0, "p{p} of empty");
+        }
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert!(h.is_empty());
+        assert!(h.mean().is_finite(), "empty mean must not be NaN");
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = LogHistogram::new();
+        h.record(1_234_567);
+        for p in [0.0, 0.1, 50.0, 99.9, 100.0] {
+            // Clamping to the observed range makes a lone sample exact.
+            assert_eq!(h.percentile(p), 1_234_567, "p{p} of single sample");
+        }
+        assert_eq!(h.mean(), 1_234_567.0);
+    }
+
+    #[test]
+    fn zero_percentile_is_the_minimum() {
+        let mut h = LogHistogram::new();
+        for v in [500u64, 9_000, 70_000] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 500);
+        assert_eq!(h.percentile(100.0), 70_000);
     }
 
     #[test]
@@ -311,8 +339,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "percentile out of range")]
-    fn zero_percentile_rejected() {
-        let _ = LogHistogram::new().percentile(0.0);
+    #[should_panic(expected = "outside [0, 100]")]
+    fn out_of_range_percentile_rejected() {
+        let _ = LogHistogram::new().percentile(100.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 100]")]
+    fn nan_percentile_rejected() {
+        let _ = LogHistogram::new().percentile(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 100]")]
+    fn negative_percentile_rejected() {
+        let _ = LogHistogram::new().percentile(-0.5);
     }
 }

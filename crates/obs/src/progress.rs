@@ -42,6 +42,26 @@ impl Progress {
         p
     }
 
+    /// Consult the wall clock every `n` completed units instead of the
+    /// default 1024 — for coarse-grained work (e.g. one tick per sweep
+    /// cell) where units take seconds and the default would mute
+    /// reporting entirely.
+    pub fn with_check_every(mut self, n: u64) -> Self {
+        self.check_every = n.max(1);
+        self
+    }
+
+    /// Estimated seconds to completion from the observed rate (`None`
+    /// when the total is unknown or nothing has completed yet).
+    pub fn eta_secs(&self) -> Option<f64> {
+        if self.total == 0 || self.done == 0 {
+            return None;
+        }
+        let secs = self.started.elapsed().as_secs_f64();
+        let rate = self.done as f64 / secs.max(1e-9);
+        Some((self.total.saturating_sub(self.done)) as f64 / rate)
+    }
+
     /// Count `n` completed units, printing a heartbeat when due.
     #[inline]
     pub fn tick(&mut self, n: u64) {
@@ -63,13 +83,18 @@ impl Progress {
             0.0
         };
         if self.total > 0 {
+            let eta = match self.eta_secs() {
+                Some(eta) => format!(" eta {eta:.0}s"),
+                None => String::new(),
+            };
             eprintln!(
-                "[{}] {}/{} ({:.1}%) {:.0}/s",
+                "[{}] {}/{} ({:.1}%) {:.1}/s{}",
                 self.label,
                 self.done,
                 self.total,
                 self.done as f64 / self.total as f64 * 100.0,
-                rate
+                rate,
+                eta
             );
         } else {
             eprintln!("[{}] {} done, {:.0}/s", self.label, self.done, rate);
@@ -111,5 +136,27 @@ mod tests {
             p.tick(600);
         }
         assert_eq!(p.done(), 12_000);
+    }
+
+    #[test]
+    fn eta_needs_a_total_and_some_completions() {
+        let mut unknown_total = Progress::new("t", 0);
+        unknown_total.tick(5);
+        assert_eq!(unknown_total.eta_secs(), None);
+
+        let fresh = Progress::new("t", 10);
+        assert_eq!(fresh.eta_secs(), None);
+
+        let mut p = Progress::new("t", 10).with_check_every(1);
+        p.tick(5);
+        let eta = p.eta_secs().expect("eta once work completed");
+        assert!(eta >= 0.0 && eta.is_finite());
+    }
+
+    #[test]
+    fn finished_run_eta_is_zero() {
+        let mut p = Progress::new("t", 4).with_check_every(1);
+        p.tick(4);
+        assert_eq!(p.eta_secs(), Some(0.0));
     }
 }

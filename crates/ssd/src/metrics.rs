@@ -83,17 +83,17 @@ impl LatencyStats {
         self.hist.max()
     }
 
-    /// The `p`-th percentile response time in ns (`0 < p <= 100`).
-    /// Accurate to one histogram bucket width (`p = 100` and exact mode
-    /// are fully exact).
+    /// The `p`-th percentile response time in ns (`0 <= p <= 100`).
+    /// Accurate to one histogram bucket width (`p = 0`, `p = 100` and
+    /// exact mode are fully exact).
     ///
     /// # Panics
     ///
-    /// Panics if `p` is out of range.
+    /// Panics if `p` is outside `[0, 100]` (including NaN).
     pub fn percentile(&self, p: f64) -> u64 {
         assert!(
-            (0.0..=100.0).contains(&p) && p > 0.0,
-            "percentile out of range"
+            (0.0..=100.0).contains(&p),
+            "percentile {p} outside [0, 100]"
         );
         if let Some(samples) = &self.samples {
             if samples.is_empty() {
@@ -414,10 +414,23 @@ mod tests {
 
     #[test]
     fn empty_latency_stats_are_zero() {
-        let s = LatencyStats::default();
-        assert_eq!(s.mean(), 0.0);
-        assert_eq!(s.percentile(50.0), 0);
-        assert_eq!(s.max(), 0);
+        for s in [LatencyStats::default(), LatencyStats::exact()] {
+            assert_eq!(s.mean(), 0.0);
+            assert_eq!(s.percentile(0.0), 0);
+            assert_eq!(s.percentile(50.0), 0);
+            assert_eq!(s.percentile(100.0), 0);
+            assert_eq!(s.max(), 0);
+        }
+    }
+
+    #[test]
+    fn single_sample_percentile_edges() {
+        for mut s in [LatencyStats::default(), LatencyStats::exact()] {
+            s.record(77_000);
+            assert_eq!(s.percentile(0.0), 77_000);
+            assert_eq!(s.percentile(50.0), 77_000);
+            assert_eq!(s.percentile(100.0), 77_000);
+        }
     }
 
     #[test]

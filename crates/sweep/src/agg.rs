@@ -1,0 +1,198 @@
+//! Deterministic aggregation of sweep outcomes.
+//!
+//! Results merge in cell order (the spec's expansion order), and cached
+//! payloads are re-emitted as the raw bytes the journal stored, so the
+//! aggregated JSON is identical for a 1-worker run, an N-worker run,
+//! and a killed-and-resumed run of the same spec. Volatile facts
+//! (attempt counts, cache hits) are deliberately excluded from the
+//! aggregate — they describe the schedule, not the experiment — and are
+//! surfaced in [`SweepOutcome::summary`] instead.
+
+use crate::pool::{CellOutcome, CellStatus};
+use ida_obs::json::{array, JsonObj};
+
+/// The collected results of one sweep run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepOutcome {
+    /// Sweep name.
+    pub sweep: String,
+    /// Per-cell outcomes, in cell-index order.
+    pub outcomes: Vec<CellOutcome>,
+}
+
+impl SweepOutcome {
+    /// Cells that produced a payload.
+    pub fn ok_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.payload().is_some())
+            .count()
+    }
+
+    /// Cells that exhausted their retries.
+    pub fn failed_count(&self) -> usize {
+        self.outcomes.len() - self.ok_count()
+    }
+
+    /// Cells restored from the checkpoint journal.
+    pub fn cached_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.cached).count()
+    }
+
+    /// The outcome for `(workload, system)` with every given param pair
+    /// matching (replicate 1 — the common single-replicate case).
+    pub fn find(
+        &self,
+        workload: &str,
+        system: &str,
+        params: &[(&str, &str)],
+    ) -> Option<&CellOutcome> {
+        self.outcomes.iter().find(|o| {
+            o.cell.workload == workload
+                && o.cell.system == system
+                && params.iter().all(|(k, v)| o.cell.param(k) == Some(*v))
+        })
+    }
+
+    /// The raw payload for [`SweepOutcome::find`]'s cell.
+    pub fn payload(&self, workload: &str, system: &str, params: &[(&str, &str)]) -> Option<&str> {
+        self.find(workload, system, params)?.payload()
+    }
+
+    /// The deterministic aggregated JSON document: every successful cell
+    /// (in cell order) with its coordinates and raw payload, followed by
+    /// the failure records.
+    pub fn aggregate_json(&self) -> String {
+        let cells = self.outcomes.iter().filter_map(|o| {
+            let payload = o.payload()?;
+            let params = o
+                .cell
+                .params
+                .iter()
+                .fold(JsonObj::new(), |obj, (k, v)| obj.str(k, v))
+                .finish();
+            Some(
+                JsonObj::new()
+                    .str("cell", &o.cell.id())
+                    .str("workload", &o.cell.workload)
+                    .str("system", &o.cell.system)
+                    .raw("params", &params)
+                    .u64("replicate", o.cell.replicate)
+                    .raw("result", payload)
+                    .finish(),
+            )
+        });
+        let failed = self.outcomes.iter().filter_map(|o| match &o.status {
+            CellStatus::Failed { error } => Some(
+                JsonObj::new()
+                    .str("cell", &o.cell.id())
+                    .str("error", error)
+                    .finish(),
+            ),
+            CellStatus::Done { .. } => None,
+        });
+        JsonObj::new()
+            .str("sweep", &self.sweep)
+            .u64("cells", self.outcomes.len() as u64)
+            .raw("results", &array(cells))
+            .raw("failed", &array(failed))
+            .finish()
+    }
+
+    /// A one-line human summary (`110 cells: 108 ok, 2 failed, 40 cached`).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cells: {} ok, {} failed, {} cached",
+            self.outcomes.len(),
+            self.ok_count(),
+            self.failed_count(),
+            self.cached_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Cell;
+
+    fn outcome(workload: &str, system: &str, index: usize, status: CellStatus) -> CellOutcome {
+        CellOutcome {
+            cell: Cell {
+                index,
+                workload: workload.into(),
+                system: system.into(),
+                params: vec![("k".into(), "1".into())],
+                replicate: 1,
+                stream_seed: 0,
+            },
+            status,
+            attempts: 1,
+            cached: false,
+        }
+    }
+
+    fn sample() -> SweepOutcome {
+        SweepOutcome {
+            sweep: "t".into(),
+            outcomes: vec![
+                outcome(
+                    "w1",
+                    "a",
+                    0,
+                    CellStatus::Done {
+                        payload: r#"{"m":1}"#.into(),
+                    },
+                ),
+                outcome(
+                    "w1",
+                    "b",
+                    1,
+                    CellStatus::Failed {
+                        error: "panicked: boom".into(),
+                    },
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn aggregate_includes_results_and_failures() {
+        let s = sample();
+        let json = s.aggregate_json();
+        assert_eq!(
+            json,
+            r#"{"sweep":"t","cells":2,"results":[{"cell":"w1/a/k=1/r1","workload":"w1","system":"a","params":{"k":"1"},"replicate":1,"result":{"m":1}}],"failed":[{"cell":"w1/b/k=1/r1","error":"panicked: boom"}]}"#
+        );
+        assert_eq!(s.ok_count(), 1);
+        assert_eq!(s.failed_count(), 1);
+        assert_eq!(s.summary(), "2 cells: 1 ok, 1 failed, 0 cached");
+    }
+
+    #[test]
+    fn aggregate_is_independent_of_volatile_fields() {
+        let mut a = sample();
+        let mut b = sample();
+        b.outcomes[0].attempts = 2;
+        b.outcomes[0].cached = true;
+        assert_eq!(a.aggregate_json(), b.aggregate_json());
+        // ... but PartialEq still sees them (sanity).
+        assert_ne!(a.outcomes, b.outcomes);
+        a.outcomes[0].cached = true;
+        a.outcomes[0].attempts = 2;
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn find_matches_params() {
+        let s = sample();
+        assert!(s.find("w1", "a", &[("k", "1")]).is_some());
+        assert!(s.find("w1", "a", &[("k", "2")]).is_none());
+        assert_eq!(s.payload("w1", "a", &[]), Some(r#"{"m":1}"#));
+        assert_eq!(
+            s.payload("w1", "b", &[]),
+            None,
+            "failed cell has no payload"
+        );
+    }
+}

@@ -1,0 +1,431 @@
+//! A minimal JSON reader — the counterpart of `ida_obs::json`'s writer.
+//!
+//! The journal loader needs two things a writer can't give it: parse a
+//! record line into fields, and recover the *raw text* of a cached
+//! payload so it can be re-emitted byte-for-byte (re-rendering through
+//! `f64` would corrupt `u128` counters like `total_ns`). Hence
+//! [`parse`] for structure and [`top_level_fields`] for raw spans.
+//!
+//! Deliberately small: UTF-8 input, numbers surfaced as `f64` (with the
+//! raw text kept for lossless integer access), no trailing garbage.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// A parsed JSON value. Object fields keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number, with its raw source text (for lossless u64/u128).
+    Num(f64, String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, fields in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup (None for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n, _) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, parsed losslessly from the source
+    /// text (so counters above 2^53 survive).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(_, raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document.
+///
+/// # Errors
+///
+/// Returns a position-tagged message for malformed input (including
+/// trailing garbage — the property that lets the journal loader reject
+/// a torn line).
+pub fn parse(s: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        s: s.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(format!("trailing characters at byte {}", p.i));
+    }
+    Ok(v)
+}
+
+/// Parse the top level of a JSON object and return each field's key and
+/// the byte range of its (raw) value text — the lossless path for
+/// re-emitting cached payloads.
+///
+/// # Errors
+///
+/// Returns a message if `s` is not a well-formed JSON object.
+pub fn top_level_fields(s: &str) -> Result<Vec<(String, Range<usize>)>, String> {
+    let mut p = Parser {
+        s: s.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.i += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let start = p.i;
+            p.value()?;
+            fields.push((key, start..p.i));
+            p.skip_ws();
+            match p.peek() {
+                Some(b',') => p.i += 1,
+                Some(b'}') => {
+                    p.i += 1;
+                    break;
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", p.i)),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(format!("trailing characters at byte {}", p.i));
+    }
+    Ok(fields)
+}
+
+/// [`top_level_fields`] as a map from key to raw value text.
+///
+/// # Errors
+///
+/// Propagates [`top_level_fields`] errors.
+pub fn raw_fields(s: &str) -> Result<HashMap<String, &str>, String> {
+    Ok(top_level_fields(s)?
+        .into_iter()
+        .map(|(k, r)| (k, &s[r]))
+        .collect())
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'n') => self.lit("null", JsonValue::Null),
+            Some(b't') => self.lit("true", JsonValue::Bool(true)),
+            Some(b'f') => self.lit("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.i)),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.i + 4 > self.s.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.s[self.i..self.i + 4])
+                                .map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            self.i += 4;
+                            // Surrogate pairs are not emitted by our own
+                            // writer; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        c => return Err(format!("bad escape '\\{}'", c as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through untouched).
+                    let rest = std::str::from_utf8(&self.s[self.i..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        let raw = std::str::from_utf8(&self.s[start..self.i]).expect("ascii");
+        let n: f64 = raw
+            .parse()
+            .map_err(|_| format!("bad number at byte {start}"))?;
+        Ok(JsonValue::Num(n, raw.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ida_obs::json::JsonObj;
+
+    #[test]
+    fn round_trips_our_own_writer() {
+        let src = JsonObj::new()
+            .str("name", "hm_1")
+            .u64("count", 42)
+            .f64("mean", 1.5)
+            .bool("ok", true)
+            .raw("nested", "{\"a\":[1,2,3],\"b\":null}")
+            .finish();
+        let v = parse(&src).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("hm_1"));
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("mean").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        let nested = v.get("nested").unwrap();
+        assert_eq!(
+            nested.get("a"),
+            Some(&JsonValue::Arr(vec![
+                JsonValue::Num(1.0, "1".into()),
+                JsonValue::Num(2.0, "2".into()),
+                JsonValue::Num(3.0, "3".into()),
+            ]))
+        );
+        assert_eq!(nested.get("b"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn big_integers_survive_via_raw_text() {
+        let big = u64::MAX;
+        let v = parse(&format!("{{\"x\":{big}}}")).unwrap();
+        assert_eq!(v.get("x").unwrap().as_u64(), Some(big));
+    }
+
+    #[test]
+    fn escapes_decode() {
+        let v = parse(r#""a\"b\\c\ndA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn torn_lines_are_rejected() {
+        for bad in [
+            "{\"a\":1",
+            "{\"a\":",
+            "{\"a",
+            "{",
+            "",
+            "{\"a\":1}x",
+            "{\"a\":1}{",
+        ] {
+            assert!(parse(bad).is_err(), "accepted torn line {bad:?}");
+        }
+    }
+
+    #[test]
+    fn raw_field_spans_preserve_bytes() {
+        let src = r#"{"cell":"w/s/r1","payload":{"total_ns":18446744073709551615,"m":1.25}}"#;
+        let raw = raw_fields(src).unwrap();
+        assert_eq!(raw["cell"], "\"w/s/r1\"");
+        assert_eq!(
+            raw["payload"],
+            r#"{"total_ns":18446744073709551615,"m":1.25}"#
+        );
+        assert!(raw_fields("{\"a\":1,").is_err());
+    }
+
+    #[test]
+    fn whitespace_and_empty_containers() {
+        assert_eq!(parse(" { } ").unwrap(), JsonValue::Obj(vec![]));
+        assert_eq!(parse("[ ]").unwrap(), JsonValue::Arr(vec![]));
+        assert_eq!(
+            parse("{\"a\": [ 1 , 2 ] }").unwrap().get("a").unwrap(),
+            &JsonValue::Arr(vec![
+                JsonValue::Num(1.0, "1".into()),
+                JsonValue::Num(2.0, "2".into()),
+            ])
+        );
+    }
+
+    #[test]
+    fn negative_and_exponent_numbers() {
+        let v = parse("[-1.5e3,2E-2,-7]").unwrap();
+        match v {
+            JsonValue::Arr(items) => {
+                assert_eq!(items[0].as_f64(), Some(-1500.0));
+                assert_eq!(items[1].as_f64(), Some(0.02));
+                assert_eq!(items[2].as_f64(), Some(-7.0));
+            }
+            other => panic!("not an array: {other:?}"),
+        }
+    }
+}

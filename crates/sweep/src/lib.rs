@@ -1,0 +1,44 @@
+//! `ida-sweep` — deterministic parallel experiment orchestration.
+//!
+//! The paper's evaluation is a large grid: Figure 8 alone is 11 workloads
+//! × 9 error rates (plus a baseline per workload), Figure 9 adds a ΔtR
+//! axis, and the full suite chains a dozen experiments. This crate turns
+//! that grid into a typed job model and runs it on a worker pool without
+//! giving up the workspace's core guarantee: **a fixed spec produces
+//! byte-identical aggregated output no matter how many workers run it, or
+//! how often it was killed and resumed along the way.**
+//!
+//! The pieces:
+//!
+//! - [`cell`]: a [`cell::Cell`] is one experiment point (workload ×
+//!   system × params × replicate) with a stable, human-readable ID and a
+//!   per-cell [`ida_obs::rng::Rng64`] stream seed derived from that ID —
+//!   randomness is a function of *what* the cell is, never of *when* or
+//!   *where* it ran.
+//! - [`spec`]: [`spec::SweepSpec`] describes the grid axes and expands
+//!   them into cells in a fixed nesting order.
+//! - [`pool`]: a `std::thread` worker pool over a shared work queue.
+//!   Cells run under `catch_unwind` with bounded retry; a panicking cell
+//!   becomes a per-cell error record instead of taking down the run.
+//! - [`journal`]: a JSONL checkpoint journal — one appended record per
+//!   completed cell. On restart, completed cells are skipped and their
+//!   cached payloads reused; a torn final line (killed mid-write) is
+//!   ignored.
+//! - [`agg`]: deterministic aggregation — results merge in cell order,
+//!   so an N-worker (or resumed) run emits the same bytes as a serial
+//!   fresh run.
+//! - [`jsonv`]: the minimal JSON reader the journal loader uses, kept
+//!   dependency-free like the rest of the workspace.
+
+pub mod agg;
+pub mod cell;
+pub mod journal;
+pub mod jsonv;
+pub mod pool;
+pub mod spec;
+
+pub use agg::SweepOutcome;
+pub use cell::Cell;
+pub use journal::{JournalRecord, JournalWriter};
+pub use pool::{run_cells, CellOutcome, CellStatus, SweepConfig};
+pub use spec::SweepSpec;

@@ -1,7 +1,38 @@
 #!/bin/bash
-cd /root/repo
-for exp in table3_workloads fig4_read_distribution fig8_response_time table4_refresh_overhead fig9_delta_tr fig10_throughput fig11_read_retry table5_mlc fig6_qlc blocks_overhead ablation_lsb_placement ablation_coding_232; do
+# Regenerate every paper artifact under results/.
+#
+# The three sweep-shaped figures (fig8/fig9/fig10) run through the
+# `idasim sweep` engine: parallel across IDA_JOBS workers, journaled to
+# results/<grid>.journal.jsonl so a killed run resumes where it left
+# off, aggregate JSON in results/<grid>.json plus the rendered table in
+# results/<grid>.txt. The remaining experiments are single-config
+# binaries and run serially. Knobs: IDA_SCALE=smoke|full, IDA_JOBS=N.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+jobs="${IDA_JOBS:-$(nproc)}"
+mkdir -p results
+
+echo "=== build ==="
+cargo build --release -p ida-cli -p ida-bench
+
+for grid in fig8 fig9 fig10; do
+  echo "=== sweep $grid (jobs=$jobs) ==="
+  target/release/idasim sweep "$grid" \
+    --jobs "$jobs" \
+    --journal "results/$grid.journal.jsonl" \
+    --out "results/$grid.json" \
+    --progress \
+    > "results/$grid.txt" 2> "results/$grid.log"
+  echo "done $grid"
+done
+
+for exp in table3_workloads fig4_read_distribution table4_refresh_overhead \
+           fig11_read_retry table5_mlc fig6_qlc blocks_overhead \
+           ablation_lsb_placement ablation_coding_232; do
   echo "=== $exp ==="
-  cargo run --release -p ida-bench --bin $exp > results/$exp.txt 2> results/$exp.log
+  target/release/"$exp" > "results/$exp.txt" 2> "results/$exp.log"
   echo "done $exp"
 done
+
+echo "all experiments complete; outputs in results/"

@@ -1,0 +1,190 @@
+//! Integration tests for the `ida-sweep` orchestration engine and its
+//! `ida-bench` wiring — the determinism, resume, and failure-isolation
+//! contracts the sweep subsystem promises:
+//!
+//! (a) an N-worker run emits byte-identical aggregated JSON to a
+//!     1-worker run of the same spec;
+//! (b) resuming from a (truncated) journal re-runs only incomplete
+//!     cells and still reproduces the same aggregate;
+//! (c) a panicking cell is retried, then reported as a per-cell error
+//!     record, without taking down the pool or the other cells.
+
+use ida_bench::runner::ExperimentScale;
+use ida_bench::sweep::{metric, run_grid};
+use ida_obs::json::JsonObj;
+use ida_sweep::pool::{run_cells, CellStatus, SweepConfig};
+use ida_sweep::{Cell, SweepOutcome, SweepSpec};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ida-sweep-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// A compute-only stand-in for an experiment: burns a little CPU and
+/// derives its "measurement" purely from the cell's private RNG stream.
+fn synthetic_payload(cell: &Cell) -> String {
+    let mut rng = cell.rng();
+    let mut acc = 0u64;
+    for _ in 0..1000 {
+        acc = acc.wrapping_add(rng.next_u64() >> 32);
+    }
+    JsonObj::new()
+        .str("cell", &cell.id())
+        .u64("acc", acc)
+        .f64("mean", acc as f64 / 1000.0)
+        .finish()
+}
+
+fn synthetic_spec() -> SweepSpec {
+    SweepSpec::new(
+        "synthetic",
+        (0..6).map(|i| format!("w{i}")).collect(),
+        vec!["Baseline".into(), "IDA-E20".into()],
+    )
+    .with_axis("dtr_us", vec!["30".into(), "50".into()])
+    .with_replicates(vec![1, 2])
+}
+
+fn aggregate(spec: &SweepSpec, cfg: &SweepConfig) -> String {
+    let cells = spec.cells();
+    let outcomes = run_cells(&spec.name, &cells, cfg, synthetic_payload).unwrap();
+    SweepOutcome {
+        sweep: spec.name.clone(),
+        outcomes,
+    }
+    .aggregate_json()
+}
+
+#[test]
+fn four_workers_emit_byte_identical_aggregate_to_one_worker() {
+    let spec = synthetic_spec();
+    assert_eq!(spec.len(), 48, "grid size sanity");
+    let serial = aggregate(&spec, &SweepConfig::serial());
+    for jobs in [2, 4, 7] {
+        let parallel = aggregate(&spec, &SweepConfig::serial().with_jobs(jobs));
+        assert_eq!(serial, parallel, "jobs={jobs} aggregate diverged");
+    }
+    // Sanity: the aggregate actually carries every cell.
+    assert!(serial.contains("\"cells\":48"));
+    assert!(serial.contains("w5/IDA-E20/dtr_us=50/r2"));
+}
+
+#[test]
+fn resume_from_truncated_journal_reruns_only_incomplete_cells() {
+    let path = tmp("truncated-resume.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let spec = synthetic_spec();
+    let cells = spec.cells();
+    let cfg = SweepConfig::serial()
+        .with_jobs(2)
+        .with_journal(path.clone());
+
+    // Reference aggregate from an un-journaled serial run.
+    let reference = aggregate(&spec, &SweepConfig::serial());
+
+    // Full run, journaling every cell.
+    let executed = AtomicU32::new(0);
+    let count_and_run = |cell: &Cell| {
+        executed.fetch_add(1, Ordering::SeqCst);
+        synthetic_payload(cell)
+    };
+    run_cells(&spec.name, &cells, &cfg, count_and_run).unwrap();
+    assert_eq!(executed.load(Ordering::SeqCst) as usize, cells.len());
+
+    // Simulate a kill mid-run: keep the first 30 journal lines and tear
+    // the 31st mid-record.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), cells.len());
+    let mut kept: String = lines[..30].join("\n");
+    kept.push('\n');
+    kept.push_str(&lines[30][..lines[30].len() / 2]);
+    std::fs::write(&path, &kept).unwrap();
+
+    // Resume: exactly the 18 un-journaled cells (and the torn one) re-run.
+    executed.store(0, Ordering::SeqCst);
+    let outcomes = run_cells(&spec.name, &cells, &cfg, count_and_run).unwrap();
+    assert_eq!(
+        executed.load(Ordering::SeqCst) as usize,
+        cells.len() - 30,
+        "resume must re-run only incomplete cells"
+    );
+    assert_eq!(outcomes.iter().filter(|o| o.cached).count(), 30);
+
+    // And the aggregate is still byte-identical to the fresh serial run.
+    let resumed = SweepOutcome {
+        sweep: spec.name.clone(),
+        outcomes,
+    }
+    .aggregate_json();
+    assert_eq!(resumed, reference);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn panicking_cell_is_retried_reported_and_isolated() {
+    let spec = synthetic_spec();
+    let cells = spec.cells();
+    let cfg = SweepConfig::serial().with_jobs(4);
+    let attempts_on_bad = AtomicU32::new(0);
+    let outcomes = run_cells(&spec.name, &cells, &cfg, |cell: &Cell| {
+        if cell.workload == "w3" && cell.system == "IDA-E20" {
+            attempts_on_bad.fetch_add(1, Ordering::SeqCst);
+            panic!("simulated cell crash in {}", cell.id());
+        }
+        synthetic_payload(cell)
+    })
+    .unwrap();
+
+    let failed: Vec<_> = outcomes.iter().filter(|o| o.payload().is_none()).collect();
+    assert_eq!(failed.len(), 4, "w3 × IDA-E20 × 2 dtr × 2 replicates");
+    for o in &failed {
+        assert_eq!(o.attempts, cfg.max_attempts, "bounded retry");
+        match &o.status {
+            CellStatus::Failed { error } => {
+                assert!(
+                    error.contains("simulated cell crash"),
+                    "lost message: {error}"
+                );
+            }
+            CellStatus::Done { .. } => unreachable!(),
+        }
+    }
+    assert_eq!(
+        attempts_on_bad.load(Ordering::SeqCst),
+        4 * cfg.max_attempts,
+        "each failing cell gets its full retry budget"
+    );
+    // Every other cell still produced its payload.
+    assert_eq!(outcomes.len() - failed.len(), spec.len() - 4);
+    // The failure records survive into the aggregate.
+    let json = SweepOutcome {
+        sweep: spec.name.clone(),
+        outcomes,
+    }
+    .aggregate_json();
+    assert!(json.contains("\"failed\":[{\"cell\":\"w3/IDA-E20/dtr_us=30/r1\""));
+}
+
+/// End-to-end determinism through the real simulator: a small fig8-style
+/// grid run on 1 and 4 workers must aggregate to the same bytes.
+#[test]
+fn bench_grid_is_deterministic_across_worker_counts() {
+    let spec = SweepSpec::new(
+        "fig8",
+        vec!["hm_1".into()],
+        vec!["Baseline".into(), "IDA-E20".into()],
+    );
+    let scale = ExperimentScale::smoke().with_requests(400);
+    let serial = run_grid(&spec, &scale, &SweepConfig::serial()).unwrap();
+    let parallel = run_grid(&spec, &scale, &SweepConfig::serial().with_jobs(4)).unwrap();
+    assert_eq!(serial.aggregate_json(), parallel.aggregate_json());
+    // The payloads are real measurements, not placeholders.
+    let mean = metric(&serial, "hm_1", "Baseline", &[], "mean_read_ns").unwrap();
+    assert!(mean > 0.0, "baseline mean read response must be positive");
+    let reads = metric(&serial, "hm_1", "IDA-E20", &[], "reads").unwrap();
+    assert!(reads > 100.0, "IDA cell must complete reads (got {reads})");
+}
