@@ -20,7 +20,7 @@ fn bench_write_path() {
     bench("ftl/write_1k_pages", || {
         let mut f = ftl(RefreshMode::Baseline);
         for i in 0..1_000u64 {
-            black_box(f.write(Lpn(i), i));
+            black_box(f.write(Lpn(i), i).unwrap());
         }
         f.stats().host_writes
     });
@@ -29,7 +29,7 @@ fn bench_write_path() {
 fn bench_read_translation() {
     let mut f = ftl(RefreshMode::Baseline);
     for i in 0..2_000u64 {
-        f.write(Lpn(i), i);
+        f.write(Lpn(i), i).unwrap();
     }
     bench("ftl/read_translate_2k", || {
         let mut senses = 0u64;
@@ -52,11 +52,11 @@ fn bench_refresh_block() {
                 let geom = Geometry::tiny();
                 let per_block = geom.pages_per_block() as u64;
                 for i in 0..per_block * geom.total_planes() as u64 {
-                    f.write(Lpn(i), 0);
+                    f.write(Lpn(i), 0).unwrap();
                 }
                 // Invalidate a third of the pages.
                 for i in (0..per_block * geom.total_planes() as u64).step_by(3) {
-                    f.write(Lpn(i), 1);
+                    f.write(Lpn(i), 1).unwrap();
                 }
                 let block = f.read(Lpn(1)).unwrap().page.block(&geom);
                 (f, block)

@@ -9,59 +9,26 @@
 //!
 //! Paper findings: 28 % improvement in the early (no-retry) lifetime, and
 //! 42.3 % in the late, retry-heavy lifetime.
+//!
+//! Runs on the `ida-sweep` engine: the 11 × 2 × 2 grid executes on
+//! `IDA_JOBS` parallel workers (default: all cores), checkpoints every
+//! finished cell to `IDA_JOURNAL` when set, and aggregates
+//! deterministically — the table below is byte-identical for any worker
+//! count. Each cell's late-lifetime retry sampler is seeded from the
+//! cell's own RNG stream.
 
-use ida_bench::runner::{
-    normalized_read_response, run_config, system_config, ExperimentScale, SystemUnderTest,
-};
-use ida_bench::table::{f, TextTable};
-use ida_flash::timing::FlashTiming;
-use ida_ssd::retry::RetryConfig;
-use ida_workloads::suite::paper_workloads;
+use ida_bench::runner::ExperimentScale;
+use ida_bench::sweep::{builtin_grid, render_fig11, run_grid};
+use ida_sweep::SweepConfig;
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    let phases = [
-        ("early (no retry)", RetryConfig::disabled()),
-        ("late (retry-heavy)", RetryConfig::late_lifetime(0.4)),
-    ];
-    let presets = paper_workloads();
-    let mut t = TextTable::new(vec!["Name", "early", "late"]);
-    let mut sums = [0.0f64; 2];
-    for preset in &presets {
-        let mut row = vec![preset.spec.name.clone()];
-        for (i, (_, retry)) in phases.iter().enumerate() {
-            let base_cfg = system_config(
-                SystemUnderTest::Baseline,
-                scale.geometry,
-                FlashTiming::paper_tlc(),
-                *retry,
-            );
-            let ida_cfg = system_config(
-                SystemUnderTest::Ida { error_rate: 0.2 },
-                scale.geometry,
-                FlashTiming::paper_tlc(),
-                *retry,
-            );
-            let base = run_config(preset, base_cfg, &scale);
-            let ida = run_config(preset, ida_cfg, &scale);
-            let norm = normalized_read_response(&ida, &base);
-            sums[i] += norm;
-            row.push(f(norm, 3));
-        }
-        t.row(row);
-        eprintln!("  finished {}", preset.spec.name);
-    }
-    let n = presets.len() as f64;
-    t.row(vec![
-        "AVERAGE".to_string(),
-        f(sums[0] / n, 3),
-        f(sums[1] / n, 3),
-    ]);
-    println!("Figure 11 — normalized read response by lifetime phase (lower is better)\n");
-    println!("{}", t.render());
-    println!(
-        "Improvements: early {:.1}% (paper: 28%), late {:.1}% (paper: 42.3%)",
-        (1.0 - sums[0] / n) * 100.0,
-        (1.0 - sums[1] / n) * 100.0
-    );
+    let mut cfg = SweepConfig::from_env().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    cfg.progress = true;
+    let spec = builtin_grid("fig11").expect("fig11 grid");
+    let outcome = run_grid(&spec, &scale, &cfg).expect("sweep journal I/O failed");
+    print!("{}", render_fig11(&outcome));
 }

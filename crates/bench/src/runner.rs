@@ -11,6 +11,7 @@
 //! 4. **Measure**: replay the timed trace and collect the report.
 
 use ida_core::refresh::RefreshMode;
+use ida_faults::FaultConfig;
 use ida_flash::geometry::Geometry;
 use ida_flash::timing::{FlashTiming, SimTime};
 use ida_obs::gauge::GaugeSet;
@@ -285,7 +286,23 @@ pub fn run_config_mode(
     scale: &ExperimentScale,
     mode: ReplayMode,
 ) -> Report {
+    run_config_faulted(preset, cfg, scale, mode, None)
+}
+
+/// [`run_config_mode`] with a fault plan armed *after* warm-up, so every
+/// injected fault lands inside the measured window (warm-up stays clean,
+/// like a device that degrades in service).
+pub fn run_config_faulted(
+    preset: &WorkloadPreset,
+    cfg: SsdConfig,
+    scale: &ExperimentScale,
+    mode: ReplayMode,
+    faults: Option<FaultConfig>,
+) -> Report {
     let (mut sim, trace) = warmed_simulator(preset, cfg, scale);
+    if let Some(faults) = faults {
+        sim.arm_faults(faults);
+    }
     match mode {
         ReplayMode::OpenLoop => sim.run(to_host_ops(&trace)),
         ReplayMode::ClosedLoop(depth) => sim.run_closed_loop(to_host_ops(&trace), depth),

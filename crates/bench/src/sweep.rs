@@ -14,13 +14,16 @@
 //! into the engine's per-cell failure records instead of aborting the
 //! whole sweep.
 
-use crate::runner::{run_config_mode, system_config, ExperimentScale, ReplayMode, SystemUnderTest};
+use crate::runner::{
+    run_config_faulted, system_config, ExperimentScale, ReplayMode, SystemUnderTest,
+};
 use crate::table::{f, TextTable};
+use ida_faults::FaultConfig;
 use ida_flash::timing::FlashTiming;
 use ida_obs::json::JsonObj;
 use ida_ssd::retry::RetryConfig;
 use ida_ssd::Report;
-use ida_sweep::{jsonv, Cell, SweepConfig, SweepOutcome, SweepSpec};
+use ida_sweep::{derive_stream_seed, jsonv, Cell, SweepConfig, SweepOutcome, SweepSpec};
 use ida_workloads::suite::{paper_workload, paper_workloads};
 
 /// The voltage-adjustment error rates of Figure 8 (E0–E80).
@@ -32,8 +35,15 @@ pub const FIG9_DELTA_TR_US: [u64; 5] = [30, 40, 50, 60, 70];
 /// The closed-loop queue depth of Figure 10.
 pub const FIG10_QUEUE_DEPTH: usize = 32;
 
+/// The decoding-failure probability of Figure 11's late-lifetime phase.
+pub const FIG11_LATE_FAILURE_PROB: f64 = 0.4;
+
+/// Spare blocks reserved per plane in the `faults` grid, so retired
+/// blocks can be remapped before the device degrades to read-only.
+pub const FAULT_SPARES_PER_PLANE: u32 = 2;
+
 /// The names [`builtin_grid`] understands.
-pub const BUILTIN_GRIDS: [&str; 3] = ["fig8", "fig9", "fig10"];
+pub const BUILTIN_GRIDS: [&str; 5] = ["fig8", "fig9", "fig10", "fig11", "faults"];
 
 fn workload_names() -> Vec<String> {
     paper_workloads().into_iter().map(|p| p.spec.name).collect()
@@ -62,8 +72,46 @@ pub fn builtin_grid(name: &str) -> Option<SweepSpec> {
             SweepSpec::new("fig10", workloads, vec!["Baseline".into(), ida_label(0.2)])
                 .with_axis("replay", vec![format!("qd{FIG10_QUEUE_DEPTH}")]),
         ),
+        "fig11" => Some(
+            SweepSpec::new("fig11", workloads, vec!["Baseline".into(), ida_label(0.2)]).with_axis(
+                "phase",
+                vec![
+                    "early".into(),
+                    format!("late{:.0}", FIG11_LATE_FAILURE_PROB * 100.0),
+                ],
+            ),
+        ),
+        "faults" => Some(
+            SweepSpec::new("faults", workloads, vec!["Baseline".into(), ida_label(0.2)])
+                .with_axis("faults", FaultConfig::LEVELS.map(String::from).to_vec()),
+        ),
         _ => None,
     }
+}
+
+/// Parse a `phase` parameter (`early`, `late<pct>`) into a retry model,
+/// seeding the late-lifetime sampler from the cell's stream so every
+/// cell retries independently yet reproducibly.
+///
+/// # Errors
+///
+/// Returns a message for unrecognized phases.
+pub fn parse_phase(phase: &str, stream_seed: u64) -> Result<RetryConfig, String> {
+    if phase == "early" {
+        return Ok(RetryConfig::disabled());
+    }
+    if let Some(pct) = phase.strip_prefix("late") {
+        let pct: f64 = pct
+            .parse()
+            .map_err(|_| format!("bad failure percentage in phase {phase:?}"))?;
+        return Ok(RetryConfig::late_lifetime(
+            pct / 100.0,
+            derive_stream_seed(stream_seed, "retry"),
+        ));
+    }
+    Err(format!(
+        "unknown phase {phase:?} (expected early or late<pct>)"
+    ))
 }
 
 /// Parse a system label (`Baseline`, `IDA-E20`) back into a
@@ -92,6 +140,9 @@ pub fn parse_system(label: &str) -> Result<SystemUnderTest, String> {
 /// The per-cell result payload: the slice of the [`Report`] the sweep
 /// renderers (and downstream analysis) consume, as deterministic JSON.
 pub fn metrics_json(report: &Report) -> String {
+    let ftl = &report.ftl;
+    let injected_faults =
+        ftl.injected_program_fails + ftl.injected_erase_fails + ftl.transient_read_faults;
     JsonObj::new()
         .u64("reads", report.reads.count)
         .f64("mean_read_ns", report.reads.mean())
@@ -103,6 +154,15 @@ pub fn metrics_json(report: &Report) -> String {
         .f64("throughput_mibps", report.throughput_mibps())
         .u64("ida_reads", report.breakdown.ida)
         .u64("in_use_blocks", report.in_use_blocks as u64)
+        .u64("injected_faults", injected_faults)
+        .u64("injected_program_fails", ftl.injected_program_fails)
+        .u64("injected_erase_fails", ftl.injected_erase_fails)
+        .u64("transient_read_faults", ftl.transient_read_faults)
+        .u64("write_redirects", ftl.write_redirects)
+        .u64("retired_blocks", ftl.retired_blocks)
+        .u64("power_losses", ftl.power_losses)
+        .u64("recoveries", ftl.recoveries)
+        .u64("rejected_writes", ftl.rejected_writes)
         .finish()
 }
 
@@ -132,9 +192,20 @@ pub fn run_cell(cell: &Cell, scale: &ExperimentScale) -> String {
             None => panic!("bad replay parameter {qd:?} (expected open or qd<depth>)"),
         },
     };
-    let mut cfg = system_config(system, scale.geometry, timing, RetryConfig::disabled());
+    let retry = match cell.param("phase") {
+        None => RetryConfig::disabled(),
+        Some(phase) => parse_phase(phase, cell.stream_seed).unwrap_or_else(|e| panic!("{e}")),
+    };
+    let faults = cell.param("faults").map(|level| {
+        FaultConfig::preset(level, derive_stream_seed(cell.stream_seed, "faults"))
+            .unwrap_or_else(|| panic!("unknown fault level {level:?}"))
+    });
+    let mut cfg = system_config(system, scale.geometry, timing, retry);
     cfg.ftl.seed = cell.stream_seed;
-    let report = run_config_mode(&preset, cfg, scale, mode);
+    if faults.is_some() {
+        cfg.ftl.spare_blocks_per_plane = FAULT_SPARES_PER_PLANE;
+    }
+    let report = run_config_faulted(&preset, cfg, scale, mode, faults);
     metrics_json(&report)
 }
 
@@ -199,6 +270,8 @@ pub fn render(outcome: &SweepOutcome) -> Result<String, String> {
         "fig8" => Ok(render_fig8(outcome)),
         "fig9" => Ok(render_fig9(outcome)),
         "fig10" => Ok(render_fig10(outcome)),
+        "fig11" => Ok(render_fig11(outcome)),
+        "faults" => Ok(render_faults(outcome)),
         other => Err(format!("no renderer for sweep {other:?}")),
     }
 }
@@ -329,6 +402,121 @@ pub fn render_fig10(outcome: &SweepOutcome) -> String {
     out
 }
 
+/// Figure 11 table: normalized read response by lifetime phase.
+pub fn render_fig11(outcome: &SweepOutcome) -> String {
+    let workloads = workload_names();
+    let late = format!("late{:.0}", FIG11_LATE_FAILURE_PROB * 100.0);
+    let phases = ["early".to_string(), late];
+    let mut t = TextTable::new(vec!["Name", "early", "late"]);
+    let mut sums = [0.0f64; 2];
+    for w in &workloads {
+        let mut row = vec![w.clone()];
+        for (i, phase) in phases.iter().enumerate() {
+            let params: &[(&str, &str)] = &[("phase", phase)];
+            let base = metric(outcome, w, "Baseline", params, "mean_read_ns").unwrap_or(0.0);
+            let ida = metric(outcome, w, &ida_label(0.2), params, "mean_read_ns");
+            let norm = match ida {
+                Some(ida) if base > 0.0 => ida / base,
+                _ => 1.0,
+            };
+            sums[i] += norm;
+            row.push(f(norm, 3));
+        }
+        t.row(row);
+    }
+    let n = workloads.len() as f64;
+    t.row(vec![
+        "AVERAGE".to_string(),
+        f(sums[0] / n, 3),
+        f(sums[1] / n, 3),
+    ]);
+    let mut out = String::from(
+        "Figure 11 — normalized read response by lifetime phase (lower is better)\n\n",
+    );
+    out.push_str(&t.render());
+    out.push('\n');
+    out.push_str(&format!(
+        "Improvements: early {:.1}% (paper: 28%), late {:.1}% (paper: 42.3%)\n",
+        (1.0 - sums[0] / n) * 100.0,
+        (1.0 - sums[1] / n) * 100.0
+    ));
+    out.push_str(&failed_note(outcome));
+    out
+}
+
+/// Faults table: IDA-E20's normalized read response per fault level, plus
+/// the injected-fault and recovery totals that prove every cell both
+/// suffered and survived its plan.
+pub fn render_faults(outcome: &SweepOutcome) -> String {
+    let workloads = workload_names();
+    let levels = FaultConfig::LEVELS;
+    let mut header = vec!["Name".to_string()];
+    header.extend(levels.iter().map(|l| l.to_string()));
+    let mut t = TextTable::new(header);
+    let mut sums = vec![0.0f64; levels.len()];
+    for w in &workloads {
+        let mut row = vec![w.clone()];
+        for (i, level) in levels.iter().enumerate() {
+            let params: &[(&str, &str)] = &[("faults", level)];
+            let base = metric(outcome, w, "Baseline", params, "mean_read_ns").unwrap_or(0.0);
+            let ida = metric(outcome, w, &ida_label(0.2), params, "mean_read_ns");
+            let norm = match ida {
+                Some(ida) if base > 0.0 => ida / base,
+                _ => 1.0,
+            };
+            sums[i] += norm;
+            row.push(f(norm, 3));
+        }
+        t.row(row);
+    }
+    let n = workloads.len() as f64;
+    let mut avg = vec!["AVERAGE".to_string()];
+    for s in &sums {
+        avg.push(f(s / n, 3));
+    }
+    t.row(avg);
+
+    let mut out = String::from(
+        "Faults — normalized read response of IDA-E20 under rising fault rates (lower is better)\n\n",
+    );
+    out.push_str(&t.render());
+    out.push('\n');
+    // Per-level fault/recovery totals across every workload and system.
+    let mut totals = TextTable::new(vec![
+        "Level",
+        "Injected",
+        "Redirects",
+        "Retired",
+        "Power losses",
+        "Recoveries",
+        "Rejected writes",
+    ]);
+    for level in levels {
+        let params: &[(&str, &str)] = &[("faults", level)];
+        let sum_of = |key: &str| -> f64 {
+            let mut total = 0.0;
+            for w in &workloads {
+                for sys in ["Baseline".to_string(), ida_label(0.2)] {
+                    total += metric(outcome, w, &sys, params, key).unwrap_or(0.0);
+                }
+            }
+            total
+        };
+        totals.row(vec![
+            level.to_string(),
+            f(sum_of("injected_faults"), 0),
+            f(sum_of("write_redirects"), 0),
+            f(sum_of("retired_blocks"), 0),
+            f(sum_of("power_losses"), 0),
+            f(sum_of("recoveries"), 0),
+            f(sum_of("rejected_writes"), 0),
+        ]);
+    }
+    out.push_str(&totals.render());
+    out.push_str(&failed_note(outcome));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,10 +529,39 @@ mod tests {
         assert_eq!(builtin_grid("fig9").unwrap().len(), 11 * 5 * 2);
         // Fig 10: 11 workloads × (baseline + IDA-E20).
         assert_eq!(builtin_grid("fig10").unwrap().len(), 11 * 2);
+        // Fig 11: 11 workloads × 2 lifetime phases × (baseline + IDA-E20).
+        assert_eq!(builtin_grid("fig11").unwrap().len(), 11 * 2 * 2);
+        // Faults: 11 workloads × 4 fault levels × (baseline + IDA-E20).
+        assert_eq!(builtin_grid("faults").unwrap().len(), 11 * 4 * 2);
         assert!(builtin_grid("fig99").is_none());
         for name in BUILTIN_GRIDS {
             assert!(builtin_grid(name).is_some(), "missing grid {name}");
         }
+    }
+
+    #[test]
+    fn phase_labels_parse_into_retry_configs() {
+        assert_eq!(parse_phase("early", 1).unwrap(), RetryConfig::disabled());
+        let late = parse_phase("late40", 1).unwrap();
+        assert!((late.failure_prob - 0.4).abs() < 1e-9);
+        assert!(late.max_retries > 0);
+        // The seed is a pure function of the cell stream, not a constant.
+        assert_eq!(late.seed, parse_phase("late40", 1).unwrap().seed);
+        assert_ne!(late.seed, parse_phase("late40", 2).unwrap().seed);
+        assert!(parse_phase("midlife", 1).is_err());
+        assert!(parse_phase("lateX", 1).is_err());
+    }
+
+    #[test]
+    fn fault_metrics_appear_in_the_payload() {
+        let mut report = Report::default();
+        report.ftl.injected_program_fails = 3;
+        report.ftl.transient_read_faults = 4;
+        report.ftl.recoveries = 1;
+        let v = jsonv::parse(&metrics_json(&report)).unwrap();
+        assert_eq!(v.get("injected_faults").unwrap().as_f64(), Some(7.0));
+        assert_eq!(v.get("recoveries").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("rejected_writes").unwrap().as_f64(), Some(0.0));
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub enum Command {
     },
     /// Run an experiment grid on the parallel sweep engine.
     Sweep {
-        /// Grid name (`fig8`, `fig9`, `fig10`).
+        /// Grid name (`fig8`, `fig9`, `fig10`, `fig11`, `faults`).
         grid: String,
         /// Worker threads (`None` = `IDA_JOBS` or all cores).
         jobs: Option<usize>,
@@ -398,13 +398,17 @@ JSONL and --metrics-json writes the full report (latency histograms,
 counters, gauges) as JSON; both get a per-system suffix, e.g.
 trace.jsonl -> trace.Baseline.jsonl. --progress reports on stderr.
 
-Sweep: runs a whole experiment grid (fig8, fig9, fig10) on the
-parallel orchestration engine. --jobs N (or IDA_JOBS) sets the worker
-count, default all cores; aggregated output is byte-identical for any
-worker count. --journal appends one checkpoint record per finished
-cell; re-invoking with the same journal resumes, re-running only
-incomplete cells. With --out the aggregate JSON goes to the file and
-the figure table to stdout; without it the JSON goes to stdout.
+Sweep: runs a whole experiment grid (fig8, fig9, fig10, fig11,
+faults) on the parallel orchestration engine. --jobs N (or IDA_JOBS)
+sets the worker count, default all cores; aggregated output is
+byte-identical for any worker count. --journal appends one checkpoint
+record per finished cell; re-invoking with the same journal resumes,
+re-running only incomplete cells. With --out the aggregate JSON goes
+to the file and the figure table to stdout; without it the JSON goes
+to stdout. The faults grid injects program/erase failures, transient
+read faults and power losses (levels off/low/mid/high) and reports
+IDA's read benefit alongside the recovery counters; fig11 compares
+the early and late (retry-heavy) lifetime phases.
 
 Experiment binaries reproducing each paper table/figure live in the
 ida-bench crate, e.g.:

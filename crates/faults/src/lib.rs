@@ -1,0 +1,348 @@
+//! Deterministic fault injection for the IDA flash stack.
+//!
+//! The paper folds IDA's voltage adjustment into data refresh precisely
+//! because in-place reprogramming is risky; this crate supplies the
+//! *unhappy* path the rest of the workspace recovers from: program and
+//! erase failures (grown bad blocks), transient read faults, and
+//! power-loss events at chosen persistent-operation counts.
+//!
+//! Everything is driven by a single seeded [`Rng64`] stream owned by the
+//! [`FaultInjector`], so a simulation with faults enabled is exactly as
+//! deterministic as one without: same seed, same fault schedule, on every
+//! platform and for any sweep worker count. Draws are guarded — a zero
+//! probability consumes nothing from the stream — so arming a plan with
+//! all rates at zero is byte-identical to not arming one at all.
+
+use ida_obs::rng::Rng64;
+
+/// The fault plan: rates and schedules for every injected fault class.
+///
+/// Probabilities are per *attempt* (one program, one erase, one host
+/// read). Power-loss events fire at absolute persistent-operation indices
+/// counted from the moment the plan is armed, which pins crashes to exact,
+/// reproducible points in the operation stream rather than wall-clock
+/// times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a single program attempt fails (page marked bad,
+    /// write redirected to a fresh page).
+    pub program_fail_prob: f64,
+    /// Probability that a block erase fails (block retired to the bad list).
+    pub erase_fail_prob: f64,
+    /// Probability that a host read needs at least one transient retry.
+    pub transient_read_prob: f64,
+    /// Cap on transient retries per read (bounded retry-with-backoff).
+    pub transient_max_retries: u32,
+    /// Controller backoff charged per transient retry, in nanoseconds.
+    pub transient_backoff_ns: u64,
+    /// Persistent-operation indices (post-arming) at which power is lost.
+    /// Must be sorted ascending; each index fires at most once.
+    pub power_loss_ops: Vec<u64>,
+    /// Failed-program marks tolerated per erase cycle before the block is
+    /// retired as grown-bad at its next erase (0 disables retirement).
+    pub bad_block_threshold: u32,
+    /// Seed for the injector's private RNG stream.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// A plan that injects nothing (the default for every simulation).
+    pub fn none() -> Self {
+        FaultConfig {
+            program_fail_prob: 0.0,
+            erase_fail_prob: 0.0,
+            transient_read_prob: 0.0,
+            transient_max_retries: 0,
+            transient_backoff_ns: 0,
+            power_loss_ops: Vec::new(),
+            bad_block_threshold: 0,
+            seed: 0,
+        }
+    }
+
+    /// Whether any fault class can actually fire.
+    pub fn is_active(&self) -> bool {
+        self.program_fail_prob > 0.0
+            || self.erase_fail_prob > 0.0
+            || self.transient_read_prob > 0.0
+            || !self.power_loss_ops.is_empty()
+    }
+
+    /// Named fault levels used by the `faults` sweep grid: `off`, `low`,
+    /// `mid` and `high` (the last one also schedules power-loss events).
+    /// Returns `None` for an unknown level name.
+    pub fn preset(level: &str, seed: u64) -> Option<Self> {
+        let mut cfg = FaultConfig {
+            seed,
+            ..FaultConfig::none()
+        };
+        match level {
+            "off" => {}
+            "low" => {
+                cfg.program_fail_prob = 0.002;
+                cfg.erase_fail_prob = 0.002;
+                cfg.transient_read_prob = 0.01;
+                cfg.transient_max_retries = 3;
+                cfg.transient_backoff_ns = 5_000;
+                cfg.bad_block_threshold = 2;
+            }
+            "mid" => {
+                cfg.program_fail_prob = 0.01;
+                cfg.erase_fail_prob = 0.01;
+                cfg.transient_read_prob = 0.05;
+                cfg.transient_max_retries = 3;
+                cfg.transient_backoff_ns = 5_000;
+                cfg.bad_block_threshold = 2;
+            }
+            "high" => {
+                cfg.program_fail_prob = 0.03;
+                cfg.erase_fail_prob = 0.03;
+                cfg.transient_read_prob = 0.10;
+                cfg.transient_max_retries = 5;
+                cfg.transient_backoff_ns = 5_000;
+                cfg.bad_block_threshold = 2;
+                cfg.power_loss_ops = vec![500, 1_500, 4_000];
+            }
+            _ => return None,
+        }
+        Some(cfg)
+    }
+
+    /// The fault levels [`FaultConfig::preset`] understands, mildest first.
+    pub const LEVELS: [&'static str; 4] = ["off", "low", "mid", "high"];
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+/// Outcome of one persistent operation under the armed plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistOutcome {
+    /// The operation reached the medium.
+    Committed,
+    /// Power was lost *before* the operation committed; the device must
+    /// run recovery before accepting further work.
+    PowerLost {
+        /// The persistent-operation index at which the crash fired.
+        op_index: u64,
+    },
+}
+
+/// Running totals of what the injector has actually fired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Program attempts failed.
+    pub program_fails: u64,
+    /// Block erases failed.
+    pub erase_fails: u64,
+    /// Host reads that needed transient retries.
+    pub transient_reads: u64,
+    /// Power-loss events fired.
+    pub power_losses: u64,
+}
+
+/// The live injector: one seeded RNG stream plus a persistent-operation
+/// counter driving the power-loss schedule.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    rng: Rng64,
+    ops_issued: u64,
+    next_loss: usize,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Arm a plan. The persistent-operation counter starts at zero, so
+    /// `power_loss_ops` indices are relative to the arming point.
+    pub fn new(cfg: FaultConfig) -> Self {
+        debug_assert!(
+            cfg.power_loss_ops.windows(2).all(|w| w[0] < w[1]),
+            "power_loss_ops must be strictly ascending"
+        );
+        let rng = Rng64::seed_from_u64(cfg.seed);
+        FaultInjector {
+            cfg,
+            rng,
+            ops_issued: 0,
+            next_loss: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The armed plan.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Totals of the faults fired so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Persistent operations issued since arming.
+    pub fn ops_issued(&self) -> u64 {
+        self.ops_issued
+    }
+
+    /// Account one persistent operation (program, erase, or metadata
+    /// write) and report whether power survives it. The operation *at*
+    /// a scheduled crash index is lost — it never reaches the medium.
+    pub fn persist(&mut self) -> PersistOutcome {
+        let idx = self.ops_issued;
+        self.ops_issued += 1;
+        if self.cfg.power_loss_ops.get(self.next_loss) == Some(&idx) {
+            self.next_loss += 1;
+            self.stats.power_losses += 1;
+            return PersistOutcome::PowerLost { op_index: idx };
+        }
+        PersistOutcome::Committed
+    }
+
+    /// Should this program attempt fail? Draws from the stream only when
+    /// the rate is nonzero.
+    pub fn program_fails(&mut self) -> bool {
+        if self.cfg.program_fail_prob <= 0.0 {
+            return false;
+        }
+        let fail = self.rng.gen_bool(self.cfg.program_fail_prob);
+        if fail {
+            self.stats.program_fails += 1;
+        }
+        fail
+    }
+
+    /// Should this erase fail? Draws only when the rate is nonzero.
+    pub fn erase_fails(&mut self) -> bool {
+        if self.cfg.erase_fail_prob <= 0.0 {
+            return false;
+        }
+        let fail = self.rng.gen_bool(self.cfg.erase_fail_prob);
+        if fail {
+            self.stats.erase_fails += 1;
+        }
+        fail
+    }
+
+    /// Transient retries needed by this host read: geometric in the
+    /// transient rate, capped at `transient_max_retries`. Draws only when
+    /// the rate is nonzero.
+    pub fn transient_read_attempts(&mut self) -> u32 {
+        if self.cfg.transient_read_prob <= 0.0 || self.cfg.transient_max_retries == 0 {
+            return 0;
+        }
+        let mut attempts = 0;
+        while attempts < self.cfg.transient_max_retries
+            && self.rng.gen_bool(self.cfg.transient_read_prob)
+        {
+            attempts += 1;
+        }
+        if attempts > 0 {
+            self.stats.transient_reads += 1;
+        }
+        attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_never_fires_and_never_draws() {
+        let mut inj = FaultInjector::new(FaultConfig::none());
+        let rng_before = inj.rng.clone();
+        for _ in 0..1000 {
+            assert_eq!(inj.persist(), PersistOutcome::Committed);
+            assert!(!inj.program_fails());
+            assert!(!inj.erase_fails());
+            assert_eq!(inj.transient_read_attempts(), 0);
+        }
+        assert_eq!(
+            inj.rng, rng_before,
+            "inert plan must not consume the stream"
+        );
+        assert_eq!(inj.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn power_loss_fires_exactly_at_the_scheduled_indices() {
+        let cfg = FaultConfig {
+            power_loss_ops: vec![3, 5],
+            ..FaultConfig::none()
+        };
+        let mut inj = FaultInjector::new(cfg);
+        let lost: Vec<u64> = (0..10)
+            .filter_map(|_| match inj.persist() {
+                PersistOutcome::PowerLost { op_index } => Some(op_index),
+                PersistOutcome::Committed => None,
+            })
+            .collect();
+        assert_eq!(lost, vec![3, 5]);
+        assert_eq!(inj.stats().power_losses, 2);
+    }
+
+    #[test]
+    fn fault_rates_track_their_probabilities() {
+        let cfg = FaultConfig {
+            program_fail_prob: 0.2,
+            erase_fail_prob: 0.1,
+            seed: 99,
+            ..FaultConfig::none()
+        };
+        let mut inj = FaultInjector::new(cfg);
+        let n = 50_000;
+        let p = (0..n).filter(|_| inj.program_fails()).count() as f64 / n as f64;
+        let e = (0..n).filter(|_| inj.erase_fails()).count() as f64 / n as f64;
+        assert!((p - 0.2).abs() < 0.01, "program rate {p}");
+        assert!((e - 0.1).abs() < 0.01, "erase rate {e}");
+    }
+
+    #[test]
+    fn transient_attempts_are_bounded() {
+        let cfg = FaultConfig {
+            transient_read_prob: 0.9,
+            transient_max_retries: 3,
+            seed: 5,
+            ..FaultConfig::none()
+        };
+        let mut inj = FaultInjector::new(cfg);
+        for _ in 0..1000 {
+            assert!(inj.transient_read_attempts() <= 3);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let cfg = FaultConfig {
+            program_fail_prob: 0.05,
+            transient_read_prob: 0.05,
+            transient_max_retries: 4,
+            seed: 1234,
+            ..FaultConfig::none()
+        };
+        let mut a = FaultInjector::new(cfg.clone());
+        let mut b = FaultInjector::new(cfg);
+        for _ in 0..5000 {
+            assert_eq!(a.program_fails(), b.program_fails());
+            assert_eq!(a.transient_read_attempts(), b.transient_read_attempts());
+        }
+    }
+
+    #[test]
+    fn presets_cover_all_levels() {
+        for level in FaultConfig::LEVELS {
+            let cfg = FaultConfig::preset(level, 7).expect("known level");
+            assert_eq!(cfg.seed, 7);
+            assert_eq!(cfg.is_active(), level != "off");
+        }
+        assert!(FaultConfig::preset("catastrophic", 7).is_none());
+        assert!(
+            FaultConfig::preset("high", 7).unwrap().power_loss_ops.len() > 1,
+            "high level must exercise power loss"
+        );
+    }
+}

@@ -25,14 +25,15 @@ pub struct InterferenceModel {
 
 impl InterferenceModel {
     /// A model in which each page reprogrammed by IDA coding is corrupted
-    /// with probability `corrupt_prob`, deterministic under the default
-    /// seed.
+    /// with probability `corrupt_prob`, seeded at zero. Anything that
+    /// needs stream independence (sweep cells in particular) must use
+    /// [`InterferenceModel::with_seed`] with a derived per-cell seed.
     ///
     /// # Panics
     ///
     /// Panics if `corrupt_prob` is not within `0.0..=1.0`.
     pub fn new(corrupt_prob: f64) -> Self {
-        Self::with_seed(corrupt_prob, 0x1DA_C0D1)
+        Self::with_seed(corrupt_prob, 0)
     }
 
     /// Like [`InterferenceModel::new`] with an explicit RNG seed.

@@ -22,6 +22,9 @@ pub struct Allocator {
     cursor: usize,
     free: Vec<VecDeque<BlockAddr>>,
     active: Vec<Option<BlockAddr>>,
+    /// Per-plane reserved spares: erased blocks held out of circulation
+    /// until a grown-bad block needs replacing.
+    spares: Vec<Vec<BlockAddr>>,
 }
 
 impl Allocator {
@@ -41,6 +44,85 @@ impl Allocator {
             cursor: 0,
             free,
             active: vec![None; geometry.total_planes() as usize],
+            spares: vec![Vec::new(); geometry.total_planes() as usize],
+        }
+    }
+
+    /// An allocator that holds `per_plane` blocks out of each plane's free
+    /// pool as bad-block spares. Returns the blocks moved to the spare
+    /// pools so the caller can flag them in OOB metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a plane has fewer than `per_plane + GC_RESERVE + 1` free
+    /// blocks — a spare pool that starves normal allocation is a
+    /// configuration error.
+    pub fn with_spares(geometry: Geometry, per_plane: u32) -> (Self, Vec<BlockAddr>) {
+        let mut alloc = Self::new(geometry);
+        let mut taken = Vec::new();
+        for slot in 0..alloc.free.len() {
+            assert!(
+                alloc.free[slot].len() as u32 > per_plane + Self::GC_RESERVE,
+                "spare pool of {per_plane} starves plane {slot}"
+            );
+            for _ in 0..per_plane {
+                let b = alloc.free[slot].pop_back().expect("bound checked above");
+                alloc.spares[slot].push(b);
+                taken.push(b);
+            }
+        }
+        (alloc, taken)
+    }
+
+    /// Take one spare from `plane`'s pool to replace a retired block.
+    /// Returns `None` when the pool is exhausted (the degradation signal).
+    pub fn take_spare(&mut self, plane: PlaneAddr) -> Option<BlockAddr> {
+        self.spares[plane.0 as usize].pop()
+    }
+
+    /// Spares remaining in `plane`'s pool.
+    pub fn spare_count(&self, plane: PlaneAddr) -> u32 {
+        self.spares[plane.0 as usize].len() as u32
+    }
+
+    /// Spares remaining across all planes.
+    pub fn total_spares(&self) -> u64 {
+        self.spares.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Rebuild an allocator from recovered block states: `free` blocks
+    /// enter their plane's pool in address order, `spare` blocks re-enter
+    /// the spare pools, and at most one `open` block per plane becomes the
+    /// active block. Deterministic by construction — the pools depend only
+    /// on the recovered states, not on pre-crash pool order.
+    pub fn rebuild(geometry: Geometry, pool_of: impl Fn(BlockAddr) -> RecoveredPool) -> Self {
+        let planes = geometry.total_planes() as usize;
+        let mut free: Vec<VecDeque<BlockAddr>> = vec![VecDeque::new(); planes];
+        let mut spares: Vec<Vec<BlockAddr>> = vec![Vec::new(); planes];
+        let mut active: Vec<Option<BlockAddr>> = vec![None; planes];
+        for i in 0..geometry.total_blocks() {
+            let b = BlockAddr(i);
+            let slot = b.plane(&geometry).0 as usize;
+            match pool_of(b) {
+                RecoveredPool::Free => free[slot].push_back(b),
+                RecoveredPool::Spare => spares[slot].push(b),
+                RecoveredPool::Active => {
+                    assert!(
+                        active[slot].is_none(),
+                        "two open blocks recovered in plane {slot}"
+                    );
+                    active[slot] = Some(b);
+                }
+                RecoveredPool::None => {}
+            }
+        }
+        Allocator {
+            geometry,
+            plane_order: cwdp_plane_order(&geometry),
+            cursor: 0,
+            free,
+            active,
+            spares,
         }
     }
 
@@ -183,6 +265,19 @@ impl Allocator {
     }
 }
 
+/// Which pool a block belongs to after the recovery scan classifies it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveredPool {
+    /// Erased and allocatable.
+    Free,
+    /// Erased but reserved as a bad-block spare.
+    Spare,
+    /// Open (partially programmed): the plane's active block.
+    Active,
+    /// Not allocatable (closed, IDA, or bad).
+    None,
+}
+
 /// The CWDP plane visiting order: channel varies fastest, then chip, then
 /// die, then plane.
 fn cwdp_plane_order(g: &Geometry) -> Vec<PlaneAddr> {
@@ -277,6 +372,38 @@ mod tests {
         let before = alloc.free_count(block.plane(&g));
         alloc.push_free(block);
         assert_eq!(alloc.free_count(block.plane(&g)), before + 1);
+    }
+
+    #[test]
+    fn spare_pool_is_held_back_and_drains() {
+        let g = Geometry::tiny();
+        let (mut alloc, taken) = Allocator::with_spares(g, 2);
+        assert_eq!(taken.len(), 2 * g.total_planes() as usize);
+        assert_eq!(alloc.spare_count(PlaneAddr(0)), 2);
+        assert_eq!(
+            alloc.free_count(PlaneAddr(0)),
+            g.blocks_per_plane - 2,
+            "spares leave the free pool"
+        );
+        assert!(alloc.take_spare(PlaneAddr(0)).is_some());
+        assert!(alloc.take_spare(PlaneAddr(0)).is_some());
+        assert_eq!(alloc.take_spare(PlaneAddr(0)), None, "pool exhausts");
+        assert_eq!(alloc.total_spares(), 2);
+    }
+
+    #[test]
+    fn rebuild_sorts_blocks_into_their_pools() {
+        let g = Geometry::tiny(); // 2 planes x 64 blocks
+        let alloc = Allocator::rebuild(g, |b| match b.0 {
+            0 => RecoveredPool::Active,
+            1 => RecoveredPool::Spare,
+            2 | 3 => RecoveredPool::None,
+            _ => RecoveredPool::Free,
+        });
+        assert_eq!(alloc.active_block(PlaneAddr(0)), Some(BlockAddr(0)));
+        assert_eq!(alloc.spare_count(PlaneAddr(0)), 1);
+        assert_eq!(alloc.free_count(PlaneAddr(0)), 60);
+        assert_eq!(alloc.free_count(PlaneAddr(1)), 64);
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub enum BlockState {
     Closed,
     /// Re-programmed by IDA coding during a refresh.
     Ida,
+    /// Grown bad (failed erase or repeated program failures); permanently
+    /// out of circulation.
+    Bad,
 }
 
 #[derive(Debug, Clone)]
@@ -45,6 +48,8 @@ pub struct BlockTable {
     ida_blocks: u32,
     /// Wordlines currently carrying a merged (non-zero keep mask) coding.
     adjusted_wordlines: u64,
+    /// Blocks retired to the grown-bad list.
+    bad_blocks: u32,
 }
 
 impl BlockTable {
@@ -66,6 +71,7 @@ impl BlockTable {
             blocks,
             ida_blocks: 0,
             adjusted_wordlines: 0,
+            bad_blocks: 0,
         }
     }
 
@@ -192,6 +198,79 @@ impl BlockTable {
         info.erase_count += 1;
         info.closed_at = 0;
         info.wl_masks.fill(0);
+    }
+
+    /// Retire `b` to the grown-bad list. The block must hold no valid
+    /// data (erase failures and program-fail retirements both happen only
+    /// once the block has been emptied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is open or still holds valid pages.
+    pub fn mark_bad(&mut self, b: BlockAddr) {
+        let info = self.info_mut(b);
+        assert_ne!(info.state, BlockState::Open, "retire of open block {b}");
+        assert_eq!(
+            info.valid_pages, 0,
+            "retire of block {b} with {} valid pages",
+            info.valid_pages
+        );
+        let was_ida = info.state == BlockState::Ida;
+        let adjusted = info.wl_masks.iter().filter(|&&m| m != 0).count() as u64;
+        if was_ida {
+            self.ida_blocks -= 1;
+            self.adjusted_wordlines -= adjusted;
+        }
+        let info = self.info_mut(b);
+        info.state = BlockState::Bad;
+        info.write_ptr = 0;
+        info.closed_at = 0;
+        info.wl_masks.fill(0);
+        self.bad_blocks += 1;
+    }
+
+    /// Restore `b` to a known state during the post-crash recovery scan.
+    /// Replaces the block's entire record and keeps the incremental
+    /// counters consistent; only valid on a table whose block is currently
+    /// `Free` (i.e. a freshly constructed recovery table).
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        &mut self,
+        b: BlockAddr,
+        state: BlockState,
+        write_ptr: u32,
+        valid_pages: u32,
+        erase_count: u32,
+        closed_at: SimTime,
+        wl_masks: &[u8],
+    ) {
+        assert_eq!(
+            self.info(b).state,
+            BlockState::Free,
+            "restore over non-fresh block {b}"
+        );
+        let wls = self.geometry.wordlines_per_block as usize;
+        assert_eq!(wl_masks.len(), wls, "restore mask length mismatch");
+        match state {
+            BlockState::Ida => {
+                self.ida_blocks += 1;
+                self.adjusted_wordlines += wl_masks.iter().filter(|&&m| m != 0).count() as u64;
+            }
+            BlockState::Bad => self.bad_blocks += 1,
+            _ => {}
+        }
+        let info = self.info_mut(b);
+        info.state = state;
+        info.write_ptr = write_ptr;
+        info.valid_pages = valid_pages;
+        info.erase_count = erase_count;
+        info.closed_at = closed_at;
+        info.wl_masks.copy_from_slice(wl_masks);
+    }
+
+    /// Blocks on the grown-bad list (O(1)).
+    pub fn bad_blocks(&self) -> u32 {
+        self.bad_blocks
     }
 
     /// Convert a closed block into an IDA block at `now`, recording the
@@ -407,6 +486,45 @@ mod tests {
         t.erase(b);
         assert_eq!(t.ida_blocks(), 0);
         assert_eq!(t.adjusted_wordlines(), 0);
+    }
+
+    #[test]
+    fn bad_blocks_leave_circulation() {
+        let mut t = table();
+        let b = BlockAddr(7);
+        t.open(b);
+        let pages = t.geometry().pages_per_block();
+        for _ in 0..pages {
+            t.allocate_page(b, 0);
+        }
+        for _ in 0..pages {
+            t.invalidate_page(b);
+        }
+        t.mark_bad(b);
+        assert_eq!(t.state(b), BlockState::Bad);
+        assert_eq!(t.bad_blocks(), 1);
+        assert!(
+            t.reclaimable_blocks().all(|(blk, _, _)| blk != b),
+            "bad blocks must not be GC victims"
+        );
+    }
+
+    #[test]
+    fn restore_rebuilds_states_and_counters() {
+        let mut t = table();
+        let wls = t.geometry().wordlines_per_block as usize;
+        let mut masks = vec![0u8; wls];
+        masks[2] = 0b110;
+        t.restore(BlockAddr(0), BlockState::Ida, 48, 10, 3, 77, &masks);
+        t.restore(BlockAddr(1), BlockState::Bad, 0, 0, 5, 0, &vec![0; wls]);
+        t.restore(BlockAddr(2), BlockState::Open, 7, 7, 0, 0, &vec![0; wls]);
+        assert_eq!(t.ida_blocks(), 1);
+        assert_eq!(t.adjusted_wordlines(), 1);
+        assert_eq!(t.bad_blocks(), 1);
+        assert_eq!(t.wl_keep_mask(BlockAddr(0), 2), 0b110);
+        assert_eq!(t.erase_count(BlockAddr(0)), 3);
+        assert_eq!(t.next_offset(BlockAddr(2)), 7);
+        assert_eq!(t.in_use_blocks(), 3);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! FTL configuration.
 
 use ida_core::refresh::RefreshMode;
+use ida_faults::FaultConfig;
 use ida_flash::coding::CodingScheme;
 use ida_flash::geometry::Geometry;
 use ida_flash::timing::SimTime;
@@ -67,6 +68,13 @@ pub struct FtlConfig {
     /// slots of new blocks (Section III-C). Disable for the ablation that
     /// quantifies how much of the benefit this placement contributes.
     pub lsb_placement: bool,
+    /// Erased blocks per plane reserved as bad-block spares. Zero (the
+    /// default) disables the spare pool; fault experiments set it so grown
+    /// bad blocks can be remapped before the device degrades to read-only.
+    pub spare_blocks_per_plane: u32,
+    /// The armed fault-injection plan ([`FaultConfig::none`] by default;
+    /// [`crate::Ftl::arm_faults`] replaces it mid-run, after warm-up).
+    pub faults: FaultConfig,
 }
 
 impl FtlConfig {
@@ -90,6 +98,8 @@ impl Default for FtlConfig {
             gc_high_watermark: 4,
             coding: CodingVariant::Conventional,
             lsb_placement: true,
+            spare_blocks_per_plane: 0,
+            faults: FaultConfig::none(),
         }
     }
 }

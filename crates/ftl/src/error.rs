@@ -1,0 +1,37 @@
+//! Typed FTL errors — the failure modes a host can observe.
+//!
+//! These replace the panics that used to fire on input-reachable
+//! conditions (capacity exhaustion) and carry the new fault-injection
+//! outcomes (power loss, read-only degradation) up to the simulator and
+//! the CLI without unwinding.
+
+use std::fmt;
+
+/// Why a host write could not be acknowledged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FtlError {
+    /// The device is in read-only degradation; the reason is the message
+    /// recorded when the mode was entered (e.g. spare-pool exhaustion).
+    ReadOnly {
+        /// Why writes were disabled.
+        reason: &'static str,
+    },
+    /// Power was lost before the write's program operation committed; the
+    /// write is unacknowledged and the device ran (or must run) recovery.
+    PowerLoss,
+    /// The host exceeded the exported capacity: garbage collection found
+    /// no reclaimable space for a new write.
+    OutOfSpace,
+}
+
+impl fmt::Display for FtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtlError::ReadOnly { reason } => write!(f, "device is read-only: {reason}"),
+            FtlError::PowerLoss => write!(f, "power lost before the write committed"),
+            FtlError::OutOfSpace => write!(f, "device out of space: exported capacity exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for FtlError {}

@@ -1,20 +1,67 @@
-//! The FTL facade: host I/O, garbage collection and data refresh.
+//! The FTL facade: host I/O, garbage collection, data refresh, fault
+//! recovery.
+//!
+//! Volatile structures (page map, block table, allocator, refresh queue)
+//! are rebuilt after a power loss from the simulated OOB metadata in
+//! [`OobStore`]; see [`Ftl::recover`] for the scan and
+//! `DESIGN.md` section 10 for the invariants it restores.
 
-use crate::alloc::Allocator;
+use crate::alloc::{Allocator, RecoveredPool};
 use crate::block::{BlockState, BlockTable};
 use crate::config::FtlConfig;
+use crate::error::FtlError;
 use crate::gc;
 use crate::map::{Lpn, PageMap};
+use crate::oob::OobStore;
 use crate::ops::{FlashOp, FlashOpKind, Priority, ReadOp, ReadScenario};
 use crate::refresh::RefreshQueue;
 use crate::stats::FtlStats;
 use ida_core::merge::MergePlan;
 use ida_core::refresh::{RefreshMode, RefreshPlanner};
-use ida_flash::addr::{BlockAddr, PageAddr, PageType};
+use ida_faults::{FaultConfig, FaultInjector, FaultStats, PersistOutcome};
+use ida_flash::addr::{BlockAddr, PageAddr, PageType, PlaneAddr};
 use ida_flash::geometry::Geometry;
 use ida_flash::interference::InterferenceModel;
 use ida_flash::timing::SimTime;
 use ida_obs::trace::{SinkHandle, TraceEvent};
+
+/// Program-fail redirects attempted before the injector is overridden and
+/// the write forced through (keeps fault storms from livelocking a write).
+const MAX_REDIRECTS: u32 = 8;
+
+/// Where a page program originates, which decides how allocation pressure
+/// is relieved when the free pools run dry.
+#[derive(Debug, Clone, Copy)]
+enum AllocSource {
+    /// Host write: watermark GC ran already; force-collect as a last resort.
+    Host,
+    /// GC/refresh relocation: reclaim the globally cheapest victim until
+    /// an allocation succeeds, degrading to read-only if none helps.
+    Reloc {
+        /// Preferred destination page type (Section III-C LSB placement).
+        prefer_bit: Option<u8>,
+    },
+    /// GC copy-out: may dig into the victim plane's GC reserve.
+    Gc {
+        /// The victim's plane.
+        plane: PlaneAddr,
+    },
+}
+
+/// Summary of one post-power-loss recovery scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Logical mappings rebuilt from OOB program records.
+    pub rebuilt_mappings: u64,
+    /// Wordline merges rolled forward (pulse landed, commit mark lost).
+    pub rolled_forward: u32,
+    /// Kept pages of interrupted adjustments conservatively relocated.
+    pub scrubbed: u32,
+    /// Grown-bad blocks restored from OOB.
+    pub bad_blocks: u32,
+    /// Partially-programmed blocks resumed as their plane's active block.
+    pub open_blocks: u32,
+}
 
 /// The flash translation layer.
 ///
@@ -39,8 +86,20 @@ pub struct Ftl {
     /// The block currently being refreshed, excluded from GC victim
     /// selection so its pages are not relocated out from under the plan.
     refresh_target: Option<BlockAddr>,
-    /// Trace sink for GC/refresh/IDA events (null — free — by default).
+    /// Trace sink for GC/refresh/IDA/fault events (null — free — by
+    /// default).
     trace: SinkHandle,
+    /// Simulated persistent metadata; the source of truth for recovery.
+    oob: OobStore,
+    /// The armed fault plan's live injector.
+    injector: FaultInjector,
+    /// Power was lost; the device rejects work until [`Ftl::recover`] runs.
+    power_lost: bool,
+    /// A recovery scan is running: injector draws and persistent-operation
+    /// counting are suppressed (the scan itself cannot crash or fault).
+    in_recovery: bool,
+    /// Set when the device degraded to read-only, with the reason.
+    read_only: Option<&'static str>,
 }
 
 impl Ftl {
@@ -67,10 +126,21 @@ impl Ftl {
             cfg.refresh_mode,
             InterferenceModel::with_seed(cfg.adjust_error_rate, cfg.seed),
         );
+        let mut oob = OobStore::new(cfg.geometry);
+        let alloc = if cfg.spare_blocks_per_plane > 0 {
+            let (alloc, spares) = Allocator::with_spares(cfg.geometry, cfg.spare_blocks_per_plane);
+            for b in spares {
+                oob.set_spare(b, true);
+            }
+            alloc
+        } else {
+            Allocator::new(cfg.geometry)
+        };
+        let injector = FaultInjector::new(cfg.faults.clone());
         Ftl {
             map: PageMap::new(cfg.exported_pages(), cfg.geometry.total_pages()),
             blocks: BlockTable::new(cfg.geometry),
-            alloc: Allocator::new(cfg.geometry),
+            alloc,
             refresh_q: RefreshQueue::new(),
             planner,
             geometry: cfg.geometry,
@@ -79,13 +149,18 @@ impl Ftl {
             stats: FtlStats::default(),
             refresh_target: None,
             trace: SinkHandle::null(),
+            oob,
+            injector,
+            power_lost: false,
+            in_recovery: false,
+            read_only: None,
             cfg,
         }
     }
 
     /// Attach a trace sink. The simulator shares its own handle so FTL
-    /// events (GC, refresh, IDA conversion) interleave with flash events
-    /// in one stream.
+    /// events (GC, refresh, IDA conversion, faults) interleave with flash
+    /// events in one stream.
     pub fn set_trace(&mut self, trace: SinkHandle) {
         self.trace = trace;
     }
@@ -101,14 +176,48 @@ impl Ftl {
         self.cfg.refresh_period = period;
     }
 
+    /// Replace the armed fault plan. Experiments arm faults *after*
+    /// warm-up, so the steady-state population is built fault-free and the
+    /// injector's operation counter (which drives the power-loss schedule)
+    /// starts at the measurement boundary.
+    pub fn arm_faults(&mut self, faults: FaultConfig) {
+        self.injector = FaultInjector::new(faults.clone());
+        self.cfg.faults = faults;
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &FtlStats {
         &self.stats
     }
 
+    /// Totals of the faults the injector actually fired.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injector.stats()
+    }
+
     /// The block status table (read-only view for metrics/tests).
     pub fn blocks(&self) -> &BlockTable {
         &self.blocks
+    }
+
+    /// The simulated OOB metadata (read-only view for tests).
+    pub fn oob(&self) -> &OobStore {
+        &self.oob
+    }
+
+    /// Whether power was lost; [`Ftl::recover`] clears this.
+    pub fn power_lost(&self) -> bool {
+        self.power_lost
+    }
+
+    /// Why the device is read-only, if it degraded.
+    pub fn read_only_reason(&self) -> Option<&'static str> {
+        self.read_only
+    }
+
+    /// Bad-block spares remaining across all planes.
+    pub fn total_spares(&self) -> u64 {
+        self.alloc.total_spares()
     }
 
     /// Number of logical pages the host may address.
@@ -142,6 +251,14 @@ impl Ftl {
     pub fn read(&mut self, lpn: Lpn) -> Option<ReadOp> {
         let page = self.map.translate(lpn)?;
         self.stats.host_reads += 1;
+        let fault_attempts = if self.in_recovery {
+            0
+        } else {
+            self.injector.transient_read_attempts()
+        };
+        if fault_attempts > 0 {
+            self.stats.transient_read_faults += 1;
+        }
         let ty = page.page_type(&self.geometry);
         let senses = self.senses_for(page);
         let scenario = self.classify_read(page, ty);
@@ -155,6 +272,7 @@ impl Ftl {
             scenario,
             die: page.die(&self.geometry),
             channel: page.channel(&self.geometry),
+            fault_attempts,
         })
     }
 
@@ -190,35 +308,196 @@ impl Ftl {
     /// execute (GC traffic first if the free pool ran low, then the
     /// program itself).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the device is genuinely out of space even after GC, which
-    /// cannot happen while the host stays within the exported capacity.
-    pub fn write(&mut self, lpn: Lpn, now: SimTime) -> Vec<FlashOp> {
+    /// [`FtlError::PowerLoss`] if an injected power loss fired before the
+    /// write committed (run [`Ftl::recover`] before retrying),
+    /// [`FtlError::ReadOnly`] if the device has degraded to read-only
+    /// mode, and [`FtlError::OutOfSpace`] if the host exceeded the
+    /// exported capacity.
+    pub fn write(&mut self, lpn: Lpn, now: SimTime) -> Result<Vec<FlashOp>, FtlError> {
+        if self.power_lost {
+            return Err(FtlError::PowerLoss);
+        }
+        if let Some(reason) = self.read_only {
+            return Err(self.reject_write(lpn, now, reason));
+        }
         let mut ops = Vec::new();
         self.collect_if_needed(now, &mut ops);
-        let page = match self.alloc.allocate(&mut self.blocks, now) {
-            Some(p) => p,
-            None => {
-                self.force_collect(now, &mut ops);
-                self.alloc
-                    .allocate(&mut self.blocks, now)
-                    .expect("device out of space: host exceeded exported capacity")
-            }
-        };
-        if let Some(old) = self.map.map(lpn, page) {
-            self.blocks.invalidate_page(old.block(&self.geometry));
+        if self.power_lost {
+            return Err(FtlError::PowerLoss);
         }
-        self.after_allocation(page, now);
-        self.stats.host_writes += 1;
-        ops.push(self.program_op(page, Priority::HostWrite));
-        ops
+        match self.program_data(lpn, AllocSource::Host, now, Priority::HostWrite, &mut ops) {
+            Some(page) => {
+                if let Some(old) = self.map.map(lpn, page) {
+                    self.blocks.invalidate_page(old.block(&self.geometry));
+                }
+                self.stats.host_writes += 1;
+                Ok(ops)
+            }
+            None if self.power_lost => Err(FtlError::PowerLoss),
+            None => match self.read_only {
+                Some(reason) => Err(self.reject_write(lpn, now, reason)),
+                None => Err(FtlError::OutOfSpace),
+            },
+        }
     }
 
-    /// Host trim/discard of `lpn`.
+    fn reject_write(&mut self, lpn: Lpn, now: SimTime, reason: &'static str) -> FtlError {
+        self.stats.rejected_writes += 1;
+        self.trace
+            .emit_with(|| TraceEvent::WriteRejected { t: now, lpn: lpn.0 });
+        FtlError::ReadOnly { reason }
+    }
+
+    /// Host trim/discard of `lpn`. Trim is volatile and advisory: it only
+    /// updates the in-DRAM map, so trimmed data may resurrect after a
+    /// power loss (the OOB record still names it newest — the behavior
+    /// real SSDs exhibit with non-deterministic trim).
     pub fn trim(&mut self, lpn: Lpn) {
         if let Some(old) = self.map.unmap(lpn) {
             self.blocks.invalidate_page(old.block(&self.geometry));
+        }
+    }
+
+    /// Account one persistent operation against the armed fault plan.
+    /// Returns `true` when power was lost — the caller must abandon its
+    /// in-flight mutation *before* touching persistent state.
+    fn persist(&mut self, now: SimTime) -> bool {
+        if self.in_recovery {
+            return false;
+        }
+        match self.injector.persist() {
+            PersistOutcome::Committed => false,
+            PersistOutcome::PowerLost { op_index } => {
+                self.power_lost = true;
+                self.stats.power_losses += 1;
+                self.trace
+                    .emit_with(|| TraceEvent::FaultPowerLoss { t: now, op_index });
+                true
+            }
+        }
+    }
+
+    fn enter_read_only(&mut self, now: SimTime, reason: &'static str) {
+        if self.read_only.is_none() {
+            self.read_only = Some(reason);
+            self.trace
+                .emit_with(|| TraceEvent::ReadOnlyMode { t: now, reason });
+        }
+    }
+
+    /// Allocate a destination page for `src`, applying the source-specific
+    /// pressure-relief strategy. `None` means power loss or degradation.
+    fn try_alloc(
+        &mut self,
+        src: AllocSource,
+        now: SimTime,
+        ops: &mut Vec<FlashOp>,
+    ) -> Option<PageAddr> {
+        match src {
+            AllocSource::Host => {
+                if let Some(p) = self.alloc.allocate(&mut self.blocks, now) {
+                    return Some(p);
+                }
+                self.force_collect(now, ops);
+                if self.power_lost {
+                    return None;
+                }
+                self.alloc.allocate(&mut self.blocks, now)
+            }
+            AllocSource::Reloc { prefer_bit } => {
+                // Long refresh chains can outrun the watermark GC that the
+                // host write path performs; reclaim the globally cheapest
+                // victim (empty carcasses first) until an allocation
+                // succeeds. Under fault injection reclaim can genuinely
+                // stall (erases failing everywhere), so the bound degrades
+                // to read-only instead of panicking.
+                let mut attempts = 0u32;
+                loop {
+                    if let Some(p) = self.allocate_maybe_preferring(prefer_bit, now) {
+                        return Some(p);
+                    }
+                    if self.power_lost {
+                        return None;
+                    }
+                    attempts += 1;
+                    if attempts > 64 || !self.reclaim_cheapest(now, ops) {
+                        self.enter_read_only(now, "relocation space exhausted");
+                        return None;
+                    }
+                    if self.power_lost {
+                        return None;
+                    }
+                }
+            }
+            AllocSource::Gc { plane } => {
+                // Prefer spreading relocated pages across the device
+                // (otherwise a nearly-full victim would eat the very pool
+                // its erase refills); the per-plane reserve is the
+                // fallback of last resort. Fault injection can break the
+                // reserve guarantee (failed pages burn allocations, failed
+                // erases never repay), so exhaustion degrades gracefully.
+                let dest = self
+                    .alloc
+                    .allocate(&mut self.blocks, now)
+                    .or_else(|| self.alloc.allocate_gc(plane, &mut self.blocks, now));
+                if dest.is_none() && !self.power_lost {
+                    self.enter_read_only(now, "GC reserve exhausted");
+                }
+                dest
+            }
+        }
+    }
+
+    /// Program `lpn`'s data onto a freshly allocated page, absorbing
+    /// injected program failures by redirecting to another fresh page
+    /// (the victim page is marked failed and stays burned until its
+    /// block's next erase). Returns the page that took the data, or
+    /// `None` on power loss / degradation.
+    fn program_data(
+        &mut self,
+        lpn: Lpn,
+        src: AllocSource,
+        now: SimTime,
+        priority: Priority,
+        ops: &mut Vec<FlashOp>,
+    ) -> Option<PageAddr> {
+        let mut attempts = 0u32;
+        loop {
+            if self.power_lost {
+                return None;
+            }
+            let page = self.try_alloc(src, now, ops)?;
+            ops.push(self.program_op(page, priority));
+            if self.persist(now) {
+                return None;
+            }
+            if attempts < MAX_REDIRECTS && !self.in_recovery && self.injector.program_fails() {
+                attempts += 1;
+                self.stats.injected_program_fails += 1;
+                self.oob.record_failed(page);
+                self.blocks.invalidate_page(page.block(&self.geometry));
+                self.after_allocation(page, now);
+                self.trace.emit_with(|| TraceEvent::FaultProgramFail {
+                    t: now,
+                    block: page.block(&self.geometry).0 as u64,
+                    page: page.0,
+                });
+                continue;
+            }
+            self.oob.record_program(page, lpn.0);
+            self.after_allocation(page, now);
+            if attempts > 0 {
+                self.stats.write_redirects += 1;
+                self.trace.emit_with(|| TraceEvent::WriteRedirect {
+                    t: now,
+                    lpn: lpn.0,
+                    page: page.0,
+                    attempts,
+                });
+            }
+            return Some(page);
         }
     }
 
@@ -232,6 +511,9 @@ impl Ftl {
     pub fn run_due_refreshes(&mut self, now: SimTime) -> Vec<FlashOp> {
         let mut ops = Vec::new();
         loop {
+            if self.power_lost {
+                break;
+            }
             let blocks = &self.blocks;
             let due = self.refresh_q.pop_due(now, |b, snap| {
                 matches!(blocks.state(b), BlockState::Closed | BlockState::Ida)
@@ -246,8 +528,12 @@ impl Ftl {
     }
 
     /// Refresh one block immediately (also used by tests and experiments
-    /// that drive refresh manually).
+    /// that drive refresh manually). No-op once power is lost or the
+    /// device went read-only (a degraded device stops background work).
     pub fn refresh_block(&mut self, block: BlockAddr, now: SimTime, ops: &mut Vec<FlashOp>) {
+        if self.power_lost || self.read_only.is_some() {
+            return;
+        }
         self.refresh_target = Some(block);
         self.refresh_block_inner(block, now, ops);
         self.refresh_target = None;
@@ -284,16 +570,25 @@ impl Ftl {
         // of new blocks, Section III-C).
         for &(wl, bit) in &plan.moves {
             let page = self.block_page(block, wl, bit);
-            self.relocate_page(page, now, None, ops);
+            if !self.relocate_page(page, now, None, ops) {
+                return;
+            }
             self.stats.refresh_moves += 1;
         }
         for &(wl, bit) in &plan.evictions {
             let page = self.block_page(block, wl, bit);
             let prefer = self.cfg.lsb_placement.then_some(bit);
-            self.relocate_page(page, now, prefer, ops);
+            if !self.relocate_page(page, now, prefer, ops) {
+                return;
+            }
             self.stats.refresh_moves += 1;
         }
-        // Step 4: voltage-adjust the selected wordlines.
+        // Step 4: voltage-adjust the selected wordlines under the intent
+        // journal. Protocol: persist the intent, then per wordline persist
+        // the pulse (merge record) and persist the commit mark; the intent
+        // is cleared only after the verification reads and error writes.
+        // A crash at any point leaves each wordline either fully merged
+        // (rolled forward by recovery) or fully unmerged.
         if !plan.adjusted_wordlines.is_empty() {
             let masks: Vec<(u32, u8)> = plan
                 .adjusted_wordlines
@@ -301,15 +596,11 @@ impl Ftl {
                 .copied()
                 .zip(plan.keep_masks.iter().copied())
                 .collect();
-            self.blocks.mark_ida(block, &masks, now);
-            self.stats.ida_conversions += 1;
-            self.stats.voltage_adjusts += plan.adjusted_wordlines.len() as u64;
-            self.trace.emit_with(|| TraceEvent::IdaConversion {
-                t: now,
-                block: block.0 as u64,
-                wordlines: plan.adjusted_wordlines.len() as u32,
-            });
-            for _ in &plan.adjusted_wordlines {
+            if self.persist(now) {
+                return;
+            }
+            self.oob.set_intent(block, &masks);
+            for &(wl, mask) in &masks {
                 ops.push(FlashOp {
                     kind: FlashOpKind::VoltageAdjust,
                     die: block.die(&self.geometry),
@@ -318,7 +609,23 @@ impl Ftl {
                     page: None,
                     priority: Priority::Background,
                 });
+                if self.persist(now) {
+                    return;
+                }
+                self.oob.record_merge(block, wl, mask);
+                if self.persist(now) {
+                    return;
+                }
+                self.oob.commit_merge(block, wl);
             }
+            self.blocks.mark_ida(block, &masks, now);
+            self.stats.ida_conversions += 1;
+            self.stats.voltage_adjusts += plan.adjusted_wordlines.len() as u64;
+            self.trace.emit_with(|| TraceEvent::IdaConversion {
+                t: now,
+                block: block.0 as u64,
+                wordlines: plan.adjusted_wordlines.len() as u32,
+            });
             // Step 5: verification reads under the merged coding.
             for &(wl, bit) in &plan.verify_reads {
                 let page = self.block_page(block, wl, bit);
@@ -327,8 +634,14 @@ impl Ftl {
             // Step 8: corrupted pages move to the new block after all.
             for &(wl, bit) in &plan.error_writes {
                 let page = self.block_page(block, wl, bit);
-                self.relocate_page(page, now, None, ops);
+                if !self.relocate_page(page, now, None, ops) {
+                    return;
+                }
             }
+            if self.persist(now) {
+                return;
+            }
+            self.oob.clear_intent(block);
             // Schedule the forced reclaim of the new IDA block.
             self.refresh_q
                 .schedule(block, now, now + self.cfg.refresh_period);
@@ -347,12 +660,18 @@ impl Ftl {
     /// restored (or no victims remain). Returns whether anything happened.
     pub fn collect_plane(
         &mut self,
-        plane: ida_flash::addr::PlaneAddr,
+        plane: PlaneAddr,
         now: SimTime,
         ops: &mut Vec<FlashOp>,
     ) -> bool {
         let mut progressed = false;
-        while self.alloc.free_count(plane) < self.cfg.gc_high_watermark {
+        // Power loss and read-only degradation both stop GC cold: a
+        // degraded device can no longer relocate, so re-selecting the same
+        // victim would spin forever.
+        while !self.power_lost
+            && self.read_only.is_none()
+            && self.alloc.free_count(plane) < self.cfg.gc_high_watermark
+        {
             let Some(victim) = gc::select_victim(&self.blocks, plane, self.refresh_target) else {
                 break;
             };
@@ -385,6 +704,8 @@ impl Ftl {
     }
 
     /// Relocate a victim's valid pages within its plane and erase it.
+    /// Bails (leaving the victim unerased, its remaining pages intact) on
+    /// power loss or read-only degradation mid-copy.
     fn collect_victim(&mut self, victim: BlockAddr, now: SimTime, ops: &mut Vec<FlashOp>) {
         self.stats.gc_runs += 1;
         let plane = victim.plane(&self.geometry);
@@ -393,7 +714,9 @@ impl Ftl {
             let page = victim.page(&self.geometry, off);
             if self.map.is_valid(page) {
                 ops.push(self.read_op(page, Priority::Background));
-                self.relocate_for_gc(page, plane, now, ops);
+                if !self.relocate_for_gc(page, plane, now, ops) {
+                    return;
+                }
                 self.stats.gc_copies += 1;
                 copies += 1;
             }
@@ -403,9 +726,13 @@ impl Ftl {
             block: victim.0 as u64,
             copies,
         });
-        self.blocks.erase(victim);
-        self.stats.erases += 1;
-        self.alloc.push_free(victim);
+        self.erase_block(victim, now, ops);
+    }
+
+    /// Erase an emptied block, absorbing injected erase failures (the
+    /// block retires) and retiring blocks whose failed-page count crossed
+    /// the grown-bad threshold.
+    fn erase_block(&mut self, victim: BlockAddr, now: SimTime, ops: &mut Vec<FlashOp>) {
         ops.push(FlashOp {
             kind: FlashOpKind::Erase,
             die: victim.die(&self.geometry),
@@ -414,6 +741,51 @@ impl Ftl {
             page: None,
             priority: Priority::Background,
         });
+        if self.persist(now) {
+            return;
+        }
+        if !self.in_recovery && self.injector.erase_fails() {
+            self.stats.injected_erase_fails += 1;
+            self.trace.emit_with(|| TraceEvent::FaultEraseFail {
+                t: now,
+                block: victim.0 as u64,
+            });
+            self.retire_block(victim, now, "erase_failure");
+            return;
+        }
+        let failed_pages = self.oob.failed_count(victim);
+        self.oob.record_erase(victim);
+        self.blocks.erase(victim);
+        self.stats.erases += 1;
+        let threshold = self.cfg.faults.bad_block_threshold;
+        if threshold > 0 && failed_pages >= threshold {
+            self.retire_block(victim, now, "program_failures");
+        } else {
+            self.alloc.push_free(victim);
+        }
+    }
+
+    /// Retire `block` to the grown-bad list, promoting a spare from its
+    /// plane's pool when one remains; otherwise the device degrades to
+    /// read-only (the explicit-degradation path).
+    fn retire_block(&mut self, block: BlockAddr, now: SimTime, reason: &'static str) {
+        self.blocks.mark_bad(block);
+        self.oob.mark_bad(block);
+        self.stats.retired_blocks += 1;
+        let spare = self.alloc.take_spare(block.plane(&self.geometry));
+        if let Some(s) = spare {
+            self.oob.set_spare(s, false);
+            self.alloc.push_free(s);
+        }
+        self.trace.emit_with(|| TraceEvent::BlockRetired {
+            t: now,
+            block: block.0 as u64,
+            reason,
+            spare_used: spare.is_some(),
+        });
+        if spare.is_none() {
+            self.enter_read_only(now, "spare pool exhausted");
+        }
     }
 
     fn collect_if_needed(&mut self, now: SimTime, ops: &mut Vec<FlashOp>) {
@@ -426,83 +798,59 @@ impl Ftl {
     fn force_collect(&mut self, now: SimTime, ops: &mut Vec<FlashOp>) {
         let planes = self.geometry.total_planes();
         for p in 0..planes {
-            self.collect_plane(ida_flash::addr::PlaneAddr(p), now, ops);
+            if self.power_lost {
+                return;
+            }
+            self.collect_plane(PlaneAddr(p), now, ops);
         }
     }
 
     /// Move a valid page into a freshly allocated location, emitting the
     /// program op (the read is charged by the caller where appropriate).
     /// `prefer_bit` requests a destination slot of the given page type.
+    /// Returns false on power loss or read-only degradation (the source
+    /// page keeps its data).
     fn relocate_page(
         &mut self,
         from: PageAddr,
         now: SimTime,
         prefer_bit: Option<u8>,
         ops: &mut Vec<FlashOp>,
-    ) {
-        self.relocate_page_inner(from, now, prefer_bit, ops);
-    }
-
-    fn relocate_page_inner(
-        &mut self,
-        from: PageAddr,
-        now: SimTime,
-        prefer_bit: Option<u8>,
-        ops: &mut Vec<FlashOp>,
-    ) {
-        let mut dest = self.allocate_maybe_preferring(prefer_bit, now);
-        // Long refresh chains can outrun the watermark GC that the host
-        // write path performs; reclaim the globally cheapest victim (empty
-        // carcasses first) until an allocation succeeds.
-        let mut attempts = 0;
-        while dest.is_none() {
-            attempts += 1;
-            assert!(
-                attempts <= 64 && self.reclaim_cheapest(now, ops),
-                "relocation starved after {attempts} GC attempts \
-                 (free blocks: {}, pools: {:?})",
-                self.alloc.total_free(),
-                self.alloc.pool_snapshot()
-            );
-            dest = self.allocate_maybe_preferring(prefer_bit, now);
-        }
-        self.finish_relocation(from, dest.expect("just filled"), now, ops);
+    ) -> bool {
+        let Some(lpn) = self.map.owner(from) else {
+            return true; // Already superseded; nothing to move.
+        };
+        let src = AllocSource::Reloc { prefer_bit };
+        let Some(dest) = self.program_data(lpn, src, now, Priority::Background, ops) else {
+            return false;
+        };
+        let moved = self.map.relocate(from, dest);
+        debug_assert_eq!(moved, Some(lpn), "relocation source {from} was invalid");
+        self.blocks.invalidate_page(from.block(&self.geometry));
+        true
     }
 
     /// GC relocation: stays inside the victim's plane using the GC reserve
-    /// (the erase about to happen repays it), so GC can never deadlock on
-    /// its own space demand.
+    /// (the erase about to happen repays it) when device-wide allocation
+    /// fails. Returns false on power loss or degradation.
     fn relocate_for_gc(
         &mut self,
         from: PageAddr,
-        plane: ida_flash::addr::PlaneAddr,
+        plane: PlaneAddr,
         now: SimTime,
         ops: &mut Vec<FlashOp>,
-    ) {
-        // Prefer spreading relocated pages across the device (otherwise a
-        // nearly-full victim would eat the very pool its erase refills and
-        // the watermark loop would make no net progress); the per-plane
-        // reserve is the deadlock-free fallback of last resort.
-        let dest = self
-            .alloc
-            .allocate(&mut self.blocks, now)
-            .or_else(|| self.alloc.allocate_gc(plane, &mut self.blocks, now))
-            .expect("GC reserve guarantees relocation space");
-        self.finish_relocation(from, dest, now, ops);
-    }
-
-    fn finish_relocation(
-        &mut self,
-        from: PageAddr,
-        dest: PageAddr,
-        now: SimTime,
-        ops: &mut Vec<FlashOp>,
-    ) {
+    ) -> bool {
+        let Some(lpn) = self.map.owner(from) else {
+            return true;
+        };
+        let src = AllocSource::Gc { plane };
+        let Some(dest) = self.program_data(lpn, src, now, Priority::Background, ops) else {
+            return false;
+        };
         let moved = self.map.relocate(from, dest);
-        assert!(moved.is_some(), "relocation source {from} was invalid");
+        debug_assert_eq!(moved, Some(lpn), "relocation source {from} was invalid");
         self.blocks.invalidate_page(from.block(&self.geometry));
-        self.after_allocation(dest, now);
-        ops.push(self.program_op(dest, Priority::Background));
+        true
     }
 
     fn allocate_maybe_preferring(
@@ -528,6 +876,213 @@ impl Ftl {
                 now + self.cfg.refresh_period,
             );
         }
+    }
+
+    /// Rebuild all volatile state from the simulated OOB metadata after a
+    /// power loss (callable any time; the scan is idempotent).
+    ///
+    /// Phases: (1) resolve open refresh-adjustment intents per wordline —
+    /// a recorded pulse is rolled forward to committed, an unrecorded one
+    /// leaves the wordline conventionally coded, and kept pages of pulsed
+    /// wordlines are queued for a conservative scrub (their verification
+    /// may not have happened); (2) rebuild the L2P map from page records,
+    /// newest sequence number winning; (3) reconstruct the block table
+    /// from programmed/bad/committed-mask state; (4) re-pool the
+    /// allocator; (5) reschedule refresh for every closed block; (6) run
+    /// the scrub relocations. Power-lost status clears; read-only status
+    /// is re-derived from the persistent bad/spare state.
+    pub fn recover(&mut self, now: SimTime) -> RecoveryReport {
+        self.in_recovery = true;
+        let mut report = RecoveryReport::default();
+
+        // Phase 1: wordline-atomicity resolution.
+        let mut scrub_pages: Vec<PageAddr> = Vec::new();
+        for block in self.oob.open_intents() {
+            let intent = self
+                .oob
+                .intent(block)
+                .expect("listed as an open intent")
+                .to_vec();
+            for (wl, mask) in intent {
+                if self.oob.merged_mask(block, wl) == mask {
+                    if !self.oob.is_committed(block, wl) {
+                        self.oob.commit_merge(block, wl);
+                        report.rolled_forward += 1;
+                    }
+                    for bit in 0..self.geometry.bits_per_cell as u8 {
+                        if mask & (1 << bit) != 0 {
+                            scrub_pages.push(self.block_page(block, wl, bit));
+                        }
+                    }
+                }
+                // No merge record: the pulse never landed; the wordline
+                // keeps its conventional coding.
+            }
+            self.oob.clear_intent(block);
+        }
+
+        // Phase 2: L2P rebuild, newest sequence number wins.
+        let mut records: Vec<(u64, u64, PageAddr)> = self
+            .oob
+            .data_records()
+            .map(|(page, lpn, seq)| (seq, lpn, page))
+            .collect();
+        records.sort_unstable();
+        let mut map = PageMap::new(self.cfg.exported_pages(), self.geometry.total_pages());
+        for (_, lpn, page) in records {
+            map.map(Lpn(lpn), page);
+        }
+        report.rebuilt_mappings = map.mapped_count();
+
+        // Phase 3: block table reconstruction.
+        let full = self.geometry.pages_per_block();
+        let zero_masks = vec![0u8; self.geometry.wordlines_per_block as usize];
+        let mut blocks = BlockTable::new(self.geometry);
+        for i in 0..self.geometry.total_blocks() {
+            let b = BlockAddr(i);
+            let erases = self.oob.erase_count(b);
+            if self.oob.is_bad(b) {
+                blocks.restore(b, BlockState::Bad, 0, 0, erases, 0, &zero_masks);
+                continue;
+            }
+            let programmed = self.oob.programmed_count(b);
+            let valid = (0..full)
+                .filter(|&off| map.is_valid(b.page(&self.geometry, off)))
+                .count() as u32;
+            if programmed == 0 {
+                blocks.restore(b, BlockState::Free, 0, 0, erases, 0, &zero_masks);
+            } else if programmed < full {
+                blocks.restore(
+                    b,
+                    BlockState::Open,
+                    programmed,
+                    valid,
+                    erases,
+                    0,
+                    &zero_masks,
+                );
+                report.open_blocks += 1;
+            } else {
+                let masks = self.oob.committed_masks(b);
+                let state = if masks.iter().any(|&m| m != 0) {
+                    BlockState::Ida
+                } else {
+                    BlockState::Closed
+                };
+                blocks.restore(b, state, full, valid, erases, now, &masks);
+            }
+        }
+        report.bad_blocks = blocks.bad_blocks();
+
+        // Phase 4: allocator pools from the recovered states.
+        let oob = &self.oob;
+        let alloc = Allocator::rebuild(self.geometry, |b| match blocks.state(b) {
+            BlockState::Free if oob.is_spare(b) => RecoveredPool::Spare,
+            BlockState::Free => RecoveredPool::Free,
+            BlockState::Open => RecoveredPool::Active,
+            _ => RecoveredPool::None,
+        });
+
+        // Phase 5: every surviving closed block is rescheduled for refresh
+        // one full period out (its retention clock restarts conservatively
+        // from the recovery point).
+        let mut refresh_q = RefreshQueue::new();
+        for i in 0..self.geometry.total_blocks() {
+            let b = BlockAddr(i);
+            if matches!(blocks.state(b), BlockState::Closed | BlockState::Ida) {
+                refresh_q.schedule(b, blocks.closed_at(b), now + self.cfg.refresh_period);
+            }
+        }
+
+        self.map = map;
+        self.blocks = blocks;
+        self.alloc = alloc;
+        self.refresh_q = refresh_q;
+        self.refresh_target = None;
+        self.power_lost = false;
+        self.read_only = None;
+        if self.blocks.bad_blocks() > 0 && self.alloc.total_spares() == 0 {
+            // Re-derive degradation: retirements exist and no spare could
+            // cover the next one.
+            self.enter_read_only(now, "spare pool exhausted");
+        }
+
+        // Phase 6: conservative scrub of kept pages whose post-adjustment
+        // verification was interrupted. The flash ops are not returned —
+        // the simulator charges recovery as a single stall.
+        let mut scrub_ops = Vec::new();
+        for page in scrub_pages {
+            if self.map.is_valid(page) && self.relocate_page(page, now, None, &mut scrub_ops) {
+                report.scrubbed += 1;
+            }
+        }
+
+        self.stats.recoveries += 1;
+        self.trace.emit_with(|| TraceEvent::RecoveryScan {
+            t: now,
+            rebuilt_mappings: report.rebuilt_mappings,
+            rolled_forward: report.rolled_forward,
+            scrubbed: report.scrubbed,
+            bad_blocks: report.bad_blocks,
+        });
+        self.in_recovery = false;
+        report
+    }
+
+    /// Cross-check the volatile structures against each other and the OOB
+    /// metadata. Used by recovery tests; `Err` carries the first violated
+    /// invariant.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        for l in 0..self.map.logical_pages() {
+            if let Some(p) = self.map.translate(Lpn(l)) {
+                if self.map.owner(p) != Some(Lpn(l)) {
+                    return Err(format!("l2p/p2l mismatch at lpn {l}"));
+                }
+            }
+        }
+        let full = self.geometry.pages_per_block();
+        for i in 0..self.geometry.total_blocks() {
+            let b = BlockAddr(i);
+            let valid = (0..full)
+                .filter(|&off| self.map.is_valid(b.page(&self.geometry, off)))
+                .count() as u32;
+            if valid != self.blocks.valid_pages(b) {
+                return Err(format!(
+                    "block {b}: table counts {} valid pages, map counts {valid}",
+                    self.blocks.valid_pages(b)
+                ));
+            }
+            let state = self.blocks.state(b);
+            for wl in 0..self.geometry.wordlines_per_block {
+                let merged = self.oob.merged_mask(b, wl);
+                let committed = self.oob.is_committed(b, wl);
+                if committed && merged == 0 {
+                    return Err(format!(
+                        "block {b} wl {wl}: committed without a merge record"
+                    ));
+                }
+                if merged != 0 && !committed && self.oob.intent(b).is_none() {
+                    return Err(format!(
+                        "block {b} wl {wl}: half-merged (pulse landed, never \
+                         committed, no open intent)"
+                    ));
+                }
+                let authoritative = if committed { merged } else { 0 };
+                if authoritative != 0 && !matches!(state, BlockState::Ida | BlockState::Bad) {
+                    return Err(format!(
+                        "block {b} wl {wl}: committed merge on a {state:?} block"
+                    ));
+                }
+                if state == BlockState::Ida && self.blocks.wl_keep_mask(b, wl) != authoritative {
+                    return Err(format!(
+                        "block {b} wl {wl}: volatile keep-mask {} != committed mask \
+                         {authoritative}",
+                        self.blocks.wl_keep_mask(b, wl)
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     fn wl_valid_masks(&self, block: BlockAddr) -> Vec<u8> {
@@ -591,10 +1146,21 @@ mod tests {
         })
     }
 
+    fn faulty_ftl(faults: FaultConfig, spares: u32) -> Ftl {
+        Ftl::new(FtlConfig {
+            geometry: Geometry::tiny(),
+            adjust_error_rate: 0.0,
+            refresh_period: 1_000_000,
+            spare_blocks_per_plane: spares,
+            faults,
+            ..FtlConfig::default()
+        })
+    }
+
     #[test]
     fn write_then_read_translates() {
         let mut ftl = ftl_with(RefreshMode::Baseline);
-        let ops = ftl.write(Lpn(7), 0);
+        let ops = ftl.write(Lpn(7), 0).unwrap();
         assert!(matches!(ops.last().unwrap().kind, FlashOpKind::Program));
         let read = ftl.read(Lpn(7)).unwrap();
         assert_eq!(read.senses, 1); // first allocation lands on an LSB page
@@ -610,9 +1176,9 @@ mod tests {
     #[test]
     fn overwrite_invalidates_previous_page() {
         let mut ftl = ftl_with(RefreshMode::Baseline);
-        ftl.write(Lpn(1), 0);
+        ftl.write(Lpn(1), 0).unwrap();
         let first = ftl.read(Lpn(1)).unwrap().page;
-        ftl.write(Lpn(1), 1);
+        ftl.write(Lpn(1), 1).unwrap();
         let second = ftl.read(Lpn(1)).unwrap().page;
         assert_ne!(first, second);
         assert!(!ftl.is_valid(first));
@@ -627,7 +1193,7 @@ mod tests {
         // Simpler: write lpns until some lpn sits on a CSB page.
         let mut csb_lpn = None;
         for i in 0..32 {
-            ftl.write(Lpn(i), 0);
+            ftl.write(Lpn(i), 0).unwrap();
             if ftl.read(Lpn(i)).unwrap().page_type == PageType::Csb {
                 csb_lpn = Some(Lpn(i));
                 break;
@@ -646,7 +1212,7 @@ mod tests {
             .map(Lpn)
             .find(|&l| ftl.read(l).map(|r| r.page) == Some(lsb_page))
             .expect("lsb owner");
-        ftl.write(owner, 1);
+        ftl.write(owner, 1).unwrap();
         assert_eq!(
             ftl.read(csb_lpn).unwrap().scenario,
             ReadScenario::CsbLowerInvalid
@@ -661,7 +1227,7 @@ mod tests {
         // Fill a whole stripe so at least one block closes.
         let to_write = pages_per_block * g.total_planes() as u64;
         for i in 0..to_write {
-            ftl.write(Lpn(i), 0);
+            ftl.write(Lpn(i), 0).unwrap();
         }
         // Find an MSB lpn and invalidate its wordline's LSB + CSB.
         let msb_lpn = (0..to_write)
@@ -677,7 +1243,7 @@ mod tests {
                 .map(Lpn)
                 .find(|&l| ftl.read(l).map(|r| r.page) == Some(p))
             {
-                ftl.write(owner, 1);
+                ftl.write(owner, 1).unwrap();
             }
         }
         // Refresh the block directly.
@@ -691,6 +1257,9 @@ mod tests {
         assert!(ops
             .iter()
             .any(|o| matches!(o.kind, FlashOpKind::VoltageAdjust)));
+        // The intent journal was opened and closed around the adjustment.
+        assert!(ftl.oob().open_intents().is_empty());
+        ftl.check_consistency().expect("consistent after refresh");
     }
 
     #[test]
@@ -699,7 +1268,7 @@ mod tests {
         let mut ftl = ftl_with(RefreshMode::Baseline);
         let to_write = g.pages_per_block() as u64 * g.total_planes() as u64;
         for i in 0..to_write {
-            ftl.write(Lpn(i), 0);
+            ftl.write(Lpn(i), 0).unwrap();
         }
         let block = ftl.read(Lpn(0)).unwrap().page.block(&g);
         let mut ops = Vec::new();
@@ -717,7 +1286,7 @@ mod tests {
         // Write the full logical space twice; GC must kick in.
         for round in 0..2u64 {
             for i in 0..logical {
-                ftl.write(Lpn(i), round);
+                ftl.write(Lpn(i), round).unwrap();
             }
         }
         assert!(ftl.stats().gc_runs > 0);
@@ -733,11 +1302,11 @@ mod tests {
         let mut ftl = ftl_with(RefreshMode::Ida);
         let to_write = g.pages_per_block() as u64 * g.total_planes() as u64;
         for i in 0..to_write {
-            ftl.write(Lpn(i), 0);
+            ftl.write(Lpn(i), 0).unwrap();
         }
         // Invalidate some pages so IDA applies, then run due refreshes.
         for i in (0..to_write).step_by(3) {
-            ftl.write(Lpn(i), 100);
+            ftl.write(Lpn(i), 100).unwrap();
         }
         let due = ftl.next_refresh_due().expect("blocks closed");
         let ops = ftl.run_due_refreshes(due);
@@ -750,10 +1319,113 @@ mod tests {
     #[test]
     fn trim_invalidates_without_flash_ops() {
         let mut ftl = ftl_with(RefreshMode::Baseline);
-        ftl.write(Lpn(5), 0);
+        ftl.write(Lpn(5), 0).unwrap();
         let page = ftl.read(Lpn(5)).unwrap().page;
         ftl.trim(Lpn(5));
         assert!(ftl.read(Lpn(5)).is_none());
         assert!(!ftl.is_valid(page));
+    }
+
+    #[test]
+    fn program_failures_redirect_until_the_cap_forces_success() {
+        let mut ftl = faulty_ftl(
+            FaultConfig {
+                program_fail_prob: 1.0,
+                seed: 3,
+                ..FaultConfig::none()
+            },
+            0,
+        );
+        // With a certain-failure injector the write burns exactly
+        // MAX_REDIRECTS pages before the cap forces it through.
+        let ops = ftl.write(Lpn(0), 0).unwrap();
+        assert_eq!(ftl.stats().injected_program_fails, u64::from(MAX_REDIRECTS));
+        assert_eq!(ftl.stats().write_redirects, 1);
+        let programs = ops
+            .iter()
+            .filter(|o| matches!(o.kind, FlashOpKind::Program))
+            .count() as u32;
+        assert_eq!(programs, MAX_REDIRECTS + 1);
+        assert!(ftl.read(Lpn(0)).is_some());
+        ftl.check_consistency().expect("consistent after redirects");
+    }
+
+    #[test]
+    fn erase_failures_retire_blocks_and_drain_the_spares() {
+        let mut ftl = faulty_ftl(
+            FaultConfig {
+                erase_fail_prob: 1.0,
+                seed: 9,
+                ..FaultConfig::none()
+            },
+            2,
+        );
+        // Every GC erase fails: blocks retire, spares promote, and once
+        // the pools drain the device degrades to read-only.
+        let logical = ftl.exported_pages();
+        let mut failure = None;
+        'outer: for round in 0..6u64 {
+            for i in 0..logical {
+                if let Err(e) = ftl.write(Lpn(i), round) {
+                    failure = Some(e);
+                    break 'outer;
+                }
+            }
+        }
+        assert!(
+            matches!(failure, Some(FtlError::ReadOnly { .. })),
+            "expected read-only degradation, got {failure:?}"
+        );
+        assert!(ftl.stats().retired_blocks > 0);
+        assert_eq!(ftl.blocks().bad_blocks() as u64, ftl.stats().retired_blocks);
+        // Degradation fires when the victim plane's pool drains; other
+        // planes may still hold spares.
+        assert!(
+            ftl.total_spares() < 2 * ftl.config().geometry.total_planes() as u64,
+            "some spares were promoted"
+        );
+        assert!(ftl.read_only_reason().is_some());
+        // Reads still work on the degraded device.
+        assert!(ftl.read(Lpn(0)).is_some());
+        // Further writes are rejected and counted.
+        assert!(ftl.write(Lpn(0), 99).is_err());
+        assert!(ftl.stats().rejected_writes > 0);
+    }
+
+    #[test]
+    fn power_loss_recovery_rebuilds_acked_state() {
+        let mut ftl = faulty_ftl(
+            FaultConfig {
+                power_loss_ops: vec![40],
+                seed: 1,
+                ..FaultConfig::none()
+            },
+            0,
+        );
+        let mut acked = Vec::new();
+        let mut crashed = false;
+        for i in 0..200u64 {
+            match ftl.write(Lpn(i), i) {
+                Ok(_) => acked.push(Lpn(i)),
+                Err(FtlError::PowerLoss) => {
+                    crashed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(crashed);
+        assert!(ftl.power_lost());
+        assert_eq!(acked.len(), 40, "ops 0..39 committed; op 40 was lost");
+        let report = ftl.recover(1_000);
+        assert!(!ftl.power_lost());
+        assert_eq!(report.rebuilt_mappings, acked.len() as u64);
+        for lpn in &acked {
+            assert!(ftl.read(*lpn).is_some(), "acked {lpn} must survive");
+        }
+        ftl.check_consistency().expect("consistent after recovery");
+        assert_eq!(ftl.stats().recoveries, 1);
+        // The device accepts writes again.
+        assert!(ftl.write(Lpn(500), 2_000).is_ok());
     }
 }

@@ -15,7 +15,10 @@
 //! - **remapping-based data refresh** with a per-workload period, running
 //!   either the baseline flow or the IDA-modified flow of Figure 7;
 //! - a **block status table** tracking per-page validity and, for IDA
-//!   blocks, the per-wordline merged coding in force.
+//!   blocks, the per-wordline merged coding in force;
+//! - **fault recovery**: bad-block retirement with a reserved spare pool,
+//!   program-failure write redirection, and a power-loss recovery scan
+//!   that rebuilds all volatile state from simulated OOB metadata.
 //!
 //! # Example
 //!
@@ -27,7 +30,7 @@
 //!     geometry: Geometry::tiny(),
 //!     ..FtlConfig::default()
 //! });
-//! let ops = ftl.write(ida_ftl::Lpn(0), 0);
+//! let ops = ftl.write(ida_ftl::Lpn(0), 0).expect("device is writable");
 //! assert!(!ops.is_empty()); // at least the page program itself
 //! let read = ftl.read(ida_ftl::Lpn(0)).expect("just written");
 //! assert_eq!(read.senses, 1); // first page of a block is an LSB page
@@ -36,15 +39,19 @@
 pub mod alloc;
 pub mod block;
 pub mod config;
+pub mod error;
 pub mod ftl;
 pub mod gc;
 pub mod map;
+pub mod oob;
 pub mod ops;
 pub mod refresh;
 pub mod stats;
 
 pub use config::{CodingVariant, FtlConfig};
-pub use ftl::Ftl;
+pub use error::FtlError;
+pub use ftl::{Ftl, RecoveryReport};
 pub use map::Lpn;
+pub use oob::{OobStore, PageRecord};
 pub use ops::{FlashOp, FlashOpKind, Priority, ReadOp, ReadScenario};
 pub use stats::FtlStats;

@@ -133,6 +133,10 @@ pub struct ReadOp {
     pub die: DieAddr,
     /// The channel carrying the transfer.
     pub channel: u32,
+    /// Injected transient-fault retries this read must absorb (0 on the
+    /// happy path); the simulator charges extra sensing plus controller
+    /// backoff per attempt.
+    pub fault_attempts: u32,
 }
 
 #[cfg(test)]

@@ -25,6 +25,23 @@ pub struct FtlStats {
     pub ida_conversions: u64,
     /// Host reads served from IDA-coded wordlines.
     pub ida_reads: u64,
+    /// Injected program failures absorbed by write redirection.
+    pub injected_program_fails: u64,
+    /// Injected erase failures (each retires a block).
+    pub injected_erase_fails: u64,
+    /// Host reads hit by injected transient faults (all recovered by
+    /// bounded retry).
+    pub transient_read_faults: u64,
+    /// Writes that succeeded only after redirection off a failed page.
+    pub write_redirects: u64,
+    /// Blocks retired to the grown-bad list.
+    pub retired_blocks: u64,
+    /// Injected power-loss events.
+    pub power_losses: u64,
+    /// Recovery scans run (one per power loss).
+    pub recoveries: u64,
+    /// Host writes rejected because the device degraded to read-only.
+    pub rejected_writes: u64,
     /// Refresh overhead accounting (Table IV quantities).
     pub refresh_overhead: RefreshOverhead,
 }

@@ -186,6 +186,103 @@ pub enum TraceEvent {
         /// Wordlines now carrying a merged coding.
         wordlines: u32,
     },
+    /// An injected program failure: the page is marked bad in OOB.
+    FaultProgramFail {
+        /// Failure time.
+        t: SimNs,
+        /// Block holding the failed page.
+        block: u64,
+        /// The failed physical page.
+        page: u64,
+    },
+    /// Recovery from program failure: the write was re-issued to a fresh
+    /// page after one or more failed attempts.
+    WriteRedirect {
+        /// Redirect time.
+        t: SimNs,
+        /// Logical page being written.
+        lpn: u64,
+        /// The page that finally took the data.
+        page: u64,
+        /// Failed attempts absorbed before success.
+        attempts: u32,
+    },
+    /// An injected erase failure: the block can no longer be reclaimed.
+    FaultEraseFail {
+        /// Failure time.
+        t: SimNs,
+        /// The block whose erase failed.
+        block: u64,
+    },
+    /// A block was retired to the grown-bad list (erase failure or too
+    /// many program failures), optionally replaced from the spare pool.
+    BlockRetired {
+        /// Retirement time.
+        t: SimNs,
+        /// The retired block.
+        block: u64,
+        /// Why it was retired (`erase_failure` / `program_failures`).
+        reason: &'static str,
+        /// Whether a spare block was promoted to replace it.
+        spare_used: bool,
+    },
+    /// An injected transient read fault on a host read.
+    FaultReadTransient {
+        /// Fault time.
+        t: SimNs,
+        /// Logical page being read.
+        lpn: u64,
+        /// Retry attempts the fault forced.
+        attempts: u32,
+    },
+    /// Recovery from a transient read fault via bounded retry-with-backoff.
+    ReadRecovered {
+        /// Recovery time.
+        t: SimNs,
+        /// Logical page recovered.
+        lpn: u64,
+        /// Retry attempts it took.
+        attempts: u32,
+        /// Total controller backoff charged, ns.
+        backoff_ns: u64,
+    },
+    /// An injected power loss: the persistent operation at `op_index` was
+    /// lost and the device must run recovery.
+    FaultPowerLoss {
+        /// Crash time.
+        t: SimNs,
+        /// Persistent-operation index at which power failed.
+        op_index: u64,
+    },
+    /// Post-crash recovery scan finished: volatile state was rebuilt from
+    /// simulated OOB metadata.
+    RecoveryScan {
+        /// Scan completion time.
+        t: SimNs,
+        /// L2P mappings rebuilt from OOB program records.
+        rebuilt_mappings: u64,
+        /// Refresh-interrupted wordlines rolled forward to fully merged.
+        rolled_forward: u32,
+        /// Pages conservatively relocated off rolled-forward wordlines.
+        scrubbed: u32,
+        /// Grown-bad blocks restored from OOB.
+        bad_blocks: u32,
+    },
+    /// The device degraded to read-only mode (spares exhausted or
+    /// relocation space gone); host writes are rejected from here on.
+    ReadOnlyMode {
+        /// Degradation time.
+        t: SimNs,
+        /// Why writes were disabled.
+        reason: &'static str,
+    },
+    /// A host write was rejected because the device is read-only.
+    WriteRejected {
+        /// Rejection time.
+        t: SimNs,
+        /// The rejected logical page.
+        lpn: u64,
+    },
 }
 
 impl TraceEvent {
@@ -203,7 +300,17 @@ impl TraceEvent {
             | TraceEvent::ReadRetry { t, .. }
             | TraceEvent::GcRun { t, .. }
             | TraceEvent::RefreshBlock { t, .. }
-            | TraceEvent::IdaConversion { t, .. } => t,
+            | TraceEvent::IdaConversion { t, .. }
+            | TraceEvent::FaultProgramFail { t, .. }
+            | TraceEvent::WriteRedirect { t, .. }
+            | TraceEvent::FaultEraseFail { t, .. }
+            | TraceEvent::BlockRetired { t, .. }
+            | TraceEvent::FaultReadTransient { t, .. }
+            | TraceEvent::ReadRecovered { t, .. }
+            | TraceEvent::FaultPowerLoss { t, .. }
+            | TraceEvent::RecoveryScan { t, .. }
+            | TraceEvent::ReadOnlyMode { t, .. }
+            | TraceEvent::WriteRejected { t, .. } => t,
         }
     }
 
@@ -222,6 +329,16 @@ impl TraceEvent {
             TraceEvent::GcRun { .. } => "gc_run",
             TraceEvent::RefreshBlock { .. } => "refresh_block",
             TraceEvent::IdaConversion { .. } => "ida_conversion",
+            TraceEvent::FaultProgramFail { .. } => "fault_program_fail",
+            TraceEvent::WriteRedirect { .. } => "write_redirect",
+            TraceEvent::FaultEraseFail { .. } => "fault_erase_fail",
+            TraceEvent::BlockRetired { .. } => "block_retired",
+            TraceEvent::FaultReadTransient { .. } => "fault_read_transient",
+            TraceEvent::ReadRecovered { .. } => "read_recovered",
+            TraceEvent::FaultPowerLoss { .. } => "fault_power_loss",
+            TraceEvent::RecoveryScan { .. } => "recovery_scan",
+            TraceEvent::ReadOnlyMode { .. } => "read_only_mode",
+            TraceEvent::WriteRejected { .. } => "write_rejected",
         }
     }
 
@@ -323,6 +440,54 @@ impl TraceEvent {
             TraceEvent::IdaConversion {
                 block, wordlines, ..
             } => o.u64("block", *block).u64("wordlines", *wordlines as u64),
+            TraceEvent::FaultProgramFail { block, page, .. } => {
+                o.u64("block", *block).u64("page", *page)
+            }
+            TraceEvent::WriteRedirect {
+                lpn,
+                page,
+                attempts,
+                ..
+            } => o
+                .u64("lpn", *lpn)
+                .u64("page", *page)
+                .u64("attempts", *attempts as u64),
+            TraceEvent::FaultEraseFail { block, .. } => o.u64("block", *block),
+            TraceEvent::BlockRetired {
+                block,
+                reason,
+                spare_used,
+                ..
+            } => o
+                .u64("block", *block)
+                .str("reason", reason)
+                .bool("spare_used", *spare_used),
+            TraceEvent::FaultReadTransient { lpn, attempts, .. } => {
+                o.u64("lpn", *lpn).u64("attempts", *attempts as u64)
+            }
+            TraceEvent::ReadRecovered {
+                lpn,
+                attempts,
+                backoff_ns,
+                ..
+            } => o
+                .u64("lpn", *lpn)
+                .u64("attempts", *attempts as u64)
+                .u64("backoff_ns", *backoff_ns),
+            TraceEvent::FaultPowerLoss { op_index, .. } => o.u64("op_index", *op_index),
+            TraceEvent::RecoveryScan {
+                rebuilt_mappings,
+                rolled_forward,
+                scrubbed,
+                bad_blocks,
+                ..
+            } => o
+                .u64("rebuilt_mappings", *rebuilt_mappings)
+                .u64("rolled_forward", *rolled_forward as u64)
+                .u64("scrubbed", *scrubbed as u64)
+                .u64("bad_blocks", *bad_blocks as u64),
+            TraceEvent::ReadOnlyMode { reason, .. } => o.str("reason", reason),
+            TraceEvent::WriteRejected { lpn, .. } => o.u64("lpn", *lpn),
         }
         .finish()
     }

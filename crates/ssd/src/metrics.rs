@@ -311,6 +311,16 @@ impl Report {
             .u64("ida_reads", f.ida_reads)
             .f64("write_amplification", f.write_amplification())
             .finish();
+        let faults = JsonObj::new()
+            .u64("injected_program_fails", f.injected_program_fails)
+            .u64("injected_erase_fails", f.injected_erase_fails)
+            .u64("transient_read_faults", f.transient_read_faults)
+            .u64("write_redirects", f.write_redirects)
+            .u64("retired_blocks", f.retired_blocks)
+            .u64("power_losses", f.power_losses)
+            .u64("recoveries", f.recoveries)
+            .u64("rejected_writes", f.rejected_writes)
+            .finish();
         JsonObj::new()
             .raw("reads", &self.reads.to_json())
             .raw("writes", &self.writes.to_json())
@@ -322,6 +332,7 @@ impl Report {
             .f64("throughput_mbps", self.throughput_mbps())
             .f64("throughput_mibps", self.throughput_mibps())
             .raw("ftl", &counters)
+            .raw("faults", &faults)
             .u64("in_use_blocks", self.in_use_blocks as u64)
             .raw("gauges", &array(self.gauges.iter().map(|g| g.to_json())))
             .finish()
@@ -378,6 +389,28 @@ impl Report {
             ("ida reads", self.ftl.ida_reads),
         ] {
             row(&mut out, k, v.to_string());
+        }
+        let f = &self.ftl;
+        let any_fault = f.injected_program_fails
+            + f.injected_erase_fails
+            + f.transient_read_faults
+            + f.power_losses
+            + f.rejected_writes
+            > 0;
+        if any_fault {
+            out.push_str("fault recovery:\n");
+            for (k, v) in [
+                ("program fails", f.injected_program_fails),
+                ("erase fails", f.injected_erase_fails),
+                ("transient reads", f.transient_read_faults),
+                ("write redirects", f.write_redirects),
+                ("retired blocks", f.retired_blocks),
+                ("power losses", f.power_losses),
+                ("recoveries", f.recoveries),
+                ("rejected writes", f.rejected_writes),
+            ] {
+                row(&mut out, k, v.to_string());
+            }
         }
         out
     }

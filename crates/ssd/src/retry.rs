@@ -29,22 +29,24 @@ pub struct RetryConfig {
 }
 
 impl RetryConfig {
-    /// No retries (early lifetime; the paper's default system).
+    /// No retries (early lifetime; the paper's default system). The seed
+    /// is irrelevant (the sampler never draws) and left at zero.
     pub fn disabled() -> Self {
         RetryConfig {
             failure_prob: 0.0,
             max_retries: 0,
-            seed: 0xEE77,
+            seed: 0,
         }
     }
 
     /// A late-lifetime device where `failure_prob` of sensing attempts
-    /// need another attempt.
+    /// need another attempt. Callers supply the seed — sweeps derive it
+    /// from the cell's RNG stream so every cell samples independently.
     ///
     /// # Panics
     ///
     /// Panics if `failure_prob` is not in `[0, 1)`.
-    pub fn late_lifetime(failure_prob: f64) -> Self {
+    pub fn late_lifetime(failure_prob: f64, seed: u64) -> Self {
         assert!(
             (0.0..1.0).contains(&failure_prob),
             "failure probability must be in [0, 1), got {failure_prob}"
@@ -52,7 +54,7 @@ impl RetryConfig {
         RetryConfig {
             failure_prob,
             max_retries: 5,
-            seed: 0xEE77,
+            seed,
         }
     }
 }
@@ -115,7 +117,7 @@ mod tests {
     #[test]
     fn mean_retries_tracks_geometric_distribution() {
         let p = 0.5;
-        let mut m = RetryModel::new(RetryConfig::late_lifetime(p));
+        let mut m = RetryModel::new(RetryConfig::late_lifetime(p, 0xEE77));
         let n = 50_000;
         let total: u32 = (0..n).map(|_| m.sample_retries()).sum();
         let mean = total as f64 / n as f64;
@@ -126,6 +128,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "failure probability")]
     fn certain_failure_rejected() {
-        let _ = RetryConfig::late_lifetime(1.0);
+        let _ = RetryConfig::late_lifetime(1.0, 0);
     }
 }

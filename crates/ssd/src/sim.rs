@@ -5,10 +5,11 @@ use crate::event::EventQueue;
 use crate::metrics::Report;
 use crate::request::{HostOp, HostOpKind, PendingRequest};
 use crate::retry::RetryModel;
+use ida_faults::FaultConfig;
 use ida_flash::addr::BlockAddr;
 use ida_flash::timing::SimTime;
 use ida_ftl::block::BlockState;
-use ida_ftl::{FlashOp, FlashOpKind, Ftl, Lpn, Priority};
+use ida_ftl::{FlashOp, FlashOpKind, Ftl, FtlError, Lpn, Priority};
 use ida_obs::gauge::GaugeSet;
 use ida_obs::progress::Progress;
 use ida_obs::trace::{HostClass, SinkHandle, TraceEvent};
@@ -28,6 +29,12 @@ struct SimOp {
     op: FlashOp,
     req: Option<usize>,
     retries: u32,
+    /// Injected transient-fault retries (reads only): each one re-senses
+    /// the wordline on top of the `retries` charged by the retry model.
+    fault_attempts: u32,
+    /// Controller backoff between transient-fault retries, charged off the
+    /// critical resource (like ECC decode).
+    fault_backoff: SimTime,
 }
 
 /// Per-die scheduler state: one queue per priority class.
@@ -166,7 +173,7 @@ impl Simulator {
     pub fn prefill(&mut self, lpns: impl IntoIterator<Item = u64>) {
         let now = self.clock;
         for lpn in lpns {
-            let _ = self.ftl.write(Lpn(lpn), now);
+            self.warmup_write(Lpn(lpn), now);
         }
     }
 
@@ -178,9 +185,49 @@ impl Simulator {
         for op in trace {
             if op.kind == HostOpKind::Write {
                 for lpn in op.lpns() {
-                    let _ = self.ftl.write(Lpn(lpn), now);
+                    self.warmup_write(Lpn(lpn), now);
                 }
             }
+        }
+    }
+
+    /// One untimed warm-up write. Experiments normally arm faults *after*
+    /// warm-up, but if a power loss does strike here the device recovers
+    /// (untimed) and the write is retried once; read-only rejections are
+    /// dropped.
+    fn warmup_write(&mut self, lpn: Lpn, now: SimTime) {
+        if self.ftl.write(lpn, now) == Err(FtlError::PowerLoss) {
+            // Untimed recovery: warm-up charges no latency anywhere.
+            self.ftl.recover(now);
+            let _ = self.ftl.write(lpn, now);
+        }
+    }
+
+    /// Arm (or replace) the fault plan in force. Sweeps call this after
+    /// warm-up so injected faults land only in the measured window.
+    pub fn arm_faults(&mut self, faults: FaultConfig) {
+        self.cfg.ftl.faults = faults.clone();
+        self.ftl.arm_faults(faults);
+    }
+
+    /// Run the power-loss recovery scan and charge its cost: every die and
+    /// channel stalls while the controller rescans OOB metadata (an
+    /// erase-scale window), rolls forward interrupted merges, and scrubs
+    /// unverified pages.
+    fn recover_now(&mut self, now: SimTime) {
+        let report = self.ftl.recover(now);
+        let t = self.cfg.timing;
+        let scrub_cost = t.read_latency(1) + t.transfer + t.program;
+        let stall = t.erase
+            + t.voltage_adjust * report.rolled_forward as SimTime
+            + scrub_cost * report.scrubbed as SimTime;
+        let free_at = now + stall;
+        for d in &mut self.dies {
+            d.read_free_at = d.read_free_at.max(free_at);
+            d.other_free_at = d.other_free_at.max(free_at);
+        }
+        for ch in &mut self.channels {
+            *ch = (*ch).max(free_at);
         }
     }
 
@@ -214,6 +261,11 @@ impl Simulator {
             let when = base + stagger_span * i as u64 / n;
             self.ftl.refresh_block(b, when, &mut discard);
             discard.clear();
+            if self.ftl.power_lost() {
+                // Untimed recovery during warm-up; remaining blocks still
+                // get their staggered refresh.
+                self.ftl.recover(when);
+            }
         }
     }
 
@@ -288,6 +340,9 @@ impl Simulator {
             if self.ftl.next_refresh_due().is_some_and(|d| d <= now) {
                 let ops = self.ftl.run_due_refreshes(now);
                 self.enqueue_all(now, ops, None);
+                if self.ftl.power_lost() {
+                    self.recover_now(now);
+                }
             }
             match ev {
                 Ev::Arrival(i) => {
@@ -418,25 +473,62 @@ impl Simulator {
                             senses: read.senses,
                             scenario: read.scenario.label(),
                         });
-                        ops.push(FlashOp {
-                            kind: FlashOpKind::Read {
-                                senses: read.senses,
+                        if read.fault_attempts > 0 {
+                            let attempts = read.fault_attempts;
+                            let backoff_ns =
+                                attempts as u64 * self.cfg.ftl.faults.transient_backoff_ns;
+                            self.trace.emit_with(|| TraceEvent::FaultReadTransient {
+                                t: now,
+                                lpn,
+                                attempts,
+                            });
+                            // Bounded retry always recovers the data; the
+                            // pair of events keeps the inject/recover
+                            // pairing invariant checkable from the trace.
+                            self.trace.emit_with(|| TraceEvent::ReadRecovered {
+                                t: now,
+                                lpn,
+                                attempts,
+                                backoff_ns,
+                            });
+                        }
+                        ops.push((
+                            FlashOp {
+                                kind: FlashOpKind::Read {
+                                    senses: read.senses,
+                                },
+                                die: read.die,
+                                channel: read.channel,
+                                block: read.page.block(&self.cfg.ftl.geometry),
+                                page: Some(read.page),
+                                priority: Priority::HostRead,
                             },
-                            die: read.die,
-                            channel: read.channel,
-                            block: read.page.block(&self.cfg.ftl.geometry),
-                            page: Some(read.page),
-                            priority: Priority::HostRead,
-                        });
+                            read.fault_attempts,
+                        ));
                     }
                 }
-                requests[req_idx].outstanding = self.enqueue_all(now, ops, Some(req_idx));
+                requests[req_idx].outstanding = self.enqueue_faulted(now, ops, Some(req_idx));
             }
             HostOpKind::Write => {
                 report.bytes_written += host.pages as u64 * page_bytes;
                 let mut all_ops = Vec::new();
                 for lpn in host.lpns() {
-                    all_ops.extend(self.ftl.write(Lpn(lpn), now));
+                    match self.ftl.write(Lpn(lpn), now) {
+                        Ok(ops) => all_ops.extend(ops),
+                        Err(FtlError::PowerLoss) => {
+                            // The in-flight page is lost; the device
+                            // recovers (stalling all dies and channels)
+                            // and the host retries the write once.
+                            self.recover_now(now);
+                            if let Ok(ops) = self.ftl.write(Lpn(lpn), now) {
+                                all_ops.extend(ops);
+                            }
+                        }
+                        // Read-only degradation / out of space: the FTL
+                        // already counted and traced the rejection; the
+                        // write completes with no flash work.
+                        Err(FtlError::ReadOnly { .. } | FtlError::OutOfSpace) => {}
+                    }
                 }
                 requests[req_idx].outstanding = self.enqueue_all(now, all_ops, Some(req_idx));
             }
@@ -461,9 +553,22 @@ impl Simulator {
 
     /// Enqueue ops to their dies; host-priority ops link to `req`.
     /// Returns how many ops were linked to the request.
-    fn enqueue_all(&mut self, _now: SimTime, ops: Vec<FlashOp>, req: Option<usize>) -> u32 {
+    fn enqueue_all(&mut self, now: SimTime, ops: Vec<FlashOp>, req: Option<usize>) -> u32 {
+        let ops = ops.into_iter().map(|op| (op, 0)).collect();
+        self.enqueue_faulted(now, ops, req)
+    }
+
+    /// Like [`Self::enqueue_all`], but each op carries the transient-fault
+    /// retry count its read must absorb.
+    fn enqueue_faulted(
+        &mut self,
+        _now: SimTime,
+        ops: Vec<(FlashOp, u32)>,
+        req: Option<usize>,
+    ) -> u32 {
+        let backoff = self.cfg.ftl.faults.transient_backoff_ns;
         let mut linked_count = 0;
-        for op in ops {
+        for (op, fault_attempts) in ops {
             let linked = match op.priority {
                 Priority::HostRead | Priority::HostWrite => req,
                 Priority::Background => None,
@@ -482,6 +587,8 @@ impl Simulator {
                 op,
                 req: linked,
                 retries,
+                fault_attempts,
+                fault_backoff: fault_attempts as SimTime * backoff,
             });
         }
         linked_count
@@ -563,16 +670,18 @@ impl Simulator {
             let ch = sim_op.op.channel as usize;
             let completion = match sim_op.op.kind {
                 FlashOpKind::Read { senses } => {
-                    // Sense (× retries) then transfer, serialized on the
-                    // channel as one window (DiskSim SSD-extension style:
-                    // the chip holds the bus for the whole read), then ECC
-                    // decode off the critical resource.
-                    let array = t.read_latency(senses) * (1 + sim_op.retries) as SimTime;
+                    // Sense (× retries, including injected transient-fault
+                    // re-senses) then transfer, serialized on the channel
+                    // as one window (DiskSim SSD-extension style: the chip
+                    // holds the bus for the whole read), then ECC decode
+                    // and any fault backoff off the critical resource.
+                    let attempts = (1 + sim_op.retries + sim_op.fault_attempts) as SimTime;
+                    let array = t.read_latency(senses) * attempts;
                     let start = now.max(self.channels[ch]);
                     let tx_end = start + array + t.transfer;
                     self.channels[ch] = tx_end;
                     self.dies[d].read_free_at = tx_end;
-                    tx_end + t.ecc_decode
+                    tx_end + t.ecc_decode + sim_op.fault_backoff
                 }
                 FlashOpKind::Program => {
                     let tx_start = now.max(self.channels[ch]);
@@ -837,6 +946,47 @@ mod tests {
         // must have run them via the refresh wake event.
         assert!(sim.ftl().stats().refreshes > before);
         assert!(sim.ftl().stats().ida_conversions > 0 || report.reads.count == 2);
+    }
+
+    #[test]
+    fn faulty_run_completes_and_pairs_losses_with_recoveries() {
+        let mut cfg = SsdConfig::tiny_test();
+        cfg.ftl.spare_blocks_per_plane = 2;
+        let mut sim = Simulator::new(cfg);
+        sim.prefill(0..256);
+        sim.arm_faults(FaultConfig::preset("high", 0x5EED).expect("known level"));
+        let mut trace = Vec::new();
+        for i in 0..600u64 {
+            trace.push(HostOp {
+                at: i * 10_000,
+                kind: HostOpKind::Write,
+                lpn: i % 256,
+                pages: 1,
+            });
+        }
+        for i in 0..400u64 {
+            trace.push(HostOp {
+                at: (600 + i) * 10_000,
+                kind: HostOpKind::Read,
+                lpn: i % 256,
+                pages: 1,
+            });
+        }
+        let report = sim.run(trace);
+        assert_eq!(report.writes.count, 600);
+        assert_eq!(report.reads.count, 400);
+        let fs = sim.ftl().fault_stats();
+        assert!(
+            fs.program_fails > 0,
+            "high preset must inject program fails"
+        );
+        assert!(fs.transient_reads > 0, "10% of reads should see transients");
+        assert!(fs.power_losses >= 1, "op 500 crosses the first crash point");
+        assert_eq!(sim.ftl().stats().recoveries, fs.power_losses);
+        assert!(!sim.ftl().power_lost(), "every loss must be recovered");
+        sim.ftl()
+            .check_consistency()
+            .expect("consistent after faults");
     }
 
     #[test]

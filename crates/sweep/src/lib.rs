@@ -38,7 +38,7 @@ pub mod pool;
 pub mod spec;
 
 pub use agg::SweepOutcome;
-pub use cell::Cell;
+pub use cell::{derive_stream_seed, Cell};
 pub use journal::{JournalRecord, JournalWriter};
 pub use pool::{run_cells, CellOutcome, CellStatus, SweepConfig};
 pub use spec::SweepSpec;

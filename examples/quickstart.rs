@@ -21,7 +21,7 @@ fn main() {
     // Fill a few blocks' worth of data.
     let pages = geometry.pages_per_block() as u64 * geometry.total_planes() as u64;
     for lpn in 0..pages {
-        ftl.write(Lpn(lpn), 0);
+        ftl.write(Lpn(lpn), 0).expect("device is writable");
     }
 
     // Find an LPN stored on an MSB page: conventional TLC reads it with
@@ -44,7 +44,8 @@ fn main() {
             .map(Lpn)
             .find(|&l| ftl.read(l).map(|r| r.page) == Some(page))
         {
-            ftl.write(owner, 1); // overwrite: old copy becomes invalid
+            // Overwrite: the old copy becomes invalid.
+            ftl.write(owner, 1).expect("device is writable");
         }
     }
 

@@ -36,10 +36,10 @@ fn ftl_state_reconstructs_bit_for_bit_on_real_cells() {
     // refresh every closed block (converting eligible wordlines).
     let lpns = ftl.exported_pages() / 3;
     for lpn in 0..lpns {
-        ftl.write(Lpn(lpn), 0);
+        ftl.write(Lpn(lpn), 0).unwrap();
     }
     for lpn in (0..lpns).step_by(3) {
-        ftl.write(Lpn(lpn), 1);
+        ftl.write(Lpn(lpn), 1).unwrap();
     }
     let targets: Vec<_> = ftl
         .blocks()

@@ -151,7 +151,7 @@ fn read_retry_phase_amplifies_the_benefit() {
         normalized_read_response(&ida, &base)
     };
     let early = norm_with(RetryConfig::disabled());
-    let late = norm_with(RetryConfig::late_lifetime(0.4));
+    let late = norm_with(RetryConfig::late_lifetime(0.4, 0xEE77));
     assert!(
         late < early,
         "late lifetime should benefit more: early={early} late={late}"

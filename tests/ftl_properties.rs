@@ -56,7 +56,7 @@ fn mapping_stays_consistent_under_random_ops() {
             clock += 1;
             match sample_action(&mut rng) {
                 HostAction::Write(lpn) => {
-                    ftl.write(Lpn(lpn as u64), clock);
+                    ftl.write(Lpn(lpn as u64), clock).unwrap();
                     *shadow.entry(lpn).or_insert(0) += 1;
                 }
                 HostAction::Trim(lpn) => {
@@ -102,7 +102,7 @@ fn block_valid_counts_match_the_page_map() {
         let n_writes = rng.gen_range_u64(50, 300) as usize;
         let mut ftl = new_ftl(RefreshMode::Ida);
         for i in 0..n_writes {
-            ftl.write(Lpn(rng.gen_below(600)), i as u64);
+            ftl.write(Lpn(rng.gen_below(600)), i as u64).unwrap();
         }
         let g = *ftl.blocks().geometry();
         for b in 0..g.total_blocks() {
@@ -131,7 +131,7 @@ fn senses_match_block_coding_state() {
         let writes: Vec<u64> = (0..n_writes).map(|_| rng.gen_below(500)).collect();
         let mut ftl = new_ftl(RefreshMode::Ida);
         for (i, &lpn) in writes.iter().enumerate() {
-            ftl.write(Lpn(lpn), i as u64);
+            ftl.write(Lpn(lpn), i as u64).unwrap();
         }
         for round in 0..refresh_rounds {
             let targets: Vec<BlockAddr> = ftl

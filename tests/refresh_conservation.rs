@@ -24,10 +24,10 @@ fn ftl(mode: RefreshMode, error_rate: f64) -> Ftl {
 fn churn(ftl: &mut Ftl, stride: usize) -> u64 {
     let pages = ftl.exported_pages() / 2;
     for lpn in 0..pages {
-        ftl.write(Lpn(lpn), 0);
+        ftl.write(Lpn(lpn), 0).unwrap();
     }
     for lpn in (0..pages).step_by(stride) {
-        ftl.write(Lpn(lpn), 1);
+        ftl.write(Lpn(lpn), 1).unwrap();
     }
     pages
 }
@@ -136,7 +136,7 @@ fn ida_reads_use_merged_sense_counts_per_wordline_case() {
     let mut f = ftl(RefreshMode::Ida, 0.0);
     let pages = f.exported_pages() / 2;
     for lpn in 0..pages {
-        f.write(Lpn(lpn), 0);
+        f.write(Lpn(lpn), 0).unwrap();
     }
     // Make one wordline case 2 (LSB invalid) and another case 4
     // (LSB+CSB invalid) inside the same block.
@@ -156,7 +156,7 @@ fn ida_reads_use_merged_sense_counts_per_wordline_case() {
         for ty in kill {
             let p = wl.page(&g, ty);
             if let Some(owner) = owner_of(&mut f, p) {
-                f.write(owner, 1);
+                f.write(owner, 1).unwrap();
             }
         }
     }
@@ -180,7 +180,7 @@ fn gc_reclaims_ida_blocks_and_preserves_data() {
     // Fill, refresh everything, then overwrite heavily to force GC through
     // IDA blocks.
     for lpn in 0..logical {
-        f.write(Lpn(lpn), 0);
+        f.write(Lpn(lpn), 0).unwrap();
     }
     let closed: Vec<BlockAddr> = f
         .blocks()
@@ -196,7 +196,7 @@ fn gc_reclaims_ida_blocks_and_preserves_data() {
     assert!(f.stats().ida_conversions > 0);
     for round in 2..5u64 {
         for lpn in 0..logical {
-            f.write(Lpn(lpn), round);
+            f.write(Lpn(lpn), round).unwrap();
         }
     }
     assert!(f.stats().gc_runs > 0, "overwrites must trigger GC");
