@@ -27,6 +27,7 @@
 
 pub mod microbench;
 pub mod runner;
+pub mod suite;
 pub mod sweep;
 pub mod table;
 

@@ -1,0 +1,458 @@
+//! The `idasim bench` fixed-seed benchmark suite.
+//!
+//! Three benches cover the simulator's hot paths at increasing integration
+//! depth:
+//!
+//! 1. **`event_queue/push_pop`** — the event-queue core: seeded
+//!    pseudo-random pushes interleaved with pops, checksummed so the
+//!    traversal order is pinned.
+//! 2. **`ftl/write_gc_refresh`** — the FTL under allocation pressure: a
+//!    low-overprovision device is prefilled, then updated until watermark
+//!    GC (victim selection, relocation, erase) and IDA refresh cycles run
+//!    continuously.
+//! 3. **`fig8_smoke/end_to_end`** — one fig8 cell end-to-end (warm-up +
+//!    measured open-loop replay of `hm_1` on Baseline and IDA-E20), the
+//!    shape every sweep multiplies by 80–110 cells.
+//!
+//! Every bench reports deterministic *operation counts* (byte-identical
+//! across runs and machines — the CI determinism guard compares them) next
+//! to non-deterministic wall-clock and derived rates. [`compare_json`]
+//! embeds a previously captured run as the baseline and computes per-bench
+//! speedups; the committed `BENCH_*.json` trajectory files are such
+//! comparison documents.
+
+use crate::runner::{system_config, to_host_ops, warm_up, ExperimentScale, SystemUnderTest};
+use ida_core::refresh::RefreshMode;
+use ida_flash::geometry::Geometry;
+use ida_flash::timing::FlashTiming;
+use ida_ftl::{Ftl, FtlConfig, Lpn};
+use ida_obs::json::{array, JsonObj};
+use ida_obs::rng::Rng64;
+use ida_ssd::event::EventQueue;
+use ida_ssd::retry::RetryConfig;
+use ida_ssd::Simulator;
+use ida_sweep::jsonv::{self, JsonValue};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Schema tag of a single captured suite run.
+pub const SUITE_SCHEMA: &str = "idasim-bench/v1";
+/// Schema tag of a baseline-vs-current comparison document.
+pub const COMPARE_SCHEMA: &str = "idasim-bench-compare/v1";
+
+/// One bench's outcome: a wall-clock measurement plus the deterministic
+/// operation counters that define "the same amount of work".
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Bench name, e.g. `fig8_smoke/end_to_end`.
+    pub name: &'static str,
+    /// Wall-clock nanoseconds of the measured loop (non-deterministic).
+    pub wall_ns: u64,
+    /// Wall-clock nanoseconds spent on setup outside the measured loop
+    /// (warm-up, trace generation, simulator construction); 0 when the
+    /// bench has no setup phase.
+    pub setup_ns: u64,
+    /// Deterministic operation counters, in emission order.
+    pub ops: Vec<(&'static str, u64)>,
+}
+
+impl BenchResult {
+    /// The value of a deterministic counter (0 when absent).
+    pub fn count(&self, key: &str) -> u64 {
+        self.ops
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The primary work counter the bench's headline rate divides by:
+    /// `events` when present, `flash_ops` otherwise.
+    pub fn primary_counter(&self) -> &'static str {
+        if self.count("events") > 0 {
+            "events"
+        } else {
+            "flash_ops"
+        }
+    }
+
+    /// Primary work units per wall-clock second.
+    pub fn rate_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.count(self.primary_counter()) as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    fn per_sec(&self, key: &str) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.count(key) as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// The bench as a JSON object string. The nested `ops` object is the
+    /// deterministic part; `wall_ns` and the `*_per_sec` rates vary run to
+    /// run.
+    pub fn to_json(&self) -> String {
+        let mut ops = JsonObj::new();
+        for (k, v) in &self.ops {
+            ops = ops.u64(k, *v);
+        }
+        let mut obj = JsonObj::new()
+            .str("name", self.name)
+            .u64("wall_ns", self.wall_ns);
+        if self.setup_ns > 0 {
+            obj = obj.u64("setup_ns", self.setup_ns);
+        }
+        if self.count("events") > 0 {
+            obj = obj.f64("events_per_sec", self.per_sec("events"));
+        }
+        if self.count("flash_ops") > 0 {
+            obj = obj.f64("flash_ops_per_sec", self.per_sec("flash_ops"));
+        }
+        obj.raw("ops", &ops.finish()).finish()
+    }
+}
+
+/// The outcome of one full suite run.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// `smoke` or `full`.
+    pub suite: &'static str,
+    /// Bench outcomes, in execution order.
+    pub benches: Vec<BenchResult>,
+}
+
+impl SuiteResult {
+    /// The suite as one JSON object string.
+    pub fn to_json(&self) -> String {
+        JsonObj::new()
+            .str("schema", SUITE_SCHEMA)
+            .str("suite", self.suite)
+            .raw("benches", &array(self.benches.iter().map(|b| b.to_json())))
+            .finish()
+    }
+
+    /// A human-readable summary table.
+    pub fn render_table(&self) -> String {
+        let mut out = format!("benchmark suite ({})\n", self.suite);
+        for b in &self.benches {
+            let _ = writeln!(
+                out,
+                "  {:<26} {:>9.1} ms  {:>12.0} {}/s  (gc_runs {})",
+                b.name,
+                b.wall_ns as f64 / 1e6,
+                b.rate_per_sec(),
+                b.primary_counter(),
+                b.count("gc_runs"),
+            );
+        }
+        out
+    }
+}
+
+/// Run the full fixed-seed suite (`smoke` shrinks every bench for CI).
+pub fn run_suite(smoke: bool) -> SuiteResult {
+    SuiteResult {
+        suite: if smoke { "smoke" } else { "full" },
+        benches: vec![
+            bench_event_queue(smoke),
+            bench_ftl_write_gc_refresh(smoke),
+            bench_fig8_end_to_end(smoke),
+        ],
+    }
+}
+
+/// Event-queue push/pop with a bounded in-flight window, checksummed so
+/// the pop order is part of the deterministic result.
+fn bench_event_queue(smoke: bool) -> BenchResult {
+    let pushes: u64 = if smoke { 200_000 } else { 2_000_000 };
+    let start = Instant::now();
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut rng = Rng64::seed_from_u64(0xE4E4_0001);
+    let mut checksum = 0u64;
+    let mut pops = 0u64;
+    for i in 0..pushes {
+        q.push(rng.gen_below(1 << 40), i);
+        if q.len() > 1024 {
+            let (t, payload) = q.pop().expect("queue is non-empty");
+            checksum = checksum
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(t ^ payload);
+            pops += 1;
+        }
+    }
+    while let Some((t, payload)) = q.pop() {
+        checksum = checksum
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(t ^ payload);
+        pops += 1;
+    }
+    assert_eq!(pops, pushes, "every pushed event must pop");
+    BenchResult {
+        name: "event_queue/push_pop",
+        wall_ns: start.elapsed().as_nanos() as u64,
+        setup_ns: 0,
+        ops: vec![("events", pushes + pops), ("checksum", checksum)],
+    }
+}
+
+/// FTL write/GC/refresh loop on a low-overprovision device: prefill the
+/// exported space, then apply seeded uniform updates with periodic due
+/// refreshes, so watermark GC and IDA conversion dominate.
+fn bench_ftl_write_gc_refresh(smoke: bool) -> BenchResult {
+    let updates: u64 = if smoke { 50_000 } else { 250_000 };
+    let cfg = FtlConfig {
+        geometry: Geometry::scaled_8gb(),
+        overprovision: 0.05,
+        refresh_mode: RefreshMode::Ida,
+        adjust_error_rate: 0.2,
+        // Due mid-way through the update phase (the virtual clock below
+        // advances 1 ns per host write).
+        refresh_period: updates / 2,
+        ..FtlConfig::default()
+    };
+    let start = Instant::now();
+    let mut ftl = Ftl::new(cfg);
+    let logical = ftl.exported_pages();
+    let mut flash_ops = 0u64;
+    let mut now = 0u64;
+    for lpn in 0..logical {
+        now += 1;
+        let ops = ftl.write(Lpn(lpn), now).expect("prefill write");
+        flash_ops += ops.len() as u64;
+    }
+    let mut rng = Rng64::seed_from_u64(0xE4E4_0002);
+    for _ in 0..updates {
+        now += 1;
+        let lpn = rng.gen_below(logical);
+        let ops = ftl.write(Lpn(lpn), now).expect("update write");
+        flash_ops += ops.len() as u64;
+        if now.is_multiple_of(4096) && ftl.next_refresh_due().is_some_and(|d| d <= now) {
+            flash_ops += ftl.run_due_refreshes(now).len() as u64;
+        }
+    }
+    let stats = ftl.stats();
+    BenchResult {
+        name: "ftl/write_gc_refresh",
+        wall_ns: start.elapsed().as_nanos() as u64,
+        setup_ns: 0,
+        ops: vec![
+            ("flash_ops", flash_ops),
+            ("host_writes", stats.host_writes),
+            ("gc_runs", stats.gc_runs),
+            ("gc_copies", stats.gc_copies),
+            ("erases", stats.erases),
+            ("refreshes", stats.refreshes),
+            ("ida_conversions", stats.ida_conversions),
+        ],
+    }
+}
+
+/// One fig8 cell end-to-end: warm-up then the measured open-loop replay of
+/// `hm_1` on Baseline and IDA-E20 — the unit of work every sweep repeats.
+/// `wall_ns` times the event-driven replays only (the loop the scheduler
+/// hot paths sit on); warm-up, trace generation and simulator construction
+/// are reported as `setup_ns`.
+fn bench_fig8_end_to_end(smoke: bool) -> BenchResult {
+    let requests = if smoke { 800 } else { 6_000 };
+    let scale = ExperimentScale::smoke().with_requests(requests);
+    let preset = ida_workloads::suite::paper_workload("hm_1").expect("hm_1 exists");
+    let start = Instant::now();
+    let mut replay_ns = 0u64;
+    let mut events = 0u64;
+    let mut flash_ops = 0u64;
+    let mut reads = 0u64;
+    let mut writes = 0u64;
+    let mut gc_runs = 0u64;
+    let mut erases = 0u64;
+    let mut refreshes = 0u64;
+    for system in [
+        SystemUnderTest::Baseline,
+        SystemUnderTest::Ida { error_rate: 0.2 },
+    ] {
+        let cfg = system_config(
+            system,
+            scale.geometry,
+            FlashTiming::paper_tlc(),
+            RetryConfig::disabled(),
+        );
+        let mut sim = Simulator::new(cfg);
+        let trace = warm_up(&mut sim, &preset, &scale);
+        let ops = to_host_ops(&trace);
+        let replay_start = Instant::now();
+        let report = sim.run(ops);
+        replay_ns += replay_start.elapsed().as_nanos() as u64;
+        events += report.events_processed;
+        flash_ops += report.flash_ops;
+        reads += report.reads.count;
+        writes += report.writes.count;
+        gc_runs += report.ftl.gc_runs;
+        erases += report.ftl.erases;
+        refreshes += report.ftl.refreshes;
+    }
+    let total_ns = start.elapsed().as_nanos() as u64;
+    BenchResult {
+        name: "fig8_smoke/end_to_end",
+        wall_ns: replay_ns,
+        setup_ns: total_ns.saturating_sub(replay_ns),
+        ops: vec![
+            ("events", events),
+            ("flash_ops", flash_ops),
+            ("reads", reads),
+            ("writes", writes),
+            ("gc_runs", gc_runs),
+            ("erases", erases),
+            ("refreshes", refreshes),
+        ],
+    }
+}
+
+/// Merge a current suite run with a previously captured baseline into one
+/// comparison document with per-bench speedups (current rate / baseline
+/// rate on each bench's primary counter). The baseline may be a bare
+/// suite capture or an earlier comparison document (its `current` side is
+/// then the baseline).
+///
+/// # Errors
+///
+/// Returns a message when the baseline JSON is malformed or holds no
+/// benches.
+pub fn compare_json(current: &SuiteResult, baseline_json: &str) -> Result<String, String> {
+    let parsed = jsonv::parse(baseline_json).map_err(|e| format!("bad baseline JSON: {e}"))?;
+    let base = match parsed.get("benches") {
+        Some(_) => &parsed,
+        None => parsed
+            .get("current")
+            .ok_or("baseline JSON has neither `benches` nor `current`")?,
+    };
+    let Some(JsonValue::Arr(base_benches)) = base.get("benches") else {
+        return Err("baseline `benches` is not an array".into());
+    };
+    let base_rate = |name: &str, counter: &str| -> Option<f64> {
+        let b = base_benches
+            .iter()
+            .find(|b| b.get("name").and_then(|n| n.as_str()) == Some(name))?;
+        let work = b.get("ops")?.get(counter)?.as_u64()?;
+        let wall = b.get("wall_ns")?.as_u64()?;
+        (wall > 0).then(|| work as f64 / (wall as f64 / 1e9))
+    };
+    let mut speedups = JsonObj::new();
+    for b in &current.benches {
+        if let Some(base) = base_rate(b.name, b.primary_counter()) {
+            if base > 0.0 {
+                speedups = speedups.f64(b.name, b.rate_per_sec() / base);
+            }
+        }
+    }
+    let base_json = base_to_string(base);
+    Ok(JsonObj::new()
+        .str("schema", COMPARE_SCHEMA)
+        .raw("baseline", &base_json)
+        .raw("current", &current.to_json())
+        .raw("speedup", &speedups.finish())
+        .finish())
+}
+
+/// Re-serialize a parsed baseline suite (deterministic field order is
+/// preserved by the parser, so this round-trips the original capture).
+fn base_to_string(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Null => "null".into(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Num(_, raw) => raw.clone(),
+        JsonValue::Str(s) => JsonObj::new().str("s", s).finish()[5..]
+            .trim_end_matches('}')
+            .to_string(),
+        JsonValue::Arr(items) => array(items.iter().map(base_to_string)),
+        JsonValue::Obj(fields) => {
+            let mut o = JsonObj::new();
+            for (k, val) in fields {
+                o = o.raw(k, &base_to_string(val));
+            }
+            o.finish()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_queue_bench_is_deterministic() {
+        let a = bench_event_queue(true);
+        let b = bench_event_queue(true);
+        assert_eq!(a.ops, b.ops, "op counts must be byte-identical");
+        assert_eq!(a.count("events"), 400_000);
+        assert_ne!(a.count("checksum"), 0);
+    }
+
+    #[test]
+    fn bench_json_has_rates_and_ops() {
+        let b = BenchResult {
+            name: "event_queue/push_pop",
+            wall_ns: 2_000_000_000,
+            setup_ns: 0,
+            ops: vec![("events", 4_000_000), ("checksum", 7)],
+        };
+        assert_eq!(b.rate_per_sec(), 2_000_000.0);
+        let json = b.to_json();
+        assert!(json.contains("\"events_per_sec\":2000000"));
+        assert!(json.contains("\"ops\":{\"events\":4000000,\"checksum\":7}"));
+    }
+
+    #[test]
+    fn compare_embeds_baseline_and_computes_speedup() {
+        let current = SuiteResult {
+            suite: "smoke",
+            benches: vec![BenchResult {
+                name: "fig8_smoke/end_to_end",
+                wall_ns: 1_000_000_000,
+                setup_ns: 5,
+                ops: vec![("events", 3_000_000)],
+            }],
+        };
+        let baseline = SuiteResult {
+            suite: "smoke",
+            benches: vec![BenchResult {
+                name: "fig8_smoke/end_to_end",
+                wall_ns: 2_000_000_000,
+                setup_ns: 0,
+                ops: vec![("events", 3_000_000)],
+            }],
+        };
+        let doc = compare_json(&current, &baseline.to_json()).unwrap();
+        let v = jsonv::parse(&doc).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some(COMPARE_SCHEMA)
+        );
+        let speedup = v
+            .get("speedup")
+            .and_then(|s| s.get("fig8_smoke/end_to_end"))
+            .and_then(|s| s.as_f64())
+            .unwrap();
+        assert!((speedup - 2.0).abs() < 1e-9, "got {speedup}");
+        // A comparison document is itself usable as the next baseline
+        // (its `current` side becomes the reference).
+        let chained = compare_json(&baseline, &doc).unwrap();
+        let v2 = jsonv::parse(&chained).unwrap();
+        let s2 = v2
+            .get("speedup")
+            .and_then(|s| s.get("fig8_smoke/end_to_end"))
+            .and_then(|s| s.as_f64())
+            .unwrap();
+        assert!((s2 - 0.5).abs() < 1e-9, "got {s2}");
+    }
+
+    #[test]
+    fn compare_rejects_malformed_baselines() {
+        let current = SuiteResult {
+            suite: "smoke",
+            benches: vec![],
+        };
+        assert!(compare_json(&current, "not json").is_err());
+        assert!(compare_json(&current, "{\"schema\":\"x\"}").is_err());
+    }
+}

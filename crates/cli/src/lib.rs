@@ -6,6 +6,7 @@
 use ida_bench::runner::{
     normalized_read_response, run_system_obs, ExperimentScale, ObsOptions, SystemUnderTest,
 };
+use ida_bench::suite::{compare_json, run_suite};
 use ida_bench::sweep::{builtin_grid, render, run_grid, BUILTIN_GRIDS};
 use ida_sweep::pool::parse_jobs;
 use ida_sweep::SweepConfig;
@@ -56,6 +57,18 @@ pub enum Command {
         requests: Option<usize>,
         /// Report per-cell progress (with ETA) on stderr.
         progress: bool,
+    },
+    /// Run the fixed-seed benchmark suite.
+    Bench {
+        /// Use the reduced CI scale.
+        smoke: bool,
+        /// Write the JSON document here (stdout gets the summary table);
+        /// without it the JSON itself goes to stdout.
+        out: Option<PathBuf>,
+        /// Previously captured suite (or comparison) JSON to embed as the
+        /// baseline; the output becomes a comparison document with
+        /// per-bench speedups.
+        baseline: Option<PathBuf>,
     },
     /// Print usage.
     Help,
@@ -201,6 +214,36 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 smoke,
                 requests,
                 progress,
+            })
+        }
+        Some("bench") => {
+            let mut smoke = false;
+            let mut out = None;
+            let mut baseline = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--smoke" => {
+                        smoke = true;
+                        i += 1;
+                    }
+                    "--out" => {
+                        out = Some(PathBuf::from(args.get(i + 1).ok_or("--out needs a path")?));
+                        i += 2;
+                    }
+                    "--baseline" => {
+                        baseline = Some(PathBuf::from(
+                            args.get(i + 1).ok_or("--baseline needs a path")?,
+                        ));
+                        i += 2;
+                    }
+                    other => return Err(format!("unknown option: {other}")),
+                }
+            }
+            Ok(Command::Bench {
+                smoke,
+                out,
+                baseline,
             })
         }
         Some(other) => Err(format!("unknown command: {other} (try `idasim help`)")),
@@ -372,6 +415,38 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 }
             }
         }
+        Command::Bench {
+            smoke,
+            out: out_path,
+            baseline,
+        } => {
+            // Read the baseline up front so a bad path fails before the
+            // (expensive) suite run.
+            let base = baseline
+                .map(|path| {
+                    std::fs::read_to_string(&path)
+                        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))
+                })
+                .transpose()?;
+            let result = run_suite(smoke);
+            let json = match base {
+                Some(base) => compare_json(&result, &base)?,
+                None => result.to_json(),
+            };
+            match out_path {
+                Some(path) => {
+                    std::fs::write(&path, json + "\n")
+                        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                    out.push_str(&result.render_table());
+                    let _ = writeln!(out, "wrote benchmark JSON to {}", path.display());
+                }
+                // No --out: machine-readable document on stdout.
+                None => {
+                    out.push_str(&json);
+                    out.push('\n');
+                }
+            }
+        }
     }
     Ok(out)
 }
@@ -392,6 +467,7 @@ USAGE:
                  [--progress]
   idasim sweep <grid> [--jobs N] [--journal <path.jsonl>]
                [--out <path.json>] [--smoke] [--requests N] [--progress]
+  idasim bench [--smoke] [--out <path.json>] [--baseline <path.json>]
 
 Observability (compare): --trace-out writes the run's event stream as
 JSONL and --metrics-json writes the full report (latency histograms,
@@ -409,6 +485,14 @@ to stdout. The faults grid injects program/erase failures, transient
 read faults and power losses (levels off/low/mid/high) and reports
 IDA's read benefit alongside the recovery counters; fig11 compares
 the early and late (retry-heavy) lifetime phases.
+
+Bench: runs the fixed-seed hot-path benchmark suite (event-queue
+push/pop, FTL write/GC/refresh loop, one fig8 cell end-to-end) and
+emits a JSON document whose per-bench operation counts are
+byte-identical across runs (wall-clock and derived rates vary).
+--smoke shrinks every bench for CI. --baseline embeds a previously
+captured suite (or comparison) JSON and adds per-bench speedups; the
+committed BENCH_*.json trajectory files are such comparisons.
 
 Experiment binaries reproducing each paper table/figure live in the
 ida-bench crate, e.g.:
@@ -563,6 +647,48 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.contains("unknown sweep grid"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn parses_bench_options() {
+        let cmd = parse_args(&s(&[
+            "bench",
+            "--smoke",
+            "--out",
+            "BENCH_PR4.json",
+            "--baseline",
+            "old.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Bench {
+                smoke: true,
+                out: Some(PathBuf::from("BENCH_PR4.json")),
+                baseline: Some(PathBuf::from("old.json")),
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&["bench"])).unwrap(),
+            Command::Bench {
+                smoke: false,
+                out: None,
+                baseline: None,
+            }
+        );
+        assert!(parse_args(&s(&["bench", "--out"])).is_err());
+        assert!(parse_args(&s(&["bench", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn bench_rejects_missing_baseline_file() {
+        let err = run(Command::Bench {
+            smoke: true,
+            out: None,
+            baseline: Some(PathBuf::from("/nonexistent/baseline.json")),
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot read baseline"), "unhelpful: {err}");
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! which merged coding each wordline carries (one small mask per WL,
 //! matching the "additional bit per block / per WL" of Section III-C).
 
-use ida_flash::addr::BlockAddr;
+use ida_flash::addr::{BlockAddr, PlaneAddr};
 use ida_flash::geometry::Geometry;
 use ida_flash::timing::SimTime;
+use std::collections::BTreeSet;
 
 /// Lifecycle state of a block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,11 +39,70 @@ struct BlockInfo {
     wl_masks: Vec<u8>,
 }
 
+/// Per-plane greedy GC victim index: reclaimable (Closed/Ida) blocks
+/// bucketed by valid-page count, each bucket ordered by the
+/// `(erase_count, block)` tie-break — together the exact
+/// `(valid, erases, BlockAddr)` ordering of a linear scan over
+/// [`BlockTable::reclaimable_blocks`].
+#[derive(Debug, Clone)]
+struct PlaneIndex {
+    /// `buckets[valid]` holds the plane's reclaimable blocks with that
+    /// many valid pages, as `(erase_count, block index)` pairs.
+    buckets: Vec<BTreeSet<(u32, u32)>>,
+    /// Index of the lowest non-empty bucket (== `buckets.len()` when the
+    /// plane has no reclaimable blocks). Lowered directly on insert,
+    /// advanced past drained buckets on remove — each advance is paid for
+    /// by the insert that lowered it, so victim pops are O(1) amortized.
+    min_valid: usize,
+    /// Reclaimable blocks currently indexed in this plane.
+    len: usize,
+}
+
+impl PlaneIndex {
+    fn new(pages_per_block: u32) -> Self {
+        let depth = pages_per_block as usize + 1;
+        PlaneIndex {
+            buckets: vec![BTreeSet::new(); depth],
+            min_valid: depth,
+            len: 0,
+        }
+    }
+
+    fn insert(&mut self, valid: u32, erases: u32, block: u32) {
+        let v = valid as usize;
+        assert!(
+            self.buckets[v].insert((erases, block)),
+            "duplicate index entry"
+        );
+        self.len += 1;
+        self.min_valid = self.min_valid.min(v);
+    }
+
+    fn remove(&mut self, valid: u32, erases: u32, block: u32) {
+        let v = valid as usize;
+        assert!(
+            self.buckets[v].remove(&(erases, block)),
+            "missing index entry"
+        );
+        self.len -= 1;
+        if self.len == 0 {
+            self.min_valid = self.buckets.len();
+        } else if v == self.min_valid {
+            while self.buckets[self.min_valid].is_empty() {
+                self.min_valid += 1;
+            }
+        }
+    }
+}
+
 /// The block status table for the whole SSD.
 #[derive(Debug, Clone)]
 pub struct BlockTable {
     geometry: Geometry,
     blocks: Vec<BlockInfo>,
+    /// Per-plane victim index, maintained on every state/valid/wear
+    /// transition below so GC never rescans the device.
+    index: Vec<PlaneIndex>,
     /// Blocks currently in the `Ida` state (kept incrementally so gauges
     /// can sample it without an O(blocks) scan).
     ida_blocks: u32,
@@ -50,6 +110,11 @@ pub struct BlockTable {
     adjusted_wordlines: u64,
     /// Blocks retired to the grown-bad list.
     bad_blocks: u32,
+    /// Blocks in any non-`Free` state (O(1) mirror of the
+    /// [`BlockTable::in_use_blocks`] definition).
+    in_use: u32,
+    /// Sum of erase counts across all blocks.
+    total_erases: u64,
 }
 
 impl BlockTable {
@@ -67,12 +132,21 @@ impl BlockTable {
             })
             .collect();
         BlockTable {
-            geometry,
             blocks,
+            index: (0..geometry.total_planes())
+                .map(|_| PlaneIndex::new(geometry.pages_per_block()))
+                .collect(),
+            geometry,
             ida_blocks: 0,
             adjusted_wordlines: 0,
             bad_blocks: 0,
+            in_use: 0,
+            total_erases: 0,
         }
+    }
+
+    fn plane_index(&self, b: BlockAddr) -> usize {
+        (b.0 / self.geometry.blocks_per_plane) as usize
     }
 
     fn info(&self, b: BlockAddr) -> &BlockInfo {
@@ -118,6 +192,7 @@ impl BlockTable {
         assert_eq!(info.state, BlockState::Free, "open of non-free block {b}");
         info.state = BlockState::Open;
         info.write_ptr = 0;
+        self.in_use += 1;
     }
 
     /// Allocate the next page of an open block; returns its in-block
@@ -141,6 +216,9 @@ impl BlockTable {
         if info.write_ptr == pages {
             info.state = BlockState::Closed;
             info.closed_at = now;
+            let (valid, erases) = (info.valid_pages, info.erase_count);
+            let plane = self.plane_index(b);
+            self.index[plane].insert(valid, erases, b.0);
         }
         off
     }
@@ -166,6 +244,12 @@ impl BlockTable {
         let info = self.info_mut(b);
         assert!(info.valid_pages > 0, "valid-count underflow in block {b}");
         info.valid_pages -= 1;
+        if matches!(info.state, BlockState::Closed | BlockState::Ida) {
+            let (valid, erases) = (info.valid_pages, info.erase_count);
+            let plane = self.plane_index(b);
+            self.index[plane].remove(valid + 1, erases, b.0);
+            self.index[plane].insert(valid, erases, b.0);
+        }
     }
 
     /// Record that one kept-in-place page remains valid after an IDA
@@ -187,11 +271,19 @@ impl BlockTable {
             info.valid_pages
         );
         let was_ida = info.state == BlockState::Ida;
+        let was_reclaimable = matches!(info.state, BlockState::Closed | BlockState::Ida);
         let adjusted = info.wl_masks.iter().filter(|&&m| m != 0).count() as u64;
         if was_ida {
             self.ida_blocks -= 1;
             self.adjusted_wordlines -= adjusted;
         }
+        if was_reclaimable {
+            let erases = self.info(b).erase_count;
+            let plane = self.plane_index(b);
+            self.index[plane].remove(0, erases, b.0);
+            self.in_use -= 1;
+        }
+        self.total_erases += 1;
         let info = self.info_mut(b);
         info.state = BlockState::Free;
         info.write_ptr = 0;
@@ -216,10 +308,19 @@ impl BlockTable {
             info.valid_pages
         );
         let was_ida = info.state == BlockState::Ida;
+        let was_reclaimable = matches!(info.state, BlockState::Closed | BlockState::Ida);
         let adjusted = info.wl_masks.iter().filter(|&&m| m != 0).count() as u64;
         if was_ida {
             self.ida_blocks -= 1;
             self.adjusted_wordlines -= adjusted;
+        }
+        if was_reclaimable {
+            let erases = self.info(b).erase_count;
+            let plane = self.plane_index(b);
+            self.index[plane].remove(0, erases, b.0);
+        } else {
+            // A Free block retires straight into the in-use population.
+            self.in_use += 1;
         }
         let info = self.info_mut(b);
         info.state = BlockState::Bad;
@@ -259,6 +360,14 @@ impl BlockTable {
             BlockState::Bad => self.bad_blocks += 1,
             _ => {}
         }
+        if matches!(state, BlockState::Closed | BlockState::Ida) {
+            let plane = self.plane_index(b);
+            self.index[plane].insert(valid_pages, erase_count, b.0);
+        }
+        if state != BlockState::Free {
+            self.in_use += 1;
+        }
+        self.total_erases += erase_count as u64;
         let info = self.info_mut(b);
         info.state = state;
         info.write_ptr = write_ptr;
@@ -323,12 +432,9 @@ impl BlockTable {
     }
 
     /// Total blocks currently not free (the "in-use block count" the paper
-    /// tracks in Section III-C).
+    /// tracks in Section III-C). O(1); maintained incrementally.
     pub fn in_use_blocks(&self) -> u32 {
-        self.blocks
-            .iter()
-            .filter(|i| i.state != BlockState::Free)
-            .count() as u32
+        self.in_use
     }
 
     /// Blocks currently in the `Ida` state (O(1); maintained incrementally
@@ -343,9 +449,57 @@ impl BlockTable {
         self.adjusted_wordlines
     }
 
-    /// Sum of erase counts across all blocks.
+    /// Sum of erase counts across all blocks. O(1); maintained
+    /// incrementally.
     pub fn total_erases(&self) -> u64 {
-        self.blocks.iter().map(|i| i.erase_count as u64).sum()
+        self.total_erases
+    }
+
+    /// The cheapest GC victim in `plane` under the reference ordering —
+    /// the reclaimable (Closed/Ida) block minimizing
+    /// `(valid_pages, erase_count, BlockAddr)` — skipping fully-valid
+    /// blocks (no net space) and `exclude`. O(1) amortized via the
+    /// per-plane bucket index.
+    pub fn victim_in_plane(
+        &self,
+        plane: PlaneAddr,
+        exclude: Option<BlockAddr>,
+    ) -> Option<BlockAddr> {
+        let idx = &self.index[plane.0 as usize];
+        if idx.len == 0 {
+            return None;
+        }
+        let full = self.geometry.pages_per_block() as usize;
+        if idx.min_valid >= full {
+            // Only fully-valid blocks remain; collecting one frees nothing.
+            return None;
+        }
+        let ex = exclude.map(|b| b.0);
+        for bucket in &idx.buckets[idx.min_valid..full] {
+            // Two candidates suffice: at most one can be excluded.
+            for &(_, block) in bucket.iter().take(2) {
+                if Some(block) != ex {
+                    return Some(BlockAddr(block));
+                }
+            }
+        }
+        None
+    }
+
+    /// The cheapest GC victim across the whole device: the global
+    /// `(valid_pages, erase_count, BlockAddr)` minimum over every plane's
+    /// best candidate. O(planes) rather than O(blocks).
+    pub fn victim_global(&self, exclude: Option<BlockAddr>) -> Option<BlockAddr> {
+        let mut best: Option<(u32, u32, u32)> = None;
+        for p in 0..self.index.len() {
+            if let Some(b) = self.victim_in_plane(PlaneAddr(p as u32), exclude) {
+                let key = (self.valid_pages(b), self.erase_count(b), b.0);
+                if best.is_none_or(|k| key < k) {
+                    best = Some(key);
+                }
+            }
+        }
+        best.map(|(_, _, b)| BlockAddr(b))
     }
 
     /// Wear summary across all blocks: `(min, max, mean)` erase counts.

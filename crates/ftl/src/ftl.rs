@@ -685,15 +685,11 @@ impl Ftl {
     /// carcass whenever one exists). Returns false when nothing is
     /// reclaimable.
     fn reclaim_cheapest(&mut self, now: SimTime, ops: &mut Vec<FlashOp>) -> bool {
-        let exclude = self.refresh_target;
-        let full = self.geometry.pages_per_block();
-        let victim = self
-            .blocks
-            .reclaimable_blocks()
-            // Fully valid blocks yield no net space (see gc::select_victim).
-            .filter(|&(b, valid, _)| valid < full && Some(b) != exclude)
-            .min_by_key(|&(_, valid, erases)| (valid, erases))
-            .map(|(b, _, _)| b);
+        // O(planes) via the victim index — the global minimum under the
+        // same (valid, erases, BlockAddr) ordering the old device-wide
+        // scan produced (fully valid blocks yield no net space and are
+        // skipped; see gc::select_victim).
+        let victim = self.blocks.victim_global(self.refresh_target);
         match victim {
             Some(v) => {
                 self.collect_victim(v, now, ops);

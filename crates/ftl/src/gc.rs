@@ -12,7 +12,23 @@ use ida_flash::geometry::Geometry;
 /// Select the GC victim within `plane`, excluding `exclude` (typically the
 /// refresh target currently being processed). Returns `None` if the plane
 /// has no reclaimable block.
+///
+/// O(1) amortized: answered from the victim index [`BlockTable`] maintains
+/// on every block transition. [`select_victim_scan`] is the retained
+/// reference implementation; the two must agree on every table state.
 pub fn select_victim(
+    blocks: &BlockTable,
+    plane: PlaneAddr,
+    exclude: Option<BlockAddr>,
+) -> Option<BlockAddr> {
+    blocks.victim_in_plane(plane, exclude)
+}
+
+/// Reference implementation of [`select_victim`]: a full linear scan over
+/// the device. Kept (and exercised by the differential property tests) as
+/// the executable specification of the victim ordering —
+/// `(valid_pages, erase_count, BlockAddr)`, fully-valid blocks skipped.
+pub fn select_victim_scan(
     blocks: &BlockTable,
     plane: PlaneAddr,
     exclude: Option<BlockAddr>,
@@ -109,5 +125,40 @@ mod tests {
     fn empty_plane_yields_none() {
         let t = BlockTable::new(Geometry::tiny());
         assert_eq!(select_victim(&t, PlaneAddr(0), None), None);
+    }
+
+    #[test]
+    fn index_matches_reference_scan() {
+        let g = Geometry::tiny();
+        let mut t = BlockTable::new(g);
+        // Build a mixed state: varying valid counts, wear, an IDA block
+        // and an erased-then-refilled block across both planes.
+        for i in [0, 1, 2, g.blocks_per_plane, g.blocks_per_plane + 1] {
+            fill_block(&mut t, BlockAddr(i));
+        }
+        for _ in 0..5 {
+            t.invalidate_page(BlockAddr(1));
+        }
+        for _ in 0..g.pages_per_block() {
+            t.invalidate_page(BlockAddr(2));
+        }
+        t.erase(BlockAddr(2));
+        fill_block(&mut t, BlockAddr(2));
+        t.invalidate_page(BlockAddr(2));
+        t.mark_ida(BlockAddr(g.blocks_per_plane), &[(0, 0b110)], 7);
+        t.invalidate_page(BlockAddr(g.blocks_per_plane));
+        for plane in [PlaneAddr(0), PlaneAddr(1)] {
+            for exclude in [
+                None,
+                Some(BlockAddr(1)),
+                Some(BlockAddr(g.blocks_per_plane)),
+            ] {
+                assert_eq!(
+                    select_victim(&t, plane, exclude),
+                    select_victim_scan(&t, plane, exclude),
+                    "index/scan divergence on {plane:?} excluding {exclude:?}"
+                );
+            }
+        }
     }
 }

@@ -264,6 +264,12 @@ pub struct Report {
     /// Blocks not free at the end of the run (Section III-C tracks the
     /// in-use block increase caused by IDA coding).
     pub in_use_blocks: u32,
+    /// Simulation events popped off the event queue during the run — the
+    /// deterministic work count behind the benchmark suite's events/sec.
+    pub events_processed: u64,
+    /// Flash operations (reads, programs, erases, voltage adjustments)
+    /// enqueued to dies during the run.
+    pub flash_ops: u64,
     /// Time-series gauges sampled during the run (empty unless gauge
     /// sampling was enabled on the simulator).
     pub gauges: Vec<GaugeSeries>,
@@ -334,6 +340,8 @@ impl Report {
             .raw("ftl", &counters)
             .raw("faults", &faults)
             .u64("in_use_blocks", self.in_use_blocks as u64)
+            .u64("events_processed", self.events_processed)
+            .u64("flash_ops", self.flash_ops)
             .raw("gauges", &array(self.gauges.iter().map(|g| g.to_json())))
             .finish()
     }

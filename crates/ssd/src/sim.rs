@@ -13,7 +13,8 @@ use ida_ftl::{FlashOp, FlashOpKind, Ftl, FtlError, Lpn, Priority};
 use ida_obs::gauge::GaugeSet;
 use ida_obs::progress::Progress;
 use ida_obs::trace::{HostClass, SinkHandle, TraceEvent};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 fn host_class(kind: HostOpKind) -> HostClass {
     match kind {
@@ -51,6 +52,9 @@ struct DieState {
     other_free_at: SimTime,
     /// Earliest already-scheduled wake-up, to avoid event storms.
     wake_at: Option<SimTime>,
+    /// Whether this die is in [`Simulator::dirty_dies`] (work enqueued
+    /// since the last scheduling pass).
+    dirty: bool,
     queues: [VecDeque<SimOp>; 3],
 }
 
@@ -108,6 +112,20 @@ pub struct Simulator {
     gauges: GaugeSet,
     /// Whether runs report progress on stderr.
     progress: bool,
+    /// Cumulative flash ops enqueued to dies (runs report the delta).
+    flash_ops: u64,
+    /// Ops currently queued across all dies (enqueued, not yet started);
+    /// lets gauge sampling skip the per-die queue walk.
+    queued_ops: u64,
+    /// Dies with work enqueued since the last scheduling pass
+    /// (deduplicated through [`DieState::dirty`]).
+    dirty_dies: Vec<u32>,
+    /// Min-heap mirror of every scheduled die wake-up `(wake_at, die)`.
+    /// Entries whose time no longer matches the die's `wake_at` are stale
+    /// and dropped on pop. Persists across runs: a run's event queue dies
+    /// with it, so leftover queued work re-enters scheduling through the
+    /// heap in the next run.
+    wake_heap: BinaryHeap<Reverse<(SimTime, u32)>>,
 }
 
 impl Simulator {
@@ -124,6 +142,10 @@ impl Simulator {
             trace: SinkHandle::null(),
             gauges: GaugeSet::disabled(),
             progress: false,
+            flash_ops: 0,
+            queued_ops: 0,
+            dirty_dies: Vec::new(),
+            wake_heap: BinaryHeap::new(),
         }
     }
 
@@ -307,6 +329,8 @@ impl Simulator {
         let mut events: EventQueue<Ev> = EventQueue::new();
         let mut requests: Vec<PendingRequest> = Vec::with_capacity(trace.len());
         let mut completed = 0usize;
+        let mut events_processed = 0u64;
+        let flash_ops_before = self.flash_ops;
         let mut wake_at: Option<SimTime> = None;
         // Next trace entry to dispatch in closed-loop mode.
         let mut next_dispatch = 0usize;
@@ -332,6 +356,7 @@ impl Simulator {
 
         while let Some((now, ev)) = events.pop() {
             self.clock = now;
+            events_processed += 1;
             if self.gauges.enabled() && self.gauges.due(now) {
                 self.sample_gauges(now);
             }
@@ -394,8 +419,9 @@ impl Simulator {
             if completed > done_before {
                 progress.tick((completed - done_before) as u64);
             }
-            // Start any dies made runnable by newly enqueued work.
-            self.kick_idle_dies(now, &mut events);
+            // Start any dies made runnable by newly enqueued work or a
+            // wake-up that came due at this instant.
+            self.kick_dirty_dies(now, &mut events);
             // Stop once every host request has completed.
             let all_arrived = requests.len() == trace.len();
             if all_arrived && completed == requests.len() {
@@ -419,11 +445,13 @@ impl Simulator {
         }
         report.ftl = *self.ftl.stats();
         report.in_use_blocks = self.ftl.blocks().in_use_blocks();
+        report.events_processed = events_processed;
+        report.flash_ops = self.flash_ops - flash_ops_before;
         report
     }
 
     fn sample_gauges(&mut self, now: SimTime) {
-        let queued: u64 = self.dies.iter().map(|d| d.pending() as u64).sum();
+        let queued = self.queued_ops;
         let in_use = self.ftl.blocks().in_use_blocks() as u64;
         let adjusted = self.ftl.blocks().adjusted_wordlines();
         self.gauges.sample(
@@ -553,9 +581,13 @@ impl Simulator {
 
     /// Enqueue ops to their dies; host-priority ops link to `req`.
     /// Returns how many ops were linked to the request.
-    fn enqueue_all(&mut self, now: SimTime, ops: Vec<FlashOp>, req: Option<usize>) -> u32 {
-        let ops = ops.into_iter().map(|op| (op, 0)).collect();
-        self.enqueue_faulted(now, ops, req)
+    fn enqueue_all(
+        &mut self,
+        now: SimTime,
+        ops: impl IntoIterator<Item = FlashOp>,
+        req: Option<usize>,
+    ) -> u32 {
+        self.enqueue_faulted(now, ops.into_iter().map(|op| (op, 0)), req)
     }
 
     /// Like [`Self::enqueue_all`], but each op carries the transient-fault
@@ -563,7 +595,7 @@ impl Simulator {
     fn enqueue_faulted(
         &mut self,
         _now: SimTime,
-        ops: Vec<(FlashOp, u32)>,
+        ops: impl IntoIterator<Item = (FlashOp, u32)>,
         req: Option<usize>,
     ) -> u32 {
         let backoff = self.cfg.ftl.faults.transient_backoff_ns;
@@ -583,7 +615,15 @@ impl Simulator {
             } else {
                 0
             };
-            self.dies[op.die.0 as usize].enqueue(SimOp {
+            self.flash_ops += 1;
+            self.queued_ops += 1;
+            let die = op.die.0;
+            let d = &mut self.dies[die as usize];
+            if !d.dirty {
+                d.dirty = true;
+                self.dirty_dies.push(die);
+            }
+            d.enqueue(SimOp {
                 op,
                 req: linked,
                 retries,
@@ -594,24 +634,60 @@ impl Simulator {
         linked_count
     }
 
-    fn kick_idle_dies(&mut self, now: SimTime, events: &mut EventQueue<Ev>) {
-        for die in 0..self.dies.len() as u32 {
+    /// Run a scheduling pass: offer [`Self::try_start`] exactly the dies
+    /// that could have become runnable — those with freshly enqueued work
+    /// (the dirty set) and those whose scheduled wake time has arrived
+    /// (popped from the wake heap) — in ascending die order, reproducing
+    /// the visit order (and hence event-sequence numbering) of a full
+    /// scan over all dies. Dies outside this set either have an empty
+    /// queue or an untouched queue behind a future wake, where a
+    /// `try_start` call is a proven no-op.
+    fn kick_dirty_dies(&mut self, now: SimTime, events: &mut EventQueue<Ev>) {
+        let mut due = std::mem::take(&mut self.dirty_dies);
+        for &die in &due {
+            self.dies[die as usize].dirty = false;
+        }
+        while let Some(&Reverse((t, die))) = self.wake_heap.peek() {
+            if t > now {
+                break;
+            }
+            self.wake_heap.pop();
+            // Drop stale entries: the wake was superseded by an earlier
+            // one, or already consumed by the die's own DieFree event.
+            if self.dies[die as usize].wake_at == Some(t) {
+                due.push(die);
+            }
+        }
+        due.sort_unstable();
+        due.dedup();
+        for die in due.drain(..) {
             if self.dies[die as usize].pending() > 0 {
                 self.try_start(die, now, events);
             }
         }
+        // Hand the (drained) buffer back to reuse its allocation.
+        self.dirty_dies = due;
     }
 
     /// Start every queued op on `die` that can begin at `now`, scheduling
     /// a wake-up for the first one that cannot.
     fn try_start(&mut self, die: u32, now: SimTime, events: &mut EventQueue<Ev>) {
-        let t = self.cfg.timing;
-        let d = die as usize;
-        if self.dies[d].wake_at.is_some_and(|w| w <= now) {
-            self.dies[d].wake_at = None;
+        let Simulator {
+            cfg,
+            dies,
+            channels,
+            trace,
+            wake_heap,
+            queued_ops,
+            ..
+        } = self;
+        let t = cfg.timing;
+        let d = &mut dies[die as usize];
+        if d.wake_at.is_some_and(|w| w <= now) {
+            d.wake_at = None;
         }
         loop {
-            let Some(next) = self.dies[d].peek() else {
+            let Some(next) = d.peek() else {
                 return;
             };
             let is_read = matches!(next.op.kind, FlashOpKind::Read { .. });
@@ -619,20 +695,22 @@ impl Simulator {
             // suspension under read-first scheduling); everything else
             // waits for both tracks.
             let ready_at = if is_read {
-                self.dies[d].read_free_at
+                d.read_free_at
             } else {
-                self.dies[d].read_free_at.max(self.dies[d].other_free_at)
+                d.read_free_at.max(d.other_free_at)
             };
             if ready_at > now {
                 // Schedule a wake-up unless an earlier one is pending.
-                if self.dies[d].wake_at.is_none_or(|w| ready_at < w) {
+                if d.wake_at.is_none_or(|w| ready_at < w) {
                     events.push(ready_at, Ev::DieFree(die));
-                    self.dies[d].wake_at = Some(ready_at);
+                    wake_heap.push(Reverse((ready_at, die)));
+                    d.wake_at = Some(ready_at);
                 }
                 return;
             }
-            let sim_op = self.dies[d].dequeue().expect("peeked");
-            self.trace.emit_with(|| {
+            let sim_op = d.dequeue().expect("peeked");
+            *queued_ops -= 1;
+            trace.emit_with(|| {
                 let op = sim_op.op;
                 let background = op.priority == Priority::Background;
                 let block = op.block.0 as u64;
@@ -661,7 +739,7 @@ impl Simulator {
                 }
             });
             if sim_op.retries > 0 {
-                self.trace.emit_with(|| TraceEvent::ReadRetry {
+                trace.emit_with(|| TraceEvent::ReadRetry {
                     t: now,
                     die,
                     extra: sim_op.retries,
@@ -677,26 +755,26 @@ impl Simulator {
                     // and any fault backoff off the critical resource.
                     let attempts = (1 + sim_op.retries + sim_op.fault_attempts) as SimTime;
                     let array = t.read_latency(senses) * attempts;
-                    let start = now.max(self.channels[ch]);
+                    let start = now.max(channels[ch]);
                     let tx_end = start + array + t.transfer;
-                    self.channels[ch] = tx_end;
-                    self.dies[d].read_free_at = tx_end;
+                    channels[ch] = tx_end;
+                    d.read_free_at = tx_end;
                     tx_end + t.ecc_decode + sim_op.fault_backoff
                 }
                 FlashOpKind::Program => {
-                    let tx_start = now.max(self.channels[ch]);
+                    let tx_start = now.max(channels[ch]);
                     let tx_end = tx_start + t.transfer;
-                    self.channels[ch] = tx_end;
+                    channels[ch] = tx_end;
                     let array_end = tx_end + t.program;
-                    self.dies[d].other_free_at = array_end;
+                    d.other_free_at = array_end;
                     array_end
                 }
                 FlashOpKind::Erase => {
-                    self.dies[d].other_free_at = now + t.erase;
+                    d.other_free_at = now + t.erase;
                     now + t.erase
                 }
                 FlashOpKind::VoltageAdjust => {
-                    self.dies[d].other_free_at = now + t.voltage_adjust;
+                    d.other_free_at = now + t.voltage_adjust;
                     now + t.voltage_adjust
                 }
             };
