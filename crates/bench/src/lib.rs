@@ -25,6 +25,7 @@
 //! failure isolation while keeping aggregated output byte-identical to
 //! a serial run.
 
+pub mod analyze;
 pub mod microbench;
 pub mod runner;
 pub mod suite;

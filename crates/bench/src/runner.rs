@@ -15,7 +15,7 @@ use ida_faults::FaultConfig;
 use ida_flash::geometry::Geometry;
 use ida_flash::timing::{FlashTiming, SimTime};
 use ida_obs::gauge::GaugeSet;
-use ida_obs::trace::{JsonlSink, SinkHandle, TraceEvent};
+use ida_obs::trace::{FilterSink, JsonlSink, SinkHandle, TraceEvent};
 use ida_ssd::retry::RetryConfig;
 use ida_ssd::{HostOp, HostOpKind, Report, Simulator, SsdConfig};
 use ida_workloads::suite::WorkloadPreset;
@@ -104,12 +104,17 @@ pub struct ObsOptions {
     /// defaults to [`DEFAULT_GAUGE_INTERVAL_NS`] when metrics are
     /// requested).
     pub gauge_interval_ns: Option<u64>,
+    /// Comma-separated event-class filter for the trace output
+    /// (`host,ftl,gc,refresh,fault,span`; `None` = keep everything), so
+    /// span-heavy traces stay bounded.
+    pub trace_filter: Option<String>,
 }
 
 impl ObsOptions {
     /// Options selected by environment variables, for the experiment
     /// binaries: `IDA_TRACE_OUT=<path>`, `IDA_METRICS_JSON=<path>`,
-    /// `IDA_PROGRESS=1`, `IDA_GAUGE_INTERVAL_US=<n>`.
+    /// `IDA_PROGRESS=1`, `IDA_GAUGE_INTERVAL_US=<n>`,
+    /// `IDA_TRACE_FILTER=<class>[,<class>...]`.
     pub fn from_env() -> Self {
         ObsOptions {
             trace_out: std::env::var_os("IDA_TRACE_OUT").map(PathBuf::from),
@@ -119,6 +124,7 @@ impl ObsOptions {
                 .ok()
                 .and_then(|v| v.parse::<u64>().ok())
                 .map(|us| us.max(1) * 1_000),
+            trace_filter: std::env::var("IDA_TRACE_FILTER").ok(),
         }
     }
 
@@ -143,15 +149,27 @@ impl ObsOptions {
     ///
     /// # Errors
     ///
-    /// Fails if the trace file cannot be created.
+    /// Fails if the trace file cannot be created, or if the trace filter
+    /// names an unknown event class.
     pub fn attach(&self, sim: &mut Simulator, label: &str) -> std::io::Result<()> {
         if let Some(path) = &self.trace_out {
-            let handle = SinkHandle::new(JsonlSink::create(path)?);
+            let jsonl = JsonlSink::create(path)?;
+            let handle = match &self.trace_filter {
+                Some(spec) => {
+                    let filtered = FilterSink::new(jsonl, spec)
+                        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+                    SinkHandle::new(filtered)
+                }
+                None => SinkHandle::new(jsonl),
+            };
             handle.emit_with(|| TraceEvent::RunStart {
                 t: sim.now(),
                 label: label.to_string(),
             });
             sim.set_trace(handle);
+            // A trace requested through ObsOptions always carries spans —
+            // the analyzer needs them for attribution replay.
+            sim.set_spans(true);
         }
         if let Some(interval) = self.gauge_interval_ns {
             sim.set_gauges(GaugeSet::every(interval));
@@ -303,6 +321,10 @@ pub fn run_config_faulted(
     if let Some(faults) = faults {
         sim.arm_faults(faults);
     }
+    // Experiment runs always carry attribution spans, so every sweep cell
+    // exports its waterfall (the bench suite drives `Simulator::run`
+    // directly and so measures the spans-off hot path).
+    sim.set_spans(true);
     match mode {
         ReplayMode::OpenLoop => sim.run(to_host_ops(&trace)),
         ReplayMode::ClosedLoop(depth) => sim.run_closed_loop(to_host_ops(&trace), depth),
@@ -391,6 +413,7 @@ pub fn run_system_obs(
         &mut sim,
         &format!("{}/{}", preset.spec.name, system.label()),
     )?;
+    sim.set_spans(true);
     let trace = warm_up(&mut sim, preset, scale);
     let report = sim.run(to_host_ops(&trace));
     obs.finish(&sim, &report)?;

@@ -163,6 +163,7 @@ pub fn metrics_json(report: &Report) -> String {
         .u64("power_losses", ftl.power_losses)
         .u64("recoveries", ftl.recoveries)
         .u64("rejected_writes", ftl.rejected_writes)
+        .raw("attribution", &report.attribution_json())
         .finish()
 }
 
@@ -599,5 +600,8 @@ mod tests {
             assert!(v.get(key).is_some(), "missing {key} in {json}");
         }
         assert_eq!(v.get("mean_read_ns").unwrap().as_f64(), Some(118_000.0));
+        // The attribution waterfall rides along for downstream analysis.
+        let attr = v.get("attribution").expect("attribution object");
+        assert!(attr.get("reads").is_some() && attr.get("writes").is_some());
     }
 }

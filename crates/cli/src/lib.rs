@@ -37,6 +37,8 @@ pub enum Command {
         trace_out: Option<PathBuf>,
         /// Write each run's metrics report as JSON (per-system suffix added).
         metrics_json: Option<PathBuf>,
+        /// Comma-separated event classes to keep in the trace.
+        trace_filter: Option<String>,
         /// Report run progress on stderr.
         progress: bool,
     },
@@ -70,6 +72,17 @@ pub enum Command {
         /// per-bench speedups.
         baseline: Option<PathBuf>,
     },
+    /// Analyze a JSONL event trace (validate, attribute, diff).
+    Trace {
+        /// Trace file to analyze (absent in `--diff` mode).
+        file: Option<PathBuf>,
+        /// Only validate (schema, monotonicity, span conservation).
+        validate: bool,
+        /// How many slowest reads to show with waterfalls.
+        top: usize,
+        /// Compare two traces phase-by-phase instead.
+        diff: Option<(PathBuf, PathBuf)>,
+    },
     /// Print usage.
     Help,
 }
@@ -101,6 +114,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut requests = 6_000;
             let mut trace_out = None;
             let mut metrics_json = None;
+            let mut trace_filter = None;
             let mut progress = false;
             let mut i = 2;
             while i < args.len() {
@@ -133,6 +147,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         ));
                         i += 2;
                     }
+                    "--trace-filter" => {
+                        let spec = args
+                            .get(i + 1)
+                            .ok_or("--trace-filter needs a class list")?
+                            .clone();
+                        // Validate eagerly so a typo fails before any run.
+                        ida_obs::trace::parse_trace_filter(&spec)?;
+                        trace_filter = Some(spec);
+                        i += 2;
+                    }
                     "--progress" => {
                         progress = true;
                         i += 1;
@@ -149,6 +173,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 requests,
                 trace_out,
                 metrics_json,
+                trace_filter,
                 progress,
             })
         }
@@ -246,6 +271,55 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 baseline,
             })
         }
+        Some("trace") => {
+            let mut file = None;
+            let mut validate = false;
+            let mut top = 5;
+            let mut diff = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--validate" => {
+                        validate = true;
+                        i += 1;
+                    }
+                    "--top" => {
+                        top = args
+                            .get(i + 1)
+                            .ok_or("--top needs a count")?
+                            .parse()
+                            .map_err(|e| format!("bad --top count: {e}"))?;
+                        i += 2;
+                    }
+                    "--diff" => {
+                        let a = args.get(i + 1).ok_or("--diff needs two trace paths")?;
+                        let b = args.get(i + 2).ok_or("--diff needs two trace paths")?;
+                        diff = Some((PathBuf::from(a), PathBuf::from(b)));
+                        i += 3;
+                    }
+                    other if !other.starts_with("--") && file.is_none() => {
+                        file = Some(PathBuf::from(other));
+                        i += 1;
+                    }
+                    other => return Err(format!("unknown option: {other}")),
+                }
+            }
+            match (&file, &diff) {
+                (None, None) => {
+                    return Err("trace needs a trace file or --diff <a> <b>".to_string())
+                }
+                (Some(_), Some(_)) => {
+                    return Err("trace takes either a trace file or --diff, not both".to_string())
+                }
+                _ => {}
+            }
+            Ok(Command::Trace {
+                file,
+                validate,
+                top,
+                diff,
+            })
+        }
         Some(other) => Err(format!("unknown command: {other} (try `idasim help`)")),
     }
 }
@@ -306,6 +380,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
             requests,
             trace_out,
             metrics_json,
+            trace_filter,
             progress,
         } => {
             let p = paper_workload(&workload).ok_or_else(|| unknown(&workload))?;
@@ -315,6 +390,9 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 metrics_json,
                 progress,
                 gauge_interval_ns: None,
+                // The explicit flag wins; IDA_TRACE_FILTER fills in when
+                // absent (validated again when the sink is attached).
+                trace_filter: trace_filter.or_else(|| std::env::var("IDA_TRACE_FILTER").ok()),
             };
             let mut runs = Vec::new();
             for system in [
@@ -447,6 +525,26 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 }
             }
         }
+        Command::Trace {
+            file,
+            validate,
+            top,
+            diff,
+        } => {
+            let text = match (file, diff) {
+                (Some(path), None) => {
+                    if validate {
+                        ida_bench::analyze::validate(&path)?
+                    } else {
+                        ida_bench::analyze::report(&path, top)?
+                    }
+                }
+                (None, Some((a, b))) => ida_bench::analyze::diff(&a, &b)?,
+                // parse_args guarantees exactly one mode.
+                _ => unreachable!("trace mode validated at parse time"),
+            };
+            out.push_str(&text);
+        }
     }
     Ok(out)
 }
@@ -464,15 +562,28 @@ USAGE:
   idasim describe <workload>
   idasim compare <workload> [--error-rate 0.2] [--requests 6000]
                  [--trace-out <path.jsonl>] [--metrics-json <path.json>]
-                 [--progress]
+                 [--trace-filter <class,...>] [--progress]
   idasim sweep <grid> [--jobs N] [--journal <path.jsonl>]
                [--out <path.json>] [--smoke] [--requests N] [--progress]
   idasim bench [--smoke] [--out <path.json>] [--baseline <path.json>]
+  idasim trace <trace.jsonl> [--validate] [--top K]
+  idasim trace --diff <baseline.jsonl> <other.jsonl>
 
 Observability (compare): --trace-out writes the run's event stream as
 JSONL and --metrics-json writes the full report (latency histograms,
 counters, gauges) as JSON; both get a per-system suffix, e.g.
-trace.jsonl -> trace.Baseline.jsonl. --progress reports on stderr.
+trace.jsonl -> trace.Baseline.jsonl. --trace-filter keeps only the
+listed event classes (host, ftl, gc, refresh, fault, span; also the
+IDA_TRACE_FILTER variable). --progress reports on stderr.
+
+Trace: analyzes a JSONL trace written by --trace-out. The default
+report validates the stream (schema, timestamp monotonicity, span
+conservation), then prints the per-phase latency attribution
+waterfall, the top-K slowest reads with their phase breakdowns, and
+per-die / per-channel utilization rebuilt from flash events.
+--validate stops after validation. --diff compares two traces
+phase-by-phase (totals, means, deltas) — e.g. a Baseline vs IDA-E20
+pair from `idasim compare --trace-out`.
 
 Sweep: runs a whole experiment grid (fig8, fig9, fig10, fig11,
 faults) on the parallel orchestration engine. --jobs N (or IDA_JOBS)
@@ -534,6 +645,7 @@ mod tests {
                 requests: 1000,
                 trace_out: None,
                 metrics_json: None,
+                trace_filter: None,
                 progress: false,
             }
         );
@@ -565,6 +677,50 @@ mod tests {
             other => panic!("wrong command: {other:?}"),
         }
         assert!(parse_args(&s(&["compare", "hm_1", "--trace-out"])).is_err());
+    }
+
+    #[test]
+    fn parses_trace_filter_and_rejects_unknown_classes() {
+        let cmd = parse_args(&s(&["compare", "hm_1", "--trace-filter", "host,span"])).unwrap();
+        match cmd {
+            Command::Compare { trace_filter, .. } => {
+                assert_eq!(trace_filter.as_deref(), Some("host,span"));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let err = parse_args(&s(&["compare", "hm_1", "--trace-filter", "host,bogus"])).unwrap_err();
+        assert!(
+            err.contains("unknown trace class") && err.contains("bogus"),
+            "unhelpful error: {err}"
+        );
+        assert!(parse_args(&s(&["compare", "hm_1", "--trace-filter"])).is_err());
+    }
+
+    #[test]
+    fn parses_trace_command_modes() {
+        assert_eq!(
+            parse_args(&s(&["trace", "t.jsonl", "--validate", "--top", "3"])).unwrap(),
+            Command::Trace {
+                file: Some(PathBuf::from("t.jsonl")),
+                validate: true,
+                top: 3,
+                diff: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&["trace", "--diff", "a.jsonl", "b.jsonl"])).unwrap(),
+            Command::Trace {
+                file: None,
+                validate: false,
+                top: 5,
+                diff: Some((PathBuf::from("a.jsonl"), PathBuf::from("b.jsonl"))),
+            }
+        );
+        // Exactly one of <file> / --diff.
+        assert!(parse_args(&s(&["trace"])).is_err());
+        assert!(parse_args(&s(&["trace", "t.jsonl", "--diff", "a", "b"])).is_err());
+        assert!(parse_args(&s(&["trace", "--diff", "a.jsonl"])).is_err());
+        assert!(parse_args(&s(&["trace", "t.jsonl", "--bogus"])).is_err());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::error::FtlError;
 use crate::gc;
 use crate::map::{Lpn, PageMap};
 use crate::oob::OobStore;
-use crate::ops::{FlashOp, FlashOpKind, Priority, ReadOp, ReadScenario};
+use crate::ops::{FlashOp, FlashOpKind, OpOrigin, Priority, ReadOp, ReadScenario};
 use crate::refresh::RefreshQueue;
 use crate::stats::FtlStats;
 use ida_core::merge::MergePlan;
@@ -100,6 +100,9 @@ pub struct Ftl {
     in_recovery: bool,
     /// Set when the device degraded to read-only, with the reason.
     read_only: Option<&'static str>,
+    /// Attribution class stamped on emitted ops; flipped to GC/refresh
+    /// while those paths run so interference is charged to its true cause.
+    op_origin: OpOrigin,
 }
 
 impl Ftl {
@@ -154,6 +157,7 @@ impl Ftl {
             power_lost: false,
             in_recovery: false,
             read_only: None,
+            op_origin: OpOrigin::Host,
             cfg,
         }
     }
@@ -535,7 +539,10 @@ impl Ftl {
             return;
         }
         self.refresh_target = Some(block);
+        let saved = self.op_origin;
+        self.op_origin = OpOrigin::Refresh;
         self.refresh_block_inner(block, now, ops);
+        self.op_origin = saved;
         self.refresh_target = None;
     }
 
@@ -608,6 +615,7 @@ impl Ftl {
                     block,
                     page: None,
                     priority: Priority::Background,
+                    origin: self.op_origin,
                 });
                 if self.persist(now) {
                     return;
@@ -703,6 +711,15 @@ impl Ftl {
     /// Bails (leaving the victim unerased, its remaining pages intact) on
     /// power loss or read-only degradation mid-copy.
     fn collect_victim(&mut self, victim: BlockAddr, now: SimTime, ops: &mut Vec<FlashOp>) {
+        // GC can trigger inside a refresh (relocation pressure); its ops
+        // are still GC interference, so the class wins over Refresh here.
+        let saved = self.op_origin;
+        self.op_origin = OpOrigin::Gc;
+        self.collect_victim_inner(victim, now, ops);
+        self.op_origin = saved;
+    }
+
+    fn collect_victim_inner(&mut self, victim: BlockAddr, now: SimTime, ops: &mut Vec<FlashOp>) {
         self.stats.gc_runs += 1;
         let plane = victim.plane(&self.geometry);
         let mut copies = 0u32;
@@ -736,6 +753,7 @@ impl Ftl {
             block: victim,
             page: None,
             priority: Priority::Background,
+            origin: self.op_origin,
         });
         if self.persist(now) {
             return;
@@ -1113,6 +1131,7 @@ impl Ftl {
             block: page.block(&self.geometry),
             page: Some(page),
             priority,
+            origin: self.op_origin,
         }
     }
 
@@ -1124,6 +1143,7 @@ impl Ftl {
             block: page.block(&self.geometry),
             page: Some(page),
             priority,
+            origin: self.op_origin,
         }
     }
 }

@@ -53,5 +53,5 @@ pub use error::FtlError;
 pub use ftl::{Ftl, RecoveryReport};
 pub use map::Lpn;
 pub use oob::{OobStore, PageRecord};
-pub use ops::{FlashOp, FlashOpKind, Priority, ReadOp, ReadScenario};
+pub use ops::{FlashOp, FlashOpKind, OpOrigin, Priority, ReadOp, ReadScenario};
 pub use stats::FtlStats;

@@ -21,6 +21,29 @@ pub enum Priority {
     Background,
 }
 
+/// Who an operation was emitted on behalf of — the interference class
+/// latency attribution charges to requests queued behind it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpOrigin {
+    /// Direct host traffic (reads, host-write programs).
+    Host,
+    /// Garbage-collection relocation traffic.
+    Gc,
+    /// Data-refresh traffic (including IDA conversions).
+    Refresh,
+}
+
+impl OpOrigin {
+    /// Stable snake_case label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpOrigin::Host => "host",
+            OpOrigin::Gc => "gc",
+            OpOrigin::Refresh => "refresh",
+        }
+    }
+}
+
 /// The physical kind of a flash operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlashOpKind {
@@ -53,6 +76,8 @@ pub struct FlashOp {
     pub page: Option<PageAddr>,
     /// Scheduling class.
     pub priority: Priority,
+    /// Who emitted the op (attribution class for queued requests behind it).
+    pub origin: OpOrigin,
 }
 
 impl FlashOp {
@@ -152,6 +177,7 @@ mod tests {
             block: BlockAddr(0),
             page: None,
             priority: Priority::Background,
+            origin: OpOrigin::Host,
         }
     }
 

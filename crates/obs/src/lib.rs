@@ -25,12 +25,15 @@ pub mod hist;
 pub mod json;
 pub mod progress;
 pub mod rng;
+pub mod span;
 pub mod trace;
 
 pub use gauge::{GaugePoint, GaugeSeries, GaugeSet};
 pub use hist::LogHistogram;
 pub use progress::Progress;
 pub use rng::Rng64;
+pub use span::{Phase, PhaseNs, PhaseStats, ALL_PHASES, PHASE_COUNT, QUEUE_CLASSES};
 pub use trace::{
-    HostClass, JsonlSink, NullSink, RingSink, SinkHandle, TraceEvent, TraceSink, VecSink,
+    FilterSink, HostClass, JsonlSink, NullSink, RingSink, SinkHandle, TraceEvent, TraceSink,
+    VecSink,
 };

@@ -1,0 +1,365 @@
+//! Request-scoped latency attribution spans.
+//!
+//! The simulator decomposes every completed host request's response time
+//! into phase-tagged intervals of simulated nanoseconds: where each
+//! nanosecond between issue and completion went. The decomposition is a
+//! *partition* — phases tile `[issue, complete]` with no gaps and no
+//! overlaps, so for every request the phase values in its [`PhaseNs`] sum
+//! byte-exactly to the reported response time (the conservation
+//! invariant `tests/latency_attribution.rs` checks).
+//!
+//! The attributed request is the *critical op*: the flash operation whose
+//! completion finishes the request. Its queue wait is charged to the
+//! class of whoever held the die while it waited ([`Phase::QueueHost`],
+//! [`Phase::QueueGc`], [`Phase::QueueRefresh`], [`Phase::Recovery`]; any
+//! residual is [`Phase::QueueOther`]), and its service time splits into
+//! the timing model's exact components (channel wait, sensing, retry
+//! re-senses, transfer, ECC decode, fault backoff, program).
+//!
+//! Aggregation ([`PhaseStats`]) keeps exact per-phase totals plus a
+//! [`LogHistogram`] per phase, and serializes deterministically — the
+//! same bytes whether built in-sim or replayed from a JSONL trace by the
+//! offline analyzer.
+
+use crate::hist::LogHistogram;
+use crate::json::JsonObj;
+
+/// Number of attribution phases.
+pub const PHASE_COUNT: usize = 12;
+
+/// Number of queue-interference classes (the first `QUEUE_CLASSES`
+/// variants of [`Phase`], in order: host, GC, refresh, recovery).
+pub const QUEUE_CLASSES: usize = 4;
+
+/// One attribution phase of a request's lifetime.
+///
+/// The first four variants classify queue wait by who held the die; the
+/// rest are the service-time components of the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Queued behind host traffic holding the die.
+    QueueHost,
+    /// Queued behind garbage-collection traffic holding the die.
+    QueueGc,
+    /// Queued behind refresh traffic holding the die.
+    QueueRefresh,
+    /// Stalled behind a power-loss recovery scan.
+    Recovery,
+    /// Queue wait not covered by an observed hold (scheduling residual).
+    QueueOther,
+    /// Waiting for the transfer channel before the array could start.
+    Channel,
+    /// First sensing attempt of the wordline.
+    Sense,
+    /// Extra sensing attempts (read retry + injected transient faults).
+    Retry,
+    /// Channel transfer of the page data.
+    Transfer,
+    /// Controller ECC decode.
+    Ecc,
+    /// Controller backoff between transient-fault retries.
+    Backoff,
+    /// ISPP programming of the page.
+    Program,
+}
+
+/// Every phase, in stable serialization order.
+pub const ALL_PHASES: [Phase; PHASE_COUNT] = [
+    Phase::QueueHost,
+    Phase::QueueGc,
+    Phase::QueueRefresh,
+    Phase::Recovery,
+    Phase::QueueOther,
+    Phase::Channel,
+    Phase::Sense,
+    Phase::Retry,
+    Phase::Transfer,
+    Phase::Ecc,
+    Phase::Backoff,
+    Phase::Program,
+];
+
+impl Phase {
+    /// Stable snake_case label, used as the JSON key in span trace events
+    /// and attribution reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::QueueHost => "queue_host",
+            Phase::QueueGc => "queue_gc",
+            Phase::QueueRefresh => "queue_refresh",
+            Phase::Recovery => "recovery",
+            Phase::QueueOther => "queue_other",
+            Phase::Channel => "channel",
+            Phase::Sense => "sense",
+            Phase::Retry => "retry",
+            Phase::Transfer => "transfer",
+            Phase::Ecc => "ecc",
+            Phase::Backoff => "backoff",
+            Phase::Program => "program",
+        }
+    }
+
+    /// The phase with the given `label`, if any.
+    pub fn from_label(label: &str) -> Option<Phase> {
+        ALL_PHASES.into_iter().find(|p| p.label() == label)
+    }
+
+    /// The phase's index in [`ALL_PHASES`] (and in [`PhaseNs`]).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One request's attribution waterfall: nanoseconds per phase.
+///
+/// `Copy` and allocation-free so the simulator can carry one per queued
+/// operation without touching the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseNs {
+    ns: [u64; PHASE_COUNT],
+}
+
+impl PhaseNs {
+    /// The all-zero waterfall (e.g. an instantly-completed request).
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Nanoseconds attributed to `phase`.
+    pub fn get(&self, phase: Phase) -> u64 {
+        self.ns[phase.index()]
+    }
+
+    /// Add `ns` to `phase`.
+    pub fn add(&mut self, phase: Phase, ns: u64) {
+        self.ns[phase.index()] += ns;
+    }
+
+    /// Set `phase` to `ns`.
+    pub fn set(&mut self, phase: Phase, ns: u64) {
+        self.ns[phase.index()] = ns;
+    }
+
+    /// Sum over all phases — equals the request's response time under the
+    /// conservation invariant.
+    pub fn total(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// `(phase, ns)` pairs in stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Phase, u64)> + '_ {
+        ALL_PHASES.into_iter().map(|p| (p, self.get(p)))
+    }
+}
+
+/// Aggregated attribution over many requests: exact per-phase totals and
+/// a latency histogram per phase (zero-valued phases are not recorded
+/// into the histograms, so percentiles describe requests that actually
+/// touched the phase).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStats {
+    count: u64,
+    totals: [u128; PHASE_COUNT],
+    hists: Vec<LogHistogram>,
+}
+
+impl Default for PhaseStats {
+    fn default() -> Self {
+        PhaseStats {
+            count: 0,
+            totals: [0; PHASE_COUNT],
+            hists: vec![LogHistogram::new(); PHASE_COUNT],
+        }
+    }
+}
+
+impl PhaseStats {
+    /// Empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one request's waterfall in.
+    pub fn record(&mut self, phases: &PhaseNs) {
+        self.count += 1;
+        for (phase, ns) in phases.iter() {
+            self.totals[phase.index()] += ns as u128;
+            if ns > 0 {
+                self.hists[phase.index()].record(ns);
+            }
+        }
+    }
+
+    /// Merge another aggregate in.
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.count += other.count;
+        for i in 0..PHASE_COUNT {
+            self.totals[i] += other.totals[i];
+            self.hists[i].merge(&other.hists[i]);
+        }
+    }
+
+    /// Requests folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no request has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact total nanoseconds attributed to `phase`.
+    pub fn total(&self, phase: Phase) -> u128 {
+        self.totals[phase.index()]
+    }
+
+    /// Exact total across all phases — equals the class's summed response
+    /// time under the conservation invariant.
+    pub fn grand_total(&self) -> u128 {
+        self.totals.iter().sum()
+    }
+
+    /// Mean nanoseconds per request attributed to `phase` (over *all*
+    /// recorded requests, including those that never touched the phase).
+    pub fn mean(&self, phase: Phase) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total(phase) as f64 / self.count as f64
+        }
+    }
+
+    /// `phase`'s share of the grand total, in percent.
+    pub fn share_pct(&self, phase: Phase) -> f64 {
+        let g = self.grand_total();
+        if g == 0 {
+            0.0
+        } else {
+            self.total(phase) as f64 * 100.0 / g as f64
+        }
+    }
+
+    /// The histogram of nonzero per-request values for `phase`.
+    pub fn histogram(&self, phase: Phase) -> &LogHistogram {
+        &self.hists[phase.index()]
+    }
+
+    /// Deterministic JSON: request count, grand total, and per-phase
+    /// `{total_ns, touched, mean_ns, p99_ns, max_ns}` where `touched`
+    /// counts requests with a nonzero value in the phase. Byte-identical
+    /// whether built in-sim or replayed from a trace.
+    pub fn to_json(&self) -> String {
+        let mut phases = JsonObj::new();
+        for p in ALL_PHASES {
+            let h = self.histogram(p);
+            let o = JsonObj::new()
+                .u128("total_ns", self.total(p))
+                .u64("touched", h.count())
+                .f64("mean_ns", self.mean(p))
+                .u64("p99_ns", h.percentile(99.0))
+                .u64("max_ns", h.max());
+            phases = phases.raw(p.label(), &o.finish());
+        }
+        JsonObj::new()
+            .u64("count", self.count)
+            .u128("total_ns", self.grand_total())
+            .raw("phases", &phases.finish())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip_and_are_unique() {
+        for p in ALL_PHASES {
+            assert_eq!(Phase::from_label(p.label()), Some(p));
+        }
+        assert_eq!(Phase::from_label("nope"), None);
+        let mut labels: Vec<_> = ALL_PHASES.iter().map(|p| p.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), PHASE_COUNT);
+    }
+
+    #[test]
+    fn queue_classes_lead_the_phase_order() {
+        // The simulator indexes its per-op charge array by the first
+        // QUEUE_CLASSES phases; pin their positions.
+        assert_eq!(Phase::QueueHost.index(), 0);
+        assert_eq!(Phase::QueueGc.index(), 1);
+        assert_eq!(Phase::QueueRefresh.index(), 2);
+        assert_eq!(Phase::Recovery.index(), 3);
+        assert_eq!(QUEUE_CLASSES, 4);
+    }
+
+    #[test]
+    fn phase_ns_sums_exactly() {
+        let mut p = PhaseNs::zero();
+        p.add(Phase::Sense, 50_000);
+        p.add(Phase::Transfer, 48_000);
+        p.add(Phase::Ecc, 20_000);
+        p.add(Phase::Sense, 1);
+        assert_eq!(p.get(Phase::Sense), 50_001);
+        assert_eq!(p.total(), 118_001);
+        p.set(Phase::Sense, 50_000);
+        assert_eq!(p.total(), 118_000);
+    }
+
+    #[test]
+    fn stats_record_and_merge_agree() {
+        let mut a = PhaseStats::new();
+        let mut b = PhaseStats::new();
+        let mut all = PhaseStats::new();
+        for i in 0..10u64 {
+            let mut p = PhaseNs::zero();
+            p.add(Phase::Sense, 50_000 + i);
+            if i % 2 == 0 {
+                p.add(Phase::QueueHost, 1_000 * i);
+            }
+            if i < 5 {
+                a.record(&p);
+            } else {
+                b.record(&p);
+            }
+            all.record(&p);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        assert_eq!(all.count(), 10);
+        // i=0 contributes a zero queue value: only 4 requests touched it.
+        assert_eq!(all.histogram(Phase::QueueHost).count(), 4);
+        assert_eq!(
+            all.grand_total(),
+            (0..10u64)
+                .map(|i| (50_000 + i) as u128 + if i % 2 == 0 { (1_000 * i) as u128 } else { 0 })
+                .sum()
+        );
+    }
+
+    #[test]
+    fn stats_json_is_deterministic_and_complete() {
+        let mut s = PhaseStats::new();
+        let mut p = PhaseNs::zero();
+        p.add(Phase::Sense, 50_000);
+        p.add(Phase::QueueGc, 7_000);
+        s.record(&p);
+        let a = s.to_json();
+        assert_eq!(a, s.to_json());
+        for key in [
+            "\"count\":1",
+            "\"queue_gc\":",
+            "\"sense\":",
+            "\"total_ns\":57000",
+        ] {
+            assert!(a.contains(key), "missing {key} in {a}");
+        }
+        // Empty stats serialize all phases with zero totals.
+        let e = PhaseStats::new().to_json();
+        assert!(e.contains("\"count\":0"));
+        assert!(e.contains("\"program\":"));
+    }
+}

@@ -13,6 +13,7 @@
 //! byte-identical JSONL trace.
 
 use crate::json::JsonObj;
+use crate::span::PhaseNs;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fs::File;
@@ -112,6 +113,12 @@ pub enum TraceEvent {
         retries: u32,
         /// Whether this is background (GC/refresh) traffic.
         background: bool,
+        /// When the channel transfer window opened.
+        bus_start: SimNs,
+        /// When the array+transfer window closed (die and channel freed).
+        bus_end: SimNs,
+        /// End-to-end completion (after ECC decode and fault backoff).
+        end: SimNs,
     },
     /// A page program started on a die.
     FlashProgram {
@@ -127,6 +134,12 @@ pub enum TraceEvent {
         page: u64,
         /// Whether this is background (GC/refresh) traffic.
         background: bool,
+        /// When the channel transfer window opened.
+        bus_start: SimNs,
+        /// When the channel transfer window closed.
+        bus_end: SimNs,
+        /// End of ISPP programming (die program track freed).
+        end: SimNs,
     },
     /// A block erase started on a die.
     FlashErase {
@@ -136,6 +149,8 @@ pub enum TraceEvent {
         die: u32,
         /// Erased block.
         block: u64,
+        /// Erase completion (die program track freed).
+        end: SimNs,
     },
     /// An IDA voltage adjustment of one wordline started on a die.
     VoltageAdjust {
@@ -145,6 +160,8 @@ pub enum TraceEvent {
         die: u32,
         /// Adjusted block.
         block: u64,
+        /// Adjustment completion (die program track freed).
+        end: SimNs,
     },
     /// A host read needed extra sensing attempts (read retry).
     ReadRetry {
@@ -283,6 +300,23 @@ pub enum TraceEvent {
         /// The rejected logical page.
         lpn: u64,
     },
+    /// A completed host request's latency attribution waterfall: how its
+    /// response time partitions into phases (conservation invariant: the
+    /// phase values sum exactly to `total_ns`). Emitted only when spans
+    /// are enabled on the simulator.
+    Span {
+        /// Completion time (matches the request's `host_complete`).
+        t: SimNs,
+        /// Request index within the run.
+        req: u64,
+        /// Read or write.
+        class: HostClass,
+        /// Response time (completion − arrival), ns.
+        total_ns: u64,
+        /// Per-phase attribution; zero phases are omitted from the JSONL
+        /// encoding.
+        phases: PhaseNs,
+    },
 }
 
 impl TraceEvent {
@@ -310,7 +344,8 @@ impl TraceEvent {
             | TraceEvent::FaultPowerLoss { t, .. }
             | TraceEvent::RecoveryScan { t, .. }
             | TraceEvent::ReadOnlyMode { t, .. }
-            | TraceEvent::WriteRejected { t, .. } => t,
+            | TraceEvent::WriteRejected { t, .. }
+            | TraceEvent::Span { t, .. } => t,
         }
     }
 
@@ -339,6 +374,38 @@ impl TraceEvent {
             TraceEvent::RecoveryScan { .. } => "recovery_scan",
             TraceEvent::ReadOnlyMode { .. } => "read_only_mode",
             TraceEvent::WriteRejected { .. } => "write_rejected",
+            TraceEvent::Span { .. } => "span",
+        }
+    }
+
+    /// The event's filter class (see [`TRACE_CLASSES`]): `host` for host
+    /// traffic and run markers, `ftl` for flash-level operations, `gc` /
+    /// `refresh` for background maintenance, `fault` for injected faults
+    /// and recovery, `span` for latency attribution waterfalls.
+    pub fn class(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStart { .. }
+            | TraceEvent::HostArrival { .. }
+            | TraceEvent::HostComplete { .. }
+            | TraceEvent::ReadIssued { .. } => "host",
+            TraceEvent::FlashSense { .. }
+            | TraceEvent::FlashProgram { .. }
+            | TraceEvent::FlashErase { .. }
+            | TraceEvent::VoltageAdjust { .. }
+            | TraceEvent::ReadRetry { .. } => "ftl",
+            TraceEvent::GcRun { .. } => "gc",
+            TraceEvent::RefreshBlock { .. } | TraceEvent::IdaConversion { .. } => "refresh",
+            TraceEvent::FaultProgramFail { .. }
+            | TraceEvent::WriteRedirect { .. }
+            | TraceEvent::FaultEraseFail { .. }
+            | TraceEvent::BlockRetired { .. }
+            | TraceEvent::FaultReadTransient { .. }
+            | TraceEvent::ReadRecovered { .. }
+            | TraceEvent::FaultPowerLoss { .. }
+            | TraceEvent::RecoveryScan { .. }
+            | TraceEvent::ReadOnlyMode { .. }
+            | TraceEvent::WriteRejected { .. } => "fault",
+            TraceEvent::Span { .. } => "span",
         }
     }
 
@@ -392,6 +459,9 @@ impl TraceEvent {
                 senses,
                 retries,
                 background,
+                bus_start,
+                bus_end,
+                end,
                 ..
             } => o
                 .u64("die", *die as u64)
@@ -400,26 +470,41 @@ impl TraceEvent {
                 .u64("page", *page)
                 .u64("senses", *senses as u64)
                 .u64("retries", *retries as u64)
-                .bool("background", *background),
+                .bool("background", *background)
+                .u64("bus_start", *bus_start)
+                .u64("bus_end", *bus_end)
+                .u64("end", *end),
             TraceEvent::FlashProgram {
                 die,
                 channel,
                 block,
                 page,
                 background,
+                bus_start,
+                bus_end,
+                end,
                 ..
             } => o
                 .u64("die", *die as u64)
                 .u64("channel", *channel as u64)
                 .u64("block", *block)
                 .u64("page", *page)
-                .bool("background", *background),
-            TraceEvent::FlashErase { die, block, .. } => {
-                o.u64("die", *die as u64).u64("block", *block)
-            }
-            TraceEvent::VoltageAdjust { die, block, .. } => {
-                o.u64("die", *die as u64).u64("block", *block)
-            }
+                .bool("background", *background)
+                .u64("bus_start", *bus_start)
+                .u64("bus_end", *bus_end)
+                .u64("end", *end),
+            TraceEvent::FlashErase {
+                die, block, end, ..
+            } => o
+                .u64("die", *die as u64)
+                .u64("block", *block)
+                .u64("end", *end),
+            TraceEvent::VoltageAdjust {
+                die, block, end, ..
+            } => o
+                .u64("die", *die as u64)
+                .u64("block", *block)
+                .u64("end", *end),
             TraceEvent::ReadRetry { die, extra, .. } => {
                 o.u64("die", *die as u64).u64("extra", *extra as u64)
             }
@@ -488,6 +573,24 @@ impl TraceEvent {
                 .u64("bad_blocks", *bad_blocks as u64),
             TraceEvent::ReadOnlyMode { reason, .. } => o.str("reason", reason),
             TraceEvent::WriteRejected { lpn, .. } => o.u64("lpn", *lpn),
+            TraceEvent::Span {
+                req,
+                class,
+                total_ns,
+                phases,
+                ..
+            } => {
+                let mut o = o
+                    .u64("req", *req)
+                    .str("class", class.as_str())
+                    .u64("total_ns", *total_ns);
+                for (phase, ns) in phases.iter() {
+                    if ns > 0 {
+                        o = o.u64(phase.label(), ns);
+                    }
+                }
+                o
+            }
         }
         .finish()
     }
@@ -613,6 +716,88 @@ impl TraceSink for VecSink {
     }
 }
 
+/// The event classes a [`FilterSink`] can select (see
+/// [`TraceEvent::class`]).
+pub const TRACE_CLASSES: [&str; 6] = ["host", "ftl", "gc", "refresh", "fault", "span"];
+
+/// Parse a `--trace-filter` specification: a comma-separated list of
+/// class names from [`TRACE_CLASSES`]. Returns the allow mask, indexed
+/// like `TRACE_CLASSES`.
+///
+/// # Errors
+///
+/// Returns a message naming the offending class when the spec contains
+/// an unknown or empty class name.
+pub fn parse_trace_filter(spec: &str) -> Result<[bool; TRACE_CLASSES.len()], String> {
+    let mut allow = [false; TRACE_CLASSES.len()];
+    let mut any = false;
+    for raw in spec.split(',') {
+        let name = raw.trim();
+        let Some(i) = TRACE_CLASSES.iter().position(|c| *c == name) else {
+            return Err(format!(
+                "unknown trace class `{name}` (known classes: {})",
+                TRACE_CLASSES.join(", ")
+            ));
+        };
+        allow[i] = true;
+        any = true;
+    }
+    if !any {
+        return Err("empty trace filter".into());
+    }
+    Ok(allow)
+}
+
+/// A sink decorator that forwards only events whose
+/// [`TraceEvent::class`] is in the allow list. `run_start` always passes
+/// so a filtered trace still identifies its run.
+#[derive(Debug)]
+pub struct FilterSink<S> {
+    allow: [bool; TRACE_CLASSES.len()],
+    inner: S,
+}
+
+impl<S: TraceSink> FilterSink<S> {
+    /// Wrap `inner`, keeping only the classes named in `spec`
+    /// (comma-separated, e.g. `"host,span"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`parse_trace_filter`] errors for unknown classes.
+    pub fn new(inner: S, spec: &str) -> Result<Self, String> {
+        Ok(FilterSink {
+            allow: parse_trace_filter(spec)?,
+            inner,
+        })
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: TraceSink> TraceSink for FilterSink<S> {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn record(&mut self, ev: &TraceEvent) {
+        let passes = matches!(ev, TraceEvent::RunStart { .. })
+            || TRACE_CLASSES
+                .iter()
+                .position(|c| *c == ev.class())
+                .is_some_and(|i| self.allow[i]);
+        if passes {
+            self.inner.record(ev);
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 /// A file sink writing one JSON object per line (JSONL).
 #[derive(Debug)]
 pub struct JsonlSink {
@@ -728,11 +913,14 @@ impl SinkHandle {
 mod tests {
     use super::*;
 
+    use crate::span::Phase;
+
     fn ev(t: SimNs) -> TraceEvent {
         TraceEvent::FlashErase {
             t,
             die: 1,
             block: 9,
+            end: t + 3_000,
         }
     }
 
@@ -751,6 +939,94 @@ mod tests {
         );
         assert_eq!(e.timestamp(), 5);
         assert_eq!(e.kind(), "host_arrival");
+    }
+
+    #[test]
+    fn span_encoding_omits_zero_phases() {
+        let mut phases = PhaseNs::zero();
+        phases.add(Phase::QueueHost, 98_000);
+        phases.add(Phase::Sense, 50_000);
+        phases.add(Phase::Transfer, 48_000);
+        phases.add(Phase::Ecc, 20_000);
+        let e = TraceEvent::Span {
+            t: 216_000,
+            req: 3,
+            class: HostClass::Read,
+            total_ns: 216_000,
+            phases,
+        };
+        assert_eq!(
+            e.to_json_line(),
+            "{\"ev\":\"span\",\"t\":216000,\"req\":3,\"class\":\"read\",\"total_ns\":216000,\
+             \"queue_host\":98000,\"sense\":50000,\"transfer\":48000,\"ecc\":20000}"
+        );
+        assert_eq!(e.kind(), "span");
+        assert_eq!(e.class(), "span");
+    }
+
+    #[test]
+    fn every_event_class_is_known() {
+        assert_eq!(ev(1).class(), "ftl");
+        assert_eq!(
+            TraceEvent::RunStart {
+                t: 0,
+                label: "x".into()
+            }
+            .class(),
+            "host"
+        );
+        assert_eq!(
+            TraceEvent::GcRun {
+                t: 0,
+                block: 1,
+                copies: 2
+            }
+            .class(),
+            "gc"
+        );
+        assert_eq!(
+            TraceEvent::IdaConversion {
+                t: 0,
+                block: 1,
+                wordlines: 2
+            }
+            .class(),
+            "refresh"
+        );
+        assert_eq!(TraceEvent::WriteRejected { t: 0, lpn: 1 }.class(), "fault");
+    }
+
+    #[test]
+    fn filter_sink_keeps_selected_classes_and_run_start() {
+        let mut f = FilterSink::new(VecSink::new(), "gc, span").unwrap();
+        f.record(&TraceEvent::RunStart {
+            t: 0,
+            label: "r".into(),
+        });
+        f.record(&ev(1)); // ftl: dropped
+        f.record(&TraceEvent::GcRun {
+            t: 2,
+            block: 1,
+            copies: 0,
+        });
+        f.record(&TraceEvent::HostArrival {
+            t: 3,
+            req: 0,
+            class: HostClass::Read,
+            lpn: 0,
+            pages: 1,
+        }); // host: dropped
+        let kinds: Vec<&str> = f.inner().events.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds, vec!["run_start", "gc_run"]);
+    }
+
+    #[test]
+    fn filter_rejects_unknown_and_empty_classes() {
+        let err = parse_trace_filter("host,bogus").unwrap_err();
+        assert!(err.contains("unknown trace class `bogus`"), "{err}");
+        assert!(err.contains("host, ftl, gc, refresh, fault, span"), "{err}");
+        assert!(parse_trace_filter("").is_err());
+        assert!(parse_trace_filter("host").is_ok());
     }
 
     #[test]

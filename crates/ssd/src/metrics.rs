@@ -6,6 +6,7 @@ use ida_ftl::ReadScenario;
 use ida_obs::gauge::GaugeSeries;
 use ida_obs::hist::LogHistogram;
 use ida_obs::json::{array, JsonObj};
+use ida_obs::span::{PhaseStats, ALL_PHASES};
 
 /// Response-time statistics for one operation class.
 ///
@@ -273,6 +274,17 @@ pub struct Report {
     /// Time-series gauges sampled during the run (empty unless gauge
     /// sampling was enabled on the simulator).
     pub gauges: Vec<GaugeSeries>,
+    /// Per-phase latency attribution for reads (empty unless spans were
+    /// enabled; see `Simulator::set_spans`). Under the conservation
+    /// invariant its grand total equals `reads.total_ns` exactly.
+    pub read_attribution: PhaseStats,
+    /// Per-phase latency attribution for writes.
+    pub write_attribution: PhaseStats,
+    /// Busy (held) nanoseconds per die over the run — the exact union of
+    /// read/program/erase hold windows plus recovery stalls.
+    pub die_busy_ns: Vec<u128>,
+    /// Busy nanoseconds per channel over the run.
+    pub channel_busy_ns: Vec<u128>,
 }
 
 impl Report {
@@ -297,6 +309,33 @@ impl Report {
         }
         let bytes = (self.bytes_read + self.bytes_written) as f64;
         bytes / (span as f64 / 1e9) / (1u64 << 20) as f64
+    }
+
+    /// The run's makespan in ns (last completion minus first arrival) —
+    /// the denominator for utilization percentages.
+    pub fn duration_ns(&self) -> u64 {
+        self.last_completion.saturating_sub(self.first_arrival)
+    }
+
+    /// `busy_ns`'s share of the run makespan, in percent (0 for an empty
+    /// run). Can exceed 100 for work carried across run boundaries.
+    pub fn utilization_pct(&self, busy_ns: u128) -> f64 {
+        let span = self.duration_ns();
+        if span == 0 {
+            0.0
+        } else {
+            busy_ns as f64 * 100.0 / span as f64
+        }
+    }
+
+    /// The attribution waterfalls as one deterministic JSON object
+    /// (`{"reads":…,"writes":…}`), byte-identical whether built in-sim or
+    /// replayed from a trace by `idasim trace`.
+    pub fn attribution_json(&self) -> String {
+        JsonObj::new()
+            .raw("reads", &self.read_attribution.to_json())
+            .raw("writes", &self.write_attribution.to_json())
+            .finish()
     }
 
     /// The full report as one deterministic JSON object string: latency
@@ -342,6 +381,15 @@ impl Report {
             .u64("in_use_blocks", self.in_use_blocks as u64)
             .u64("events_processed", self.events_processed)
             .u64("flash_ops", self.flash_ops)
+            .raw("attribution", &self.attribution_json())
+            .raw(
+                "die_busy_ns",
+                &array(self.die_busy_ns.iter().map(|b| b.to_string())),
+            )
+            .raw(
+                "channel_busy_ns",
+                &array(self.channel_busy_ns.iter().map(|b| b.to_string())),
+            )
             .raw("gauges", &array(self.gauges.iter().map(|g| g.to_json())))
             .finish()
     }
@@ -385,6 +433,42 @@ impl Report {
             "write amplification",
             format!("{:.3}", self.ftl.write_amplification()),
         );
+        if !self.die_busy_ns.is_empty() || !self.channel_busy_ns.is_empty() {
+            out.push_str("utilization:\n");
+            for (label, busy) in [
+                ("die", &self.die_busy_ns),
+                ("channel", &self.channel_busy_ns),
+            ] {
+                for (i, &b) in busy.iter().enumerate() {
+                    row(
+                        &mut out,
+                        &format!("{label} {i}"),
+                        format!("{:.1} %", self.utilization_pct(b)),
+                    );
+                }
+            }
+        }
+        if !self.read_attribution.is_empty() || !self.write_attribution.is_empty() {
+            for (name, a) in [
+                ("read attribution", &self.read_attribution),
+                ("write attribution", &self.write_attribution),
+            ] {
+                if a.is_empty() {
+                    continue;
+                }
+                out.push_str(&format!("{name}:\n"));
+                for p in ALL_PHASES {
+                    if a.total(p) == 0 {
+                        continue;
+                    }
+                    row(
+                        &mut out,
+                        p.label(),
+                        format!("{:.1} us avg ({:.1} %)", a.mean(p) / 1e3, a.share_pct(p)),
+                    );
+                }
+            }
+        }
         out.push_str("ftl counters:\n");
         for (k, v) in [
             ("gc runs", self.ftl.gc_runs),

@@ -9,9 +9,10 @@ use ida_faults::FaultConfig;
 use ida_flash::addr::BlockAddr;
 use ida_flash::timing::SimTime;
 use ida_ftl::block::BlockState;
-use ida_ftl::{FlashOp, FlashOpKind, Ftl, FtlError, Lpn, Priority};
+use ida_ftl::{FlashOp, FlashOpKind, Ftl, FtlError, Lpn, OpOrigin, Priority};
 use ida_obs::gauge::GaugeSet;
 use ida_obs::progress::Progress;
+use ida_obs::span::{Phase, PhaseNs, ALL_PHASES, QUEUE_CLASSES};
 use ida_obs::trace::{HostClass, SinkHandle, TraceEvent};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -22,6 +23,20 @@ fn host_class(kind: HostOpKind) -> HostClass {
         HostOpKind::Write => HostClass::Write,
     }
 }
+
+/// Queue-interference class of an op's origin: the index into
+/// [`SimOp::charges`] and the leading [`QUEUE_CLASSES`] phases
+/// (positions pinned by `ida_obs::span` tests).
+fn queue_class(origin: OpOrigin) -> u8 {
+    match origin {
+        OpOrigin::Host => 0,    // Phase::QueueHost
+        OpOrigin::Gc => 1,      // Phase::QueueGc
+        OpOrigin::Refresh => 2, // Phase::QueueRefresh
+    }
+}
+
+/// Charge class for power-loss recovery stalls ([`Phase::Recovery`]).
+const RECOVERY_CLASS: u8 = 3;
 
 /// An operation queued on a die, with its request linkage and sampled
 /// retry count.
@@ -36,6 +51,26 @@ struct SimOp {
     /// Controller backoff between transient-fault retries, charged off the
     /// critical resource (like ECC decode).
     fault_backoff: SimTime,
+    /// When the op entered its die queue (the request's arrival for host
+    /// ops — spans partition `[enqueued_at, completion]`).
+    enqueued_at: SimTime,
+    /// Attribution watermark: queue wait is charged up to this instant,
+    /// so overlapping holds never double-count.
+    charged_until: SimTime,
+    /// Queue wait charged per interference class (spans enabled only).
+    charges: [u64; QUEUE_CLASSES],
+}
+
+impl SimOp {
+    /// Charge the wait interval `[from, until]` to queue class `class`,
+    /// clipped against the watermark of what was already charged.
+    fn charge(&mut self, class: u8, from: SimTime, until: SimTime) {
+        let from = from.max(self.charged_until);
+        if until > from {
+            self.charges[class as usize] += until - from;
+            self.charged_until = until;
+        }
+    }
 }
 
 /// Per-die scheduler state: one queue per priority class.
@@ -55,6 +90,14 @@ struct DieState {
     /// Whether this die is in [`Simulator::dirty_dies`] (work enqueued
     /// since the last scheduling pass).
     dirty: bool,
+    /// Queue class of whoever last extended `read_free_at` (attribution).
+    read_hold: u8,
+    /// Queue class of whoever last extended `other_free_at` (attribution).
+    other_hold: u8,
+    /// Busy-time coverage mark: hold windows all open at the (monotone)
+    /// current instant, so time past this mark is newly busy — giving the
+    /// exact union of overlapping read/program holds for utilization.
+    busy_until: SimTime,
     queues: [VecDeque<SimOp>; 3],
 }
 
@@ -88,8 +131,9 @@ enum Ev {
     Arrival(usize),
     /// A die's array/register became free; try to start its next op.
     DieFree(u32),
-    /// A host-linked flash op completed end-to-end.
-    OpDone { req: usize },
+    /// A host-linked flash op completed end-to-end. `span` indexes the
+    /// run-local attribution waterfalls (`u32::MAX` when spans are off).
+    OpDone { req: usize, span: u32 },
     /// Wake up to run due refreshes.
     RefreshWake,
 }
@@ -126,6 +170,13 @@ pub struct Simulator {
     /// with it, so leftover queued work re-enters scheduling through the
     /// heap in the next run.
     wake_heap: BinaryHeap<Reverse<(SimTime, u32)>>,
+    /// Whether per-request attribution spans are recorded. Off by default:
+    /// the disabled path allocates nothing and skips all charging.
+    spans: bool,
+    /// Cumulative busy (held) nanoseconds per die; runs report the delta.
+    die_busy: Vec<u128>,
+    /// Cumulative busy nanoseconds per channel; runs report the delta.
+    channel_busy: Vec<u128>,
 }
 
 impl Simulator {
@@ -146,6 +197,9 @@ impl Simulator {
             queued_ops: 0,
             dirty_dies: Vec::new(),
             wake_heap: BinaryHeap::new(),
+            spans: false,
+            die_busy: vec![0; g.total_dies() as usize],
+            channel_busy: vec![0; g.channels as usize],
         }
     }
 
@@ -173,6 +227,22 @@ impl Simulator {
     /// Enable or disable stderr progress reporting for timed runs.
     pub fn set_progress(&mut self, on: bool) {
         self.progress = on;
+    }
+
+    /// Enable per-request latency attribution spans: every completed host
+    /// request gets a phase waterfall that partitions `[issue, complete]`
+    /// exactly, aggregated into [`Report::read_attribution`] /
+    /// [`Report::write_attribution`] (and emitted as `span` trace events
+    /// when a sink is attached). Off by default — the disabled path does
+    /// no charging and no allocation, so timed runs cost the same as
+    /// before the feature existed.
+    pub fn set_spans(&mut self, on: bool) {
+        self.spans = on;
+    }
+
+    /// Whether attribution spans are being recorded.
+    pub fn spans_enabled(&self) -> bool {
+        self.spans
     }
 
     /// The configuration in force.
@@ -244,11 +314,39 @@ impl Simulator {
             + t.voltage_adjust * report.rolled_forward as SimTime
             + scrub_cost * report.scrubbed as SimTime;
         let free_at = now + stall;
-        for d in &mut self.dies {
-            d.read_free_at = d.read_free_at.max(free_at);
-            d.other_free_at = d.other_free_at.max(free_at);
+        let spans = self.spans;
+        let Simulator {
+            dies,
+            channels,
+            die_busy,
+            channel_busy,
+            ..
+        } = self;
+        for (i, d) in dies.iter_mut().enumerate() {
+            die_busy[i] += free_at.saturating_sub(now.max(d.busy_until)) as u128;
+            d.busy_until = d.busy_until.max(free_at);
+            if free_at > d.read_free_at {
+                d.read_free_at = free_at;
+                d.read_hold = RECOVERY_CLASS;
+            }
+            if free_at > d.other_free_at {
+                d.other_free_at = free_at;
+                d.other_hold = RECOVERY_CLASS;
+            }
+            if spans {
+                // Every queued host op on every die stalls behind the
+                // recovery scan; charge the window to Phase::Recovery.
+                for q in &mut d.queues[..2] {
+                    for op in q.iter_mut() {
+                        op.charge(RECOVERY_CLASS, now, free_at);
+                    }
+                }
+            }
         }
-        for ch in &mut self.channels {
+        for (i, ch) in channels.iter_mut().enumerate() {
+            // `*ch` is the end of the channel's last busy window, so it
+            // doubles as the coverage mark for the exact busy union.
+            channel_busy[i] += free_at.saturating_sub(now.max(*ch)) as u128;
             *ch = (*ch).max(free_at);
         }
     }
@@ -331,6 +429,10 @@ impl Simulator {
         let mut completed = 0usize;
         let mut events_processed = 0u64;
         let flash_ops_before = self.flash_ops;
+        let die_busy_before = self.die_busy.clone();
+        let channel_busy_before = self.channel_busy.clone();
+        // Run-local attribution waterfalls, indexed by `Ev::OpDone::span`.
+        let mut span_ns: Vec<PhaseNs> = Vec::new();
         let mut wake_at: Option<SimTime> = None;
         // Next trace entry to dispatch in closed-loop mode.
         let mut next_dispatch = 0usize;
@@ -386,8 +488,8 @@ impl Simulator {
                         next_dispatch += 1;
                     }
                 }
-                Ev::DieFree(die) => self.try_start(die, now, &mut events),
-                Ev::OpDone { req } => {
+                Ev::DieFree(die) => self.try_start(die, now, &mut events, &mut span_ns),
+                Ev::OpDone { req, span } => {
                     let r = &mut requests[req];
                     r.outstanding -= 1;
                     if r.outstanding == 0 {
@@ -403,6 +505,28 @@ impl Simulator {
                             class: host_class(kind),
                             latency_ns: resp,
                         });
+                        if self.spans {
+                            // The op that completed the request was
+                            // enqueued at its arrival and finished last,
+                            // so its span partitions [arrival, now].
+                            let phases = span_ns.get(span as usize).copied().unwrap_or_default();
+                            debug_assert_eq!(
+                                phases.total(),
+                                resp,
+                                "attribution must partition the response time"
+                            );
+                            match kind {
+                                HostOpKind::Read => report.read_attribution.record(&phases),
+                                HostOpKind::Write => report.write_attribution.record(&phases),
+                            }
+                            self.trace.emit_with(|| TraceEvent::Span {
+                                t: now,
+                                req: req as u64,
+                                class: host_class(kind),
+                                total_ns: resp,
+                                phases,
+                            });
+                        }
                         report.last_completion = report.last_completion.max(now);
                         completed += 1;
                         // Closed loop: a freed slot admits the next request.
@@ -421,7 +545,7 @@ impl Simulator {
             }
             // Start any dies made runnable by newly enqueued work or a
             // wake-up that came due at this instant.
-            self.kick_dirty_dies(now, &mut events);
+            self.kick_dirty_dies(now, &mut events, &mut span_ns);
             // Stop once every host request has completed.
             let all_arrived = requests.len() == trace.len();
             if all_arrived && completed == requests.len() {
@@ -447,6 +571,18 @@ impl Simulator {
         report.in_use_blocks = self.ftl.blocks().in_use_blocks();
         report.events_processed = events_processed;
         report.flash_ops = self.flash_ops - flash_ops_before;
+        report.die_busy_ns = self
+            .die_busy
+            .iter()
+            .zip(&die_busy_before)
+            .map(|(a, b)| a - b)
+            .collect();
+        report.channel_busy_ns = self
+            .channel_busy
+            .iter()
+            .zip(&channel_busy_before)
+            .map(|(a, b)| a - b)
+            .collect();
         report
     }
 
@@ -530,6 +666,7 @@ impl Simulator {
                                 block: read.page.block(&self.cfg.ftl.geometry),
                                 page: Some(read.page),
                                 priority: Priority::HostRead,
+                                origin: OpOrigin::Host,
                             },
                             read.fault_attempts,
                         ));
@@ -574,6 +711,22 @@ impl Simulator {
                 class: host_class(host.kind),
                 latency_ns: 0,
             });
+            if self.spans {
+                // Instant completions still record a (zero) waterfall so
+                // attribution counts match the latency statistics.
+                let phases = PhaseNs::zero();
+                match host.kind {
+                    HostOpKind::Read => report.read_attribution.record(&phases),
+                    HostOpKind::Write => report.write_attribution.record(&phases),
+                }
+                self.trace.emit_with(|| TraceEvent::Span {
+                    t: now,
+                    req: req_idx as u64,
+                    class: host_class(host.kind),
+                    total_ns: 0,
+                    phases,
+                });
+            }
             report.last_completion = report.last_completion.max(now);
             *completed += 1;
         }
@@ -594,11 +747,12 @@ impl Simulator {
     /// retry count its read must absorb.
     fn enqueue_faulted(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         ops: impl IntoIterator<Item = (FlashOp, u32)>,
         req: Option<usize>,
     ) -> u32 {
         let backoff = self.cfg.ftl.faults.transient_backoff_ns;
+        let spans = self.spans;
         let mut linked_count = 0;
         for (op, fault_attempts) in ops {
             let linked = match op.priority {
@@ -623,13 +777,39 @@ impl Simulator {
                 d.dirty = true;
                 self.dirty_dies.push(die);
             }
-            d.enqueue(SimOp {
+            let mut sim_op = SimOp {
                 op,
                 req: linked,
                 retries,
                 fault_attempts,
                 fault_backoff: fault_attempts as SimTime * backoff,
-            });
+                enqueued_at: now,
+                charged_until: now,
+                charges: [0; QUEUE_CLASSES],
+            };
+            if spans && linked.is_some() {
+                // Charge the holds already in force on the die, earlier-
+                // ending first so an overlap goes to whichever class frees
+                // the die first. Reads gate on the sensing track only;
+                // everything else waits for both tracks.
+                if matches!(op.kind, FlashOpKind::Read { .. }) {
+                    if d.read_free_at > now {
+                        sim_op.charge(d.read_hold, now, d.read_free_at);
+                    }
+                } else {
+                    let mut holds = [
+                        (d.read_free_at, d.read_hold),
+                        (d.other_free_at, d.other_hold),
+                    ];
+                    holds.sort_unstable_by_key(|&(end, _)| end);
+                    for (end, class) in holds {
+                        if end > now {
+                            sim_op.charge(class, now, end);
+                        }
+                    }
+                }
+            }
+            d.enqueue(sim_op);
         }
         linked_count
     }
@@ -642,7 +822,12 @@ impl Simulator {
     /// scan over all dies. Dies outside this set either have an empty
     /// queue or an untouched queue behind a future wake, where a
     /// `try_start` call is a proven no-op.
-    fn kick_dirty_dies(&mut self, now: SimTime, events: &mut EventQueue<Ev>) {
+    fn kick_dirty_dies(
+        &mut self,
+        now: SimTime,
+        events: &mut EventQueue<Ev>,
+        span_ns: &mut Vec<PhaseNs>,
+    ) {
         let mut due = std::mem::take(&mut self.dirty_dies);
         for &die in &due {
             self.dies[die as usize].dirty = false;
@@ -662,7 +847,7 @@ impl Simulator {
         due.dedup();
         for die in due.drain(..) {
             if self.dies[die as usize].pending() > 0 {
-                self.try_start(die, now, events);
+                self.try_start(die, now, events, span_ns);
             }
         }
         // Hand the (drained) buffer back to reuse its allocation.
@@ -671,7 +856,13 @@ impl Simulator {
 
     /// Start every queued op on `die` that can begin at `now`, scheduling
     /// a wake-up for the first one that cannot.
-    fn try_start(&mut self, die: u32, now: SimTime, events: &mut EventQueue<Ev>) {
+    fn try_start(
+        &mut self,
+        die: u32,
+        now: SimTime,
+        events: &mut EventQueue<Ev>,
+        span_ns: &mut Vec<PhaseNs>,
+    ) {
         let Simulator {
             cfg,
             dies,
@@ -679,6 +870,9 @@ impl Simulator {
             trace,
             wake_heap,
             queued_ops,
+            spans,
+            die_busy,
+            channel_busy,
             ..
         } = self;
         let t = cfg.timing;
@@ -710,43 +904,25 @@ impl Simulator {
             }
             let sim_op = d.dequeue().expect("peeked");
             *queued_ops -= 1;
-            trace.emit_with(|| {
-                let op = sim_op.op;
-                let background = op.priority == Priority::Background;
-                let block = op.block.0 as u64;
-                let page = op.page.map_or(0, |p| p.0);
-                match op.kind {
-                    FlashOpKind::Read { senses } => TraceEvent::FlashSense {
-                        t: now,
-                        die,
-                        channel: op.channel,
-                        block,
-                        page,
-                        senses,
-                        retries: sim_op.retries,
-                        background,
-                    },
-                    FlashOpKind::Program => TraceEvent::FlashProgram {
-                        t: now,
-                        die,
-                        channel: op.channel,
-                        block,
-                        page,
-                        background,
-                    },
-                    FlashOpKind::Erase => TraceEvent::FlashErase { t: now, die, block },
-                    FlashOpKind::VoltageAdjust => TraceEvent::VoltageAdjust { t: now, die, block },
+            let want_span = *spans && sim_op.req.is_some();
+            let mut ph = PhaseNs::zero();
+            if want_span {
+                let mut charged = 0u64;
+                for (i, phase) in ALL_PHASES[..QUEUE_CLASSES].iter().enumerate() {
+                    ph.set(*phase, sim_op.charges[i]);
+                    charged += sim_op.charges[i];
                 }
-            });
-            if sim_op.retries > 0 {
-                trace.emit_with(|| TraceEvent::ReadRetry {
-                    t: now,
-                    die,
-                    extra: sim_op.retries,
-                });
+                // Queue wait not covered by an observed hold is
+                // scheduling residual.
+                ph.set(Phase::QueueOther, (now - sim_op.enqueued_at) - charged);
             }
+            let hold_class = queue_class(sim_op.op.origin);
             let ch = sim_op.op.channel as usize;
-            let completion = match sim_op.op.kind {
+            let op = sim_op.op;
+            let background = op.priority == Priority::Background;
+            let block = op.block.0 as u64;
+            let page = op.page.map_or(0, |p| p.0);
+            let (completion, die_held_until) = match op.kind {
                 FlashOpKind::Read { senses } => {
                     // Sense (× retries, including injected transient-fault
                     // re-senses) then transfer, serialized on the channel
@@ -757,29 +933,135 @@ impl Simulator {
                     let array = t.read_latency(senses) * attempts;
                     let start = now.max(channels[ch]);
                     let tx_end = start + array + t.transfer;
+                    channel_busy[ch] += (tx_end - start) as u128;
                     channels[ch] = tx_end;
                     d.read_free_at = tx_end;
-                    tx_end + t.ecc_decode + sim_op.fault_backoff
+                    d.read_hold = hold_class;
+                    if *spans {
+                        // A read-track hold gates every queued host op
+                        // (reads serialize on it; writes wait for both
+                        // tracks). Background queue ops carry no spans.
+                        for q in &mut d.queues[..2] {
+                            for w in q.iter_mut() {
+                                w.charge(hold_class, now, tx_end);
+                            }
+                        }
+                    }
+                    let end = tx_end + t.ecc_decode + sim_op.fault_backoff;
+                    if want_span {
+                        ph.set(Phase::Channel, start - now);
+                        ph.set(Phase::Sense, t.read_latency(senses));
+                        ph.set(Phase::Retry, array - t.read_latency(senses));
+                        ph.set(Phase::Transfer, t.transfer);
+                        ph.set(Phase::Ecc, t.ecc_decode);
+                        ph.set(Phase::Backoff, sim_op.fault_backoff);
+                    }
+                    trace.emit_with(|| TraceEvent::FlashSense {
+                        t: now,
+                        die,
+                        channel: op.channel,
+                        block,
+                        page,
+                        senses,
+                        retries: sim_op.retries,
+                        background,
+                        bus_start: start,
+                        bus_end: tx_end,
+                        end,
+                    });
+                    (end, tx_end)
                 }
                 FlashOpKind::Program => {
                     let tx_start = now.max(channels[ch]);
                     let tx_end = tx_start + t.transfer;
+                    channel_busy[ch] += (tx_end - tx_start) as u128;
                     channels[ch] = tx_end;
                     let array_end = tx_end + t.program;
                     d.other_free_at = array_end;
-                    array_end
+                    d.other_hold = hold_class;
+                    if *spans {
+                        // Program/erase holds gate queued writes only
+                        // (reads suspend them).
+                        for w in d.queues[1].iter_mut() {
+                            w.charge(hold_class, now, array_end);
+                        }
+                    }
+                    if want_span {
+                        ph.set(Phase::Channel, tx_start - now);
+                        ph.set(Phase::Transfer, t.transfer);
+                        ph.set(Phase::Program, t.program);
+                    }
+                    trace.emit_with(|| TraceEvent::FlashProgram {
+                        t: now,
+                        die,
+                        channel: op.channel,
+                        block,
+                        page,
+                        background,
+                        bus_start: tx_start,
+                        bus_end: tx_end,
+                        end: array_end,
+                    });
+                    (array_end, array_end)
                 }
                 FlashOpKind::Erase => {
-                    d.other_free_at = now + t.erase;
-                    now + t.erase
+                    let end = now + t.erase;
+                    d.other_free_at = end;
+                    d.other_hold = hold_class;
+                    if *spans {
+                        for w in d.queues[1].iter_mut() {
+                            w.charge(hold_class, now, end);
+                        }
+                    }
+                    trace.emit_with(|| TraceEvent::FlashErase {
+                        t: now,
+                        die,
+                        block,
+                        end,
+                    });
+                    (end, end)
                 }
                 FlashOpKind::VoltageAdjust => {
-                    d.other_free_at = now + t.voltage_adjust;
-                    now + t.voltage_adjust
+                    let end = now + t.voltage_adjust;
+                    d.other_free_at = end;
+                    d.other_hold = hold_class;
+                    if *spans {
+                        for w in d.queues[1].iter_mut() {
+                            w.charge(hold_class, now, end);
+                        }
+                    }
+                    trace.emit_with(|| TraceEvent::VoltageAdjust {
+                        t: now,
+                        die,
+                        block,
+                        end,
+                    });
+                    (end, end)
                 }
             };
+            if sim_op.retries > 0 {
+                trace.emit_with(|| TraceEvent::ReadRetry {
+                    t: now,
+                    die,
+                    extra: sim_op.retries,
+                });
+            }
+            // Exact busy union: hold windows open at the (monotone)
+            // current instant, so anything past the mark is newly busy.
+            die_busy[die as usize] += die_held_until.saturating_sub(now.max(d.busy_until)) as u128;
+            d.busy_until = d.busy_until.max(die_held_until);
             if let Some(req) = sim_op.req {
-                events.push(completion, Ev::OpDone { req });
+                debug_assert!(
+                    !want_span || ph.total() == completion - sim_op.enqueued_at,
+                    "span must partition [enqueue, completion]"
+                );
+                let span = if want_span {
+                    span_ns.push(ph);
+                    (span_ns.len() - 1) as u32
+                } else {
+                    u32::MAX
+                };
+                events.push(completion, Ev::OpDone { req, span });
             }
         }
     }
