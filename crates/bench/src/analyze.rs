@@ -21,7 +21,7 @@ use std::path::Path;
 
 /// Every event kind the trace schema knows; anything else fails
 /// validation.
-const KNOWN_KINDS: [&str; 23] = [
+const KNOWN_KINDS: [&str; 25] = [
     "run_start",
     "host_arrival",
     "host_complete",
@@ -45,6 +45,8 @@ const KNOWN_KINDS: [&str; 23] = [
     "read_only_mode",
     "write_rejected",
     "span",
+    "host_shed",
+    "slo_status",
 ];
 
 /// One read's attribution waterfall, kept for the slowest-reads table.

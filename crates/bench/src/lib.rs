@@ -26,6 +26,7 @@
 //! a serial run.
 
 pub mod analyze;
+pub mod load;
 pub mod microbench;
 pub mod runner;
 pub mod suite;

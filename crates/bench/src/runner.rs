@@ -17,7 +17,7 @@ use ida_flash::timing::{FlashTiming, SimTime};
 use ida_obs::gauge::GaugeSet;
 use ida_obs::trace::{FilterSink, JsonlSink, SinkHandle, TraceEvent};
 use ida_ssd::retry::RetryConfig;
-use ida_ssd::{HostOp, HostOpKind, Report, Simulator, SsdConfig};
+use ida_ssd::{HostOp, HostOpKind, Report, SimError, Simulator, SsdConfig};
 use ida_workloads::suite::WorkloadPreset;
 use ida_workloads::trace::{OpKind, Trace};
 use std::path::{Path, PathBuf};
@@ -329,6 +329,89 @@ pub fn run_config_faulted(
         ReplayMode::OpenLoop => sim.run(to_host_ops(&trace)),
         ReplayMode::ClosedLoop(depth) => sim.run_closed_loop(to_host_ops(&trace), depth),
     }
+}
+
+/// Why an imported-trace replay could not produce a report.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// Observability output (trace/metrics files) failed.
+    Io(std::io::Error),
+    /// The simulator rejected the trace (e.g. unsorted arrivals) — the
+    /// typed [`SimError`] instead of the `Simulator::run` panic, because
+    /// imported traces are user input, not harness bugs.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Io(e) => write!(f, "observability output failed: {e}"),
+            ReplayError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<std::io::Error> for ReplayError {
+    fn from(e: std::io::Error) -> Self {
+        ReplayError::Io(e)
+    }
+}
+
+impl From<SimError> for ReplayError {
+    fn from(e: SimError) -> Self {
+        ReplayError::Sim(e)
+    }
+}
+
+/// Replay an imported trace (e.g. an MSR Cambridge volume) on one system.
+///
+/// Imported traces carry no preset, so warm-up is the minimal honest
+/// version: fold the trace onto a footprint-sized slice of the device,
+/// prefill that footprint, put refresh on the trace's own span, run one
+/// staggered refresh cycle, then measure. Open loop replays the trace's
+/// own arrival times through the typed [`Simulator::try_run`] path (a
+/// malformed trace is an error, not a panic); closed loop ignores them
+/// and keeps `depth` requests in flight.
+///
+/// # Errors
+///
+/// [`ReplayError::Sim`] when the simulator rejects the trace,
+/// [`ReplayError::Io`] when observability output fails.
+pub fn replay_trace(
+    trace: &Trace,
+    system: SystemUnderTest,
+    scale: &ExperimentScale,
+    mode: ReplayMode,
+    obs: &ObsOptions,
+) -> Result<Report, ReplayError> {
+    let cfg = system_config(
+        system,
+        scale.geometry,
+        FlashTiming::paper_tlc(),
+        RetryConfig::disabled(),
+    );
+    let mut sim = Simulator::new(cfg);
+    obs.attach(&mut sim, &format!("replay {}", system.label()))?;
+    // Fold onto at most half the exported space so GC and refresh have
+    // room to breathe, like the presets' footprint fractions.
+    let exported = sim.ftl().exported_pages();
+    let folded = ida_workloads::msr::fold_to_footprint(trace, (exported / 2).max(1_000));
+    let footprint = folded.footprint_pages().max(1_000);
+    sim.prefill(0..footprint);
+    let span = folded.span().max(1);
+    let period = (span as f64 * scale.refresh_period_frac) as SimTime;
+    sim.set_refresh_period(period.max(1));
+    sim.force_refresh_all(span / 2);
+    sim.set_spans(true);
+    let ops = to_host_ops(&folded);
+    let report = match mode {
+        ReplayMode::OpenLoop => sim.try_run(ops)?,
+        ReplayMode::ClosedLoop(depth) => sim.run_closed_loop(ops, depth),
+    };
+    obs.finish(&sim, &report)?;
+    Ok(report)
 }
 
 /// Build a simulator warmed to the steady state for `preset` and return it

@@ -14,12 +14,14 @@
 //! into the engine's per-cell failure records instead of aborting the
 //! whole sweep.
 
+use crate::load::{load_metrics_json, nominal_iops, run_load, LoadSpec, LOAD_PCTS};
 use crate::runner::{
     run_config_faulted, system_config, ExperimentScale, ReplayMode, SystemUnderTest,
 };
 use crate::table::{f, TextTable};
 use ida_faults::FaultConfig;
 use ida_flash::timing::FlashTiming;
+use ida_host::ArrivalSpec;
 use ida_obs::json::JsonObj;
 use ida_ssd::retry::RetryConfig;
 use ida_ssd::Report;
@@ -43,7 +45,7 @@ pub const FIG11_LATE_FAILURE_PROB: f64 = 0.4;
 pub const FAULT_SPARES_PER_PLANE: u32 = 2;
 
 /// The names [`builtin_grid`] understands.
-pub const BUILTIN_GRIDS: [&str; 5] = ["fig8", "fig9", "fig10", "fig11", "faults"];
+pub const BUILTIN_GRIDS: [&str; 6] = ["fig8", "fig9", "fig10", "fig11", "faults", "load"];
 
 fn workload_names() -> Vec<String> {
     paper_workloads().into_iter().map(|p| p.spec.name).collect()
@@ -84,6 +86,10 @@ pub fn builtin_grid(name: &str) -> Option<SweepSpec> {
         "faults" => Some(
             SweepSpec::new("faults", workloads, vec!["Baseline".into(), ida_label(0.2)])
                 .with_axis("faults", FaultConfig::LEVELS.map(String::from).to_vec()),
+        ),
+        "load" => Some(
+            SweepSpec::new("load", workloads, vec!["Baseline".into(), ida_label(0.2)])
+                .with_axis("load", LOAD_PCTS.iter().map(|p| p.to_string()).collect()),
         ),
         _ => None,
     }
@@ -179,6 +185,14 @@ pub fn run_cell(cell: &Cell, scale: &ExperimentScale) -> String {
     let preset = paper_workload(&cell.workload)
         .unwrap_or_else(|| panic!("unknown workload {}", cell.workload));
     let system = parse_system(&cell.system).unwrap_or_else(|e| panic!("{e}"));
+    if let Some(pct) = cell.param("load") {
+        let pct: u64 = pct
+            .parse()
+            .unwrap_or_else(|_| panic!("bad load parameter {pct:?} (expected a percentage)"));
+        let offered = (nominal_iops(&preset.spec) * pct / 100).max(1);
+        let spec = LoadSpec::new(system, ArrivalSpec::Poisson, offered, cell.stream_seed);
+        return load_metrics_json(&run_load(&preset, &spec, scale));
+    }
     let mut timing = FlashTiming::paper_tlc();
     if let Some(d) = cell.param("dtr_us") {
         let d: u64 = d
@@ -243,6 +257,18 @@ pub fn metric(
     jsonv::parse(payload).ok()?.get(key)?.as_f64()
 }
 
+/// A boolean metric from a cell's payload.
+pub fn metric_bool(
+    outcome: &SweepOutcome,
+    workload: &str,
+    system: &str,
+    params: &[(&str, &str)],
+    key: &str,
+) -> Option<bool> {
+    let payload = outcome.payload(workload, system, params)?;
+    jsonv::parse(payload).ok()?.get(key)?.as_bool()
+}
+
 fn failed_note(outcome: &SweepOutcome) -> String {
     if outcome.failed_count() == 0 {
         String::new()
@@ -273,6 +299,7 @@ pub fn render(outcome: &SweepOutcome) -> Result<String, String> {
         "fig10" => Ok(render_fig10(outcome)),
         "fig11" => Ok(render_fig11(outcome)),
         "faults" => Ok(render_faults(outcome)),
+        "load" => Ok(render_load(outcome)),
         other => Err(format!("no renderer for sweep {other:?}")),
     }
 }
@@ -518,6 +545,50 @@ pub fn render_faults(outcome: &SweepOutcome) -> String {
     out
 }
 
+/// Load table: the latency-vs-load hockey stick — end-to-end read p99
+/// (µs) per workload × offered rate, one row per system. A trailing `*`
+/// marks a cell that missed the SLO, `!` one that shed requests.
+pub fn render_load(outcome: &SweepOutcome) -> String {
+    let workloads = workload_names();
+    let systems = ["Baseline".to_string(), ida_label(0.2)];
+    let mut header = vec!["Name".to_string(), "System".to_string()];
+    header.extend(LOAD_PCTS.iter().map(|p| format!("{p}%")));
+    let mut t = TextTable::new(header);
+    for w in &workloads {
+        for sys in &systems {
+            let mut row = vec![w.clone(), sys.clone()];
+            for pct in LOAD_PCTS {
+                let load = pct.to_string();
+                let params: &[(&str, &str)] = &[("load", &load)];
+                let p99 = metric(outcome, w, sys, params, "read_p99_ns");
+                let met = metric_bool(outcome, w, sys, params, "slo_met");
+                let shed = metric(outcome, w, sys, params, "shed").unwrap_or(0.0);
+                row.push(match p99 {
+                    Some(ns) => {
+                        let mut cell = f(ns / 1_000.0, 0);
+                        if met == Some(false) {
+                            cell.push('*');
+                        }
+                        if shed > 0.0 {
+                            cell.push('!');
+                        }
+                        cell
+                    }
+                    None => "-".to_string(),
+                });
+            }
+            t.row(row);
+        }
+    }
+    let mut out = String::from(
+        "Load — end-to-end read p99 (µs) vs offered rate, % of nominal (the hockey stick)\n",
+    );
+    out.push_str("* = missed the 2 ms p99 SLO, ! = shed requests at admission\n\n");
+    out.push_str(&t.render());
+    out.push_str(&failed_note(outcome));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -534,6 +605,8 @@ mod tests {
         assert_eq!(builtin_grid("fig11").unwrap().len(), 11 * 2 * 2);
         // Faults: 11 workloads × 4 fault levels × (baseline + IDA-E20).
         assert_eq!(builtin_grid("faults").unwrap().len(), 11 * 4 * 2);
+        // Load: 11 workloads × 5 offered rates × (baseline + IDA-E20).
+        assert_eq!(builtin_grid("load").unwrap().len(), 11 * 5 * 2);
         assert!(builtin_grid("fig99").is_none());
         for name in BUILTIN_GRIDS {
             assert!(builtin_grid(name).is_some(), "missing grid {name}");

@@ -3,11 +3,17 @@
 //! Kept as a library so the argument parsing and command dispatch are unit
 //! testable; `main.rs` is a thin shell around [`run`].
 
+use ida_bench::load::{
+    load_metrics_json, nominal_iops, run_capacity, run_load_obs, LoadSpec, CAPACITY_MAX_ITERS,
+};
 use ida_bench::runner::{
-    normalized_read_response, run_system_obs, ExperimentScale, ObsOptions, SystemUnderTest,
+    normalized_read_response, replay_trace, run_system_obs, ExperimentScale, ObsOptions,
+    ReplayMode, SystemUnderTest,
 };
 use ida_bench::suite::{compare_json, run_suite};
 use ida_bench::sweep::{builtin_grid, render, run_grid, BUILTIN_GRIDS};
+use ida_host::{AdmissionPolicy, ArrivalSpec};
+use ida_obs::json::JsonObj;
 use ida_sweep::pool::parse_jobs;
 use ida_sweep::SweepConfig;
 use ida_workloads::stats::characterize;
@@ -44,7 +50,7 @@ pub enum Command {
     },
     /// Run an experiment grid on the parallel sweep engine.
     Sweep {
-        /// Grid name (`fig8`, `fig9`, `fig10`, `fig11`, `faults`).
+        /// Grid name (`fig8`, `fig9`, `fig10`, `fig11`, `faults`, `load`).
         grid: String,
         /// Worker threads (`None` = `IDA_JOBS` or all cores).
         jobs: Option<usize>,
@@ -71,6 +77,60 @@ pub enum Command {
         /// baseline; the output becomes a comparison document with
         /// per-bench speedups.
         baseline: Option<PathBuf>,
+    },
+    /// Drive one workload through the host frontend at a target offered
+    /// rate (or bisect for the max sustainable rate at the SLO).
+    Load {
+        /// Workload name.
+        workload: String,
+        /// Voltage-adjustment error rate for the IDA system (0.0–1.0).
+        error_rate: f64,
+        /// Offered rate in IOPS (`None` = the workload's nominal rate).
+        iops: Option<u64>,
+        /// Arrival shape (`constant`, `poisson`, `onoff`).
+        arrival: String,
+        /// Tenant streams the trace is dealt across.
+        tenants: u32,
+        /// Full-queue admission policy (`shed`, `delay`).
+        admission: String,
+        /// Read p99 SLO target, µs.
+        slo_us: u64,
+        /// Override the measured request count.
+        requests: Option<usize>,
+        /// Use the smoke-test scale.
+        smoke: bool,
+        /// Bisect for max sustainable IOPS instead of one load point.
+        capacity: bool,
+        /// Capacity-search bracket floor, IOPS (`None` = nominal / 4).
+        lo: Option<u64>,
+        /// Capacity-search bracket ceiling, IOPS (`None` = nominal × 4).
+        hi: Option<u64>,
+        /// Write the JSON document here (stdout gets the summary).
+        out: Option<PathBuf>,
+        /// Write each run's event trace as JSONL (per-system suffix).
+        trace_out: Option<PathBuf>,
+        /// Comma-separated event classes to keep in the trace.
+        trace_filter: Option<String>,
+        /// Stream seed.
+        seed: u64,
+    },
+    /// Replay an imported MSR Cambridge trace on both systems.
+    Replay {
+        /// MSR CSV path.
+        msr: PathBuf,
+        /// Voltage-adjustment error rate for the IDA system (0.0–1.0).
+        error_rate: f64,
+        /// Closed-loop queue depth (`None` = open loop, the trace's own
+        /// arrival times).
+        closed: Option<usize>,
+        /// Use the smoke-test scale geometry.
+        smoke: bool,
+        /// Write each run's event trace as JSONL (per-system suffix).
+        trace_out: Option<PathBuf>,
+        /// Write each run's metrics report as JSON (per-system suffix).
+        metrics_json: Option<PathBuf>,
+        /// Report run progress on stderr.
+        progress: bool,
     },
     /// Analyze a JSONL event trace (validate, attribute, diff).
     Trace {
@@ -238,6 +298,244 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 out,
                 smoke,
                 requests,
+                progress,
+            })
+        }
+        Some("load") => {
+            let workload = args
+                .get(1)
+                .filter(|g| !g.starts_with("--"))
+                .ok_or("load needs a workload name (try `idasim list`)")?
+                .clone();
+            let mut error_rate = 0.2;
+            let mut iops = None;
+            let mut arrival = "poisson".to_string();
+            let mut tenants = 1;
+            let mut admission = "shed".to_string();
+            let mut slo_us = 2_000;
+            let mut requests = None;
+            let mut smoke = false;
+            let mut capacity = false;
+            let mut lo = None;
+            let mut hi = None;
+            let mut out = None;
+            let mut trace_out = None;
+            let mut trace_filter = None;
+            let mut seed = 0;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--error-rate" => {
+                        error_rate = args
+                            .get(i + 1)
+                            .ok_or("--error-rate needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad error rate: {e}"))?;
+                        i += 2;
+                    }
+                    "--iops" => {
+                        iops = Some(
+                            args.get(i + 1)
+                                .ok_or("--iops needs a value")?
+                                .parse()
+                                .map_err(|e| format!("bad IOPS: {e}"))?,
+                        );
+                        i += 2;
+                    }
+                    "--arrival" => {
+                        arrival = args.get(i + 1).ok_or("--arrival needs a shape")?.clone();
+                        i += 2;
+                    }
+                    "--tenants" => {
+                        tenants = args
+                            .get(i + 1)
+                            .ok_or("--tenants needs a count")?
+                            .parse()
+                            .map_err(|e| format!("bad tenant count: {e}"))?;
+                        i += 2;
+                    }
+                    "--admission" => {
+                        admission = args.get(i + 1).ok_or("--admission needs a policy")?.clone();
+                        i += 2;
+                    }
+                    "--slo-us" => {
+                        slo_us = args
+                            .get(i + 1)
+                            .ok_or("--slo-us needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad SLO: {e}"))?;
+                        i += 2;
+                    }
+                    "--requests" => {
+                        requests = Some(
+                            args.get(i + 1)
+                                .ok_or("--requests needs a value")?
+                                .parse()
+                                .map_err(|e| format!("bad request count: {e}"))?,
+                        );
+                        i += 2;
+                    }
+                    "--smoke" => {
+                        smoke = true;
+                        i += 1;
+                    }
+                    "--capacity" => {
+                        capacity = true;
+                        i += 1;
+                    }
+                    "--lo" => {
+                        lo = Some(
+                            args.get(i + 1)
+                                .ok_or("--lo needs a value")?
+                                .parse()
+                                .map_err(|e| format!("bad --lo IOPS: {e}"))?,
+                        );
+                        i += 2;
+                    }
+                    "--hi" => {
+                        hi = Some(
+                            args.get(i + 1)
+                                .ok_or("--hi needs a value")?
+                                .parse()
+                                .map_err(|e| format!("bad --hi IOPS: {e}"))?,
+                        );
+                        i += 2;
+                    }
+                    "--out" => {
+                        out = Some(PathBuf::from(args.get(i + 1).ok_or("--out needs a path")?));
+                        i += 2;
+                    }
+                    "--trace-out" => {
+                        trace_out = Some(PathBuf::from(
+                            args.get(i + 1).ok_or("--trace-out needs a path")?,
+                        ));
+                        i += 2;
+                    }
+                    "--trace-filter" => {
+                        let spec = args
+                            .get(i + 1)
+                            .ok_or("--trace-filter needs a class list")?
+                            .clone();
+                        ida_obs::trace::parse_trace_filter(&spec)?;
+                        trace_filter = Some(spec);
+                        i += 2;
+                    }
+                    "--seed" => {
+                        seed = args
+                            .get(i + 1)
+                            .ok_or("--seed needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad seed: {e}"))?;
+                        i += 2;
+                    }
+                    other => return Err(format!("unknown option: {other}")),
+                }
+            }
+            if !(0.0..=1.0).contains(&error_rate) {
+                return Err(format!("error rate {error_rate} outside [0, 1]"));
+            }
+            // Validate the label spellings eagerly so typos fail fast.
+            ida_host::ArrivalSpec::parse(&arrival)?;
+            ida_host::AdmissionPolicy::parse(&admission)?;
+            if tenants == 0 {
+                return Err("--tenants must be at least 1".to_string());
+            }
+            if slo_us == 0 {
+                return Err("--slo-us must be positive".to_string());
+            }
+            if let (Some(lo), Some(hi)) = (lo, hi) {
+                if lo == 0 || lo > hi {
+                    return Err(format!("bad capacity bracket [{lo}, {hi}]"));
+                }
+            }
+            Ok(Command::Load {
+                workload,
+                error_rate,
+                iops,
+                arrival,
+                tenants,
+                admission,
+                slo_us,
+                requests,
+                smoke,
+                capacity,
+                lo,
+                hi,
+                out,
+                trace_out,
+                trace_filter,
+                seed,
+            })
+        }
+        Some("replay") => {
+            let mut msr = None;
+            let mut error_rate = 0.2;
+            let mut closed = None;
+            let mut smoke = false;
+            let mut trace_out = None;
+            let mut metrics_json = None;
+            let mut progress = false;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--msr" => {
+                        msr = Some(PathBuf::from(args.get(i + 1).ok_or("--msr needs a path")?));
+                        i += 2;
+                    }
+                    "--error-rate" => {
+                        error_rate = args
+                            .get(i + 1)
+                            .ok_or("--error-rate needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad error rate: {e}"))?;
+                        i += 2;
+                    }
+                    "--closed" => {
+                        let depth: usize = args
+                            .get(i + 1)
+                            .ok_or("--closed needs a queue depth")?
+                            .parse()
+                            .map_err(|e| format!("bad queue depth: {e}"))?;
+                        if depth == 0 {
+                            return Err("--closed queue depth must be positive".to_string());
+                        }
+                        closed = Some(depth);
+                        i += 2;
+                    }
+                    "--smoke" => {
+                        smoke = true;
+                        i += 1;
+                    }
+                    "--trace-out" => {
+                        trace_out = Some(PathBuf::from(
+                            args.get(i + 1).ok_or("--trace-out needs a path")?,
+                        ));
+                        i += 2;
+                    }
+                    "--metrics-json" => {
+                        metrics_json = Some(PathBuf::from(
+                            args.get(i + 1).ok_or("--metrics-json needs a path")?,
+                        ));
+                        i += 2;
+                    }
+                    "--progress" => {
+                        progress = true;
+                        i += 1;
+                    }
+                    other => return Err(format!("unknown option: {other}")),
+                }
+            }
+            let msr = msr.ok_or("replay needs --msr <trace.csv>")?;
+            if !(0.0..=1.0).contains(&error_rate) {
+                return Err(format!("error rate {error_rate} outside [0, 1]"));
+            }
+            Ok(Command::Replay {
+                msr,
+                error_rate,
+                closed,
+                smoke,
+                trace_out,
+                metrics_json,
                 progress,
             })
         }
@@ -525,6 +823,205 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 }
             }
         }
+        Command::Load {
+            workload,
+            error_rate,
+            iops,
+            arrival,
+            tenants,
+            admission,
+            slo_us,
+            requests,
+            smoke,
+            capacity,
+            lo,
+            hi,
+            out: out_path,
+            trace_out,
+            trace_filter,
+            seed,
+        } => {
+            let p = paper_workload(&workload).ok_or_else(|| unknown(&workload))?;
+            let mut scale = if smoke {
+                ExperimentScale::smoke()
+            } else {
+                ExperimentScale::from_env()
+            };
+            if let Some(r) = requests {
+                scale.requests = r;
+            }
+            let arrival = ArrivalSpec::parse(&arrival)?;
+            let admission = AdmissionPolicy::parse(&admission)?;
+            let slo_ns = slo_us * 1_000;
+            let nominal = nominal_iops(&p.spec);
+            let systems = [
+                SystemUnderTest::Baseline,
+                SystemUnderTest::Ida { error_rate },
+            ];
+            let obs = ObsOptions {
+                trace_out,
+                trace_filter: trace_filter.or_else(|| std::env::var("IDA_TRACE_FILTER").ok()),
+                ..ObsOptions::default()
+            };
+            let json = if capacity {
+                let lo = lo.unwrap_or((nominal / 4).max(1));
+                let hi = hi.unwrap_or(nominal * 4).max(lo);
+                let _ = writeln!(
+                    out,
+                    "capacity search on {workload}: bracket [{lo}, {hi}] IOPS, \
+                     p99 read SLO {slo_us} us, {} arrivals:",
+                    arrival.label()
+                );
+                let mut doc = JsonObj::new()
+                    .str("workload", &workload)
+                    .u64("nominal_iops", nominal)
+                    .u64("slo_p99_ns", slo_ns)
+                    .u64("lo", lo)
+                    .u64("hi", hi);
+                for system in systems {
+                    let r = run_capacity(
+                        &p,
+                        system,
+                        arrival,
+                        &scale,
+                        slo_ns,
+                        lo,
+                        hi,
+                        CAPACITY_MAX_ITERS,
+                        seed,
+                    );
+                    let _ = writeln!(
+                        out,
+                        "  {:9} max sustainable {:6} IOPS  ({} probes)",
+                        system.label(),
+                        r.max_iops,
+                        r.probes.len()
+                    );
+                    doc = doc.raw(&system.label(), &r.to_json());
+                }
+                doc.finish()
+            } else {
+                let offered = iops.unwrap_or(nominal).max(1);
+                let _ = writeln!(
+                    out,
+                    "workload {workload} at {offered} offered IOPS (nominal {nominal}), \
+                     {} arrivals, {tenants} tenant(s), {} admission:",
+                    arrival.label(),
+                    admission.label()
+                );
+                let mut doc = JsonObj::new()
+                    .str("workload", &workload)
+                    .u64("offered_iops", offered)
+                    .u64("nominal_iops", nominal);
+                for system in systems {
+                    let spec = LoadSpec {
+                        system,
+                        arrival,
+                        offered_iops: offered,
+                        tenants,
+                        admission,
+                        slo_p99_ns: slo_ns,
+                        seed,
+                    };
+                    let run_obs = obs.suffixed(&system.label());
+                    let run = run_load_obs(&p, &spec, &scale, &run_obs)
+                        .map_err(|e| format!("observability output failed: {e}"))?;
+                    let _ = writeln!(
+                        out,
+                        "  {:9} e2e read p99 {:9.1} us  achieved {:8.1} IOPS  \
+                         shed {:4}  SLO({} us): {}",
+                        system.label(),
+                        run.read_p99_ns() as f64 / 1e3,
+                        run.achieved_iops,
+                        run.shed(),
+                        slo_us,
+                        if run.slo_met() { "met" } else { "MISSED" }
+                    );
+                    if let Some(path) = &run_obs.trace_out {
+                        let _ =
+                            writeln!(out, "wrote {} trace to {}", system.label(), path.display());
+                    }
+                    doc = doc.raw(&system.label(), &load_metrics_json(&run));
+                }
+                doc.finish()
+            };
+            if let Some(path) = out_path {
+                std::fs::write(&path, json + "\n")
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                let _ = writeln!(out, "wrote load JSON to {}", path.display());
+            }
+        }
+        Command::Replay {
+            msr,
+            error_rate,
+            closed,
+            smoke,
+            trace_out,
+            metrics_json,
+            progress,
+        } => {
+            let scale = if smoke {
+                ExperimentScale::smoke()
+            } else {
+                ExperimentScale::from_env()
+            };
+            let file = std::fs::File::open(&msr)
+                .map_err(|e| format!("cannot read {}: {e}", msr.display()))?;
+            let trace = ida_workloads::msr::parse_msr(
+                std::io::BufReader::new(file),
+                scale.geometry.page_size_bytes,
+            )
+            .map_err(|e| format!("cannot parse {}: {e}", msr.display()))?;
+            if trace.records.is_empty() {
+                return Err(format!("{} holds no records", msr.display()));
+            }
+            let mode = match closed {
+                None => ReplayMode::OpenLoop,
+                Some(depth) => ReplayMode::ClosedLoop(depth),
+            };
+            let obs = ObsOptions {
+                trace_out,
+                metrics_json,
+                progress,
+                ..ObsOptions::default()
+            };
+            let _ = writeln!(
+                out,
+                "replaying {} ({} records, {})",
+                msr.display(),
+                trace.records.len(),
+                match mode {
+                    ReplayMode::OpenLoop => "open loop".to_string(),
+                    ReplayMode::ClosedLoop(d) => format!("closed loop, depth {d}"),
+                }
+            );
+            let mut reports = Vec::new();
+            for system in [
+                SystemUnderTest::Baseline,
+                SystemUnderTest::Ida { error_rate },
+            ] {
+                let run_obs = obs.suffixed(&system.label());
+                let report = replay_trace(&trace, system, &scale, mode, &run_obs)
+                    .map_err(|e| format!("replay failed: {e}"))?;
+                let _ = writeln!(
+                    out,
+                    "  {:9} mean read response {:9.1} us  (p99 {:9.1} us, {:.1} MB/s)",
+                    system.label(),
+                    report.reads.mean_us(),
+                    report.reads.percentile(99.0) as f64 / 1e3,
+                    report.throughput_mbps()
+                );
+                reports.push(report);
+            }
+            let ida = reports.pop().expect("two runs");
+            let base = reports.pop().expect("two runs");
+            let norm = normalized_read_response(&ida, &base);
+            let _ = writeln!(
+                out,
+                "  normalized: {norm:.3}  (read response improved by {:.1}%)",
+                (1.0 - norm) * 100.0
+            );
+        }
         Command::Trace {
             file,
             validate,
@@ -566,6 +1063,14 @@ USAGE:
   idasim sweep <grid> [--jobs N] [--journal <path.jsonl>]
                [--out <path.json>] [--smoke] [--requests N] [--progress]
   idasim bench [--smoke] [--out <path.json>] [--baseline <path.json>]
+  idasim load <workload> [--iops N] [--arrival poisson|constant|onoff]
+              [--tenants N] [--admission shed|delay] [--slo-us 2000]
+              [--capacity] [--lo N] [--hi N] [--error-rate 0.2]
+              [--requests N] [--smoke] [--seed N] [--out <path.json>]
+              [--trace-out <path.jsonl>] [--trace-filter <class,...>]
+  idasim replay --msr <trace.csv> [--closed <depth>] [--error-rate 0.2]
+                [--smoke] [--trace-out <path.jsonl>]
+                [--metrics-json <path.json>] [--progress]
   idasim trace <trace.jsonl> [--validate] [--top K]
   idasim trace --diff <baseline.jsonl> <other.jsonl>
 
@@ -586,7 +1091,7 @@ phase-by-phase (totals, means, deltas) — e.g. a Baseline vs IDA-E20
 pair from `idasim compare --trace-out`.
 
 Sweep: runs a whole experiment grid (fig8, fig9, fig10, fig11,
-faults) on the parallel orchestration engine. --jobs N (or IDA_JOBS)
+faults, load) on the parallel orchestration engine. --jobs N (or IDA_JOBS)
 sets the worker count, default all cores; aggregated output is
 byte-identical for any worker count. --journal appends one checkpoint
 record per finished cell; re-invoking with the same journal resumes,
@@ -596,6 +1101,25 @@ to stdout. The faults grid injects program/erase failures, transient
 read faults and power losses (levels off/low/mid/high) and reports
 IDA's read benefit alongside the recovery counters; fig11 compares
 the early and late (retry-heavy) lifetime phases.
+
+Load: drives one workload through the multi-tenant host frontend at a
+target offered rate (default the workload's nominal rate) on both
+Baseline and IDA-E<pct>, reporting end-to-end read p99 (host queueing
+included), achieved IOPS, and shed/delayed admission counters against
+the --slo-us p99 target. --tenants deals the trace across N weighted
+streams under deficit-round-robin dispatch; --admission picks what a
+full queue does (shed drops, delay back-pressures). --capacity
+bisects offered rate over [--lo, --hi] for the max sustainable IOPS
+at the SLO instead; same seed gives byte-identical results. The
+`load` sweep grid runs the full hockey-stick table:
+  idasim sweep load --smoke
+
+Replay: imports an MSR Cambridge CSV (Timestamp,Hostname,DiskNumber,
+Type,Offset,Size,ResponseTime; http://iotta.snia.org/traces/388),
+folds it onto the simulated device, and replays it on both systems —
+open loop with the trace's own arrival times, or closed loop at
+--closed queue depth. A malformed or unsorted trace is reported as an
+error, never a panic.
 
 Bench: runs the fixed-seed hot-path benchmark suite (event-queue
 push/pop, FTL write/GC/refresh loop, one fig8 cell end-to-end) and
@@ -871,5 +1395,143 @@ mod tests {
         .unwrap();
         assert!(out.contains("read ratio"));
         assert!(out.contains("footprint"));
+    }
+
+    #[test]
+    fn load_parses_with_defaults_and_flags() {
+        let cmd = parse_args(&s(&["load", "proj_3"])).unwrap();
+        match cmd {
+            Command::Load {
+                workload,
+                error_rate,
+                iops,
+                arrival,
+                tenants,
+                admission,
+                slo_us,
+                capacity,
+                seed,
+                ..
+            } => {
+                assert_eq!(workload, "proj_3");
+                assert!((error_rate - 0.2).abs() < 1e-9);
+                assert_eq!(iops, None);
+                assert_eq!(arrival, "poisson");
+                assert_eq!(tenants, 1);
+                assert_eq!(admission, "shed");
+                assert_eq!(slo_us, 2_000);
+                assert!(!capacity);
+                assert_eq!(seed, 0);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let cmd = parse_args(&s(&[
+            "load",
+            "hm_1",
+            "--iops",
+            "5000",
+            "--arrival",
+            "onoff",
+            "--tenants",
+            "3",
+            "--admission",
+            "delay",
+            "--slo-us",
+            "1500",
+            "--capacity",
+            "--lo",
+            "100",
+            "--hi",
+            "9000",
+            "--smoke",
+            "--seed",
+            "7",
+            "--out",
+            "load.json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Load {
+                iops,
+                arrival,
+                tenants,
+                admission,
+                slo_us,
+                capacity,
+                lo,
+                hi,
+                smoke,
+                seed,
+                out,
+                ..
+            } => {
+                assert_eq!(iops, Some(5_000));
+                assert_eq!(arrival, "onoff");
+                assert_eq!(tenants, 3);
+                assert_eq!(admission, "delay");
+                assert_eq!(slo_us, 1_500);
+                assert!(capacity && smoke);
+                assert_eq!((lo, hi), (Some(100), Some(9_000)));
+                assert_eq!(seed, 7);
+                assert_eq!(out, Some(PathBuf::from("load.json")));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_rejects_bad_values_at_parse_time() {
+        assert!(parse_args(&s(&["load"])).is_err());
+        assert!(parse_args(&s(&["load", "proj_3", "--arrival", "chaotic"])).is_err());
+        assert!(parse_args(&s(&["load", "proj_3", "--admission", "punt"])).is_err());
+        assert!(parse_args(&s(&["load", "proj_3", "--tenants", "0"])).is_err());
+        assert!(parse_args(&s(&["load", "proj_3", "--slo-us", "0"])).is_err());
+        assert!(parse_args(&s(&["load", "proj_3", "--error-rate", "1.5"])).is_err());
+        assert!(parse_args(&s(&["load", "proj_3", "--lo", "500", "--hi", "100"])).is_err());
+        assert!(parse_args(&s(&["load", "proj_3", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn replay_parses_and_requires_the_msr_path() {
+        let cmd = parse_args(&s(&["replay", "--msr", "hm_0.csv", "--closed", "32"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Replay {
+                msr: PathBuf::from("hm_0.csv"),
+                error_rate: 0.2,
+                closed: Some(32),
+                smoke: false,
+                trace_out: None,
+                metrics_json: None,
+                progress: false,
+            }
+        );
+        assert!(parse_args(&s(&["replay"])).is_err());
+        assert!(parse_args(&s(&["replay", "--msr", "t.csv", "--closed", "0"])).is_err());
+        assert!(parse_args(&s(&["replay", "--closed", "8"])).is_err());
+        assert!(parse_args(&s(&["replay", "--msr", "t.csv", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn replay_reports_missing_files_as_errors() {
+        let err = run(Command::Replay {
+            msr: PathBuf::from("/nonexistent/trace.csv"),
+            error_rate: 0.2,
+            closed: None,
+            smoke: true,
+            trace_out: None,
+            metrics_json: None,
+            progress: false,
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot read"), "unhelpful: {err}");
+    }
+
+    #[test]
+    fn usage_covers_the_new_subcommands() {
+        assert!(USAGE.contains("idasim load"));
+        assert!(USAGE.contains("idasim replay --msr"));
+        assert!(USAGE.contains("--capacity"));
+        assert!(USAGE.contains("sweep load"));
     }
 }

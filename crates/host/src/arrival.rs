@@ -1,0 +1,192 @@
+//! Seeded open-loop arrival processes.
+//!
+//! An [`ArrivalProcess`] turns a target offered rate (expressed as a mean
+//! inter-arrival gap) into a deterministic stream of arrival instants.
+//! Three shapes cover the usual load-testing spectrum:
+//!
+//! - **constant** — a metronome at exactly the offered rate;
+//! - **poisson** — exponential gaps (memoryless open-loop traffic, the
+//!   M/G/1 textbook shape that exposes tail latency under randomness);
+//! - **on/off** — Poisson bursts of `burst_len` arrivals at an elevated
+//!   in-burst rate, separated by silent windows sized so the *long-run*
+//!   rate still matches the offered rate (bursty tenants with the same
+//!   average demand).
+//!
+//! All randomness comes from the in-tree [`Rng64`], so a (spec, gap,
+//! seed) triple always reproduces the same stream.
+
+use ida_obs::rng::Rng64;
+
+/// Duty fraction of an on/off burst: in-burst gaps are this fraction of
+/// the mean gap, mirroring the burst shape of the MSR-like generators in
+/// `ida-workloads`.
+const ON_OFF_DUTY: f64 = 0.35;
+
+/// Arrivals per burst in the on/off shape.
+const ON_OFF_BURST_LEN: u64 = 8;
+
+/// The shape of an arrival process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalSpec {
+    /// Fixed gaps at exactly the offered rate.
+    Constant,
+    /// Exponentially distributed gaps (Poisson arrivals).
+    Poisson,
+    /// Poisson bursts separated by off windows (same long-run rate).
+    OnOff,
+}
+
+impl ArrivalSpec {
+    /// Stable lowercase label (used in JSON payloads and CLI flags).
+    pub fn label(self) -> &'static str {
+        match self {
+            ArrivalSpec::Constant => "constant",
+            ArrivalSpec::Poisson => "poisson",
+            ArrivalSpec::OnOff => "onoff",
+        }
+    }
+
+    /// Parse a CLI spelling.
+    ///
+    /// # Errors
+    ///
+    /// Lists the accepted spellings for anything unknown.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "constant" | "const" => Ok(ArrivalSpec::Constant),
+            "poisson" => Ok(ArrivalSpec::Poisson),
+            "onoff" | "on-off" => Ok(ArrivalSpec::OnOff),
+            other => Err(format!(
+                "unknown arrival process {other} (one of: constant, poisson, onoff)"
+            )),
+        }
+    }
+}
+
+/// A seeded generator of inter-arrival gaps with a fixed long-run mean.
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    spec: ArrivalSpec,
+    mean_gap_ns: u64,
+    rng: Rng64,
+    /// Arrivals drawn so far (drives the on/off burst boundary).
+    drawn: u64,
+}
+
+impl ArrivalProcess {
+    /// A process with the given shape and mean inter-arrival gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_gap_ns` is zero (an infinite offered rate).
+    pub fn new(spec: ArrivalSpec, mean_gap_ns: u64, seed: u64) -> Self {
+        assert!(mean_gap_ns > 0, "mean inter-arrival gap must be positive");
+        ArrivalProcess {
+            spec,
+            mean_gap_ns,
+            rng: Rng64::seed_from_u64(seed),
+            drawn: 0,
+        }
+    }
+
+    /// The process's mean inter-arrival gap, ns.
+    pub fn mean_gap_ns(&self) -> u64 {
+        self.mean_gap_ns
+    }
+
+    /// An exponential draw with the given mean (rounded to whole ns).
+    fn exp_gap(&mut self, mean: f64) -> u64 {
+        // gen_f64 is in [0, 1); 1-u is in (0, 1] so the log is finite.
+        let u = self.rng.gen_f64();
+        (-(1.0 - u).ln() * mean).round() as u64
+    }
+
+    /// Draw the gap between the previous arrival and the next one, ns.
+    pub fn next_gap(&mut self) -> u64 {
+        self.drawn += 1;
+        let mean = self.mean_gap_ns as f64;
+        match self.spec {
+            ArrivalSpec::Constant => self.mean_gap_ns,
+            ArrivalSpec::Poisson => self.exp_gap(mean),
+            ArrivalSpec::OnOff => {
+                // In-burst gaps run at mean*duty; every burst_len-th gap
+                // adds the off window restoring the long-run mean:
+                // burst_len*mean*duty + off == burst_len*mean.
+                let on_mean = mean * ON_OFF_DUTY;
+                let gap = self.exp_gap(on_mean);
+                if self.drawn.is_multiple_of(ON_OFF_BURST_LEN) {
+                    let off = (ON_OFF_BURST_LEN as f64 * mean * (1.0 - ON_OFF_DUTY)).round() as u64;
+                    gap + off
+                } else {
+                    gap
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(spec: ArrivalSpec, gap: u64, seed: u64, n: u64) -> f64 {
+        let mut p = ArrivalProcess::new(spec, gap, seed);
+        let total: u64 = (0..n).map(|_| p.next_gap()).sum();
+        total as f64 / n as f64
+    }
+
+    #[test]
+    fn constant_is_a_metronome() {
+        let mut p = ArrivalProcess::new(ArrivalSpec::Constant, 1_000, 1);
+        assert!((0..16).all(|_| p.next_gap() == 1_000));
+    }
+
+    #[test]
+    fn poisson_mean_converges_to_the_offered_gap() {
+        let m = mean_of(ArrivalSpec::Poisson, 10_000, 42, 20_000);
+        assert!(
+            (m - 10_000.0).abs() < 300.0,
+            "poisson mean {m} drifts from 10000"
+        );
+    }
+
+    #[test]
+    fn on_off_keeps_the_long_run_rate_but_bursts() {
+        let m = mean_of(ArrivalSpec::OnOff, 10_000, 7, 20_000);
+        assert!((m - 10_000.0).abs() < 400.0, "onoff mean {m} drifts");
+        // In-burst gaps are far below the mean: gaps that do not carry
+        // the off window average mean*duty = 3500.
+        let mut p = ArrivalProcess::new(ArrivalSpec::OnOff, 10_000, 7);
+        let gaps: Vec<u64> = (0..8_000).map(|_| p.next_gap()).collect();
+        let on_gaps: Vec<u64> = gaps
+            .chunks(8)
+            .flat_map(|burst| &burst[..7])
+            .copied()
+            .collect();
+        let burst_mean = on_gaps.iter().sum::<u64>() as f64 / on_gaps.len() as f64;
+        assert!(
+            (burst_mean - 3_500.0).abs() < 300.0,
+            "in-burst gaps should average mean*duty, got {burst_mean}"
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_stream() {
+        let mut a = ArrivalProcess::new(ArrivalSpec::Poisson, 5_000, 9);
+        let mut b = ArrivalProcess::new(ArrivalSpec::Poisson, 5_000, 9);
+        for _ in 0..256 {
+            assert_eq!(a.next_gap(), b.next_gap());
+        }
+        let mut c = ArrivalProcess::new(ArrivalSpec::Poisson, 5_000, 10);
+        let differs = (0..256).any(|_| a.next_gap() != c.next_gap());
+        assert!(differs, "different seeds must differ");
+    }
+
+    #[test]
+    fn parses_cli_spellings() {
+        assert_eq!(ArrivalSpec::parse("const").unwrap(), ArrivalSpec::Constant);
+        assert_eq!(ArrivalSpec::parse("poisson").unwrap(), ArrivalSpec::Poisson);
+        assert_eq!(ArrivalSpec::parse("onoff").unwrap(), ArrivalSpec::OnOff);
+        assert!(ArrivalSpec::parse("bogus").unwrap_err().contains("poisson"));
+    }
+}

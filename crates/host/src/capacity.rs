@@ -1,0 +1,195 @@
+//! SLO capacity search: the max sustainable offered rate.
+//!
+//! Given a probe function that runs the device at an offered rate and
+//! reports whether the read-latency SLO held, [`capacity_search`] runs a
+//! deterministic integer bisection over IOPS and returns the highest
+//! probed rate that still met the target. Each probe is expected to be
+//! independent and deterministic (the bench runner builds a fresh warmed
+//! simulator per probe from fixed seeds), so the whole search is a pure
+//! function of its inputs — same seed, same result, byte for byte.
+
+use ida_obs::json::{array, JsonObj};
+
+/// One probe's outcome at a given offered rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// Observed end-to-end read p99, ns.
+    pub read_p99_ns: u64,
+    /// Whether the SLO held at this rate.
+    pub met: bool,
+    /// Requests shed at admission during the probe.
+    pub shed: u64,
+}
+
+/// One entry of the probe log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityProbe {
+    /// Offered rate probed, IOPS.
+    pub iops: u64,
+    /// Its outcome.
+    pub outcome: ProbeOutcome,
+}
+
+/// The search result: max sustainable rate plus the full probe log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacityResult {
+    /// Highest probed IOPS that met the SLO (0 when even `lo` failed).
+    pub max_iops: u64,
+    /// Every probe in execution order.
+    pub probes: Vec<CapacityProbe>,
+}
+
+impl CapacityResult {
+    /// Deterministic JSON document.
+    pub fn to_json(&self) -> String {
+        let probes = array(self.probes.iter().map(|p| {
+            JsonObj::new()
+                .u64("iops", p.iops)
+                .u64("read_p99_ns", p.outcome.read_p99_ns)
+                .bool("met", p.outcome.met)
+                .u64("shed", p.outcome.shed)
+                .finish()
+        }));
+        JsonObj::new()
+            .u64("max_iops", self.max_iops)
+            .raw("probes", &probes)
+            .finish()
+    }
+}
+
+/// Bisect the offered rate in `[lo, hi]` IOPS for the highest rate whose
+/// probe meets the SLO, assuming the pass/fail boundary is monotone.
+///
+/// Probes `hi` first (an early exit when the whole range is sustainable),
+/// then `lo` (reporting `max_iops = 0` when even the floor fails), then
+/// bisects until the bracket closes to 1 IOPS or `max_iters` midpoint
+/// probes have run. The returned `max_iops` is the last *probed* passing
+/// rate — never an interpolation — so reruns reproduce it exactly.
+///
+/// # Panics
+///
+/// Panics if `lo` is zero or `lo > hi`.
+pub fn capacity_search<F>(lo: u64, hi: u64, max_iters: u32, mut probe: F) -> CapacityResult
+where
+    F: FnMut(u64) -> ProbeOutcome,
+{
+    assert!(lo > 0, "lo must be positive");
+    assert!(lo <= hi, "lo must not exceed hi");
+    let mut probes = Vec::new();
+    let top = probe(hi);
+    probes.push(CapacityProbe {
+        iops: hi,
+        outcome: top,
+    });
+    if top.met {
+        return CapacityResult {
+            max_iops: hi,
+            probes,
+        };
+    }
+    if lo == hi {
+        return CapacityResult {
+            max_iops: 0,
+            probes,
+        };
+    }
+    let floor = probe(lo);
+    probes.push(CapacityProbe {
+        iops: lo,
+        outcome: floor,
+    });
+    if !floor.met {
+        return CapacityResult {
+            max_iops: 0,
+            probes,
+        };
+    }
+    // Invariant: `pass` met the SLO, `fail` did not.
+    let (mut pass, mut fail) = (lo, hi);
+    for _ in 0..max_iters {
+        if fail - pass <= 1 {
+            break;
+        }
+        let mid = pass + (fail - pass) / 2;
+        let out = probe(mid);
+        probes.push(CapacityProbe {
+            iops: mid,
+            outcome: out,
+        });
+        if out.met {
+            pass = mid;
+        } else {
+            fail = mid;
+        }
+    }
+    CapacityResult {
+        max_iops: pass,
+        probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic device sustaining exactly `cap` IOPS.
+    fn device(cap: u64) -> impl FnMut(u64) -> ProbeOutcome {
+        move |iops| ProbeOutcome {
+            read_p99_ns: if iops <= cap { 1_000 } else { 100_000 },
+            met: iops <= cap,
+            shed: iops.saturating_sub(cap),
+        }
+    }
+
+    #[test]
+    fn finds_the_boundary_exactly_with_enough_iterations() {
+        let r = capacity_search(100, 10_000, 32, device(4_321));
+        assert_eq!(r.max_iops, 4_321);
+        // The log starts hi, lo, then midpoints.
+        assert_eq!(r.probes[0].iops, 10_000);
+        assert_eq!(r.probes[1].iops, 100);
+        assert!(!r.probes[0].outcome.met);
+        assert!(r.probes[1].outcome.met);
+    }
+
+    #[test]
+    fn whole_range_sustainable_exits_after_one_probe() {
+        let r = capacity_search(100, 5_000, 32, device(1 << 32));
+        assert_eq!(r.max_iops, 5_000);
+        assert_eq!(r.probes.len(), 1);
+    }
+
+    #[test]
+    fn floor_failure_reports_zero() {
+        let r = capacity_search(1_000, 5_000, 32, device(10));
+        assert_eq!(r.max_iops, 0);
+        assert_eq!(r.probes.len(), 2);
+    }
+
+    #[test]
+    fn iteration_budget_bounds_the_probe_count() {
+        let r = capacity_search(100, 1_000_000, 3, device(123_456));
+        // hi + lo + at most 3 midpoints.
+        assert!(r.probes.len() <= 5);
+        // The answer is the last passing probe, conservative but exact.
+        assert!(r.max_iops <= 123_456);
+        assert!(r.max_iops >= 100);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_carries_the_log() {
+        let r = capacity_search(100, 8_000, 32, device(2_000));
+        // The bracket closes completely within the budget: the boundary
+        // is exact.
+        assert_eq!(r.max_iops, 2_000);
+        let a = r.to_json();
+        let b = capacity_search(100, 8_000, 32, device(2_000)).to_json();
+        assert_eq!(a, b);
+        assert!(
+            a.starts_with("{\"max_iops\":2000,\"probes\":["),
+            "json: {a}"
+        );
+        assert!(a.contains("\"met\":false"), "json: {a}");
+        assert!(a.contains("\"met\":true"), "json: {a}");
+    }
+}

@@ -1,0 +1,31 @@
+//! Host-side load generation and QoS for the SSD simulator.
+//!
+//! The rest of the workspace answers "how fast is one request?"; this
+//! crate answers the production question: **how much offered load can
+//! the device sustain at a fixed tail-latency SLO?** It layers on the
+//! pull-based [`ArrivalSource`](ida_ssd::ArrivalSource) hook of
+//! `ida-ssd`:
+//!
+//! - [`arrival`] — seeded open-loop arrival processes (constant,
+//!   Poisson, on/off bursty) that drive the simulator at a target IOPS
+//!   instead of a pre-baked trace;
+//! - [`frontend`] — a multi-tenant frontend: N weighted tenant streams
+//!   dispatched by deficit round robin through a bounded host queue
+//!   with shed/delay admission control, and per-tenant end-to-end
+//!   latency sections;
+//! - [`capacity`] — a deterministic bisection over offered rate that
+//!   finds the max sustainable IOPS at a fixed p99 read SLO.
+//!
+//! Everything is seeded through the in-tree PRNG, so any (config, seed)
+//! pair reproduces its result byte for byte — the property the `load`
+//! sweep grid and the CI capacity-search smoke test pin down.
+
+pub mod arrival;
+pub mod capacity;
+pub mod frontend;
+
+pub use arrival::{ArrivalProcess, ArrivalSpec};
+pub use capacity::{capacity_search, CapacityProbe, CapacityResult, ProbeOutcome};
+pub use frontend::{
+    AdmissionPolicy, FrontendConfig, MultiTenantSource, TenantConfig, TenantCounters, TenantReport,
+};

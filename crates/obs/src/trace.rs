@@ -317,6 +317,36 @@ pub enum TraceEvent {
         /// encoding.
         phases: PhaseNs,
     },
+    /// The host frontend shed (dropped) an arriving request at admission:
+    /// its tenant's bounded queue was full. Emitted at the frontend's
+    /// dispatch instant, which may be later than the intended arrival
+    /// carried in `at` (the stream stays monotone in `t`).
+    HostShed {
+        /// Emission time (monotone).
+        t: SimNs,
+        /// Shedding tenant index.
+        tenant: u64,
+        /// The request's intended arrival time.
+        at: SimNs,
+        /// First logical page of the dropped request.
+        lpn: u64,
+        /// Extent length in pages.
+        pages: u32,
+    },
+    /// A tenant's end-of-run SLO verdict: observed read tail latency
+    /// against its target.
+    SloStatus {
+        /// Emission time (end of the measured run).
+        t: SimNs,
+        /// Tenant index.
+        tenant: u64,
+        /// Observed read p99 latency, ns.
+        p99_ns: u64,
+        /// The tenant's p99 target, ns.
+        target_ns: u64,
+        /// Whether the target was met (`p99_ns <= target_ns`).
+        met: bool,
+    },
 }
 
 impl TraceEvent {
@@ -345,7 +375,9 @@ impl TraceEvent {
             | TraceEvent::RecoveryScan { t, .. }
             | TraceEvent::ReadOnlyMode { t, .. }
             | TraceEvent::WriteRejected { t, .. }
-            | TraceEvent::Span { t, .. } => t,
+            | TraceEvent::Span { t, .. }
+            | TraceEvent::HostShed { t, .. }
+            | TraceEvent::SloStatus { t, .. } => t,
         }
     }
 
@@ -375,6 +407,8 @@ impl TraceEvent {
             TraceEvent::ReadOnlyMode { .. } => "read_only_mode",
             TraceEvent::WriteRejected { .. } => "write_rejected",
             TraceEvent::Span { .. } => "span",
+            TraceEvent::HostShed { .. } => "host_shed",
+            TraceEvent::SloStatus { .. } => "slo_status",
         }
     }
 
@@ -387,7 +421,9 @@ impl TraceEvent {
             TraceEvent::RunStart { .. }
             | TraceEvent::HostArrival { .. }
             | TraceEvent::HostComplete { .. }
-            | TraceEvent::ReadIssued { .. } => "host",
+            | TraceEvent::ReadIssued { .. }
+            | TraceEvent::HostShed { .. }
+            | TraceEvent::SloStatus { .. } => "host",
             TraceEvent::FlashSense { .. }
             | TraceEvent::FlashProgram { .. }
             | TraceEvent::FlashErase { .. }
@@ -591,6 +627,28 @@ impl TraceEvent {
                 }
                 o
             }
+            TraceEvent::HostShed {
+                tenant,
+                at,
+                lpn,
+                pages,
+                ..
+            } => o
+                .u64("tenant", *tenant)
+                .u64("at", *at)
+                .u64("lpn", *lpn)
+                .u64("pages", *pages as u64),
+            TraceEvent::SloStatus {
+                tenant,
+                p99_ns,
+                target_ns,
+                met,
+                ..
+            } => o
+                .u64("tenant", *tenant)
+                .u64("p99_ns", *p99_ns)
+                .u64("target_ns", *target_ns)
+                .bool("met", *met),
         }
         .finish()
     }
@@ -962,6 +1020,37 @@ mod tests {
         );
         assert_eq!(e.kind(), "span");
         assert_eq!(e.class(), "span");
+    }
+
+    #[test]
+    fn host_frontend_events_encode_stably() {
+        let shed = TraceEvent::HostShed {
+            t: 9_000,
+            tenant: 1,
+            at: 8_500,
+            lpn: 42,
+            pages: 2,
+        };
+        assert_eq!(
+            shed.to_json_line(),
+            r#"{"ev":"host_shed","t":9000,"tenant":1,"at":8500,"lpn":42,"pages":2}"#
+        );
+        assert_eq!(shed.kind(), "host_shed");
+        assert_eq!(shed.class(), "host");
+        let slo = TraceEvent::SloStatus {
+            t: 50_000,
+            tenant: 0,
+            p99_ns: 1_900_000,
+            target_ns: 2_000_000,
+            met: true,
+        };
+        assert_eq!(
+            slo.to_json_line(),
+            "{\"ev\":\"slo_status\",\"t\":50000,\"tenant\":0,\"p99_ns\":1900000,\
+             \"target_ns\":2000000,\"met\":true}"
+        );
+        assert_eq!(slo.kind(), "slo_status");
+        assert_eq!(slo.class(), "host");
     }
 
     #[test]

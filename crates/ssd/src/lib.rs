@@ -44,9 +44,11 @@ pub mod metrics;
 pub mod request;
 pub mod retry;
 pub mod sim;
+pub mod source;
 
 pub use config::SsdConfig;
 pub use metrics::{LatencyStats, ReadBreakdown, Report};
 pub use request::{HostOp, HostOpKind};
 pub use retry::RetryModel;
-pub use sim::Simulator;
+pub use sim::{SimError, Simulator};
+pub use source::{ArrivalSource, ListSource, Pull, SourcedOp};

@@ -5,6 +5,7 @@ use crate::event::EventQueue;
 use crate::metrics::Report;
 use crate::request::{HostOp, HostOpKind, PendingRequest};
 use crate::retry::RetryModel;
+use crate::source::{ArrivalSource, Pull};
 use ida_faults::FaultConfig;
 use ida_flash::addr::BlockAddr;
 use ida_flash::timing::SimTime;
@@ -37,6 +38,44 @@ fn queue_class(origin: OpOrigin) -> u8 {
 
 /// Charge class for power-loss recovery stalls ([`Phase::Recovery`]).
 const RECOVERY_CLASS: u8 = 3;
+
+/// A run rejected before (or while) simulating — the typed alternative to
+/// the panics in [`Simulator::run`] / [`Simulator::run_closed_loop`], for
+/// user-supplied traces reaching the simulator through the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// The trace is not sorted by arrival time: entry `index` arrives at
+    /// `at`, earlier than its predecessor's `prev`.
+    UnsortedTrace {
+        /// Index of the offending trace entry.
+        index: usize,
+        /// Its arrival offset.
+        at: SimTime,
+        /// The (later) arrival offset of the entry before it.
+        prev: SimTime,
+    },
+    /// An [`ArrivalSource`] reported [`Pull::Blocked`] with no request in
+    /// flight: no completion can ever unblock it.
+    StalledSource,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnsortedTrace { index, at, prev } => write!(
+                f,
+                "trace not sorted by arrival time: entry {index} arrives at \
+                 {at} ns, before the previous entry's {prev} ns"
+            ),
+            SimError::StalledSource => write!(
+                f,
+                "arrival source blocked with no request in flight (deadlock)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// An operation queued on a die, with its request linkage and sampled
 /// retry count.
@@ -210,6 +249,13 @@ impl Simulator {
     pub fn set_trace(&mut self, trace: SinkHandle) {
         self.ftl.set_trace(trace.clone());
         self.trace = trace;
+    }
+
+    /// A handle onto the attached trace sink (the null handle when no
+    /// sink is attached), so host-side layers can interleave their own
+    /// events — admission sheds, SLO verdicts — into the same stream.
+    pub fn trace_handle(&self) -> SinkHandle {
+        self.trace.clone()
     }
 
     /// Flush the attached trace sink (no-op for the null sink).
@@ -404,6 +450,25 @@ impl Simulator {
         self.run_inner(trace, None)
     }
 
+    /// Like [`Self::run`], but returns a typed error instead of panicking
+    /// on an unsorted trace — the entry point for user-supplied traces
+    /// (e.g. `idasim replay`).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnsortedTrace`] when an entry arrives earlier than its
+    /// predecessor.
+    pub fn try_run(&mut self, trace: Vec<HostOp>) -> Result<Report, SimError> {
+        if let Some(i) = trace.windows(2).position(|w| w[0].at > w[1].at) {
+            return Err(SimError::UnsortedTrace {
+                index: i + 1,
+                at: trace[i + 1].at,
+                prev: trace[i].at,
+            });
+        }
+        Ok(self.run_inner(trace, None))
+    }
+
     /// Run `trace` in closed-loop mode: arrival timestamps are ignored and
     /// the host keeps exactly `queue_depth` requests outstanding — the
     /// saturation replay used for device-throughput comparisons (Figure
@@ -584,6 +649,245 @@ impl Simulator {
             .map(|(a, b)| a - b)
             .collect();
         report
+    }
+
+    /// Run a timed simulation pulling arrivals from `source` until it
+    /// reports [`Pull::Done`] and every in-flight request has completed.
+    /// The source decides admission in simulation time: it is pulled for
+    /// the next op while the current one is being served (open-loop
+    /// lookahead) and re-pulled after each completion when it had reported
+    /// [`Pull::Blocked`], so window-limited and rate-limited sources
+    /// compose. With a [`ListSource`](crate::ListSource) over a sorted
+    /// trace this reproduces [`Self::run`] byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::StalledSource`] when the source blocks with nothing in
+    /// flight (no completion can ever unblock it).
+    pub fn run_source(&mut self, source: &mut dyn ArrivalSource) -> Result<Report, SimError> {
+        let base = self.clock;
+        let mut report = Report {
+            first_arrival: base,
+            last_completion: base,
+            ..Report::default()
+        };
+        let mut events: EventQueue<Ev> = EventQueue::new();
+        // Ops pulled so far, indexed by `Ev::Arrival`; `tokens` rides
+        // along for completion callbacks.
+        let mut pending_ops: Vec<HostOp> = Vec::new();
+        let mut tokens: Vec<u64> = Vec::new();
+        let mut requests: Vec<PendingRequest> = Vec::new();
+        let mut completed = 0usize;
+        let mut events_processed = 0u64;
+        let flash_ops_before = self.flash_ops;
+        let die_busy_before = self.die_busy.clone();
+        let channel_busy_before = self.channel_busy.clone();
+        let mut span_ns: Vec<PhaseNs> = Vec::new();
+        let mut wake_at: Option<SimTime> = None;
+        let mut source_done = false;
+        // Whether an Arrival event is scheduled but not yet processed; at
+        // most one is in flight so the source sees completions in between.
+        let mut arrival_pending = false;
+
+        // Schedule a pulled op's arrival. Past arrivals clamp to `now`.
+        fn schedule(
+            sop: crate::source::SourcedOp,
+            now: SimTime,
+            base: SimTime,
+            events: &mut EventQueue<Ev>,
+            pending_ops: &mut Vec<HostOp>,
+            tokens: &mut Vec<u64>,
+        ) -> SimTime {
+            let at = (base + sop.op.at).max(now);
+            events.push(at, Ev::Arrival(pending_ops.len()));
+            pending_ops.push(sop.op);
+            tokens.push(sop.token);
+            at
+        }
+
+        // Prime the queue (mirrors run()'s initial Arrival push, so event
+        // sequence numbers — and hence tie-breaking — stay identical).
+        match source.next(0) {
+            Pull::Op(sop) => {
+                report.first_arrival =
+                    schedule(sop, base, base, &mut events, &mut pending_ops, &mut tokens);
+                arrival_pending = true;
+            }
+            Pull::Blocked => return Err(SimError::StalledSource),
+            Pull::Done => source_done = true,
+        }
+
+        while let Some((now, ev)) = events.pop() {
+            self.clock = now;
+            events_processed += 1;
+            if self.gauges.enabled() && self.gauges.due(now) {
+                self.sample_gauges(now);
+            }
+            // Serve due refreshes before anything else at this instant.
+            if self.ftl.next_refresh_due().is_some_and(|d| d <= now) {
+                let ops = self.ftl.run_due_refreshes(now);
+                self.enqueue_all(now, ops, None);
+                if self.ftl.power_lost() {
+                    self.recover_now(now);
+                }
+            }
+            match ev {
+                Ev::Arrival(i) => {
+                    arrival_pending = false;
+                    let host = pending_ops[i];
+                    // Pull the next op *before* serving this one — the
+                    // push-then-serve order of run_inner.
+                    if !source_done {
+                        match source.next(now - base) {
+                            Pull::Op(sop) => {
+                                schedule(
+                                    sop,
+                                    now,
+                                    base,
+                                    &mut events,
+                                    &mut pending_ops,
+                                    &mut tokens,
+                                );
+                                arrival_pending = true;
+                            }
+                            // The request served below will complete and
+                            // re-pull, so this is never a stall.
+                            Pull::Blocked => {}
+                            Pull::Done => source_done = true,
+                        }
+                    }
+                    self.serve_host(now, host, &mut requests, &mut report, &mut completed);
+                    // Instant completion (nothing mapped): report it so a
+                    // window-limited source frees the slot now.
+                    if requests.last().is_some_and(|r| r.outstanding == 0) {
+                        source.on_complete(now - base, tokens[requests.len() - 1], host.kind, 0);
+                        if !arrival_pending && !source_done {
+                            match source.next(now - base) {
+                                Pull::Op(sop) => {
+                                    schedule(
+                                        sop,
+                                        now,
+                                        base,
+                                        &mut events,
+                                        &mut pending_ops,
+                                        &mut tokens,
+                                    );
+                                    arrival_pending = true;
+                                }
+                                Pull::Blocked => {
+                                    if completed == requests.len() {
+                                        return Err(SimError::StalledSource);
+                                    }
+                                }
+                                Pull::Done => source_done = true,
+                            }
+                        }
+                    }
+                }
+                Ev::DieFree(die) => self.try_start(die, now, &mut events, &mut span_ns),
+                Ev::OpDone { req, span } => {
+                    let r = &mut requests[req];
+                    r.outstanding -= 1;
+                    if r.outstanding == 0 {
+                        let resp = now - r.arrival;
+                        let kind = r.kind;
+                        match kind {
+                            HostOpKind::Read => report.reads.record(resp),
+                            HostOpKind::Write => report.writes.record(resp),
+                        }
+                        self.trace.emit_with(|| TraceEvent::HostComplete {
+                            t: now,
+                            req: req as u64,
+                            class: host_class(kind),
+                            latency_ns: resp,
+                        });
+                        if self.spans {
+                            let phases = span_ns.get(span as usize).copied().unwrap_or_default();
+                            debug_assert_eq!(
+                                phases.total(),
+                                resp,
+                                "attribution must partition the response time"
+                            );
+                            match kind {
+                                HostOpKind::Read => report.read_attribution.record(&phases),
+                                HostOpKind::Write => report.write_attribution.record(&phases),
+                            }
+                            self.trace.emit_with(|| TraceEvent::Span {
+                                t: now,
+                                req: req as u64,
+                                class: host_class(kind),
+                                total_ns: resp,
+                                phases,
+                            });
+                        }
+                        report.last_completion = report.last_completion.max(now);
+                        completed += 1;
+                        source.on_complete(now - base, tokens[req], kind, resp);
+                        // A completion may unblock a window-limited
+                        // source; re-pull if nothing is scheduled.
+                        if !arrival_pending && !source_done {
+                            match source.next(now - base) {
+                                Pull::Op(sop) => {
+                                    schedule(
+                                        sop,
+                                        now,
+                                        base,
+                                        &mut events,
+                                        &mut pending_ops,
+                                        &mut tokens,
+                                    );
+                                    arrival_pending = true;
+                                }
+                                Pull::Blocked => {
+                                    if completed == requests.len() {
+                                        return Err(SimError::StalledSource);
+                                    }
+                                }
+                                Pull::Done => source_done = true,
+                            }
+                        }
+                    }
+                }
+                Ev::RefreshWake => {
+                    wake_at = None;
+                }
+            }
+            // Start any dies made runnable by newly enqueued work or a
+            // wake-up that came due at this instant.
+            self.kick_dirty_dies(now, &mut events, &mut span_ns);
+            // Stop once the source is drained and every request completed.
+            if source_done && !arrival_pending && completed == requests.len() {
+                break;
+            }
+            if let Some(due) = self.ftl.next_refresh_due() {
+                let due = due.max(now);
+                if wake_at.is_none_or(|w| due < w) {
+                    events.push(due, Ev::RefreshWake);
+                    wake_at = Some(due);
+                }
+            }
+        }
+        if self.gauges.enabled() {
+            self.sample_gauges(self.clock);
+            report.gauges = self.gauges.take_series();
+        }
+        report.ftl = *self.ftl.stats();
+        report.in_use_blocks = self.ftl.blocks().in_use_blocks();
+        report.events_processed = events_processed;
+        report.flash_ops = self.flash_ops - flash_ops_before;
+        report.die_busy_ns = self
+            .die_busy
+            .iter()
+            .zip(&die_busy_before)
+            .map(|(a, b)| a - b)
+            .collect();
+        report.channel_busy_ns = self
+            .channel_busy
+            .iter()
+            .zip(&channel_busy_before)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(report)
     }
 
     fn sample_gauges(&mut self, now: SimTime) {
@@ -1347,6 +1651,142 @@ mod tests {
         sim.ftl()
             .check_consistency()
             .expect("consistent after faults");
+    }
+
+    #[test]
+    fn try_run_reports_the_offending_entry() {
+        let mut sim = Simulator::new(SsdConfig::tiny_test());
+        let err = sim
+            .try_run(vec![
+                HostOp {
+                    at: 10,
+                    kind: HostOpKind::Read,
+                    lpn: 0,
+                    pages: 1,
+                },
+                HostOp {
+                    at: 5,
+                    kind: HostOpKind::Read,
+                    lpn: 1,
+                    pages: 1,
+                },
+            ])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            crate::sim::SimError::UnsortedTrace {
+                index: 1,
+                at: 5,
+                prev: 10
+            }
+        );
+        assert!(err.to_string().contains("not sorted"));
+        // A sorted trace runs normally through the same entry point.
+        sim.prefill(0..1);
+        let report = sim
+            .try_run(vec![HostOp {
+                at: 0,
+                kind: HostOpKind::Read,
+                lpn: 0,
+                pages: 1,
+            }])
+            .unwrap();
+        assert_eq!(report.reads.count, 1);
+    }
+
+    #[test]
+    fn sourced_run_matches_the_trace_path() {
+        // The same warmed device state, the same trace: the pull path and
+        // the push path must agree on the full report.
+        let trace = write_then_read_trace(48, 70 * NS_PER_US);
+        let mut a = Simulator::new(SsdConfig::tiny_test());
+        a.prefill(0..48);
+        let ra = a.run(trace.clone());
+        let mut b = Simulator::new(SsdConfig::tiny_test());
+        b.prefill(0..48);
+        let mut src = crate::source::ListSource::new(trace);
+        let rb = b.run_source(&mut src).expect("list source never stalls");
+        assert_eq!(ra, rb);
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn sourced_run_with_empty_source_is_empty() {
+        let mut sim = Simulator::new(SsdConfig::tiny_test());
+        let mut src = crate::source::ListSource::new(Vec::new());
+        let report = sim.run_source(&mut src).expect("empty source");
+        assert_eq!(report.reads.count + report.writes.count, 0);
+        assert_eq!(report.events_processed, 0);
+    }
+
+    #[test]
+    fn blocked_source_with_nothing_in_flight_errors() {
+        struct AlwaysBlocked;
+        impl crate::source::ArrivalSource for AlwaysBlocked {
+            fn next(&mut self, _now: SimTime) -> crate::source::Pull {
+                crate::source::Pull::Blocked
+            }
+        }
+        let mut sim = Simulator::new(SsdConfig::tiny_test());
+        let err = sim.run_source(&mut AlwaysBlocked).unwrap_err();
+        assert_eq!(err, crate::sim::SimError::StalledSource);
+    }
+
+    #[test]
+    fn window_limited_source_is_repulled_on_completion() {
+        // A source holding a 1-deep window: returns Blocked while its one
+        // request is in flight, relies on on_complete to free the slot.
+        struct OneDeep {
+            left: u64,
+            in_flight: bool,
+            completions: u64,
+        }
+        impl crate::source::ArrivalSource for OneDeep {
+            fn next(&mut self, _now: SimTime) -> crate::source::Pull {
+                if self.left == 0 {
+                    return crate::source::Pull::Done;
+                }
+                if self.in_flight {
+                    return crate::source::Pull::Blocked;
+                }
+                self.left -= 1;
+                self.in_flight = true;
+                crate::source::Pull::Op(crate::source::SourcedOp {
+                    // Always lpn 0: an LSB page, so every read costs the
+                    // same uncontended 118 µs.
+                    op: HostOp {
+                        at: 0,
+                        kind: HostOpKind::Read,
+                        lpn: 0,
+                        pages: 1,
+                    },
+                    token: self.left,
+                })
+            }
+            fn on_complete(
+                &mut self,
+                _now: SimTime,
+                _token: u64,
+                _kind: HostOpKind,
+                _latency_ns: SimTime,
+            ) {
+                self.in_flight = false;
+                self.completions += 1;
+            }
+        }
+        let mut sim = Simulator::new(SsdConfig::tiny_test());
+        sim.prefill(0..8);
+        let mut src = OneDeep {
+            left: 16,
+            in_flight: false,
+            completions: 0,
+        };
+        let report = sim.run_source(&mut src).expect("window source drains");
+        assert_eq!(report.reads.count, 16);
+        assert_eq!(src.completions, 16);
+        // Serialized closed-loop at depth 1: every read pays the full
+        // uncontended latency, none of them queue behind each other.
+        assert_eq!(report.reads.mean() as u64, 118 * NS_PER_US);
     }
 
     #[test]

@@ -159,6 +159,61 @@ mod tests {
     }
 
     #[test]
+    fn zero_size_records_still_cost_one_page() {
+        // Some raw volumes carry 0-byte records; they must round up to a
+        // one-page touch, never a zero-page op the simulator would choke on.
+        let t = parse_msr(&b"100,hm,1,Read,8192,0,5"[..], 4096).unwrap();
+        assert_eq!(t.records[0].pages, 1);
+        assert_eq!(t.records[0].page, 2);
+    }
+
+    #[test]
+    fn out_of_order_rows_are_sorted_not_rejected() {
+        // Raw MSR volumes are almost-but-not-exactly time ordered; the
+        // importer sorts so the open-loop replay path never hits the
+        // simulator's unsorted-trace error.
+        let src = "\
+300,hm,1,Read,0,512,1
+100,hm,1,Read,4096,512,1
+200,hm,1,Write,8192,512,1
+";
+        let t = parse_msr(src.as_bytes(), 4096).unwrap();
+        let ats: Vec<u64> = t.records.iter().map(|r| r.at).collect();
+        assert!(ats.windows(2).all(|w| w[0] <= w[1]), "unsorted: {ats:?}");
+        // Rebase anchors on the *first row read* (ts 300), so earlier
+        // rows saturate to 0 instead of underflowing.
+        assert_eq!(ats, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn rebase_anchors_on_the_first_row() {
+        let src = "\
+128166372003061419,hm,1,Read,0,512,1
+128166372003061519,hm,1,Read,0,512,1
+";
+        let t = parse_msr(src.as_bytes(), 4096).unwrap();
+        // 100 filetime ticks = 10 µs.
+        assert_eq!(t.records[0].at, 0);
+        assert_eq!(t.records[1].at, 100 * NS_PER_TICK);
+    }
+
+    #[test]
+    fn malformed_op_types_and_short_rows_rejected() {
+        for bad in [
+            &b"1,hm,1,Trim,0,512,9"[..],                   // unknown op type
+            &b"1,hm,1,Read,0"[..],                         // missing size column
+            &b"1,hm,1"[..],                                // missing type column
+            &b"1,hm,1,Read,0,abc,9"[..],                   // non-numeric size
+            &b"9999999999999999999999,h,1,Read,0,1,1"[..], // ts overflow
+        ] {
+            assert!(parse_msr(bad, 4096).is_err(), "accepted: {bad:?}");
+        }
+        // Case-insensitive op types are fine.
+        let t = parse_msr(&b"1,hm,1,WRITE,0,512,9"[..], 4096).unwrap();
+        assert_eq!(t.records[0].kind, OpKind::Write);
+    }
+
+    #[test]
     fn folding_keeps_pages_in_bounds() {
         let t = parse_msr(SAMPLE.as_bytes(), 8192).unwrap();
         let folded = fold_to_footprint(&t, 1000);
