@@ -13,7 +13,7 @@
 //! so trace size is limited by disk, not memory.
 
 use ida_obs::json::JsonObj;
-use ida_obs::span::{PhaseNs, PhaseStats, ALL_PHASES};
+use ida_obs::span::{Phase, PhaseNs, PhaseStats, ALL_PHASES};
 use ida_sweep::jsonv::{self, JsonValue};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -21,7 +21,7 @@ use std::path::Path;
 
 /// Every event kind the trace schema knows; anything else fails
 /// validation.
-const KNOWN_KINDS: [&str; 25] = [
+const KNOWN_KINDS: [&str; 28] = [
     "run_start",
     "host_arrival",
     "host_complete",
@@ -47,6 +47,9 @@ const KNOWN_KINDS: [&str; 25] = [
     "span",
     "host_shed",
     "slo_status",
+    "ecc_uncorrectable",
+    "scrub_pass",
+    "wear_level",
 ];
 
 /// One read's attribution waterfall, kept for the slowest-reads table.
@@ -75,6 +78,12 @@ pub struct TraceStats {
     pub conservation_violations: u64,
     /// Spans disagreeing with their request's `host_complete` latency.
     pub latency_mismatches: u64,
+    /// `read_retry` events seen (each is reconciled against its
+    /// request's span `retry` phase).
+    pub retry_events: u64,
+    /// Read spans whose `retry` phase does not equal the summed
+    /// `extra × attempt_ns` of their `read_retry` events.
+    pub retry_mismatches: u64,
     /// Slowest reads, descending by response time (truncated).
     pub slowest_reads: Vec<SlowRead>,
     /// Per-die busy nanoseconds, unioned from flash-event windows.
@@ -167,6 +176,8 @@ pub fn load(path: &Path, keep: usize) -> Result<TraceStats, String> {
         writes: PhaseStats::new(),
         conservation_violations: 0,
         latency_mismatches: 0,
+        retry_events: 0,
+        retry_mismatches: 0,
         slowest_reads: Vec::new(),
         die_busy: Vec::new(),
         channel_busy: Vec::new(),
@@ -178,6 +189,10 @@ pub fn load(path: &Path, keep: usize) -> Result<TraceStats, String> {
     // Latency of each completed-but-not-yet-spanned request; the span
     // follows its host_complete immediately, so this stays tiny.
     let mut pending: HashMap<u64, (u64, u64)> = HashMap::new();
+    // Retry nanoseconds charged per request, accumulated from
+    // `read_retry` events (`extra × attempt_ns` per flash op) and
+    // reconciled against the request's span `retry` phase.
+    let mut retry_charge: HashMap<u64, u64> = HashMap::new();
     // Warm-up events (GC/refresh with staggered stamps) may precede the
     // measured window; monotonicity is enforced from the first host
     // arrival on, and always across flash/span events (which only the
@@ -255,6 +270,15 @@ pub fn load(path: &Path, keep: usize) -> Result<TraceStats, String> {
                     bus_end,
                 );
             }
+            "read_retry" => {
+                let req = u64_field(&v, "req", line_no)?;
+                let extra = u64_field(&v, "extra", line_no)?;
+                let attempt_ns = u64_field(&v, "attempt_ns", line_no)?;
+                stats.retry_events += 1;
+                // Each retry repeats the op's full sensing procedure, so
+                // the span must charge exactly extra × attempt_ns.
+                *retry_charge.entry(req).or_default() += extra * attempt_ns;
+            }
             "erase" | "voltage_adjust" => {
                 let die = u64_field(&v, "die", line_no)? as usize;
                 let end = u64_field(&v, "end", line_no)?;
@@ -279,6 +303,15 @@ pub fn load(path: &Path, keep: usize) -> Result<TraceStats, String> {
                 if let Some((latency, done_at)) = pending.remove(&req) {
                     if latency != total_ns || done_at != t {
                         stats.latency_mismatches += 1;
+                    }
+                }
+                // Every read_retry event must reconcile with its span:
+                // attempts × per-attempt sense cost == charged retry ns.
+                // (Checked only when the request emitted retry events, so
+                // kind-filtered traces do not raise false alarms.)
+                if let Some(charge) = retry_charge.remove(&req) {
+                    if phases.get(Phase::Retry) != charge {
+                        stats.retry_mismatches += 1;
                     }
                 }
                 match class {
@@ -343,6 +376,14 @@ pub fn validate(path: &Path) -> Result<String, String> {
             stats.latency_mismatches
         ));
     }
+    if stats.retry_mismatches > 0 {
+        return Err(format!(
+            "{}: {} read spans disagree with their read_retry events \
+             (extra × attempt_ns != charged retry ns)",
+            path.display(),
+            stats.retry_mismatches
+        ));
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -365,6 +406,13 @@ pub fn validate(path: &Path) -> Result<String, String> {
         stats.reads.count(),
         stats.writes.count()
     );
+    if stats.retry_events > 0 {
+        let _ = writeln!(
+            out,
+            "  {} read_retry events, all reconciled with their span retry phase",
+            stats.retry_events
+        );
+    }
     Ok(out)
 }
 
@@ -631,6 +679,51 @@ mod tests {
         let stats = load(&path, 1).unwrap();
         assert_eq!(stats.latency_mismatches, 1);
         assert!(validate(&path).unwrap_err().contains("host_complete"));
+    }
+
+    #[test]
+    fn aging_kinds_parse_and_retry_events_reconcile_with_spans() {
+        // Two retried ops on one request: 2×50us + 1×150us = 250us of
+        // retry, matching the span's retry phase exactly.
+        let path = write_trace(
+            "retry_ok.jsonl",
+            &[
+                "{\"ev\":\"scrub_pass\",\"t\":0,\"scanned\":8,\"relocated\":1,\"wear_moves\":0}",
+                "{\"ev\":\"wear_level\",\"t\":1,\"block\":3,\"moves\":2,\"spread\":70}",
+                "{\"ev\":\"ecc_uncorrectable\",\"t\":2,\"lpn\":9,\"page\":17,\"block\":1,\
+                 \"attempts\":5}",
+                "{\"ev\":\"read_retry\",\"t\":3,\"die\":0,\"req\":0,\"extra\":2,\
+                 \"attempt_ns\":50000}",
+                "{\"ev\":\"read_retry\",\"t\":4,\"die\":1,\"req\":0,\"extra\":1,\
+                 \"attempt_ns\":150000}",
+                "{\"ev\":\"span\",\"t\":500000,\"req\":0,\"class\":\"read\",\
+                 \"total_ns\":500000,\"sense\":182000,\"retry\":250000,\"transfer\":48000,\
+                 \"ecc\":20000}",
+            ],
+        );
+        let stats = load(&path, 1).unwrap();
+        assert_eq!(stats.retry_events, 2);
+        assert_eq!(stats.retry_mismatches, 0);
+        let ok = validate(&path).unwrap();
+        assert!(ok.contains("2 read_retry events"), "summary: {ok}");
+    }
+
+    #[test]
+    fn retry_span_disagreement_fails_validation() {
+        let path = write_trace(
+            "retry_bad.jsonl",
+            &[
+                "{\"ev\":\"read_retry\",\"t\":3,\"die\":0,\"req\":0,\"extra\":2,\
+                 \"attempt_ns\":50000}",
+                "{\"ev\":\"span\",\"t\":300000,\"req\":0,\"class\":\"read\",\
+                 \"total_ns\":300000,\"sense\":182000,\"retry\":50000,\"transfer\":48000,\
+                 \"ecc\":20000}",
+            ],
+        );
+        let stats = load(&path, 1).unwrap();
+        assert_eq!(stats.retry_mismatches, 1);
+        let err = validate(&path).unwrap_err();
+        assert!(err.contains("read_retry"), "error: {err}");
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod analyze;
 pub mod load;
 pub mod microbench;
 pub mod runner;
+pub mod soak;
 pub mod suite;
 pub mod sweep;
 pub mod table;

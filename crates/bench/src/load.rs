@@ -24,7 +24,7 @@ use ida_host::{
 use ida_obs::json::{array, JsonObj};
 use ida_obs::trace::TraceEvent;
 use ida_ssd::retry::RetryConfig;
-use ida_ssd::{Report, Simulator};
+use ida_ssd::{Report, SimError, Simulator};
 use ida_sweep::derive_stream_seed;
 use ida_workloads::suite::WorkloadPreset;
 use ida_workloads::synth::WorkloadSpec;
@@ -45,6 +45,50 @@ pub const LOAD_WINDOW: usize = 64;
 /// Midpoint-probe budget of the capacity bisection; over the brackets
 /// the CLI uses, far more than enough to close the bracket to 1 IOPS.
 pub const CAPACITY_MAX_ITERS: u32 = 16;
+
+/// Why a load run could not produce a result — the typed replacement
+/// for the `expect()` calls this module used to make on the simulator
+/// and on observability I/O (mirroring `SimError::UnsortedTrace`:
+/// callers decide whether an error aborts a CLI run or fails a cell).
+#[derive(Debug)]
+pub enum LoadError {
+    /// Observability output (trace/metrics files) failed.
+    Io(std::io::Error),
+    /// The simulator rejected the run (e.g. the frontend stalled with
+    /// nothing in flight — impossible by construction, but surfaced as
+    /// an error rather than a panic if that invariant ever breaks).
+    Sim(SimError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "observability output failed: {e}"),
+            LoadError::Sim(e) => write!(f, "load run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            LoadError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+impl From<SimError> for LoadError {
+    fn from(e: SimError) -> Self {
+        LoadError::Sim(e)
+    }
+}
 
 /// A load run's knobs, independent of workload and scale.
 #[derive(Debug, Clone)]
@@ -174,18 +218,16 @@ fn tenant_configs(
 ///
 /// # Errors
 ///
-/// Fails only on observability I/O (trace/metrics files).
-///
-/// # Panics
-///
-/// Panics if the frontend deadlocks (it cannot: it only blocks with
-/// requests in flight).
+/// [`LoadError::Io`] on observability I/O (trace/metrics files);
+/// [`LoadError::Sim`] if the simulator rejects the run (the frontend
+/// cannot stall by construction — it only blocks with requests in
+/// flight — but a broken invariant surfaces as an error, not a panic).
 pub fn run_load_obs(
     preset: &WorkloadPreset,
     spec: &LoadSpec,
     scale: &ExperimentScale,
     obs: &ObsOptions,
-) -> std::io::Result<LoadRun> {
+) -> Result<LoadRun, LoadError> {
     let mut cfg = system_config(
         spec.system,
         scale.geometry,
@@ -213,9 +255,7 @@ pub fn run_load_obs(
     let mut src = MultiTenantSource::new(tenant_configs(preset, ops, spec), frontend_cfg);
     src.bind_trace(sim.trace_handle(), sim.now());
     sim.set_spans(true);
-    let report = sim
-        .run_source(&mut src)
-        .expect("host frontend never stalls without work in flight");
+    let report = sim.run_source(&mut src)?;
     let tenants = src.tenant_reports();
     let handle = sim.trace_handle();
     let end = sim.now();
@@ -244,9 +284,17 @@ pub fn run_load_obs(
 }
 
 /// [`run_load_obs`] with observability off — the sweep-cell path.
-pub fn run_load(preset: &WorkloadPreset, spec: &LoadSpec, scale: &ExperimentScale) -> LoadRun {
+///
+/// # Errors
+///
+/// Only [`LoadError::Sim`]: with observability off no I/O is configured,
+/// so none can fail.
+pub fn run_load(
+    preset: &WorkloadPreset,
+    spec: &LoadSpec,
+    scale: &ExperimentScale,
+) -> Result<LoadRun, LoadError> {
     run_load_obs(preset, spec, scale, &ObsOptions::default())
-        .expect("no I/O is configured, so none can fail")
 }
 
 /// The deterministic metrics payload of one load cell: host-side SLO
@@ -278,6 +326,12 @@ pub fn load_metrics_json(run: &LoadRun) -> String {
 /// probe builds a fresh warmed simulator from seeds derived off
 /// `seed` and the probed rate, so the whole search is a pure function of
 /// its arguments.
+///
+/// # Errors
+///
+/// The first probe failure aborts the search: a probe that cannot run is
+/// not a missed SLO, so treating it as one would silently bias the
+/// bracket downward.
 #[allow(clippy::too_many_arguments)]
 pub fn run_capacity(
     preset: &WorkloadPreset,
@@ -289,12 +343,30 @@ pub fn run_capacity(
     hi_iops: u64,
     max_iters: u32,
     seed: u64,
-) -> CapacityResult {
-    capacity_search(lo_iops, hi_iops, max_iters, |iops| {
+) -> Result<CapacityResult, LoadError> {
+    let mut failure: Option<LoadError> = None;
+    let result = capacity_search(lo_iops, hi_iops, max_iters, |iops| {
         let mut spec = LoadSpec::new(system, arrival, iops, derive_stream_seed(seed, "probe"));
         spec.slo_p99_ns = slo_p99_ns;
-        run_load(preset, &spec, scale).probe_outcome()
-    })
+        match run_load(preset, &spec, scale) {
+            Ok(run) => run.probe_outcome(),
+            Err(e) => {
+                if failure.is_none() {
+                    failure = Some(e);
+                }
+                // Placeholder verdict; the stashed error aborts below.
+                ProbeOutcome {
+                    read_p99_ns: u64::MAX,
+                    met: false,
+                    shed: 0,
+                }
+            }
+        }
+    });
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(result),
+    }
 }
 
 #[cfg(test)]
@@ -353,7 +425,7 @@ mod tests {
             2_000,
             derive_stream_seed(7, "load-test"),
         );
-        let run = run_load(&preset, &spec, &scale);
+        let run = run_load(&preset, &spec, &scale).expect("load run");
         let completed: u64 = run.tenants.iter().map(|t| t.counters.completed).sum();
         assert_eq!(completed, 120, "every op must complete");
         assert!(run.achieved_iops > 0.0);
@@ -380,8 +452,8 @@ mod tests {
             3_000,
             11,
         );
-        let a = load_metrics_json(&run_load(&preset, &spec, &scale));
-        let b = load_metrics_json(&run_load(&preset, &spec, &scale));
+        let a = load_metrics_json(&run_load(&preset, &spec, &scale).expect("load run"));
+        let b = load_metrics_json(&run_load(&preset, &spec, &scale).expect("load run"));
         assert_eq!(a, b);
     }
 }

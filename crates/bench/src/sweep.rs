@@ -18,6 +18,7 @@ use crate::load::{load_metrics_json, nominal_iops, run_load, LoadSpec, LOAD_PCTS
 use crate::runner::{
     run_config_faulted, system_config, ExperimentScale, ReplayMode, SystemUnderTest,
 };
+use crate::soak::{run_soak, soak_metrics_json, SOAK_EPOCHS};
 use crate::table::{f, TextTable};
 use ida_faults::FaultConfig;
 use ida_flash::timing::FlashTiming;
@@ -44,8 +45,14 @@ pub const FIG11_LATE_FAILURE_PROB: f64 = 0.4;
 /// blocks can be remapped before the device degrades to read-only.
 pub const FAULT_SPARES_PER_PLANE: u32 = 2;
 
+/// Aging levels swept by the `lifetime` grid (the `off` level is the
+/// other grids' implicit baseline, `low` barely moves at our scale).
+pub const LIFETIME_LEVELS: [&str; 2] = ["mid", "high"];
+
 /// The names [`builtin_grid`] understands.
-pub const BUILTIN_GRIDS: [&str; 6] = ["fig8", "fig9", "fig10", "fig11", "faults", "load"];
+pub const BUILTIN_GRIDS: [&str; 7] = [
+    "fig8", "fig9", "fig10", "fig11", "faults", "load", "lifetime",
+];
 
 fn workload_names() -> Vec<String> {
     paper_workloads().into_iter().map(|p| p.spec.name).collect()
@@ -90,6 +97,14 @@ pub fn builtin_grid(name: &str) -> Option<SweepSpec> {
         "load" => Some(
             SweepSpec::new("load", workloads, vec!["Baseline".into(), ida_label(0.2)])
                 .with_axis("load", LOAD_PCTS.iter().map(|p| p.to_string()).collect()),
+        ),
+        "lifetime" => Some(
+            SweepSpec::new(
+                "lifetime",
+                workloads,
+                vec!["Baseline".into(), ida_label(0.2)],
+            )
+            .with_axis("aging", LIFETIME_LEVELS.map(String::from).to_vec()),
         ),
         _ => None,
     }
@@ -191,7 +206,12 @@ pub fn run_cell(cell: &Cell, scale: &ExperimentScale) -> String {
             .unwrap_or_else(|_| panic!("bad load parameter {pct:?} (expected a percentage)"));
         let offered = (nominal_iops(&preset.spec) * pct / 100).max(1);
         let spec = LoadSpec::new(system, ArrivalSpec::Poisson, offered, cell.stream_seed);
-        return load_metrics_json(&run_load(&preset, &spec, scale));
+        let run = run_load(&preset, &spec, scale).unwrap_or_else(|e| panic!("{e}"));
+        return load_metrics_json(&run);
+    }
+    if let Some(level) = cell.param("aging") {
+        let run = run_soak(&preset, system, level, SOAK_EPOCHS, cell.stream_seed, scale);
+        return soak_metrics_json(&run);
     }
     let mut timing = FlashTiming::paper_tlc();
     if let Some(d) = cell.param("dtr_us") {
@@ -300,6 +320,7 @@ pub fn render(outcome: &SweepOutcome) -> Result<String, String> {
         "fig11" => Ok(render_fig11(outcome)),
         "faults" => Ok(render_faults(outcome)),
         "load" => Ok(render_load(outcome)),
+        "lifetime" => Ok(render_lifetime(outcome)),
         other => Err(format!("no renderer for sweep {other:?}")),
     }
 }
@@ -589,6 +610,73 @@ pub fn render_load(outcome: &SweepOutcome) -> String {
     out
 }
 
+/// Lifetime table: IDA-E20's normalized mean read response fresh vs
+/// aged per aging level. The aged column below the fresh column means
+/// IDA's advantage *widens* as the device wears — aged reads sense more
+/// levels on baseline pages, so IDA's shallower ladders save more.
+pub fn render_lifetime(outcome: &SweepOutcome) -> String {
+    let workloads = workload_names();
+    let mut header = vec!["Name".to_string()];
+    for level in LIFETIME_LEVELS {
+        header.push(format!("{level} fresh"));
+        header.push(format!("{level} aged"));
+    }
+    let mut t = TextTable::new(header);
+    let mut sums = vec![0.0f64; LIFETIME_LEVELS.len() * 2];
+    for w in &workloads {
+        let mut row = vec![w.clone()];
+        for (i, level) in LIFETIME_LEVELS.iter().enumerate() {
+            let params: &[(&str, &str)] = &[("aging", level)];
+            for (j, key) in ["fresh_mean_read_ns", "aged_mean_read_ns"]
+                .iter()
+                .enumerate()
+            {
+                let base = metric(outcome, w, "Baseline", params, key).unwrap_or(0.0);
+                let ida = metric(outcome, w, &ida_label(0.2), params, key);
+                let norm = match ida {
+                    Some(ida) if base > 0.0 => ida / base,
+                    _ => 1.0,
+                };
+                sums[i * 2 + j] += norm;
+                row.push(f(norm, 3));
+            }
+        }
+        t.row(row);
+    }
+    let n = workloads.len() as f64;
+    let mut avg = vec!["AVERAGE".to_string()];
+    for s in &sums {
+        avg.push(f(s / n, 3));
+    }
+    t.row(avg);
+
+    let mut out = String::from(
+        "Lifetime — normalized mean read response of IDA-E20, fresh (epoch 0) vs aged (rated P/E)\n",
+    );
+    out.push_str("Lower is better; aged < fresh means IDA's advantage widens with wear.\n\n");
+    out.push_str(&t.render());
+    out.push('\n');
+    // Invariant and read-only roll-up across every soak cell.
+    let mut violations = 0.0;
+    let mut read_only = 0u64;
+    for w in &workloads {
+        for sys in ["Baseline".to_string(), ida_label(0.2)] {
+            for level in LIFETIME_LEVELS {
+                let params: &[(&str, &str)] = &[("aging", level)];
+                violations += metric(outcome, w, &sys, params, "violations").unwrap_or(0.0);
+                if metric_bool(outcome, w, &sys, params, "read_only") == Some(true) {
+                    read_only += 1;
+                }
+            }
+        }
+    }
+    out.push_str(&format!(
+        "Invariant violations across all soaks: {violations:.0}; cells ending read-only: {read_only}\n"
+    ));
+    out.push_str(&failed_note(outcome));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -607,6 +695,8 @@ mod tests {
         assert_eq!(builtin_grid("faults").unwrap().len(), 11 * 4 * 2);
         // Load: 11 workloads × 5 offered rates × (baseline + IDA-E20).
         assert_eq!(builtin_grid("load").unwrap().len(), 11 * 5 * 2);
+        // Lifetime: 11 workloads × 2 aging levels × (baseline + IDA-E20).
+        assert_eq!(builtin_grid("lifetime").unwrap().len(), 11 * 2 * 2);
         assert!(builtin_grid("fig99").is_none());
         for name in BUILTIN_GRIDS {
             assert!(builtin_grid(name).is_some(), "missing grid {name}");

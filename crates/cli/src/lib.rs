@@ -10,12 +10,14 @@ use ida_bench::runner::{
     normalized_read_response, replay_trace, run_system_obs, ExperimentScale, ObsOptions,
     ReplayMode, SystemUnderTest,
 };
+use ida_bench::soak::{run_soak, soak_metrics_json, soak_run_from_json};
 use ida_bench::suite::{compare_json, run_suite};
-use ida_bench::sweep::{builtin_grid, render, run_grid, BUILTIN_GRIDS};
+use ida_bench::sweep::{builtin_grid, parse_system, render, run_grid, BUILTIN_GRIDS};
 use ida_host::{AdmissionPolicy, ArrivalSpec};
 use ida_obs::json::JsonObj;
 use ida_sweep::pool::parse_jobs;
 use ida_sweep::SweepConfig;
+use ida_sweep::{SweepOutcome, SweepSpec};
 use ida_workloads::stats::characterize;
 use ida_workloads::suite::{paper_workload, paper_workloads};
 use std::fmt::Write as _;
@@ -50,7 +52,8 @@ pub enum Command {
     },
     /// Run an experiment grid on the parallel sweep engine.
     Sweep {
-        /// Grid name (`fig8`, `fig9`, `fig10`, `fig11`, `faults`, `load`).
+        /// Grid name (`fig8`, `fig9`, `fig10`, `fig11`, `faults`,
+        /// `load`, `lifetime`).
         grid: String,
         /// Worker threads (`None` = `IDA_JOBS` or all cores).
         jobs: Option<usize>,
@@ -64,6 +67,30 @@ pub enum Command {
         /// Override the measured request count.
         requests: Option<usize>,
         /// Report per-cell progress (with ETA) on stderr.
+        progress: bool,
+    },
+    /// Soak one workload through a whole accelerated device lifetime
+    /// (Baseline and IDA side by side) with per-epoch invariant checks.
+    Soak {
+        /// Workload name.
+        workload: String,
+        /// Aging level (`off`, `low`, `mid`, `high`).
+        level: String,
+        /// Voltage-adjustment error rate for the IDA system (0.0–1.0).
+        error_rate: f64,
+        /// Accelerated-lifetime epochs (epoch 0 is fresh).
+        epochs: usize,
+        /// Worker threads (`None` = `IDA_JOBS` or all cores).
+        jobs: Option<usize>,
+        /// Checkpoint journal path (resume skips journaled cells).
+        journal: Option<PathBuf>,
+        /// Write the aggregated JSON here (stdout keeps the tables).
+        out: Option<PathBuf>,
+        /// Use the smoke-test scale.
+        smoke: bool,
+        /// Override the measured request count per epoch.
+        requests: Option<usize>,
+        /// Report per-cell progress on stderr.
         progress: bool,
     },
     /// Run the fixed-seed benchmark suite.
@@ -293,6 +320,104 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Sweep {
                 grid,
+                jobs,
+                journal,
+                out,
+                smoke,
+                requests,
+                progress,
+            })
+        }
+        Some("soak") => {
+            let workload = args
+                .get(1)
+                .filter(|g| !g.starts_with("--"))
+                .ok_or("soak needs a workload name (try `idasim list`)")?
+                .clone();
+            let mut level = "mid".to_string();
+            let mut error_rate = 0.2;
+            let mut epochs = ida_bench::soak::SOAK_EPOCHS;
+            let mut jobs = None;
+            let mut journal = None;
+            let mut out = None;
+            let mut smoke = false;
+            let mut requests = None;
+            let mut progress = false;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--level" => {
+                        level = args.get(i + 1).ok_or("--level needs a value")?.clone();
+                        i += 2;
+                    }
+                    "--error-rate" => {
+                        error_rate = args
+                            .get(i + 1)
+                            .ok_or("--error-rate needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad error rate: {e}"))?;
+                        i += 2;
+                    }
+                    "--epochs" => {
+                        epochs = args
+                            .get(i + 1)
+                            .ok_or("--epochs needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad epoch count: {e}"))?;
+                        i += 2;
+                    }
+                    "--jobs" => {
+                        jobs = Some(parse_jobs(args.get(i + 1).ok_or("--jobs needs a value")?)?);
+                        i += 2;
+                    }
+                    "--journal" => {
+                        journal = Some(PathBuf::from(
+                            args.get(i + 1).ok_or("--journal needs a path")?,
+                        ));
+                        i += 2;
+                    }
+                    "--out" => {
+                        out = Some(PathBuf::from(args.get(i + 1).ok_or("--out needs a path")?));
+                        i += 2;
+                    }
+                    "--smoke" => {
+                        smoke = true;
+                        i += 1;
+                    }
+                    "--requests" => {
+                        requests = Some(
+                            args.get(i + 1)
+                                .ok_or("--requests needs a value")?
+                                .parse()
+                                .map_err(|e| format!("bad request count: {e}"))?,
+                        );
+                        i += 2;
+                    }
+                    "--progress" => {
+                        progress = true;
+                        i += 1;
+                    }
+                    other => return Err(format!("unknown option: {other}")),
+                }
+            }
+            // Validate eagerly so a typo fails before hours of soaking.
+            if ida_faults::AgingConfig::preset(&level, 0).is_none() {
+                return Err(format!(
+                    "unknown aging level {level:?} (one of: {})",
+                    ida_faults::AgingConfig::LEVELS.join(", ")
+                ));
+            }
+            if !(0.0..=1.0).contains(&error_rate) {
+                return Err(format!("error rate {error_rate} outside [0, 1]"));
+            }
+            if epochs == 0 {
+                return Err("--epochs must be at least 1".into());
+            }
+            Ok(Command::Soak {
+                workload,
+                level,
+                error_rate,
+                epochs,
                 jobs,
                 journal,
                 out,
@@ -791,6 +916,97 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 }
             }
         }
+        Command::Soak {
+            workload,
+            level,
+            error_rate,
+            epochs,
+            jobs,
+            journal,
+            out: out_path,
+            smoke,
+            requests,
+            progress,
+        } => {
+            paper_workload(&workload).ok_or_else(|| unknown(&workload))?;
+            let mut scale = if smoke {
+                ExperimentScale::smoke()
+            } else {
+                ExperimentScale::from_env()
+            };
+            if let Some(r) = requests {
+                scale.requests = r;
+            }
+            let mut cfg = SweepConfig::from_env()?;
+            if let Some(j) = jobs {
+                cfg.jobs = j;
+            }
+            if journal.is_some() {
+                cfg.journal = journal;
+            }
+            cfg.progress = progress;
+            // Two cells — Baseline and the IDA system — run through the
+            // sweep engine, so parallelism, journaling, and byte-identical
+            // aggregation come from the same machinery as `sweep`.
+            let spec = SweepSpec::new(
+                "soak",
+                vec![workload.clone()],
+                vec![
+                    SystemUnderTest::Baseline.label(),
+                    SystemUnderTest::Ida { error_rate }.label(),
+                ],
+            )
+            .with_axis("aging", vec![level.clone()]);
+            let cells = spec.cells();
+            let outcomes = ida_sweep::run_cells(&spec.name, &cells, &cfg, |cell| {
+                let preset = paper_workload(&cell.workload)
+                    .unwrap_or_else(|| panic!("unknown workload {}", cell.workload));
+                let system = parse_system(&cell.system).unwrap_or_else(|e| panic!("{e}"));
+                let lvl = cell
+                    .param("aging")
+                    .expect("soak cells carry an aging level");
+                let run = run_soak(&preset, system, lvl, epochs, cell.stream_seed, &scale);
+                soak_metrics_json(&run)
+            })
+            .map_err(|e| format!("soak failed: {e}"))?;
+            let outcome = SweepOutcome {
+                sweep: spec.name.clone(),
+                outcomes,
+            };
+            let mut violations = 0usize;
+            let mut failed = 0usize;
+            for o in &outcome.outcomes {
+                match o.payload() {
+                    Some(payload) => {
+                        let run = soak_run_from_json(&o.cell.workload, &o.cell.system, payload)?;
+                        violations += run.violations.len();
+                        out.push_str(&run.render_table());
+                        out.push('\n');
+                    }
+                    None => {
+                        failed += 1;
+                        let _ = writeln!(out, "FAILED: {}\n", o.cell.id());
+                    }
+                }
+            }
+            let _ = writeln!(
+                out,
+                "soak {workload} level {level}, {epochs} epoch(s) on {} worker(s): {}",
+                cfg.jobs,
+                outcome.summary()
+            );
+            if violations > 0 || failed > 0 {
+                let _ = writeln!(
+                    out,
+                    "SOAK UNHEALTHY: {violations} invariant violation(s), {failed} failed cell(s)"
+                );
+            }
+            if let Some(path) = out_path {
+                std::fs::write(&path, outcome.aggregate_json() + "\n")
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                let _ = writeln!(out, "wrote aggregate to {}", path.display());
+            }
+        }
         Command::Bench {
             smoke,
             out: out_path,
@@ -889,7 +1105,8 @@ pub fn run(cmd: Command) -> Result<String, String> {
                         hi,
                         CAPACITY_MAX_ITERS,
                         seed,
-                    );
+                    )
+                    .map_err(|e| e.to_string())?;
                     let _ = writeln!(
                         out,
                         "  {:9} max sustainable {:6} IOPS  ({} probes)",
@@ -924,8 +1141,8 @@ pub fn run(cmd: Command) -> Result<String, String> {
                         seed,
                     };
                     let run_obs = obs.suffixed(&system.label());
-                    let run = run_load_obs(&p, &spec, &scale, &run_obs)
-                        .map_err(|e| format!("observability output failed: {e}"))?;
+                    let run =
+                        run_load_obs(&p, &spec, &scale, &run_obs).map_err(|e| e.to_string())?;
                     let _ = writeln!(
                         out,
                         "  {:9} e2e read p99 {:9.1} us  achieved {:8.1} IOPS  \
@@ -1062,6 +1279,9 @@ USAGE:
                  [--trace-filter <class,...>] [--progress]
   idasim sweep <grid> [--jobs N] [--journal <path.jsonl>]
                [--out <path.json>] [--smoke] [--requests N] [--progress]
+  idasim soak <workload> [--level off|low|mid|high] [--epochs N]
+              [--error-rate 0.2] [--jobs N] [--journal <path.jsonl>]
+              [--out <path.json>] [--smoke] [--requests N] [--progress]
   idasim bench [--smoke] [--out <path.json>] [--baseline <path.json>]
   idasim load <workload> [--iops N] [--arrival poisson|constant|onoff]
               [--tenants N] [--admission shed|delay] [--slo-us 2000]
@@ -1090,8 +1310,22 @@ per-die / per-channel utilization rebuilt from flash events.
 phase-by-phase (totals, means, deltas) — e.g. a Baseline vs IDA-E20
 pair from `idasim compare --trace-out`.
 
+Soak: drives one workload through a whole accelerated device lifetime
+(0 → rated P/E cycles across --epochs epochs, epoch 0 fresh) on both
+Baseline and IDA-E<pct>, with the device-aging model armed at --level:
+P/E-wear/read-disturb/retention RBER, the multi-step read-retry
+ladder, background patrol scrub, and hot/cold wear-leveling. Between
+epochs the clock jumps one patrol period (retention ages, scrub falls
+due) and uniform background wear advances. After every epoch the
+harness checks the FTL safety invariants (mapping consistency, no
+acked-data loss, victim-index agreement, counter monotonicity, span
+conservation) and prints a per-epoch waterfall; all epochs clean
+means the soak passed. Output is byte-identical for any --jobs. The
+`lifetime` sweep grid runs the full fresh-vs-aged table:
+  idasim sweep lifetime --smoke
+
 Sweep: runs a whole experiment grid (fig8, fig9, fig10, fig11,
-faults, load) on the parallel orchestration engine. --jobs N (or IDA_JOBS)
+faults, load, lifetime) on the parallel orchestration engine. --jobs N (or IDA_JOBS)
 sets the worker count, default all cores; aggregated output is
 byte-identical for any worker count. --journal appends one checkpoint
 record per finished cell; re-invoking with the same journal resumes,
@@ -1533,5 +1767,112 @@ mod tests {
         assert!(USAGE.contains("idasim replay --msr"));
         assert!(USAGE.contains("--capacity"));
         assert!(USAGE.contains("sweep load"));
+        assert!(USAGE.contains("idasim soak"));
+        assert!(USAGE.contains("sweep lifetime"));
+    }
+
+    #[test]
+    fn soak_parses_with_defaults_and_flags() {
+        assert_eq!(
+            parse_args(&s(&["soak", "hm_1"])).unwrap(),
+            Command::Soak {
+                workload: "hm_1".into(),
+                level: "mid".into(),
+                error_rate: 0.2,
+                epochs: ida_bench::soak::SOAK_EPOCHS,
+                jobs: None,
+                journal: None,
+                out: None,
+                smoke: false,
+                requests: None,
+                progress: false,
+            }
+        );
+        let cmd = parse_args(&s(&[
+            "soak",
+            "proj_3",
+            "--level",
+            "high",
+            "--epochs",
+            "4",
+            "--error-rate",
+            "0.3",
+            "--jobs",
+            "2",
+            "--journal",
+            "soak.journal.jsonl",
+            "--out",
+            "soak.json",
+            "--smoke",
+            "--requests",
+            "800",
+            "--progress",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Soak {
+                workload: "proj_3".into(),
+                level: "high".into(),
+                error_rate: 0.3,
+                epochs: 4,
+                jobs: Some(2),
+                journal: Some(PathBuf::from("soak.journal.jsonl")),
+                out: Some(PathBuf::from("soak.json")),
+                smoke: true,
+                requests: Some(800),
+                progress: true,
+            }
+        );
+    }
+
+    #[test]
+    fn soak_rejects_bad_input_eagerly() {
+        assert!(parse_args(&s(&["soak"])).is_err());
+        assert!(parse_args(&s(&["soak", "--level", "mid"])).is_err());
+        let err = parse_args(&s(&["soak", "hm_1", "--level", "molten"])).unwrap_err();
+        assert!(err.contains("unknown aging level"), "unhelpful: {err}");
+        assert!(err.contains("off, low, mid, high"), "unhelpful: {err}");
+        assert!(parse_args(&s(&["soak", "hm_1", "--epochs", "0"])).is_err());
+        assert!(parse_args(&s(&["soak", "hm_1", "--error-rate", "1.5"])).is_err());
+        assert!(parse_args(&s(&["soak", "hm_1", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn soak_smoke_runs_both_systems_with_clean_invariants() {
+        let out = run(Command::Soak {
+            workload: "hm_1".into(),
+            level: "high".into(),
+            error_rate: 0.2,
+            epochs: 2,
+            jobs: Some(1),
+            journal: None,
+            out: None,
+            smoke: true,
+            requests: Some(600),
+            progress: false,
+        })
+        .unwrap();
+        assert!(out.contains("Baseline"), "missing Baseline table: {out}");
+        assert!(out.contains("IDA-E20"), "missing IDA table: {out}");
+        assert!(
+            out.contains("invariants: all epochs clean"),
+            "invariants not clean: {out}"
+        );
+        assert!(!out.contains("SOAK UNHEALTHY"), "unhealthy soak: {out}");
+        // Unknown workloads fail before any soaking.
+        assert!(run(Command::Soak {
+            workload: "nope".into(),
+            level: "mid".into(),
+            error_rate: 0.2,
+            epochs: 2,
+            jobs: Some(1),
+            journal: None,
+            out: None,
+            smoke: true,
+            requests: Some(100),
+            progress: false,
+        })
+        .is_err());
     }
 }

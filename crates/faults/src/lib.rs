@@ -118,6 +118,162 @@ impl Default for FaultConfig {
     }
 }
 
+/// Nanoseconds in one simulated day (mirrors `ida_ftl::config::NS_PER_DAY`
+/// without a dependency edge) — the retention term's time base.
+pub const NS_PER_DAY: u64 = 86_400_000_000_000;
+
+/// The device-aging reliability model: a pure, deterministic map from a
+/// block's wear state to its raw bit error rate (RBER), plus the policy
+/// knobs the read-retry ladder and the background scrub / wear-leveler
+/// consume.
+///
+/// The RBER of a wordline is modeled as
+///
+/// ```text
+/// rber = base_rber · (1 + wear_coeff · (pe/rated)²)      (P/E cycling)
+///      + disturb_coeff · wl_reads                         (read disturb)
+///      + retention_coeff · age_days · (1 + pe/rated)      (retention)
+/// ```
+///
+/// — the three classic contributors, with retention loss accelerating on
+/// worn cells. The function is pure (no RNG), so the same wear state maps
+/// to the same RBER on every platform and for any sweep worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgingConfig {
+    /// Rated P/E endurance of the device; the wear term is quadratic in
+    /// `pe / rated_pe_cycles`.
+    pub rated_pe_cycles: u32,
+    /// Fresh-device RBER floor. Zero disables the whole model.
+    pub base_rber: f64,
+    /// Scale of the quadratic P/E-cycling term.
+    pub wear_coeff: f64,
+    /// RBER added per accumulated read of a wordline (read disturb).
+    pub disturb_coeff: f64,
+    /// RBER added per simulated day since the block closed (retention).
+    pub retention_coeff: f64,
+    /// Maps `rber × senses` to the per-attempt decode-failure probability
+    /// of the read-retry ladder (each retry step halves it).
+    pub ladder_gain: f64,
+    /// Maximum extra read attempts before the read is declared
+    /// ECC-uncorrectable and the page is relocated.
+    pub ladder_depth: u32,
+    /// Period between background patrol-scrub passes (0 disables scrub).
+    pub scrub_period: u64,
+    /// Blocks examined per patrol pass (bounds background work per wake).
+    pub scrub_chunk: u32,
+    /// Wordline read count at which the patrol relocates its valid pages.
+    pub disturb_threshold: u32,
+    /// Block age (ns since close) at which the patrol relocates it.
+    pub retention_threshold: u64,
+    /// Erase-count spread (max − min) above which the wear-leveler
+    /// migrates cold data off the least-worn block.
+    pub wear_spread_target: u32,
+    /// Seed for the read-retry ladder's private RNG stream.
+    pub seed: u64,
+}
+
+impl AgingConfig {
+    /// A model that ages nothing (the default for every simulation).
+    pub fn none() -> Self {
+        AgingConfig {
+            rated_pe_cycles: 3_000,
+            base_rber: 0.0,
+            wear_coeff: 0.0,
+            disturb_coeff: 0.0,
+            retention_coeff: 0.0,
+            ladder_gain: 0.0,
+            ladder_depth: 0,
+            scrub_period: 0,
+            scrub_chunk: 0,
+            disturb_threshold: 0,
+            retention_threshold: 0,
+            wear_spread_target: 0,
+            seed: 0,
+        }
+    }
+
+    /// Whether the model contributes any RBER at all.
+    pub fn is_active(&self) -> bool {
+        self.base_rber > 0.0
+    }
+
+    /// The modeled RBER of a wordline with `pe` effective P/E cycles,
+    /// `wl_reads` accumulated reads since its block's last erase, and
+    /// `age_ns` nanoseconds since its block closed. Pure and deterministic.
+    pub fn rber(&self, pe: u32, wl_reads: u32, age_ns: u64) -> f64 {
+        if !self.is_active() {
+            return 0.0;
+        }
+        let wear = pe as f64 / self.rated_pe_cycles.max(1) as f64;
+        let days = age_ns as f64 / NS_PER_DAY as f64;
+        self.base_rber * (1.0 + self.wear_coeff * wear * wear)
+            + self.disturb_coeff * wl_reads as f64
+            + self.retention_coeff * days * (1.0 + wear)
+    }
+
+    /// Named aging levels used by the `lifetime` grid and `idasim soak`:
+    /// `off`, `low`, `mid` and `high`. Returns `None` for an unknown name.
+    pub fn preset(level: &str, seed: u64) -> Option<Self> {
+        let mut cfg = AgingConfig {
+            seed,
+            ..AgingConfig::none()
+        };
+        match level {
+            "off" => {}
+            "low" => {
+                cfg.base_rber = 2e-5;
+                cfg.wear_coeff = 12.0;
+                cfg.disturb_coeff = 1e-8;
+                cfg.retention_coeff = 4e-6;
+                cfg.ladder_gain = 30.0;
+                cfg.ladder_depth = 4;
+                cfg.scrub_period = 40 * NS_PER_DAY;
+                cfg.scrub_chunk = 4;
+                cfg.disturb_threshold = 50_000;
+                cfg.retention_threshold = 90 * NS_PER_DAY;
+                cfg.wear_spread_target = 64;
+            }
+            "mid" => {
+                cfg.base_rber = 5e-5;
+                cfg.wear_coeff = 20.0;
+                cfg.disturb_coeff = 5e-8;
+                cfg.retention_coeff = 1e-5;
+                cfg.ladder_gain = 40.0;
+                cfg.ladder_depth = 5;
+                cfg.scrub_period = 20 * NS_PER_DAY;
+                cfg.scrub_chunk = 8;
+                cfg.disturb_threshold = 20_000;
+                cfg.retention_threshold = 45 * NS_PER_DAY;
+                cfg.wear_spread_target = 32;
+            }
+            "high" => {
+                cfg.base_rber = 2e-4;
+                cfg.wear_coeff = 30.0;
+                cfg.disturb_coeff = 2e-7;
+                cfg.retention_coeff = 5e-5;
+                cfg.ladder_gain = 60.0;
+                cfg.ladder_depth = 6;
+                cfg.scrub_period = 10 * NS_PER_DAY;
+                cfg.scrub_chunk = 16;
+                cfg.disturb_threshold = 5_000;
+                cfg.retention_threshold = 20 * NS_PER_DAY;
+                cfg.wear_spread_target = 16;
+            }
+            _ => return None,
+        }
+        Some(cfg)
+    }
+
+    /// The aging levels [`AgingConfig::preset`] understands, mildest first.
+    pub const LEVELS: [&'static str; 4] = ["off", "low", "mid", "high"];
+}
+
+impl Default for AgingConfig {
+    fn default() -> Self {
+        AgingConfig::none()
+    }
+}
+
 /// Outcome of one persistent operation under the armed plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PersistOutcome {
@@ -330,6 +486,44 @@ mod tests {
             assert_eq!(a.program_fails(), b.program_fails());
             assert_eq!(a.transient_read_attempts(), b.transient_read_attempts());
         }
+    }
+
+    #[test]
+    fn inert_aging_model_contributes_nothing() {
+        let a = AgingConfig::none();
+        assert!(!a.is_active());
+        assert_eq!(a.rber(10_000, u32::MAX, u64::MAX), 0.0);
+    }
+
+    #[test]
+    fn rber_grows_with_every_wear_axis() {
+        let a = AgingConfig::preset("mid", 0).unwrap();
+        let fresh = a.rber(0, 0, 0);
+        assert!(fresh > 0.0, "active model has a positive floor");
+        assert!(a.rber(3_000, 0, 0) > fresh, "P/E cycling raises RBER");
+        assert!(a.rber(0, 100_000, 0) > fresh, "read disturb raises RBER");
+        assert!(
+            a.rber(0, 0, 30 * NS_PER_DAY) > fresh,
+            "retention raises RBER"
+        );
+        // Retention loss accelerates on worn cells.
+        let worn_gain = a.rber(3_000, 0, 30 * NS_PER_DAY) - a.rber(3_000, 0, 0);
+        let fresh_gain = a.rber(0, 0, 30 * NS_PER_DAY) - a.rber(0, 0, 0);
+        assert!(worn_gain > fresh_gain);
+    }
+
+    #[test]
+    fn aging_presets_cover_all_levels_and_order_by_severity() {
+        let mut prev = -1.0;
+        for level in AgingConfig::LEVELS {
+            let cfg = AgingConfig::preset(level, 9).expect("known level");
+            assert_eq!(cfg.seed, 9);
+            assert_eq!(cfg.is_active(), level != "off");
+            let aged = cfg.rber(3_000, 10_000, 30 * NS_PER_DAY);
+            assert!(aged > prev, "levels must be ordered mildest first");
+            prev = aged;
+        }
+        assert!(AgingConfig::preset("worn_out", 9).is_none());
     }
 
     #[test]

@@ -37,6 +37,24 @@ struct BlockInfo {
     closed_at: SimTime,
     /// Per-wordline keep mask; 0 = conventional coding.
     wl_masks: Vec<u8>,
+    /// Per-wordline host-read counts since the last erase (the read-disturb
+    /// clock the aging model and the patrol scrub consume).
+    wl_reads: Vec<u32>,
+}
+
+/// Erase-count statistics across the device, as reported by
+/// [`BlockTable::wear_summary`]. `spread` (max − min) is the imbalance the
+/// wear-leveler acts on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WearSummary {
+    /// Lowest erase count of any block.
+    pub min: u32,
+    /// Highest erase count of any block.
+    pub max: u32,
+    /// Mean erase count across all blocks.
+    pub mean: f64,
+    /// `max − min`: the wear imbalance.
+    pub spread: u32,
 }
 
 /// Per-plane greedy GC victim index: reclaimable (Closed/Ida) blocks
@@ -115,6 +133,11 @@ pub struct BlockTable {
     in_use: u32,
     /// Sum of erase counts across all blocks.
     total_erases: u64,
+    /// Virtual P/E cycles added uniformly to every block's wear by the
+    /// soak harness's accelerated-lifetime epochs. Kept outside
+    /// `erase_count` so the GC victim index (ordered by per-block erase
+    /// counts) never needs rebuilding: a uniform shift preserves order.
+    wear_offset: u32,
 }
 
 impl BlockTable {
@@ -129,6 +152,7 @@ impl BlockTable {
                 erase_count: 0,
                 closed_at: 0,
                 wl_masks: vec![0; geometry.wordlines_per_block as usize],
+                wl_reads: vec![0; geometry.wordlines_per_block as usize],
             })
             .collect();
         BlockTable {
@@ -142,6 +166,7 @@ impl BlockTable {
             bad_blocks: 0,
             in_use: 0,
             total_erases: 0,
+            wear_offset: 0,
         }
     }
 
@@ -290,6 +315,7 @@ impl BlockTable {
         info.erase_count += 1;
         info.closed_at = 0;
         info.wl_masks.fill(0);
+        info.wl_reads.fill(0);
     }
 
     /// Retire `b` to the grown-bad list. The block must hold no valid
@@ -327,6 +353,7 @@ impl BlockTable {
         info.write_ptr = 0;
         info.closed_at = 0;
         info.wl_masks.fill(0);
+        info.wl_reads.fill(0);
         self.bad_blocks += 1;
     }
 
@@ -502,15 +529,66 @@ impl BlockTable {
         best.map(|(_, _, b)| BlockAddr(b))
     }
 
-    /// Wear summary across all blocks: `(min, max, mean)` erase counts.
+    /// Wear summary across all blocks: min/max/mean erase counts plus the
+    /// spread (max − min) the wear-leveler balances against its target.
     /// The paper's endurance argument (Section III-B) is that IDA coding
     /// leaves these unchanged — it recharges cells within an erase cycle
-    /// instead of adding cycles.
-    pub fn wear_summary(&self) -> (u32, u32, f64) {
+    /// instead of adding cycles. An empty table (or one whose blocks were
+    /// never erased) reports all-zero wear and zero spread.
+    pub fn wear_summary(&self) -> WearSummary {
         let min = self.blocks.iter().map(|i| i.erase_count).min().unwrap_or(0);
         let max = self.blocks.iter().map(|i| i.erase_count).max().unwrap_or(0);
         let mean = self.total_erases() as f64 / self.blocks.len().max(1) as f64;
-        (min, max, mean)
+        WearSummary {
+            min,
+            max,
+            mean,
+            spread: max - min,
+        }
+    }
+
+    /// Record one host read of wordline `wl` in block `b`, returning the
+    /// accumulated read count since the block's last erase (the
+    /// read-disturb clock).
+    pub fn record_wl_read(&mut self, b: BlockAddr, wl: u32) -> u32 {
+        let c = &mut self.info_mut(b).wl_reads[wl as usize];
+        *c = c.saturating_add(1);
+        *c
+    }
+
+    /// Accumulated host reads of wordline `wl` in block `b` since its
+    /// block's last erase.
+    pub fn wl_reads(&self, b: BlockAddr, wl: u32) -> u32 {
+        self.info(b).wl_reads[wl as usize]
+    }
+
+    /// Add `cycles` virtual P/E cycles uniformly to every block (the soak
+    /// harness's accelerated-lifetime epochs). Physical erase counts — and
+    /// hence the victim index's ordering — are untouched.
+    pub fn add_wear_offset(&mut self, cycles: u32) {
+        self.wear_offset = self.wear_offset.saturating_add(cycles);
+    }
+
+    /// Virtual P/E cycles applied by [`BlockTable::add_wear_offset`].
+    pub fn wear_offset(&self) -> u32 {
+        self.wear_offset
+    }
+
+    /// The wear the aging model sees for block `b`: its physical erase
+    /// count plus the uniform virtual offset.
+    pub fn effective_wear(&self, b: BlockAddr) -> u32 {
+        self.info(b).erase_count.saturating_add(self.wear_offset)
+    }
+
+    /// The least-worn block holding cold data — a `Closed`/`Ida` block
+    /// with at least one valid page, minimizing
+    /// `(erase_count, BlockAddr)` — the wear-leveler's migration source.
+    /// Skips `exclude` (the in-flight refresh target).
+    pub fn coldest_block(&self, exclude: Option<BlockAddr>) -> Option<BlockAddr> {
+        self.reclaimable_blocks()
+            .filter(|&(b, valid, _)| valid > 0 && Some(b) != exclude)
+            .min_by_key(|&(b, _, erases)| (erases, b.0))
+            .map(|(b, _, _)| b)
     }
 }
 
@@ -682,9 +760,18 @@ mod tests {
     }
 
     #[test]
-    fn wear_summary_tracks_erases() {
+    fn wear_summary_tracks_erases_and_spread() {
         let mut t = table();
-        assert_eq!(t.wear_summary(), (0, 0, 0.0));
+        assert_eq!(
+            t.wear_summary(),
+            WearSummary {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                spread: 0
+            },
+            "a never-erased table has zero wear and zero spread"
+        );
         let b = BlockAddr(0);
         for _ in 0..3 {
             t.open(b);
@@ -696,9 +783,90 @@ mod tests {
             }
             t.erase(b);
         }
-        let (min, max, mean) = t.wear_summary();
-        assert_eq!((min, max), (0, 3));
-        assert!(mean > 0.0 && mean < 1.0);
+        let w = t.wear_summary();
+        assert_eq!((w.min, w.max, w.spread), (0, 3, 3));
+        assert!(w.mean > 0.0 && w.mean < 1.0);
         assert_eq!(t.total_erases(), 3);
+    }
+
+    #[test]
+    fn wear_summary_single_block_has_no_spread() {
+        // A device whose blocks all carry identical wear — the
+        // single-value edge case — must report spread 0 even at high wear.
+        let mut t = table();
+        let blocks = t.geometry().total_blocks();
+        for cycle in 0..2 {
+            for i in 0..blocks {
+                let b = BlockAddr(i);
+                t.open(b);
+                for _ in 0..t.geometry().pages_per_block() {
+                    t.allocate_page(b, 0);
+                }
+                for _ in 0..t.geometry().pages_per_block() {
+                    t.invalidate_page(b);
+                }
+                t.erase(b);
+            }
+            let w = t.wear_summary();
+            assert_eq!((w.min, w.max, w.spread), (cycle + 1, cycle + 1, 0));
+            assert_eq!(w.mean, (cycle + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn wl_read_counters_accumulate_and_reset_on_erase() {
+        let mut t = table();
+        let b = BlockAddr(0);
+        t.open(b);
+        for _ in 0..t.geometry().pages_per_block() {
+            t.allocate_page(b, 0);
+        }
+        assert_eq!(t.wl_reads(b, 1), 0);
+        assert_eq!(t.record_wl_read(b, 1), 1);
+        assert_eq!(t.record_wl_read(b, 1), 2);
+        assert_eq!(t.record_wl_read(b, 0), 1);
+        assert_eq!(t.wl_reads(b, 1), 2);
+        for _ in 0..t.geometry().pages_per_block() {
+            t.invalidate_page(b);
+        }
+        t.erase(b);
+        assert_eq!(t.wl_reads(b, 1), 0, "erase resets the disturb clock");
+    }
+
+    #[test]
+    fn wear_offset_shifts_effective_wear_not_erase_counts() {
+        let mut t = table();
+        let b = BlockAddr(0);
+        assert_eq!(t.effective_wear(b), 0);
+        t.add_wear_offset(500);
+        t.add_wear_offset(250);
+        assert_eq!(t.wear_offset(), 750);
+        assert_eq!(t.effective_wear(b), 750);
+        assert_eq!(t.erase_count(b), 0, "physical wear is untouched");
+        let w = t.wear_summary();
+        assert_eq!(w.spread, 0, "a uniform offset adds no spread");
+    }
+
+    #[test]
+    fn coldest_block_prefers_least_worn_valid_data() {
+        let mut t = table();
+        assert_eq!(t.coldest_block(None), None, "empty table has no cold data");
+        // Block 1: one erase cycle, then refilled. Block 0: never erased.
+        for b in [BlockAddr(1), BlockAddr(0)] {
+            t.open(b);
+            for _ in 0..t.geometry().pages_per_block() {
+                t.allocate_page(b, 0);
+            }
+        }
+        for _ in 0..t.geometry().pages_per_block() {
+            t.invalidate_page(BlockAddr(1));
+        }
+        t.erase(BlockAddr(1));
+        t.open(BlockAddr(1));
+        for _ in 0..t.geometry().pages_per_block() {
+            t.allocate_page(BlockAddr(1), 0);
+        }
+        assert_eq!(t.coldest_block(None), Some(BlockAddr(0)));
+        assert_eq!(t.coldest_block(Some(BlockAddr(0))), Some(BlockAddr(1)));
     }
 }

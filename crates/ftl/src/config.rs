@@ -1,7 +1,7 @@
 //! FTL configuration.
 
 use ida_core::refresh::RefreshMode;
-use ida_faults::FaultConfig;
+use ida_faults::{AgingConfig, FaultConfig};
 use ida_flash::coding::CodingScheme;
 use ida_flash::geometry::Geometry;
 use ida_flash::timing::SimTime;
@@ -75,6 +75,10 @@ pub struct FtlConfig {
     /// The armed fault-injection plan ([`FaultConfig::none`] by default;
     /// [`crate::Ftl::arm_faults`] replaces it mid-run, after warm-up).
     pub faults: FaultConfig,
+    /// The device-aging reliability model ([`AgingConfig::none`] by
+    /// default; [`crate::Ftl::arm_aging`] replaces it mid-run, after
+    /// warm-up, so warm-up traffic stays byte-identical to a fresh run).
+    pub aging: AgingConfig,
 }
 
 impl FtlConfig {
@@ -100,6 +104,7 @@ impl Default for FtlConfig {
             lsb_placement: true,
             spare_blocks_per_plane: 0,
             faults: FaultConfig::none(),
+            aging: AgingConfig::none(),
         }
     }
 }

@@ -18,7 +18,7 @@ use crate::refresh::RefreshQueue;
 use crate::stats::FtlStats;
 use ida_core::merge::MergePlan;
 use ida_core::refresh::{RefreshMode, RefreshPlanner};
-use ida_faults::{FaultConfig, FaultInjector, FaultStats, PersistOutcome};
+use ida_faults::{AgingConfig, FaultConfig, FaultInjector, FaultStats, PersistOutcome};
 use ida_flash::addr::{BlockAddr, PageAddr, PageType, PlaneAddr};
 use ida_flash::geometry::Geometry;
 use ida_flash::interference::InterferenceModel;
@@ -103,6 +103,11 @@ pub struct Ftl {
     /// Attribution class stamped on emitted ops; flipped to GC/refresh
     /// while those paths run so interference is charged to its true cause.
     op_origin: OpOrigin,
+    /// Next block the patrol scrub examines (round-robin over the array).
+    scrub_cursor: u32,
+    /// When the next patrol-scrub pass is due (`None` until
+    /// [`Ftl::arm_aging`] arms an active model with a scrub period).
+    next_scrub_at: Option<SimTime>,
 }
 
 impl Ftl {
@@ -158,6 +163,9 @@ impl Ftl {
             in_recovery: false,
             read_only: None,
             op_origin: OpOrigin::Host,
+            scrub_cursor: 0,
+            next_scrub_at: (cfg.aging.is_active() && cfg.aging.scrub_period > 0)
+                .then_some(cfg.aging.scrub_period),
             cfg,
         }
     }
@@ -187,6 +195,24 @@ impl Ftl {
     pub fn arm_faults(&mut self, faults: FaultConfig) {
         self.injector = FaultInjector::new(faults.clone());
         self.cfg.faults = faults;
+    }
+
+    /// Replace the armed aging model. Like faults, aging is armed *after*
+    /// warm-up so the steady-state population is built on a byte-identical
+    /// fresh device; the first patrol-scrub pass is scheduled one period
+    /// after `now`.
+    pub fn arm_aging(&mut self, aging: AgingConfig, now: SimTime) {
+        self.next_scrub_at = (aging.is_active() && aging.scrub_period > 0)
+            .then(|| now.saturating_add(aging.scrub_period));
+        self.cfg.aging = aging;
+    }
+
+    /// Apply `cycles` of uniform background P/E wear to every block — the
+    /// accelerated-lifetime lever the soak harness pulls between epochs.
+    /// Stored as an offset outside the per-block erase counts so the GC
+    /// victim index never needs rebuilding.
+    pub fn advance_wear(&mut self, cycles: u32) {
+        self.blocks.add_wear_offset(cycles);
     }
 
     /// Accumulated statistics.
@@ -252,7 +278,18 @@ impl Ftl {
 
     /// Translate and classify a host read of `lpn`. Returns `None` if the
     /// LPN was never written (the host reads zeros; no flash work).
+    ///
+    /// Equivalent to [`Ftl::read_at`] at time zero — callers that do not
+    /// track simulated time (tests, benches) see no aging contribution.
     pub fn read(&mut self, lpn: Lpn) -> Option<ReadOp> {
+        self.read_at(lpn, 0)
+    }
+
+    /// Translate and classify a host read of `lpn` issued at `now`,
+    /// charging the wordline's read-disturb counter and stamping the
+    /// modeled RBER (0.0 while aging is disarmed) for the simulator's
+    /// retry ladder.
+    pub fn read_at(&mut self, lpn: Lpn, now: SimTime) -> Option<ReadOp> {
         let page = self.map.translate(lpn)?;
         self.stats.host_reads += 1;
         let fault_attempts = if self.in_recovery {
@@ -263,6 +300,29 @@ impl Ftl {
         if fault_attempts > 0 {
             self.stats.transient_read_faults += 1;
         }
+        let rber = if self.cfg.aging.is_active() && !self.in_recovery {
+            let block = page.block(&self.geometry);
+            let wl = page
+                .wordline(&self.geometry)
+                .offset_in_block(&self.geometry);
+            let wl_reads = self.blocks.record_wl_read(block, wl);
+            // Retention age runs from block close; an open block's data is
+            // by definition freshly programmed.
+            let age = match self.blocks.state(block) {
+                BlockState::Closed | BlockState::Ida => {
+                    now.saturating_sub(self.blocks.closed_at(block))
+                }
+                _ => 0,
+            };
+            let r = self
+                .cfg
+                .aging
+                .rber(self.blocks.effective_wear(block), wl_reads, age);
+            self.stats.rber_e9_sum += (r * 1e9) as u64;
+            r
+        } else {
+            0.0
+        };
         let ty = page.page_type(&self.geometry);
         let senses = self.senses_for(page);
         let scenario = self.classify_read(page, ty);
@@ -277,6 +337,7 @@ impl Ftl {
             die: page.die(&self.geometry),
             channel: page.channel(&self.geometry),
             fault_attempts,
+            rber,
         })
     }
 
@@ -529,6 +590,167 @@ impl Ftl {
             }
         }
         ops
+    }
+
+    /// When the next patrol-scrub pass is due. `None` while aging is
+    /// disarmed, scrub is disabled, or the device can no longer relocate
+    /// (power lost / read-only).
+    pub fn next_scrub_due(&self) -> Option<SimTime> {
+        if self.power_lost || self.read_only.is_some() {
+            return None;
+        }
+        self.next_scrub_at
+    }
+
+    /// Run one patrol-scrub pass: examine the next `scrub_chunk` blocks,
+    /// relocate wordlines whose read-disturb count or retention age
+    /// crossed the armed thresholds, then let the wear-leveler migrate
+    /// cold data off the least-worn block if the wear spread exceeds its
+    /// target. Returns the background flash ops; reschedules itself one
+    /// scrub period out.
+    pub fn run_scrub_pass(&mut self, now: SimTime) -> Vec<FlashOp> {
+        let mut ops = Vec::new();
+        let Some(due) = self.next_scrub_due() else {
+            return ops;
+        };
+        if now < due {
+            return ops;
+        }
+        let aging = self.cfg.aging.clone();
+        let saved = self.op_origin;
+        self.op_origin = OpOrigin::Refresh;
+        let total = self.geometry.total_blocks();
+        let mut scanned = 0u32;
+        let mut relocated = 0u32;
+        'scan: for _ in 0..aging.scrub_chunk.min(total) {
+            if self.power_lost || self.read_only.is_some() {
+                break;
+            }
+            let b = BlockAddr(self.scrub_cursor);
+            self.scrub_cursor = (self.scrub_cursor + 1) % total;
+            scanned += 1;
+            if !matches!(self.blocks.state(b), BlockState::Closed | BlockState::Ida) {
+                continue;
+            }
+            let age = now.saturating_sub(self.blocks.closed_at(b));
+            let retention_risk = aging.retention_threshold > 0 && age >= aging.retention_threshold;
+            for wl in 0..self.geometry.wordlines_per_block {
+                let disturbed = aging.disturb_threshold > 0
+                    && self.blocks.wl_reads(b, wl) >= aging.disturb_threshold;
+                if !retention_risk && !disturbed {
+                    continue;
+                }
+                for bit in 0..self.geometry.bits_per_cell as u8 {
+                    let page = self.block_page(b, wl, bit);
+                    if !self.map.is_valid(page) {
+                        continue;
+                    }
+                    ops.push(self.read_op(page, Priority::Background));
+                    if !self.relocate_page(page, now, None, &mut ops) {
+                        break 'scan;
+                    }
+                    self.stats.scrub_relocations += 1;
+                    relocated += 1;
+                }
+            }
+        }
+        let wear_moves = self.wear_level_pass(now, &aging, &mut ops);
+        self.stats.scrub_passes += 1;
+        self.trace.emit_with(|| TraceEvent::ScrubPass {
+            t: now,
+            scanned,
+            relocated,
+            wear_moves,
+        });
+        self.next_scrub_at = Some(now.saturating_add(aging.scrub_period.max(1)));
+        self.op_origin = saved;
+        ops
+    }
+
+    /// Migrate valid data off the coldest (least-worn) block when the
+    /// device's wear spread exceeds the armed target, then erase it so it
+    /// rejoins the hot allocation rotation. Returns pages moved.
+    fn wear_level_pass(
+        &mut self,
+        now: SimTime,
+        aging: &AgingConfig,
+        ops: &mut Vec<FlashOp>,
+    ) -> u32 {
+        if self.power_lost || self.read_only.is_some() || aging.wear_spread_target == 0 {
+            return 0;
+        }
+        let summary = self.blocks.wear_summary();
+        if summary.spread <= aging.wear_spread_target {
+            return 0;
+        }
+        let Some(cold) = self.blocks.coldest_block(self.refresh_target) else {
+            return 0;
+        };
+        let mut moves = 0u32;
+        for off in 0..self.geometry.pages_per_block() {
+            let page = cold.page(&self.geometry, off);
+            if !self.map.is_valid(page) {
+                continue;
+            }
+            ops.push(self.read_op(page, Priority::Background));
+            if !self.relocate_page(page, now, None, ops) {
+                return moves;
+            }
+            self.stats.wear_level_moves += 1;
+            moves += 1;
+        }
+        if !self.power_lost && self.read_only.is_none() && self.blocks.valid_pages(cold) == 0 {
+            self.erase_block(cold, now, ops);
+        }
+        self.trace.emit_with(|| TraceEvent::WearLevel {
+            t: now,
+            block: cold.0 as u64,
+            moves,
+            spread: summary.spread,
+        });
+        moves
+    }
+
+    /// Handle a read whose retry ladder exhausted: the final heroic read
+    /// recovered the data, so it is immediately relocated to a fresh block
+    /// and remapped (never silent corruption — the at-risk physical page
+    /// is retired from service until its block's next erase). Returns the
+    /// background relocation ops.
+    pub fn handle_uncorrectable(&mut self, lpn: Lpn, page: PageAddr, now: SimTime) -> Vec<FlashOp> {
+        let mut ops = Vec::new();
+        self.stats.ecc_uncorrectables += 1;
+        let block = page.block(&self.geometry);
+        self.trace.emit_with(|| TraceEvent::EccUncorrectable {
+            t: now,
+            lpn: lpn.0,
+            page: page.0,
+            block: block.0 as u64,
+            attempts: self.cfg.aging.ladder_depth,
+        });
+        if self.power_lost || self.read_only.is_some() {
+            return ops;
+        }
+        // The map may have moved the page since the read was issued
+        // (refresh/GC raced it); the data is safe elsewhere — nothing to do.
+        if self.map.owner(page) != Some(lpn) {
+            return ops;
+        }
+        let saved = self.op_origin;
+        self.op_origin = OpOrigin::Refresh;
+        self.relocate_page(page, now, None, &mut ops);
+        self.op_origin = saved;
+        ops
+    }
+
+    /// Account `extra` ladder retry attempts charged by the simulator.
+    pub fn note_ladder_retries(&mut self, extra: u32) {
+        self.stats.ladder_retries += u64::from(extra);
+    }
+
+    /// Whether `lpn` currently maps to a physical page (soak-harness
+    /// invariant: every acked write stays mapped for the device lifetime).
+    pub fn is_mapped(&self, lpn: Lpn) -> bool {
+        self.map.translate(lpn).is_some()
     }
 
     /// Refresh one block immediately (also used by tests and experiments

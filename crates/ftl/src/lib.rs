@@ -48,6 +48,7 @@ pub mod ops;
 pub mod refresh;
 pub mod stats;
 
+pub use block::WearSummary;
 pub use config::{CodingVariant, FtlConfig};
 pub use error::FtlError;
 pub use ftl::{Ftl, RecoveryReport};

@@ -144,7 +144,7 @@ impl ReadScenario {
 
 /// A translated host read: the physical page plus everything the simulator
 /// needs to time and classify it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReadOp {
     /// Physical page to sense.
     pub page: PageAddr,
@@ -162,6 +162,9 @@ pub struct ReadOp {
     /// happy path); the simulator charges extra sensing plus controller
     /// backoff per attempt.
     pub fault_attempts: u32,
+    /// Modeled raw bit error rate of the wordline at translation time
+    /// (0.0 when aging is disarmed); drives the read-retry ladder.
+    pub rber: f64,
 }
 
 #[cfg(test)]

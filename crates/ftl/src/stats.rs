@@ -42,6 +42,19 @@ pub struct FtlStats {
     pub recoveries: u64,
     /// Host writes rejected because the device degraded to read-only.
     pub rejected_writes: u64,
+    /// Patrol-scrub passes completed.
+    pub scrub_passes: u64,
+    /// Pages relocated by patrol scrub (disturb/retention at-risk).
+    pub scrub_relocations: u64,
+    /// Pages migrated off cold low-wear blocks by the wear-leveler.
+    pub wear_level_moves: u64,
+    /// Reads whose retry ladder exhausted; data recovered by relocation.
+    pub ecc_uncorrectables: u64,
+    /// Extra sense attempts taken by the RBER-driven retry ladder.
+    pub ladder_retries: u64,
+    /// Sum of modeled per-read RBER, in units of 1e-9 (integer so the
+    /// accumulator stays byte-identical across worker counts).
+    pub rber_e9_sum: u64,
     /// Refresh overhead accounting (Table IV quantities).
     pub refresh_overhead: RefreshOverhead,
 }

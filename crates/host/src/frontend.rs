@@ -319,16 +319,19 @@ impl MultiTenantSource {
         }
     }
 
-    /// DRR pick: the next tenant allowed to dispatch its queue head.
-    /// Returns `None` when every queue is empty.
-    fn drr_pick(&mut self) -> Option<usize> {
+    /// DRR pick: pop and return the queue head of the next tenant allowed
+    /// to dispatch, with its index. Returns `None` when every queue is
+    /// empty. Popping here (rather than returning the index and popping
+    /// at the call site) keeps "a picked tenant has a head" a local fact
+    /// instead of a cross-method invariant a caller must `expect`.
+    fn drr_pick(&mut self) -> Option<(usize, QueuedReq)> {
         if self.tenants.iter().all(|t| t.queue.is_empty()) {
             return None;
         }
         let n = self.tenants.len();
         loop {
             let t = &mut self.tenants[self.cursor];
-            let Some(head) = t.queue.front() else {
+            let Some(&head) = t.queue.front() else {
                 // An emptied queue forfeits its savings (classic DRR).
                 t.deficit = 0;
                 self.visit_refilled = false;
@@ -338,7 +341,8 @@ impl MultiTenantSource {
             let cost = head.op.pages.max(1) as u64;
             if t.deficit >= cost {
                 t.deficit -= cost;
-                return Some(self.cursor);
+                t.queue.pop_front();
+                return Some((self.cursor, head));
             }
             // One refill per visit (not per dispatch, or a backlogged
             // tenant would hold the cursor forever); a head still
@@ -348,7 +352,8 @@ impl MultiTenantSource {
                 t.deficit += self.cfg.quantum_pages * t.cfg.weight as u64;
                 if t.deficit >= cost {
                     t.deficit -= cost;
-                    return Some(self.cursor);
+                    t.queue.pop_front();
+                    return Some((self.cursor, head));
                 }
             }
             self.visit_refilled = false;
@@ -392,9 +397,8 @@ impl ArrivalSource for MultiTenantSource {
                     Pull::Done
                 };
             }
-            if let Some(idx) = self.drr_pick() {
+            if let Some((idx, q)) = self.drr_pick() {
                 let t = &mut self.tenants[idx];
-                let q = t.queue.pop_front().expect("picked tenant has a head");
                 t.counters.dispatched += 1;
                 self.in_flight += 1;
                 let token = self.meta.len() as u64;

@@ -163,14 +163,57 @@ pub enum TraceEvent {
         /// Adjustment completion (die program track freed).
         end: SimNs,
     },
-    /// A host read needed extra sensing attempts (read retry).
+    /// A host read needed extra sensing attempts (read retry), from the
+    /// RBER-driven ladder and/or injected transient faults.
     ReadRetry {
         /// Start time of the retried read.
         t: SimNs,
         /// Executing die.
         die: u32,
+        /// The host request the retried read served.
+        req: u64,
         /// Extra attempts beyond the first.
         extra: u32,
+        /// Array cost of one attempt, ns (`extra × attempt_ns` is the
+        /// span's `retry` phase charge for this read).
+        attempt_ns: SimNs,
+    },
+    /// A read exhausted its retry ladder; the data was recovered by the
+    /// final heroic read and relocated to a fresh block (never silent
+    /// corruption).
+    EccUncorrectable {
+        /// Exhaustion time.
+        t: SimNs,
+        /// Logical page being read.
+        lpn: u64,
+        /// The at-risk physical page (retired until its block's erase).
+        page: u64,
+        /// Block holding the page.
+        block: u64,
+        /// Ladder attempts charged before exhaustion.
+        attempts: u32,
+    },
+    /// A background patrol-scrub pass completed.
+    ScrubPass {
+        /// Pass time.
+        t: SimNs,
+        /// Blocks examined this pass.
+        scanned: u32,
+        /// At-risk pages relocated (disturb/retention thresholds).
+        relocated: u32,
+        /// Pages migrated by the wear-leveler this pass.
+        wear_moves: u32,
+    },
+    /// The wear-leveler migrated cold data off the least-worn block.
+    WearLevel {
+        /// Migration time.
+        t: SimNs,
+        /// The cold block emptied and erased.
+        block: u64,
+        /// Valid pages migrated.
+        moves: u32,
+        /// Device wear spread (max − min erase count) that triggered it.
+        spread: u32,
     },
     /// Garbage collection reclaimed one victim block.
     GcRun {
@@ -362,6 +405,9 @@ impl TraceEvent {
             | TraceEvent::FlashErase { t, .. }
             | TraceEvent::VoltageAdjust { t, .. }
             | TraceEvent::ReadRetry { t, .. }
+            | TraceEvent::EccUncorrectable { t, .. }
+            | TraceEvent::ScrubPass { t, .. }
+            | TraceEvent::WearLevel { t, .. }
             | TraceEvent::GcRun { t, .. }
             | TraceEvent::RefreshBlock { t, .. }
             | TraceEvent::IdaConversion { t, .. }
@@ -393,6 +439,9 @@ impl TraceEvent {
             TraceEvent::FlashErase { .. } => "erase",
             TraceEvent::VoltageAdjust { .. } => "voltage_adjust",
             TraceEvent::ReadRetry { .. } => "read_retry",
+            TraceEvent::EccUncorrectable { .. } => "ecc_uncorrectable",
+            TraceEvent::ScrubPass { .. } => "scrub_pass",
+            TraceEvent::WearLevel { .. } => "wear_level",
             TraceEvent::GcRun { .. } => "gc_run",
             TraceEvent::RefreshBlock { .. } => "refresh_block",
             TraceEvent::IdaConversion { .. } => "ida_conversion",
@@ -430,8 +479,12 @@ impl TraceEvent {
             | TraceEvent::VoltageAdjust { .. }
             | TraceEvent::ReadRetry { .. } => "ftl",
             TraceEvent::GcRun { .. } => "gc",
-            TraceEvent::RefreshBlock { .. } | TraceEvent::IdaConversion { .. } => "refresh",
-            TraceEvent::FaultProgramFail { .. }
+            TraceEvent::RefreshBlock { .. }
+            | TraceEvent::IdaConversion { .. }
+            | TraceEvent::ScrubPass { .. }
+            | TraceEvent::WearLevel { .. } => "refresh",
+            TraceEvent::EccUncorrectable { .. }
+            | TraceEvent::FaultProgramFail { .. }
             | TraceEvent::WriteRedirect { .. }
             | TraceEvent::FaultEraseFail { .. }
             | TraceEvent::BlockRetired { .. }
@@ -541,9 +594,46 @@ impl TraceEvent {
                 .u64("die", *die as u64)
                 .u64("block", *block)
                 .u64("end", *end),
-            TraceEvent::ReadRetry { die, extra, .. } => {
-                o.u64("die", *die as u64).u64("extra", *extra as u64)
-            }
+            TraceEvent::ReadRetry {
+                die,
+                req,
+                extra,
+                attempt_ns,
+                ..
+            } => o
+                .u64("die", *die as u64)
+                .u64("req", *req)
+                .u64("extra", *extra as u64)
+                .u64("attempt_ns", *attempt_ns),
+            TraceEvent::EccUncorrectable {
+                lpn,
+                page,
+                block,
+                attempts,
+                ..
+            } => o
+                .u64("lpn", *lpn)
+                .u64("page", *page)
+                .u64("block", *block)
+                .u64("attempts", *attempts as u64),
+            TraceEvent::ScrubPass {
+                scanned,
+                relocated,
+                wear_moves,
+                ..
+            } => o
+                .u64("scanned", *scanned as u64)
+                .u64("relocated", *relocated as u64)
+                .u64("wear_moves", *wear_moves as u64),
+            TraceEvent::WearLevel {
+                block,
+                moves,
+                spread,
+                ..
+            } => o
+                .u64("block", *block)
+                .u64("moves", *moves as u64)
+                .u64("spread", *spread as u64),
             TraceEvent::GcRun { block, copies, .. } => {
                 o.u64("block", *block).u64("copies", *copies as u64)
             }
@@ -1051,6 +1141,56 @@ mod tests {
         );
         assert_eq!(slo.kind(), "slo_status");
         assert_eq!(slo.class(), "host");
+    }
+
+    #[test]
+    fn aging_events_encode_stably() {
+        let retry = TraceEvent::ReadRetry {
+            t: 7,
+            die: 2,
+            req: 5,
+            extra: 3,
+            attempt_ns: 50_000,
+        };
+        assert_eq!(
+            retry.to_json_line(),
+            r#"{"ev":"read_retry","t":7,"die":2,"req":5,"extra":3,"attempt_ns":50000}"#
+        );
+        assert_eq!(retry.class(), "ftl");
+        let ecc = TraceEvent::EccUncorrectable {
+            t: 8,
+            lpn: 1,
+            page: 2,
+            block: 3,
+            attempts: 5,
+        };
+        assert_eq!(
+            ecc.to_json_line(),
+            r#"{"ev":"ecc_uncorrectable","t":8,"lpn":1,"page":2,"block":3,"attempts":5}"#
+        );
+        assert_eq!(ecc.class(), "fault");
+        let scrub = TraceEvent::ScrubPass {
+            t: 9,
+            scanned: 8,
+            relocated: 2,
+            wear_moves: 1,
+        };
+        assert_eq!(
+            scrub.to_json_line(),
+            r#"{"ev":"scrub_pass","t":9,"scanned":8,"relocated":2,"wear_moves":1}"#
+        );
+        assert_eq!(scrub.class(), "refresh");
+        let wl = TraceEvent::WearLevel {
+            t: 10,
+            block: 4,
+            moves: 6,
+            spread: 17,
+        };
+        assert_eq!(
+            wl.to_json_line(),
+            r#"{"ev":"wear_level","t":10,"block":4,"moves":6,"spread":17}"#
+        );
+        assert_eq!(wl.class(), "refresh");
     }
 
     #[test]

@@ -366,6 +366,14 @@ impl Report {
             .u64("recoveries", f.recoveries)
             .u64("rejected_writes", f.rejected_writes)
             .finish();
+        let aging = JsonObj::new()
+            .u64("scrub_passes", f.scrub_passes)
+            .u64("scrub_relocations", f.scrub_relocations)
+            .u64("wear_level_moves", f.wear_level_moves)
+            .u64("ecc_uncorrectables", f.ecc_uncorrectables)
+            .u64("ladder_retries", f.ladder_retries)
+            .u64("rber_e9_sum", f.rber_e9_sum)
+            .finish();
         JsonObj::new()
             .raw("reads", &self.reads.to_json())
             .raw("writes", &self.writes.to_json())
@@ -378,6 +386,7 @@ impl Report {
             .f64("throughput_mibps", self.throughput_mibps())
             .raw("ftl", &counters)
             .raw("faults", &faults)
+            .raw("aging", &aging)
             .u64("in_use_blocks", self.in_use_blocks as u64)
             .u64("events_processed", self.events_processed)
             .u64("flash_ops", self.flash_ops)
@@ -502,6 +511,32 @@ impl Report {
                 ("rejected writes", f.rejected_writes),
             ] {
                 row(&mut out, k, v.to_string());
+            }
+        }
+        let any_aging = f.scrub_passes
+            + f.scrub_relocations
+            + f.wear_level_moves
+            + f.ecc_uncorrectables
+            + f.ladder_retries
+            + f.rber_e9_sum
+            > 0;
+        if any_aging {
+            out.push_str("aging:\n");
+            for (k, v) in [
+                ("scrub passes", f.scrub_passes),
+                ("scrub relocations", f.scrub_relocations),
+                ("wear-level moves", f.wear_level_moves),
+                ("ecc uncorrectables", f.ecc_uncorrectables),
+                ("ladder retries", f.ladder_retries),
+            ] {
+                row(&mut out, k, v.to_string());
+            }
+            if f.host_reads > 0 {
+                row(
+                    &mut out,
+                    "mean rber",
+                    format!("{:.2e}", f.rber_e9_sum as f64 / 1e9 / f.host_reads as f64),
+                );
             }
         }
         out

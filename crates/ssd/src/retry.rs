@@ -93,6 +93,64 @@ impl RetryModel {
     }
 }
 
+/// The RBER-driven multi-step read-retry ladder (the aging-aware
+/// replacement for the flat [`RetryModel`] draw).
+///
+/// The first-attempt decode-failure probability of one read is
+/// `min(rber × senses × gain, 0.9)` — proportional to the wordline's
+/// modeled RBER *and* to how many sensing levels the read must resolve,
+/// so IDA-coded wordlines (fewer senses) climb a shallower ladder: the
+/// paper's mechanism, now reliability-coupled. Each successive retry
+/// shifts the read voltages and halves the failure probability; a read
+/// still failing after `depth` extra attempts is declared
+/// ECC-uncorrectable and handled by relocation-and-remap upstream.
+///
+/// Determinism: reads with zero ladder probability consume no RNG draw,
+/// so arming the ladder does not perturb unrelated random streams.
+#[derive(Debug, Clone)]
+pub struct ReadLadder {
+    gain: f64,
+    depth: u32,
+    rng: Rng64,
+}
+
+impl ReadLadder {
+    /// A ladder with the given RBER→failure-probability `gain` and
+    /// maximum extra attempts `depth`, drawing from a private seeded
+    /// stream.
+    pub fn new(gain: f64, depth: u32, seed: u64) -> Self {
+        ReadLadder {
+            gain,
+            depth,
+            rng: Rng64::seed_from_u64(seed),
+        }
+    }
+
+    /// Maximum extra attempts before a read is uncorrectable.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Sample one read: returns `(extra_attempts, uncorrectable)`.
+    /// `uncorrectable` means the ladder exhausted all `depth` steps
+    /// (the charged extras equal `depth`).
+    pub fn sample(&mut self, rber: f64, senses: u32) -> (u32, bool) {
+        let mut p = (rber * senses as f64 * self.gain).min(0.9);
+        if p <= 0.0 || self.depth == 0 {
+            return (0, false);
+        }
+        let mut extra = 0;
+        while self.rng.gen_bool(p) {
+            extra += 1;
+            if extra >= self.depth {
+                return (self.depth, true);
+            }
+            p /= 2.0;
+        }
+        (extra, false)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +187,49 @@ mod tests {
     #[should_panic(expected = "failure probability")]
     fn certain_failure_rejected() {
         let _ = RetryConfig::late_lifetime(1.0, 0);
+    }
+
+    #[test]
+    fn ladder_is_inert_at_zero_rber_and_draws_nothing() {
+        let mut a = ReadLadder::new(40.0, 5, 7);
+        for _ in 0..100 {
+            assert_eq!(a.sample(0.0, 4), (0, false));
+        }
+        // No draws were consumed: the next nonzero sample matches a fresh
+        // ladder's first sample exactly.
+        let mut b = ReadLadder::new(40.0, 5, 7);
+        assert_eq!(a.sample(1e-3, 4), b.sample(1e-3, 4));
+    }
+
+    #[test]
+    fn ladder_depth_scales_with_senses() {
+        // More sensing levels → higher first-attempt failure probability
+        // → more mean extras: the IDA mechanism, reliability-coupled.
+        let n = 20_000;
+        let mean = |senses: u32| {
+            let mut l = ReadLadder::new(40.0, 5, 0xA9E);
+            (0..n).map(|_| l.sample(2e-3, senses).0 as u64).sum::<u64>() as f64 / n as f64
+        };
+        let one = mean(1);
+        let four = mean(4);
+        assert!(
+            four > one * 1.5,
+            "4-sense reads must retry more: {one} vs {four}"
+        );
+    }
+
+    #[test]
+    fn ladder_exhaustion_is_uncorrectable() {
+        // Saturated probability (0.9 per step, halving) still exhausts
+        // eventually; uncorrectable iff extras == depth.
+        let mut l = ReadLadder::new(1e9, 3, 3);
+        let mut saw_uncorrectable = false;
+        for _ in 0..5_000 {
+            let (extra, unc) = l.sample(1.0, 4);
+            assert!(extra <= 3);
+            assert_eq!(unc, extra == 3);
+            saw_uncorrectable |= unc;
+        }
+        assert!(saw_uncorrectable);
     }
 }

@@ -4,9 +4,9 @@ use crate::config::SsdConfig;
 use crate::event::EventQueue;
 use crate::metrics::Report;
 use crate::request::{HostOp, HostOpKind, PendingRequest};
-use crate::retry::RetryModel;
+use crate::retry::{ReadLadder, RetryModel};
 use crate::source::{ArrivalSource, Pull};
-use ida_faults::FaultConfig;
+use ida_faults::{AgingConfig, FaultConfig};
 use ida_flash::addr::BlockAddr;
 use ida_flash::timing::SimTime;
 use ida_ftl::block::BlockState;
@@ -185,6 +185,10 @@ pub struct Simulator {
     cfg: SsdConfig,
     ftl: Ftl,
     retry: RetryModel,
+    /// The RBER-driven read-retry ladder, armed with the aging model
+    /// (`None` while aging is off — reads take the flat [`RetryModel`]
+    /// draw only).
+    ladder: Option<ReadLadder>,
     dies: Vec<DieState>,
     channels: Vec<SimTime>,
     /// Base simulation time: measured runs start where warmup ended.
@@ -225,6 +229,13 @@ impl Simulator {
         Simulator {
             ftl: Ftl::new(cfg.ftl.clone()),
             retry: RetryModel::new(cfg.retry),
+            ladder: (cfg.ftl.aging.is_active() && cfg.ftl.aging.ladder_depth > 0).then(|| {
+                ReadLadder::new(
+                    cfg.ftl.aging.ladder_gain,
+                    cfg.ftl.aging.ladder_depth,
+                    cfg.ftl.aging.seed,
+                )
+            }),
             dies: (0..g.total_dies()).map(|_| DieState::default()).collect(),
             channels: vec![0; g.channels as usize],
             cfg,
@@ -346,6 +357,41 @@ impl Simulator {
     pub fn arm_faults(&mut self, faults: FaultConfig) {
         self.cfg.ftl.faults = faults.clone();
         self.ftl.arm_faults(faults);
+    }
+
+    /// Arm (or replace) the device-aging model: the FTL starts charging
+    /// read-disturb counters and stamping RBER, the retry ladder replaces
+    /// the flat draw, and the first patrol-scrub pass is scheduled one
+    /// period from now. Soak runs arm aging *after* warm-up so the warmed
+    /// population is byte-identical to an aging-free run.
+    pub fn arm_aging(&mut self, aging: AgingConfig) {
+        self.ladder = (aging.is_active() && aging.ladder_depth > 0)
+            .then(|| ReadLadder::new(aging.ladder_gain, aging.ladder_depth, aging.seed));
+        self.cfg.ftl.aging = aging.clone();
+        self.ftl.arm_aging(aging, self.clock);
+    }
+
+    /// Apply `cycles` of uniform background P/E wear to every block (the
+    /// accelerated-lifetime lever pulled between soak epochs).
+    pub fn advance_wear(&mut self, cycles: u32) {
+        self.ftl.advance_wear(cycles);
+    }
+
+    /// Jump the simulation clock forward by `ns` without serving any
+    /// requests: models device idle time between soak epochs. Retention
+    /// clocks age across the gap and any patrol scrub or refresh that
+    /// falls due fires at the start of the next `run`.
+    pub fn advance_time(&mut self, ns: u64) {
+        self.clock = self.clock.saturating_add(ns);
+    }
+
+    /// The earliest pending background maintenance instant — data refresh
+    /// or patrol scrub, whichever is due first.
+    fn next_background_due(&self) -> Option<SimTime> {
+        match (self.ftl.next_refresh_due(), self.ftl.next_scrub_due()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Run the power-loss recovery scan and charge its cost: every die and
@@ -536,6 +582,15 @@ impl Simulator {
                     self.recover_now(now);
                 }
             }
+            // ... then any due patrol-scrub pass (same dirty-die path, so
+            // scrub traffic never preempts queued host reads).
+            if self.ftl.next_scrub_due().is_some_and(|d| d <= now) {
+                let ops = self.ftl.run_scrub_pass(now);
+                self.enqueue_all(now, ops, None);
+                if self.ftl.power_lost() {
+                    self.recover_now(now);
+                }
+            }
             match ev {
                 Ev::Arrival(i) => {
                     let host = trace[i];
@@ -616,9 +671,9 @@ impl Simulator {
             if all_arrived && completed == requests.len() {
                 break;
             }
-            // Keep a wake event pending for the next refresh so idle gaps
-            // still run refreshes at the right time.
-            if let Some(due) = self.ftl.next_refresh_due() {
+            // Keep a wake event pending for the next refresh/scrub so idle
+            // gaps still run background maintenance at the right time.
+            if let Some(due) = self.next_background_due() {
                 let due = due.max(now);
                 if wake_at.is_none_or(|w| due < w) {
                     events.push(due, Ev::RefreshWake);
@@ -726,6 +781,15 @@ impl Simulator {
             // Serve due refreshes before anything else at this instant.
             if self.ftl.next_refresh_due().is_some_and(|d| d <= now) {
                 let ops = self.ftl.run_due_refreshes(now);
+                self.enqueue_all(now, ops, None);
+                if self.ftl.power_lost() {
+                    self.recover_now(now);
+                }
+            }
+            // ... then any due patrol-scrub pass (same dirty-die path, so
+            // scrub traffic never preempts queued host reads).
+            if self.ftl.next_scrub_due().is_some_and(|d| d <= now) {
+                let ops = self.ftl.run_scrub_pass(now);
                 self.enqueue_all(now, ops, None);
                 if self.ftl.power_lost() {
                     self.recover_now(now);
@@ -859,7 +923,7 @@ impl Simulator {
             if source_done && !arrival_pending && completed == requests.len() {
                 break;
             }
-            if let Some(due) = self.ftl.next_refresh_due() {
+            if let Some(due) = self.next_background_due() {
                 let due = due.max(now);
                 if wake_at.is_none_or(|w| due < w) {
                     events.push(due, Ev::RefreshWake);
@@ -931,7 +995,7 @@ impl Simulator {
                 report.bytes_read += host.pages as u64 * page_bytes;
                 let mut ops = Vec::new();
                 for lpn in host.lpns() {
-                    if let Some(read) = self.ftl.read(Lpn(lpn)) {
+                    if let Some(read) = self.ftl.read_at(Lpn(lpn), now) {
                         report.breakdown.record(read.scenario);
                         self.trace.emit_with(|| TraceEvent::ReadIssued {
                             t: now,
@@ -960,6 +1024,17 @@ impl Simulator {
                                 backoff_ns,
                             });
                         }
+                        // The RBER-driven ladder: extra attempts scale
+                        // with the wordline's modeled error rate *and* its
+                        // sense count, so IDA-coded wordlines climb a
+                        // shallower ladder.
+                        let (ladder_extra, uncorrectable) = match self.ladder.as_mut() {
+                            Some(l) if read.rber > 0.0 => l.sample(read.rber, read.senses),
+                            _ => (0, false),
+                        };
+                        if ladder_extra > 0 {
+                            self.ftl.note_ladder_retries(ladder_extra);
+                        }
                         ops.push((
                             FlashOp {
                                 kind: FlashOpKind::Read {
@@ -973,7 +1048,16 @@ impl Simulator {
                                 origin: OpOrigin::Host,
                             },
                             read.fault_attempts,
+                            ladder_extra,
                         ));
+                        if uncorrectable {
+                            // The full ladder was charged to the read
+                            // above; the recovered data relocates to a
+                            // fresh block in the background (remap —
+                            // never silent corruption).
+                            let bg = self.ftl.handle_uncorrectable(Lpn(lpn), read.page, now);
+                            self.enqueue_all(now, bg, None);
+                        }
                     }
                 }
                 requests[req_idx].outstanding = self.enqueue_faulted(now, ops, Some(req_idx));
@@ -1044,21 +1128,21 @@ impl Simulator {
         ops: impl IntoIterator<Item = FlashOp>,
         req: Option<usize>,
     ) -> u32 {
-        self.enqueue_faulted(now, ops.into_iter().map(|op| (op, 0)), req)
+        self.enqueue_faulted(now, ops.into_iter().map(|op| (op, 0, 0)), req)
     }
 
     /// Like [`Self::enqueue_all`], but each op carries the transient-fault
-    /// retry count its read must absorb.
+    /// retry count and the ladder retry count its read must absorb.
     fn enqueue_faulted(
         &mut self,
         now: SimTime,
-        ops: impl IntoIterator<Item = (FlashOp, u32)>,
+        ops: impl IntoIterator<Item = (FlashOp, u32, u32)>,
         req: Option<usize>,
     ) -> u32 {
         let backoff = self.cfg.ftl.faults.transient_backoff_ns;
         let spans = self.spans;
         let mut linked_count = 0;
-        for (op, fault_attempts) in ops {
+        for (op, fault_attempts, ladder_retries) in ops {
             let linked = match op.priority {
                 Priority::HostRead | Priority::HostWrite => req,
                 Priority::Background => None,
@@ -1069,7 +1153,7 @@ impl Simulator {
             let retries = if matches!(op.kind, FlashOpKind::Read { .. })
                 && op.priority == Priority::HostRead
             {
-                self.retry.sample_retries()
+                ladder_retries + self.retry.sample_retries()
             } else {
                 0
             };
@@ -1226,6 +1310,10 @@ impl Simulator {
             let background = op.priority == Priority::Background;
             let block = op.block.0 as u64;
             let page = op.page.map_or(0, |p| p.0);
+            // Per-attempt array cost of a read, captured for the
+            // `read_retry` event (validators cross-check it against the
+            // span's retry phase).
+            let mut read_attempt_ns: SimTime = 0;
             let (completion, die_held_until) = match op.kind {
                 FlashOpKind::Read { senses } => {
                     // Sense (× retries, including injected transient-fault
@@ -1234,6 +1322,7 @@ impl Simulator {
                     // holds the bus for the whole read), then ECC decode
                     // and any fault backoff off the critical resource.
                     let attempts = (1 + sim_op.retries + sim_op.fault_attempts) as SimTime;
+                    read_attempt_ns = t.read_latency(senses);
                     let array = t.read_latency(senses) * attempts;
                     let start = now.max(channels[ch]);
                     let tx_end = start + array + t.transfer;
@@ -1343,11 +1432,18 @@ impl Simulator {
                     (end, end)
                 }
             };
-            if sim_op.retries > 0 {
+            let extra = sim_op.retries + sim_op.fault_attempts;
+            if extra > 0 {
+                // Only host reads carry retries/fault attempts, so a
+                // request linkage always exists here.
+                debug_assert!(sim_op.req.is_some(), "retried read must be host-linked");
+                let req = sim_op.req.map_or(0, |r| r as u64);
                 trace.emit_with(|| TraceEvent::ReadRetry {
                     t: now,
                     die,
-                    extra: sim_op.retries,
+                    req,
+                    extra,
+                    attempt_ns: read_attempt_ns,
                 });
             }
             // Exact busy union: hold windows open at the (monotone)

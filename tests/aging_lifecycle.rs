@@ -1,0 +1,164 @@
+//! Property tests for the device-aging reliability lifecycle: patrol
+//! scrub and wear-leveling relocate data while erase failures retire
+//! blocks underneath them. The properties:
+//!
+//! 1. relocation under erase-fail injection never deadlocks — every
+//!    driven round terminates in a bounded number of operations;
+//! 2. acknowledged data is never lost — every acked LPN stays readable,
+//!    through scrub, wear-level, GC and refresh relocation, even after
+//!    the device degrades;
+//! 3. when the spare pool drains, the device reaches read-only as a
+//!    typed error, never a panic.
+
+use ida_core::refresh::RefreshMode;
+use ida_faults::{AgingConfig, FaultConfig};
+use ida_flash::geometry::Geometry;
+use ida_ftl::{Ftl, FtlConfig, FtlError, Lpn};
+use ida_obs::rng::Rng64;
+
+/// Randomized fault plans exercised by the relocation property.
+const ROUNDS: u64 = 24;
+
+/// Build an FTL with the `high` aging preset tightened so the patrol
+/// relocates on essentially every pass (tiny disturb/retention
+/// thresholds, one-cycle wear-spread target, short period), on top of
+/// an erase/program fault plan.
+fn aging_faulty_ftl(aging_seed: u64, faults: FaultConfig) -> Ftl {
+    let mut aging = AgingConfig::preset("high", aging_seed).expect("high is a preset");
+    aging.scrub_period = 10_000;
+    aging.scrub_chunk = 64;
+    aging.disturb_threshold = 50;
+    aging.retention_threshold = 20_000;
+    aging.wear_spread_target = 1;
+    let mut ftl = Ftl::new(FtlConfig {
+        geometry: Geometry::tiny(),
+        refresh_mode: RefreshMode::Ida,
+        adjust_error_rate: 0.2,
+        refresh_period: 50_000,
+        spare_blocks_per_plane: 2,
+        faults,
+        ..FtlConfig::default()
+    });
+    ftl.arm_aging(aging, 0);
+    ftl
+}
+
+/// Drive random writes, disturb-heavy reads, refresh and patrol scrub
+/// against randomized erase/program fault plans. Each round either
+/// finishes its op budget or degrades to read-only; both are legal
+/// endings, a panic or a lost acked LPN is not.
+#[test]
+fn relocation_under_erase_faults_never_loses_acked_data() {
+    let mut rng = Rng64::seed_from_u64(0xA_61A6_11FE);
+    let mut degraded_rounds = 0u32;
+    let mut total_relocations = 0u64;
+    for round in 0..ROUNDS {
+        // Fault pressure from "annoying" to "spare-draining".
+        let erase_pct = rng.gen_range_u64(2, 40);
+        let faults = FaultConfig {
+            erase_fail_prob: erase_pct as f64 / 100.0,
+            program_fail_prob: 0.02,
+            bad_block_threshold: 1,
+            seed: rng.next_u64(),
+            ..FaultConfig::none()
+        };
+        let mut ftl = aging_faulty_ftl(rng.next_u64(), faults);
+        let logical = ftl.exported_pages();
+        let mut acked = vec![false; logical as usize];
+        let mut now = 0u64;
+        let mut degraded = false;
+        // Bounded budget: termination of this loop IS the no-deadlock
+        // property (a scrub pass that spun forever would hang here).
+        for i in 0..40_000u64 {
+            now += 1_000;
+            let lpn = rng.gen_below(logical);
+            match ftl.write(Lpn(lpn), now) {
+                Ok(_) => acked[lpn as usize] = true,
+                Err(FtlError::ReadOnly { .. }) => {
+                    degraded = true;
+                    break;
+                }
+                Err(e) => panic!("round {round}: unexpected write error {e}"),
+            }
+            // Hammer reads on a narrow stripe so read-disturb counters
+            // cross the patrol's relocation threshold.
+            if ftl.read(Lpn(lpn % 64)).is_none() && acked[(lpn % 64) as usize] {
+                panic!("round {round}: acked lpn {} unreadable mid-run", lpn % 64);
+            }
+            if i % 64 == 0 {
+                let _ = ftl.run_due_refreshes(now);
+                let _ = ftl.run_scrub_pass(now);
+            }
+        }
+        if degraded {
+            degraded_rounds += 1;
+            assert!(
+                ftl.read_only_reason().is_some(),
+                "round {round}: degraded without a read-only reason"
+            );
+            // Rejection is typed, not a panic, and is counted.
+            assert!(matches!(
+                ftl.write(Lpn(0), now + 1),
+                Err(FtlError::ReadOnly { .. })
+            ));
+            assert!(ftl.stats().rejected_writes > 0);
+        }
+        let stats = *ftl.stats();
+        total_relocations += stats.scrub_relocations + stats.wear_level_moves;
+        ftl.check_consistency()
+            .unwrap_or_else(|e| panic!("round {round} (erase {erase_pct}%): {e}"));
+        // Property 2: every acked LPN survived the relocation churn.
+        for (lpn, &was_acked) in acked.iter().enumerate() {
+            if was_acked {
+                assert!(
+                    ftl.read(Lpn(lpn as u64)).is_some(),
+                    "round {round} (erase {erase_pct}%): acked lpn {lpn} lost"
+                );
+            }
+        }
+    }
+    // The sweep of fault rates must actually exercise both regimes:
+    // patrol relocation fired, and at least one round drained the spares.
+    assert!(
+        total_relocations > 0,
+        "no scrub/wear-level relocation happened across {ROUNDS} rounds"
+    );
+    assert!(
+        degraded_rounds > 0,
+        "no round exhausted the spares across {ROUNDS} rounds"
+    );
+}
+
+/// Scrub on an already read-only device is a no-op, not a crash: the
+/// patrol must refuse to relocate into a device that cannot program.
+#[test]
+fn scrub_on_a_read_only_device_is_inert() {
+    let mut ftl = aging_faulty_ftl(
+        11,
+        FaultConfig {
+            erase_fail_prob: 0.6,
+            bad_block_threshold: 1,
+            seed: 13,
+            ..FaultConfig::none()
+        },
+    );
+    let logical = ftl.exported_pages();
+    let mut now = 0u64;
+    for i in 0..200_000u64 {
+        now += 1_000;
+        if ftl.write(Lpn(i % logical), now).is_err() {
+            break;
+        }
+    }
+    assert!(
+        ftl.read_only_reason().is_some(),
+        "fault plan failed to drain the spares"
+    );
+    assert!(ftl.next_scrub_due().is_none(), "scrub still scheduled");
+    let before = *ftl.stats();
+    let ops = ftl.run_scrub_pass(now + 1_000_000);
+    assert!(ops.is_empty(), "read-only scrub emitted flash ops");
+    assert_eq!(before.scrub_passes, ftl.stats().scrub_passes);
+    ftl.check_consistency()
+        .expect("consistent after no-op scrub");
+}

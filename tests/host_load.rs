@@ -69,8 +69,8 @@ fn load_runs_reproduce_their_payload() {
         4_000,
         42,
     );
-    let a = load_metrics_json(&run_load(&preset, &spec, &scale));
-    let b = load_metrics_json(&run_load(&preset, &spec, &scale));
+    let a = load_metrics_json(&run_load(&preset, &spec, &scale).expect("load run"));
+    let b = load_metrics_json(&run_load(&preset, &spec, &scale).expect("load run"));
     assert_eq!(a, b);
     assert!(a.contains("\"shed\":"), "payload must carry shed: {a}");
     assert!(a.contains("\"slo_met\":"), "payload must carry slo: {a}");
@@ -97,7 +97,8 @@ fn capacity_search_is_deterministic_and_ida_sustains_more() {
         hi,
         iters,
         seed,
-    );
+    )
+    .expect("capacity search");
     let ida = run_capacity(
         &preset,
         SystemUnderTest::Ida { error_rate: 0.2 },
@@ -108,7 +109,8 @@ fn capacity_search_is_deterministic_and_ida_sustains_more() {
         hi,
         iters,
         seed,
-    );
+    )
+    .expect("capacity search");
     let base_again = run_capacity(
         &preset,
         SystemUnderTest::Baseline,
@@ -119,7 +121,8 @@ fn capacity_search_is_deterministic_and_ida_sustains_more() {
         hi,
         iters,
         seed,
-    );
+    )
+    .expect("capacity search");
     assert_eq!(
         base.to_json(),
         base_again.to_json(),
