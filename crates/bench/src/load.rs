@@ -14,7 +14,8 @@
 //! scale) pair reproduces its payload byte for byte on any worker.
 
 use crate::runner::{
-    system_config, to_host_ops, warm_up, ExperimentScale, ObsOptions, SystemUnderTest,
+    system_config, to_host_ops, warm_up, warmed_simulator_cached, ExperimentScale, ObsOptions,
+    SystemUnderTest,
 };
 use ida_flash::timing::FlashTiming;
 use ida_host::{
@@ -295,6 +296,56 @@ pub fn run_load(
     scale: &ExperimentScale,
 ) -> Result<LoadRun, LoadError> {
     run_load_obs(preset, spec, scale, &ObsOptions::default())
+}
+
+/// The warm-cache-aware sweep-cell load path: the simulator warms (or
+/// forks) under the shared `warm_seed`, while the arrival processes keep
+/// deriving from the cell's own `spec.seed` — warm-ups are shared across
+/// offered-rate siblings, measured randomness stays per-cell.
+///
+/// Observability stays off on this path (snapshots carry no sinks), so
+/// the only possible failure is a simulator invariant break.
+///
+/// # Errors
+///
+/// [`LoadError::Sim`] if the simulator rejects the run.
+pub fn run_load_cached(
+    preset: &WorkloadPreset,
+    spec: &LoadSpec,
+    scale: &ExperimentScale,
+    warm_seed: u64,
+    warm: Option<&ida_sweep::WarmCache>,
+) -> Result<LoadRun, LoadError> {
+    let mut cfg = system_config(
+        spec.system,
+        scale.geometry,
+        FlashTiming::paper_tlc(),
+        RetryConfig::disabled(),
+    );
+    cfg.ftl.seed = warm_seed;
+    let (mut sim, trace) = warmed_simulator_cached(preset, cfg, scale, warm);
+    let ops = to_host_ops(&trace);
+    let frontend_cfg = FrontendConfig {
+        window: LOAD_WINDOW,
+        admission: spec.admission,
+        ..FrontendConfig::default()
+    };
+    let mut src = MultiTenantSource::new(tenant_configs(preset, ops, spec), frontend_cfg);
+    src.bind_trace(sim.trace_handle(), sim.now());
+    sim.set_spans(true);
+    let report = sim.run_source(&mut src)?;
+    let tenants = src.tenant_reports();
+    let completed: u64 = tenants.iter().map(|t| t.counters.completed).sum();
+    let span = report
+        .last_completion
+        .saturating_sub(report.first_arrival)
+        .max(1);
+    Ok(LoadRun {
+        offered_iops: spec.offered_iops,
+        achieved_iops: completed as f64 * 1e9 / span as f64,
+        report,
+        tenants,
+    })
 }
 
 /// The deterministic metrics payload of one load cell: host-side SLO

@@ -18,9 +18,19 @@ use ida_obs::gauge::GaugeSet;
 use ida_obs::trace::{FilterSink, JsonlSink, SinkHandle, TraceEvent};
 use ida_ssd::retry::RetryConfig;
 use ida_ssd::{HostOp, HostOpKind, Report, SimError, Simulator, SsdConfig};
+use ida_sweep::WarmCache;
 use ida_workloads::suite::WorkloadPreset;
 use ida_workloads::trace::{OpKind, Trace};
 use std::path::{Path, PathBuf};
+
+/// Base seed of the warm-phase RNG stream. Cells that differ only in
+/// post-warm-up axes (fault level, aging level, offered load, replay
+/// mode) derive their simulator seed from this base and their *warm*
+/// identity, so their warm-ups are bit-identical and one captured
+/// snapshot can fork into all of them. Post-warm-up randomness (fault
+/// plans, aging ladders, arrival processes, retry samplers) still
+/// derives from the full per-cell stream seed.
+pub const WARM_SEED_BASE: u64 = 0x1DA5_EEDA_B1E0_0001;
 
 /// How big an experiment run is.
 #[derive(Debug, Clone)]
@@ -317,7 +327,23 @@ pub fn run_config_faulted(
     mode: ReplayMode,
     faults: Option<FaultConfig>,
 ) -> Report {
-    let (mut sim, trace) = warmed_simulator(preset, cfg, scale);
+    run_config_faulted_cached(preset, cfg, scale, mode, faults, None)
+}
+
+/// [`run_config_faulted`] with an optional warm-state cache: on a cache
+/// hit the warm-up is skipped entirely and the simulator is restored
+/// from the captured snapshot — byte-identical state, by the snapshot
+/// layer's differential invariant, so results never depend on whether
+/// (or how often) the cache hit.
+pub fn run_config_faulted_cached(
+    preset: &WorkloadPreset,
+    cfg: SsdConfig,
+    scale: &ExperimentScale,
+    mode: ReplayMode,
+    faults: Option<FaultConfig>,
+    warm: Option<&WarmCache>,
+) -> Report {
+    let (mut sim, trace) = warmed_simulator_cached(preset, cfg, scale, warm);
     if let Some(faults) = faults {
         sim.arm_faults(faults);
     }
@@ -424,6 +450,64 @@ pub fn warmed_simulator(
 ) -> (Simulator, Trace) {
     let mut sim = Simulator::new(cfg);
     let trace = warm_up(&mut sim, preset, scale);
+    (sim, trace)
+}
+
+/// The warm-up cache key: an FNV-1a fingerprint over everything the
+/// warm-up protocol reads — the workload (which seeds every generated
+/// trace), the experiment scale (request count and refresh-period
+/// fraction shape the steady-state refresh), and the full binary-encoded
+/// [`SsdConfig`] (geometry, timing, FTL knobs, seed). Post-warm-up
+/// inputs — fault plans, aging models, arrival processes, replay mode —
+/// are deliberately *not* part of the configuration at warm time (they
+/// are armed after), so they fall out of the key and sibling cells
+/// share one warm-up.
+pub fn warm_cache_key(workload: &str, cfg: &SsdConfig, scale: &ExperimentScale) -> u64 {
+    let mut w = ida_snap::Writer::new();
+    ida_snap::Snap::encode(&workload.to_string(), &mut w);
+    ida_snap::Snap::encode(&scale.geometry, &mut w);
+    ida_snap::Snap::encode(&scale.requests, &mut w);
+    ida_snap::Snap::encode(&scale.refresh_period_frac, &mut w);
+    ida_snap::Snap::encode(cfg, &mut w);
+    ida_snap::fnv1a(&w.into_bytes())
+}
+
+/// [`warmed_simulator`] through an optional warm-state cache: the first
+/// caller per [`warm_cache_key`] runs the warm-up live and snapshots the
+/// result; everyone else forks from the captured bytes. The measured
+/// trace is regenerated directly from the preset (a pure function of
+/// workload, footprint and request count), so a hit touches no
+/// simulator at all until the fork.
+///
+/// The miss path keeps the simulator it just warmed instead of restoring
+/// from its own snapshot: the snapshot canonical-form invariant (restore
+/// → run is byte-identical to keep running, proven by the differential
+/// tests in `ida-ssd`) makes the live simulator and the fork
+/// interchangeable, and skipping the self-restore avoids a multi-MB
+/// decode per unique warm-up.
+pub fn warmed_simulator_cached(
+    preset: &WorkloadPreset,
+    cfg: SsdConfig,
+    scale: &ExperimentScale,
+    warm: Option<&WarmCache>,
+) -> (Simulator, Trace) {
+    let Some(cache) = warm else {
+        return warmed_simulator(preset, cfg, scale);
+    };
+    let key = warm_cache_key(&preset.spec.name, &cfg, scale);
+    let mut live = None;
+    let snap = cache.get_or_build(key, || {
+        let (sim, _) = warmed_simulator(preset, cfg.clone(), scale);
+        let bytes = sim.snapshot();
+        live = Some(sim);
+        bytes
+    });
+    let sim = live.unwrap_or_else(|| {
+        Simulator::from_snapshot(&snap)
+            .unwrap_or_else(|e| panic!("warm snapshot for key {key:016x} failed to restore: {e}"))
+    });
+    let footprint = ((cfg.ftl.exported_pages() as f64 * preset.footprint_frac) as u64).max(1_000);
+    let trace = preset.generate(footprint, scale.requests);
     (sim, trace)
 }
 

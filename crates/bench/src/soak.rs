@@ -36,7 +36,7 @@
 //! separately from violations.
 
 use crate::runner::{
-    system_config, to_host_ops, warmed_simulator, ExperimentScale, SystemUnderTest,
+    system_config, to_host_ops, warmed_simulator_cached, ExperimentScale, SystemUnderTest,
 };
 use crate::table::{f, TextTable};
 use ida_faults::AgingConfig;
@@ -299,6 +299,31 @@ pub fn run_soak(
     seed: u64,
     scale: &ExperimentScale,
 ) -> SoakRun {
+    // The standalone path (CLI `idasim soak`) warms under the run seed
+    // itself, exactly as it always has.
+    run_soak_cached(preset, system, level, epochs, seed, seed, scale, None)
+}
+
+/// [`run_soak`] with a split warm seed and an optional warm-state cache
+/// — the sweep-cell path. The simulator warms (or forks) under the
+/// shared `warm_seed`; the aging model keeps deriving from the cell's
+/// own `seed`, so aging-level siblings share a warm-up yet age through
+/// independent streams.
+///
+/// # Panics
+///
+/// Panics on an unknown aging `level`, like [`run_soak`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_soak_cached(
+    preset: &WorkloadPreset,
+    system: SystemUnderTest,
+    level: &str,
+    epochs: usize,
+    seed: u64,
+    warm_seed: u64,
+    scale: &ExperimentScale,
+    warm: Option<&ida_sweep::WarmCache>,
+) -> SoakRun {
     let aging = AgingConfig::preset(level, derive_stream_seed(seed, "aging"))
         .unwrap_or_else(|| panic!("unknown aging level {level:?}"));
     let mut cfg = system_config(
@@ -307,11 +332,11 @@ pub fn run_soak(
         FlashTiming::paper_tlc(),
         RetryConfig::disabled(),
     );
-    cfg.ftl.seed = seed;
+    cfg.ftl.seed = warm_seed;
     cfg.ftl.spare_blocks_per_plane = SOAK_SPARES_PER_PLANE;
     let footprint = ((cfg.ftl.exported_pages() as f64 * preset.footprint_frac) as u64).max(1_000);
 
-    let (mut sim, trace) = warmed_simulator(preset, cfg, scale);
+    let (mut sim, trace) = warmed_simulator_cached(preset, cfg, scale, warm);
     // Arm aging only now: warm-up stays byte-identical to every other
     // experiment, like a device that ages in service.
     sim.arm_aging(aging.clone());

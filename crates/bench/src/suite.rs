@@ -13,6 +13,16 @@
 //! 3. **`fig8_smoke/end_to_end`** — one fig8 cell end-to-end (warm-up +
 //!    measured open-loop replay of `hm_1` on Baseline and IDA-E20), the
 //!    shape every sweep multiplies by 80–110 cells.
+//! 4. **`snapshot/capture_restore`** — the warm-state snapshot round
+//!    trip: capture a warmed simulator to bytes and fork a new one from
+//!    them, the operation the sweep warm cache performs per cell.
+//!
+//! The full (non-smoke) suite adds a pair of whole-grid benches —
+//! **`sweep_faults/cache_off`** and **`sweep_faults/cache_on`** — that run
+//! the same 8-cell faults grid without and with the warm cache. Their
+//! `agg_hash` counters are equal by construction (the cache is
+//! output-invisible) and the wall-clock delta is the measured warm-up
+//! saving.
 //!
 //! Every bench reports deterministic *operation counts* (byte-identical
 //! across runs and machines — the CI determinism guard compares them) next
@@ -21,7 +31,10 @@
 //! speedups; the committed `BENCH_*.json` trajectory files are such
 //! comparison documents.
 
-use crate::runner::{system_config, to_host_ops, warm_up, ExperimentScale, SystemUnderTest};
+use crate::runner::{
+    system_config, to_host_ops, warm_up, warmed_simulator, ExperimentScale, SystemUnderTest,
+};
+use crate::sweep::run_grid;
 use ida_core::refresh::RefreshMode;
 use ida_flash::geometry::Geometry;
 use ida_flash::timing::FlashTiming;
@@ -32,6 +45,7 @@ use ida_ssd::event::EventQueue;
 use ida_ssd::retry::RetryConfig;
 use ida_ssd::Simulator;
 use ida_sweep::jsonv::{self, JsonValue};
+use ida_sweep::{SweepConfig, SweepSpec};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -52,6 +66,13 @@ pub struct BenchResult {
     /// (warm-up, trace generation, simulator construction); 0 when the
     /// bench has no setup phase.
     pub setup_ns: u64,
+    /// The slice of `setup_ns` spent constructing simulators (allocation,
+    /// mapping tables); 0 when the bench does not break setup down.
+    pub construct_ns: u64,
+    /// The slice of `setup_ns` spent on warm-up proper (prefill, aging,
+    /// steady-state refresh) — the part the sweep warm cache eliminates
+    /// on a hit; 0 when the bench does not break setup down.
+    pub warmup_ns: u64,
     /// Deterministic operation counters, in emission order.
     pub ops: Vec<(&'static str, u64)>,
 }
@@ -66,12 +87,15 @@ impl BenchResult {
     }
 
     /// The primary work counter the bench's headline rate divides by:
-    /// `events` when present, `flash_ops` otherwise.
+    /// `events` when present, then `flash_ops`, then the bench's first
+    /// counter (snapshot and sweep benches count neither).
     pub fn primary_counter(&self) -> &'static str {
         if self.count("events") > 0 {
             "events"
-        } else {
+        } else if self.count("flash_ops") > 0 {
             "flash_ops"
+        } else {
+            self.ops.first().map_or("flash_ops", |(k, _)| *k)
         }
     }
 
@@ -103,6 +127,12 @@ impl BenchResult {
             .u64("wall_ns", self.wall_ns);
         if self.setup_ns > 0 {
             obj = obj.u64("setup_ns", self.setup_ns);
+        }
+        if self.construct_ns > 0 {
+            obj = obj.u64("construct_ns", self.construct_ns);
+        }
+        if self.warmup_ns > 0 {
+            obj = obj.u64("warmup_ns", self.warmup_ns);
         }
         if self.count("events") > 0 {
             obj = obj.f64("events_per_sec", self.per_sec("events"));
@@ -151,49 +181,69 @@ impl SuiteResult {
     }
 }
 
-/// Run the full fixed-seed suite (`smoke` shrinks every bench for CI).
+/// Run the full fixed-seed suite (`smoke` shrinks every bench for CI; the
+/// full suite also runs the whole-grid warm-cache pair).
 pub fn run_suite(smoke: bool) -> SuiteResult {
+    let mut benches = vec![
+        bench_event_queue(smoke),
+        bench_ftl_write_gc_refresh(smoke),
+        bench_fig8_end_to_end(smoke),
+        bench_snapshot_capture_restore(smoke),
+    ];
+    if !smoke {
+        benches.push(bench_sweep_faults(false));
+        benches.push(bench_sweep_faults(true));
+    }
     SuiteResult {
         suite: if smoke { "smoke" } else { "full" },
-        benches: vec![
-            bench_event_queue(smoke),
-            bench_ftl_write_gc_refresh(smoke),
-            bench_fig8_end_to_end(smoke),
-        ],
+        benches,
     }
 }
 
 /// Event-queue push/pop with a bounded in-flight window, checksummed so
-/// the pop order is part of the deterministic result.
+/// the pop order is part of the deterministic result. Best of three
+/// same-seed iterations: the op counts are identical every time, so the
+/// minimum wall-clock is the least-noisy estimate of the hot path.
 fn bench_event_queue(smoke: bool) -> BenchResult {
     let pushes: u64 = if smoke { 200_000 } else { 2_000_000 };
-    let start = Instant::now();
-    let mut q: EventQueue<u64> = EventQueue::new();
-    let mut rng = Rng64::seed_from_u64(0xE4E4_0001);
-    let mut checksum = 0u64;
-    let mut pops = 0u64;
-    for i in 0..pushes {
-        q.push(rng.gen_below(1 << 40), i);
-        if q.len() > 1024 {
-            let (t, payload) = q.pop().expect("queue is non-empty");
+    let one_pass = || {
+        let start = Instant::now();
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut rng = Rng64::seed_from_u64(0xE4E4_0001);
+        let mut checksum = 0u64;
+        let mut pops = 0u64;
+        for i in 0..pushes {
+            q.push(rng.gen_below(1 << 40), i);
+            if q.len() > 1024 {
+                let (t, payload) = q.pop().expect("queue is non-empty");
+                checksum = checksum
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(t ^ payload);
+                pops += 1;
+            }
+        }
+        while let Some((t, payload)) = q.pop() {
             checksum = checksum
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(t ^ payload);
             pops += 1;
         }
+        assert_eq!(pops, pushes, "every pushed event must pop");
+        (start.elapsed().as_nanos() as u64, checksum)
+    };
+    let (mut wall_ns, checksum) = one_pass();
+    for _ in 0..2 {
+        let (ns, sum) = one_pass();
+        assert_eq!(sum, checksum, "same seed must give the same pop order");
+        wall_ns = wall_ns.min(ns);
     }
-    while let Some((t, payload)) = q.pop() {
-        checksum = checksum
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(t ^ payload);
-        pops += 1;
-    }
-    assert_eq!(pops, pushes, "every pushed event must pop");
     BenchResult {
         name: "event_queue/push_pop",
-        wall_ns: start.elapsed().as_nanos() as u64,
+        wall_ns,
         setup_ns: 0,
-        ops: vec![("events", pushes + pops), ("checksum", checksum)],
+        construct_ns: 0,
+        warmup_ns: 0,
+        ops: vec![("events", pushes * 2), ("checksum", checksum)],
     }
 }
 
@@ -237,6 +287,8 @@ fn bench_ftl_write_gc_refresh(smoke: bool) -> BenchResult {
         name: "ftl/write_gc_refresh",
         wall_ns: start.elapsed().as_nanos() as u64,
         setup_ns: 0,
+        construct_ns: 0,
+        warmup_ns: 0,
         ops: vec![
             ("flash_ops", flash_ops),
             ("host_writes", stats.host_writes),
@@ -252,13 +304,16 @@ fn bench_ftl_write_gc_refresh(smoke: bool) -> BenchResult {
 /// One fig8 cell end-to-end: warm-up then the measured open-loop replay of
 /// `hm_1` on Baseline and IDA-E20 — the unit of work every sweep repeats.
 /// `wall_ns` times the event-driven replays only (the loop the scheduler
-/// hot paths sit on); warm-up, trace generation and simulator construction
-/// are reported as `setup_ns`.
+/// hot paths sit on); setup is reported as `setup_ns` and broken into
+/// `construct_ns` (simulator construction) and `warmup_ns` (warm-up proper
+/// plus trace conversion — the slice a sweep warm-cache hit eliminates).
 fn bench_fig8_end_to_end(smoke: bool) -> BenchResult {
     let requests = if smoke { 800 } else { 6_000 };
     let scale = ExperimentScale::smoke().with_requests(requests);
     let preset = ida_workloads::suite::paper_workload("hm_1").expect("hm_1 exists");
     let start = Instant::now();
+    let mut construct_ns = 0u64;
+    let mut warmup_ns = 0u64;
     let mut replay_ns = 0u64;
     let mut events = 0u64;
     let mut flash_ops = 0u64;
@@ -277,9 +332,13 @@ fn bench_fig8_end_to_end(smoke: bool) -> BenchResult {
             FlashTiming::paper_tlc(),
             RetryConfig::disabled(),
         );
+        let construct_start = Instant::now();
         let mut sim = Simulator::new(cfg);
+        construct_ns += construct_start.elapsed().as_nanos() as u64;
+        let warmup_start = Instant::now();
         let trace = warm_up(&mut sim, &preset, &scale);
         let ops = to_host_ops(&trace);
+        warmup_ns += warmup_start.elapsed().as_nanos() as u64;
         let replay_start = Instant::now();
         let report = sim.run(ops);
         replay_ns += replay_start.elapsed().as_nanos() as u64;
@@ -296,6 +355,8 @@ fn bench_fig8_end_to_end(smoke: bool) -> BenchResult {
         name: "fig8_smoke/end_to_end",
         wall_ns: replay_ns,
         setup_ns: total_ns.saturating_sub(replay_ns),
+        construct_ns,
+        warmup_ns,
         ops: vec![
             ("events", events),
             ("flash_ops", flash_ops),
@@ -305,6 +366,103 @@ fn bench_fig8_end_to_end(smoke: bool) -> BenchResult {
             ("erases", erases),
             ("refreshes", refreshes),
         ],
+    }
+}
+
+/// The warm-state round trip: capture a warmed simulator to framed bytes
+/// and fork a fresh simulator from them, repeatedly. This is the exact
+/// operation the sweep warm cache performs once per cell (fork) and once
+/// per unique warm-up (capture), so its rate bounds the cache's overhead.
+/// The re-captured bytes must equal the previous capture every round
+/// (canonical form), which pins `snapshot_bytes` and `checksum`.
+fn bench_snapshot_capture_restore(smoke: bool) -> BenchResult {
+    let rounds: u64 = if smoke { 4 } else { 16 };
+    let scale = ExperimentScale::smoke().with_requests(800);
+    let preset = ida_workloads::suite::paper_workload("hm_1").expect("hm_1 exists");
+    let cfg = system_config(
+        SystemUnderTest::Baseline,
+        scale.geometry,
+        FlashTiming::paper_tlc(),
+        RetryConfig::disabled(),
+    );
+    let setup_start = Instant::now();
+    let (sim, _) = warmed_simulator(&preset, cfg, &scale);
+    let setup_ns = setup_start.elapsed().as_nanos() as u64;
+    let start = Instant::now();
+    let mut snap = sim.snapshot();
+    let checksum = ida_snap::fnv1a(&snap);
+    for _ in 0..rounds {
+        let restored = Simulator::from_snapshot(&snap).expect("snapshot restores");
+        let again = restored.snapshot();
+        assert_eq!(
+            ida_snap::fnv1a(&again),
+            checksum,
+            "snapshot round trip must be canonical"
+        );
+        snap = again;
+    }
+    BenchResult {
+        name: "snapshot/capture_restore",
+        wall_ns: start.elapsed().as_nanos() as u64,
+        setup_ns,
+        construct_ns: 0,
+        warmup_ns: setup_ns,
+        // rounds captures + rounds restores, plus the seed capture.
+        ops: vec![
+            ("snapshots", rounds * 2 + 1),
+            ("snapshot_bytes", snap.len() as u64),
+            ("checksum", checksum),
+        ],
+    }
+}
+
+/// The 8-cell faults grid (both systems × four fault levels on `proj_3`)
+/// run serially, without (`cache_off`) or with (`cache_on`) the warm
+/// cache. The `agg_hash` counters of the pair are equal by construction —
+/// the cache is output-invisible — and the wall-clock difference is the
+/// measured saving from running 2 warm-ups instead of 8.
+fn bench_sweep_faults(warm: bool) -> BenchResult {
+    let spec = SweepSpec::new(
+        "faults",
+        vec!["proj_3".into()],
+        vec!["Baseline".into(), "IDA-E20".into()],
+    )
+    .with_axis(
+        "faults",
+        vec!["off".into(), "low".into(), "mid".into(), "high".into()],
+    );
+    let scale = ExperimentScale::smoke().with_requests(800);
+    let cfg = if warm {
+        SweepConfig::serial().with_warm_cache()
+    } else {
+        SweepConfig::serial()
+    };
+    let start = Instant::now();
+    let outcome = run_grid(&spec, &scale, &cfg).expect("faults grid runs");
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    let mut ops = vec![
+        ("cells", outcome.outcomes.len() as u64),
+        (
+            "agg_hash",
+            ida_snap::fnv1a(outcome.aggregate_json().as_bytes()),
+        ),
+    ];
+    if let Some(cache) = cfg.warm_cache() {
+        let stats = cache.stats();
+        ops.push(("warm_hits", stats.total_hits()));
+        ops.push(("warm_misses", stats.misses));
+    }
+    BenchResult {
+        name: if warm {
+            "sweep_faults/cache_on"
+        } else {
+            "sweep_faults/cache_off"
+        },
+        wall_ns,
+        setup_ns: 0,
+        construct_ns: 0,
+        warmup_ns: 0,
+        ops,
     }
 }
 
@@ -394,12 +552,66 @@ mod tests {
             name: "event_queue/push_pop",
             wall_ns: 2_000_000_000,
             setup_ns: 0,
+            construct_ns: 0,
+            warmup_ns: 0,
             ops: vec![("events", 4_000_000), ("checksum", 7)],
         };
         assert_eq!(b.rate_per_sec(), 2_000_000.0);
         let json = b.to_json();
         assert!(json.contains("\"events_per_sec\":2000000"));
         assert!(json.contains("\"ops\":{\"events\":4000000,\"checksum\":7}"));
+    }
+
+    #[test]
+    fn setup_breakdown_is_emitted_only_when_measured() {
+        let split = BenchResult {
+            name: "fig8_smoke/end_to_end",
+            wall_ns: 10,
+            setup_ns: 30,
+            construct_ns: 10,
+            warmup_ns: 20,
+            ops: vec![("events", 1)],
+        };
+        let json = split.to_json();
+        assert!(json.contains("\"setup_ns\":30"));
+        assert!(json.contains("\"construct_ns\":10"));
+        assert!(json.contains("\"warmup_ns\":20"));
+        let flat = BenchResult {
+            name: "event_queue/push_pop",
+            wall_ns: 10,
+            setup_ns: 0,
+            construct_ns: 0,
+            warmup_ns: 0,
+            ops: vec![("events", 1)],
+        };
+        let json = flat.to_json();
+        assert!(!json.contains("construct_ns"));
+        assert!(!json.contains("warmup_ns"));
+    }
+
+    #[test]
+    fn snapshot_bench_pins_the_canonical_image() {
+        let a = bench_snapshot_capture_restore(true);
+        let b = bench_snapshot_capture_restore(true);
+        assert_eq!(a.ops, b.ops, "op counts must be byte-identical");
+        assert_eq!(a.count("snapshots"), 9);
+        assert!(a.count("snapshot_bytes") > 0);
+        assert_eq!(a.primary_counter(), "snapshots");
+    }
+
+    #[test]
+    fn sweep_bench_pair_agrees_on_the_aggregate() {
+        let off = bench_sweep_faults(false);
+        let on = bench_sweep_faults(true);
+        assert_eq!(off.count("cells"), 8);
+        assert_eq!(
+            off.count("agg_hash"),
+            on.count("agg_hash"),
+            "warm cache changed the aggregate"
+        );
+        assert_eq!(on.count("warm_misses"), 2);
+        assert_eq!(on.count("warm_hits"), 6);
+        assert_eq!(off.primary_counter(), "cells");
     }
 
     #[test]
@@ -410,6 +622,8 @@ mod tests {
                 name: "fig8_smoke/end_to_end",
                 wall_ns: 1_000_000_000,
                 setup_ns: 5,
+                construct_ns: 2,
+                warmup_ns: 3,
                 ops: vec![("events", 3_000_000)],
             }],
         };
@@ -419,6 +633,8 @@ mod tests {
                 name: "fig8_smoke/end_to_end",
                 wall_ns: 2_000_000_000,
                 setup_ns: 0,
+                construct_ns: 0,
+                warmup_ns: 0,
                 ops: vec![("events", 3_000_000)],
             }],
         };

@@ -14,11 +14,12 @@
 //! into the engine's per-cell failure records instead of aborting the
 //! whole sweep.
 
-use crate::load::{load_metrics_json, nominal_iops, run_load, LoadSpec, LOAD_PCTS};
+use crate::load::{load_metrics_json, nominal_iops, run_load_cached, LoadSpec, LOAD_PCTS};
 use crate::runner::{
-    run_config_faulted, system_config, ExperimentScale, ReplayMode, SystemUnderTest,
+    run_config_faulted_cached, system_config, ExperimentScale, ReplayMode, SystemUnderTest,
+    WARM_SEED_BASE,
 };
-use crate::soak::{run_soak, soak_metrics_json, SOAK_EPOCHS};
+use crate::soak::{run_soak_cached, soak_metrics_json, SOAK_EPOCHS};
 use crate::table::{f, TextTable};
 use ida_faults::FaultConfig;
 use ida_flash::timing::FlashTiming;
@@ -26,7 +27,7 @@ use ida_host::ArrivalSpec;
 use ida_obs::json::JsonObj;
 use ida_ssd::retry::RetryConfig;
 use ida_ssd::Report;
-use ida_sweep::{derive_stream_seed, jsonv, Cell, SweepConfig, SweepOutcome, SweepSpec};
+use ida_sweep::{derive_stream_seed, jsonv, Cell, SweepConfig, SweepOutcome, SweepSpec, WarmCache};
 use ida_workloads::suite::{paper_workload, paper_workloads};
 
 /// The voltage-adjustment error rates of Figure 8 (E0–E80).
@@ -188,8 +189,39 @@ pub fn metrics_json(report: &Report) -> String {
         .finish()
 }
 
+/// The axes excluded from a cell's warm identity: everything on this
+/// list is armed or applied *after* warm-up, so cells differing only
+/// here share a bit-identical warm-up (and one snapshot). `dtr_us` and
+/// `phase` stay in the identity — timing and retry configuration ride
+/// inside the [`ida_ssd::SsdConfig`] the cache key fingerprints, so
+/// excluding them would not widen sharing anyway.
+pub const WARM_EXCLUDED_AXES: [&str; 4] = ["faults", "aging", "load", "replay"];
+
+/// A cell's warm identity: its ID with the [`WARM_EXCLUDED_AXES`]
+/// parameters removed.
+pub fn warm_id(cell: &Cell) -> String {
+    let mut id = format!("{}/{}", cell.workload, cell.system);
+    for (k, v) in &cell.params {
+        if WARM_EXCLUDED_AXES.contains(&k.as_str()) {
+            continue;
+        }
+        id.push('/');
+        id.push_str(k);
+        id.push('=');
+        id.push_str(v);
+    }
+    id.push_str(&format!("/r{}", cell.replicate));
+    id
+}
+
+/// The warm-phase simulator seed of a cell — a pure function of its
+/// warm identity, shared by every cell that shares a warm-up.
+pub fn warm_seed_for(cell: &Cell) -> u64 {
+    derive_stream_seed(WARM_SEED_BASE, &warm_id(cell))
+}
+
 /// Execute one cell: look up the workload, configure the system under
-/// test with the cell's private seed, run the warm-up → measure
+/// test with the cell's warm-phase seed, run the warm-up → measure
 /// protocol, and render the metrics payload.
 ///
 /// # Panics
@@ -197,20 +229,39 @@ pub fn metrics_json(report: &Report) -> String {
 /// Panics on unknown workloads, system labels, or malformed parameters —
 /// the engine catches these as per-cell failures.
 pub fn run_cell(cell: &Cell, scale: &ExperimentScale) -> String {
+    run_cell_cached(cell, scale, None)
+}
+
+/// [`run_cell`] with an optional warm-state cache. The cache only
+/// changes *when* warm-ups execute, never what any cell computes: the
+/// warm-phase seed is applied unconditionally (cache on or off), and a
+/// hit restores byte-identical simulator state.
+pub fn run_cell_cached(cell: &Cell, scale: &ExperimentScale, warm: Option<&WarmCache>) -> String {
     let preset = paper_workload(&cell.workload)
         .unwrap_or_else(|| panic!("unknown workload {}", cell.workload));
     let system = parse_system(&cell.system).unwrap_or_else(|e| panic!("{e}"));
+    let warm_seed = warm_seed_for(cell);
     if let Some(pct) = cell.param("load") {
         let pct: u64 = pct
             .parse()
             .unwrap_or_else(|_| panic!("bad load parameter {pct:?} (expected a percentage)"));
         let offered = (nominal_iops(&preset.spec) * pct / 100).max(1);
         let spec = LoadSpec::new(system, ArrivalSpec::Poisson, offered, cell.stream_seed);
-        let run = run_load(&preset, &spec, scale).unwrap_or_else(|e| panic!("{e}"));
+        let run = run_load_cached(&preset, &spec, scale, warm_seed, warm)
+            .unwrap_or_else(|e| panic!("{e}"));
         return load_metrics_json(&run);
     }
     if let Some(level) = cell.param("aging") {
-        let run = run_soak(&preset, system, level, SOAK_EPOCHS, cell.stream_seed, scale);
+        let run = run_soak_cached(
+            &preset,
+            system,
+            level,
+            SOAK_EPOCHS,
+            cell.stream_seed,
+            warm_seed,
+            scale,
+            warm,
+        );
         return soak_metrics_json(&run);
     }
     let mut timing = FlashTiming::paper_tlc();
@@ -236,11 +287,11 @@ pub fn run_cell(cell: &Cell, scale: &ExperimentScale) -> String {
             .unwrap_or_else(|| panic!("unknown fault level {level:?}"))
     });
     let mut cfg = system_config(system, scale.geometry, timing, retry);
-    cfg.ftl.seed = cell.stream_seed;
+    cfg.ftl.seed = warm_seed;
     if faults.is_some() {
         cfg.ftl.spare_blocks_per_plane = FAULT_SPARES_PER_PLANE;
     }
-    let report = run_config_faulted(&preset, cfg, scale, mode, faults);
+    let report = run_config_faulted_cached(&preset, cfg, scale, mode, faults, warm);
     metrics_json(&report)
 }
 
@@ -257,7 +308,9 @@ pub fn run_grid(
     cfg: &SweepConfig,
 ) -> std::io::Result<SweepOutcome> {
     let cells = spec.cells();
-    let outcomes = ida_sweep::run_cells(&spec.name, &cells, cfg, |cell| run_cell(cell, scale))?;
+    let outcomes = ida_sweep::run_cells(&spec.name, &cells, cfg, |cell| {
+        run_cell_cached(cell, scale, cfg.warm_cache())
+    })?;
     Ok(SweepOutcome {
         sweep: spec.name.clone(),
         outcomes,

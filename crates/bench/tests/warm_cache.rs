@@ -1,0 +1,128 @@
+//! The warm-cache sweep invariant (ISSUE 9): running a grid with the
+//! warm-state cache on must produce byte-identical aggregated output to
+//! running it cache-off — at any worker count — while executing strictly
+//! fewer warm-ups than cells.
+
+use ida_bench::runner::ExperimentScale;
+use ida_bench::sweep::{run_grid, warm_id, warm_seed_for};
+use ida_sweep::{SweepConfig, SweepSpec};
+use std::collections::HashSet;
+
+/// A faults grid small enough for a test: one workload, both systems,
+/// every fault level (including `off` and the power-loss-scheduling
+/// `high`).
+fn mini_faults_grid() -> SweepSpec {
+    SweepSpec::new(
+        "faults",
+        vec!["proj_3".into()],
+        vec!["Baseline".into(), "IDA-E20".into()],
+    )
+    .with_axis(
+        "faults",
+        vec!["off".into(), "low".into(), "mid".into(), "high".into()],
+    )
+}
+
+fn tiny_scale() -> ExperimentScale {
+    ExperimentScale::smoke().with_requests(400)
+}
+
+#[test]
+fn warm_cache_is_invisible_in_the_aggregate_and_skips_warmups() {
+    let spec = mini_faults_grid();
+    let scale = tiny_scale();
+
+    let off = run_grid(&spec, &scale, &SweepConfig::serial()).expect("cache-off run");
+    assert_eq!(off.failed_count(), 0, "cache-off cells failed");
+
+    let on_cfg = SweepConfig::serial().with_warm_cache();
+    let on = run_grid(&spec, &scale, &on_cfg).expect("cache-on run");
+    assert_eq!(on.failed_count(), 0, "cache-on cells failed");
+
+    assert_eq!(
+        off.aggregate_json(),
+        on.aggregate_json(),
+        "warm cache changed sweep output"
+    );
+
+    // 8 cells, but only 2 warm identities (workload × system): the fault
+    // axis is armed after warm-up and shares the snapshot.
+    let stats = on_cfg.warm_cache().unwrap().stats();
+    assert_eq!(
+        stats.misses, 2,
+        "expected one warm-up per (workload, system)"
+    );
+    assert_eq!(stats.total_hits(), 6, "siblings must fork, not re-warm");
+
+    // Parallel cache-on agrees too: single-flight keeps concurrent
+    // builders from racing, and forked state is scheduling-independent.
+    let par_cfg = SweepConfig::serial().with_jobs(4).with_warm_cache();
+    let par = run_grid(&spec, &scale, &par_cfg).expect("parallel cache-on run");
+    assert_eq!(off.aggregate_json(), par.aggregate_json());
+    let par_stats = par_cfg.warm_cache().unwrap().stats();
+    assert_eq!(
+        par_stats.misses, 2,
+        "single-flight must not duplicate warm-ups"
+    );
+}
+
+#[test]
+fn warm_cache_spills_into_the_journal_directory_for_resume() {
+    let dir = std::env::temp_dir().join(format!("ida-warm-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("journal.jsonl");
+    let spec = mini_faults_grid();
+    let scale = tiny_scale();
+
+    let cfg = SweepConfig::serial()
+        .with_journal(journal.clone())
+        .with_warm_cache();
+    let first = run_grid(&spec, &scale, &cfg).expect("journaled run");
+    assert_eq!(cfg.warm_cache().unwrap().stats().misses, 2);
+    let spilled = std::fs::read_dir(dir.join("warm")).unwrap().count();
+    assert_eq!(spilled, 2, "each unique warm-up spills one snapshot");
+
+    // A resumed run reloads the journal for cells — and if any cell *did*
+    // re-run, it would hit the spilled snapshots instead of re-warming.
+    let resumed_cfg = SweepConfig::serial()
+        .with_journal(journal)
+        .with_warm_cache();
+    let resumed = run_grid(&spec, &scale, &resumed_cfg).expect("resumed run");
+    assert_eq!(first.aggregate_json(), resumed.aggregate_json());
+    assert_eq!(
+        resumed.cached_count(),
+        8,
+        "journal should satisfy every cell"
+    );
+    assert_eq!(resumed_cfg.warm_cache().unwrap().stats().misses, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_identity_strips_exactly_the_post_warmup_axes() {
+    let spec = mini_faults_grid();
+    let cells = spec.cells();
+    let warm_ids: HashSet<String> = cells.iter().map(warm_id).collect();
+    assert_eq!(
+        warm_ids.len(),
+        2,
+        "faults axis must not split warm identity"
+    );
+    for cell in &cells {
+        assert!(!warm_id(cell).contains("faults="));
+        // Same warm identity ⇒ same warm seed; the fault level never
+        // perturbs the warm-up stream.
+        let sibling = cells
+            .iter()
+            .find(|c| c.system == cell.system && c.id() != cell.id())
+            .unwrap();
+        assert_eq!(warm_seed_for(cell), warm_seed_for(sibling));
+    }
+    // Axes that *do* shape the warm-up (dtr_us via timing, phase via
+    // retry config) stay in the identity.
+    let fig9 = SweepSpec::new("fig9", vec!["proj_3".into()], vec!["Baseline".into()])
+        .with_axis("dtr_us", vec!["30".into(), "70".into()]);
+    let ids: HashSet<String> = fig9.cells().iter().map(warm_id).collect();
+    assert_eq!(ids.len(), 2, "dtr_us must stay in the warm identity");
+}

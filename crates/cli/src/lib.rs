@@ -7,16 +7,20 @@ use ida_bench::load::{
     load_metrics_json, nominal_iops, run_capacity, run_load_obs, LoadSpec, CAPACITY_MAX_ITERS,
 };
 use ida_bench::runner::{
-    normalized_read_response, replay_trace, run_system_obs, ExperimentScale, ObsOptions,
-    ReplayMode, SystemUnderTest,
+    normalized_read_response, replay_trace, run_system_obs, system_config, to_host_ops,
+    warm_cache_key, warmed_simulator, ExperimentScale, ObsOptions, ReplayMode, SystemUnderTest,
+    WARM_SEED_BASE,
 };
 use ida_bench::soak::{run_soak, soak_metrics_json, soak_run_from_json};
 use ida_bench::suite::{compare_json, run_suite};
 use ida_bench::sweep::{builtin_grid, parse_system, render, run_grid, BUILTIN_GRIDS};
+use ida_flash::timing::FlashTiming;
 use ida_host::{AdmissionPolicy, ArrivalSpec};
 use ida_obs::json::JsonObj;
+use ida_ssd::retry::RetryConfig;
+use ida_ssd::Simulator;
 use ida_sweep::pool::parse_jobs;
-use ida_sweep::SweepConfig;
+use ida_sweep::{derive_stream_seed, SweepConfig};
 use ida_sweep::{SweepOutcome, SweepSpec};
 use ida_workloads::stats::characterize;
 use ida_workloads::suite::{paper_workload, paper_workloads};
@@ -68,6 +72,24 @@ pub enum Command {
         requests: Option<usize>,
         /// Report per-cell progress (with ETA) on stderr.
         progress: bool,
+        /// Share warm-up state across cells: run each unique warm-up
+        /// once, fork the rest from its snapshot (output is unchanged).
+        warm_cache: bool,
+    },
+    /// Capture, replay, or describe a framed warm-state snapshot.
+    Snapshot {
+        /// `save`, `restore`, or `inspect`.
+        action: String,
+        /// Snapshot file path.
+        path: PathBuf,
+        /// Workload name (required by `save`).
+        workload: Option<String>,
+        /// System under test (`Baseline` or an IDA variant).
+        system: String,
+        /// Use the smoke-test scale.
+        smoke: bool,
+        /// Override the measured request count.
+        requests: Option<usize>,
     },
     /// Soak one workload through a whole accelerated device lifetime
     /// (Baseline and IDA side by side) with per-epoch invariant checks.
@@ -281,6 +303,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut smoke = false;
             let mut requests = None;
             let mut progress = false;
+            let mut warm_cache = false;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -315,6 +338,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         progress = true;
                         i += 1;
                     }
+                    "--warm-cache" => {
+                        warm_cache = true;
+                        i += 1;
+                    }
                     other => return Err(format!("unknown option: {other}")),
                 }
             }
@@ -326,6 +353,61 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 smoke,
                 requests,
                 progress,
+                warm_cache,
+            })
+        }
+        Some("snapshot") => {
+            let action = args
+                .get(1)
+                .filter(|a| matches!(a.as_str(), "save" | "restore" | "inspect"))
+                .ok_or("snapshot needs an action: save, restore, or inspect")?
+                .clone();
+            let path = PathBuf::from(
+                args.get(2)
+                    .filter(|p| !p.starts_with("--"))
+                    .ok_or("snapshot needs a file path after the action")?,
+            );
+            let mut workload = None;
+            let mut system = "Baseline".to_string();
+            let mut smoke = false;
+            let mut requests = None;
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--workload" => {
+                        workload = Some(args.get(i + 1).ok_or("--workload needs a name")?.clone());
+                        i += 2;
+                    }
+                    "--system" => {
+                        system = args.get(i + 1).ok_or("--system needs a name")?.clone();
+                        i += 2;
+                    }
+                    "--smoke" => {
+                        smoke = true;
+                        i += 1;
+                    }
+                    "--requests" => {
+                        requests = Some(
+                            args.get(i + 1)
+                                .ok_or("--requests needs a value")?
+                                .parse()
+                                .map_err(|e| format!("bad request count: {e}"))?,
+                        );
+                        i += 2;
+                    }
+                    other => return Err(format!("unknown option: {other}")),
+                }
+            }
+            if action == "save" && workload.is_none() {
+                return Err("snapshot save needs --workload (try `idasim list`)".into());
+            }
+            Ok(Command::Snapshot {
+                action,
+                path,
+                workload,
+                system,
+                smoke,
+                requests,
             })
         }
         Some("soak") => {
@@ -868,6 +950,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
             smoke,
             requests,
             progress,
+            warm_cache,
         } => {
             let spec = builtin_grid(&grid).ok_or_else(|| {
                 format!(
@@ -893,8 +976,16 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 cfg.journal = journal;
             }
             cfg.progress = progress;
+            if warm_cache {
+                cfg = cfg.with_warm_cache();
+            }
             let outcome =
                 run_grid(&spec, &scale, &cfg).map_err(|e| format!("sweep failed: {e}"))?;
+            if let Some(cache) = cfg.warm_cache() {
+                // stderr, like --progress: diagnostics never pollute the
+                // machine-readable aggregate on stdout.
+                eprintln!("{}", cache.stats_line(outcome.outcomes.len()));
+            }
             let json = outcome.aggregate_json();
             match out_path {
                 Some(path) => {
@@ -914,6 +1005,138 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     out.push_str(&json);
                     out.push('\n');
                 }
+            }
+        }
+        Command::Snapshot {
+            action,
+            path,
+            workload,
+            system,
+            smoke,
+            requests,
+        } => {
+            let mut scale = if smoke {
+                ExperimentScale::smoke()
+            } else {
+                ExperimentScale::from_env()
+            };
+            if let Some(r) = requests {
+                scale.requests = r;
+            }
+            let system_spec = parse_system(&system)?;
+            match action.as_str() {
+                "save" => {
+                    let workload = workload.expect("parse_args requires --workload for save");
+                    let preset = paper_workload(&workload).ok_or_else(|| unknown(&workload))?;
+                    let mut cfg = system_config(
+                        system_spec,
+                        scale.geometry,
+                        FlashTiming::paper_tlc(),
+                        RetryConfig::disabled(),
+                    );
+                    // The same seed the sweep engine would warm this
+                    // (workload, system) pair under, so a saved snapshot
+                    // is byte-interchangeable with the sweep cache's.
+                    cfg.ftl.seed =
+                        derive_stream_seed(WARM_SEED_BASE, &format!("{workload}/{system}/r0"));
+                    let key = warm_cache_key(&workload, &cfg, &scale);
+                    let (sim, _) = warmed_simulator(&preset, cfg, &scale);
+                    let mut w = ida_snap::Writer::new();
+                    ida_snap::Snap::encode(&workload, &mut w);
+                    ida_snap::Snap::encode(&system, &mut w);
+                    ida_snap::Snap::encode(&(scale.requests as u64), &mut w);
+                    ida_snap::Snap::encode(&sim.snapshot(), &mut w);
+                    let framed = ida_snap::frame::seal(&w.into_bytes());
+                    let bytes = framed.len();
+                    std::fs::write(&path, framed)
+                        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                    let _ = writeln!(
+                        out,
+                        "saved warm state for {workload}/{system} (cache key {key:016x}, \
+                         {bytes} bytes) to {}",
+                        path.display()
+                    );
+                }
+                "restore" | "inspect" => {
+                    let buf = std::fs::read(&path)
+                        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                    let (meta, payload) = ida_snap::frame::open(&buf)
+                        .map_err(|e| format!("{} is not a valid snapshot: {e}", path.display()))?;
+                    let mut r = ida_snap::Reader::new(payload);
+                    let saved_workload: String = ida_snap::Snap::decode(&mut r)
+                        .map_err(|e| format!("corrupt snapshot header: {e}"))?;
+                    let saved_system: String = ida_snap::Snap::decode(&mut r)
+                        .map_err(|e| format!("corrupt snapshot header: {e}"))?;
+                    let saved_requests: u64 = ida_snap::Snap::decode(&mut r)
+                        .map_err(|e| format!("corrupt snapshot header: {e}"))?;
+                    let inner: Vec<u8> = ida_snap::Snap::decode(&mut r)
+                        .map_err(|e| format!("corrupt snapshot body: {e}"))?;
+                    r.finish()
+                        .map_err(|e| format!("trailing snapshot bytes: {e}"))?;
+                    let mut sim = Simulator::from_snapshot(&inner)
+                        .map_err(|e| format!("snapshot failed to restore: {e}"))?;
+                    if action == "inspect" {
+                        let g = sim.config().ftl.geometry;
+                        let _ = writeln!(
+                            out,
+                            "snapshot {} (format v{}, payload {} bytes, hash {:016x})",
+                            path.display(),
+                            meta.version,
+                            meta.payload_len,
+                            meta.hash
+                        );
+                        let _ = writeln!(
+                            out,
+                            "  warm state: {saved_workload}/{saved_system}, \
+                             {saved_requests} measured requests"
+                        );
+                        let _ = writeln!(
+                            out,
+                            "  geometry: {}ch x {}chip x {}die x {}pl x {}blk, {} bits/cell",
+                            g.channels,
+                            g.chips_per_channel,
+                            g.dies_per_chip,
+                            g.planes_per_die,
+                            g.blocks_per_plane,
+                            g.bits_per_cell
+                        );
+                        let _ = writeln!(
+                            out,
+                            "  clock: {} ns; exported pages: {}",
+                            sim.now(),
+                            sim.config().ftl.exported_pages()
+                        );
+                    } else {
+                        let preset = paper_workload(&saved_workload)
+                            .ok_or_else(|| unknown(&saved_workload))?;
+                        let requests =
+                            requests.unwrap_or(usize::try_from(saved_requests).unwrap_or(0));
+                        let footprint = ((sim.config().ftl.exported_pages() as f64
+                            * preset.footprint_frac)
+                            as u64)
+                            .max(1_000);
+                        let trace = preset.generate(footprint, requests);
+                        sim.set_spans(true);
+                        let report = sim.run(to_host_ops(&trace));
+                        let _ = writeln!(
+                            out,
+                            "restored {saved_workload}/{saved_system}, replayed {requests} \
+                             requests:"
+                        );
+                        let _ = writeln!(
+                            out,
+                            "  mean read response {:9.1} us  (p99 {:9.1} us)",
+                            report.reads.mean_us(),
+                            report.reads.percentile(99.0) as f64 / 1e3
+                        );
+                        let _ = writeln!(
+                            out,
+                            "  events processed {}, flash ops {}",
+                            report.events_processed, report.flash_ops
+                        );
+                    }
+                }
+                other => return Err(format!("unknown snapshot action: {other}")),
             }
         }
         Command::Soak {
@@ -1279,6 +1502,10 @@ USAGE:
                  [--trace-filter <class,...>] [--progress]
   idasim sweep <grid> [--jobs N] [--journal <path.jsonl>]
                [--out <path.json>] [--smoke] [--requests N] [--progress]
+               [--warm-cache]
+  idasim snapshot save <file.snap> --workload <name> [--system Baseline]
+                  [--smoke] [--requests N]
+  idasim snapshot restore|inspect <file.snap> [--requests N]
   idasim soak <workload> [--level off|low|mid|high] [--epochs N]
               [--error-rate 0.2] [--jobs N] [--journal <path.jsonl>]
               [--out <path.json>] [--smoke] [--requests N] [--progress]
@@ -1334,7 +1561,19 @@ to the file and the figure table to stdout; without it the JSON goes
 to stdout. The faults grid injects program/erase failures, transient
 read faults and power losses (levels off/low/mid/high) and reports
 IDA's read benefit alongside the recovery counters; fig11 compares
-the early and late (retry-heavy) lifetime phases.
+the early and late (retry-heavy) lifetime phases. --warm-cache runs
+each unique warm-up once and forks every sibling cell from its
+snapshot (single-flight across workers, spilled next to --journal for
+resume); it is output-invisible — the aggregate stays byte-identical
+to a cache-off run — and prints a hit/miss line on stderr.
+
+Snapshot: captures and replays framed warm-state images. `save` warms
+one (workload, system) pair exactly as the sweep engine would (same
+warm seed, same cache key — printed on save) and writes the framed
+snapshot; `inspect` prints the frame header and device state without
+running anything; `restore` forks a simulator from the file and
+replays the measured trace on it, which must match a live warm-up
+byte for byte.
 
 Load: drives one workload through the multi-tenant host frontend at a
 target offered rate (default the workload's nominal rate) on both
@@ -1502,6 +1741,7 @@ mod tests {
             "results/fig8.json",
             "--smoke",
             "--progress",
+            "--warm-cache",
         ]))
         .unwrap();
         assert_eq!(
@@ -1514,6 +1754,7 @@ mod tests {
                 smoke: true,
                 requests: None,
                 progress: true,
+                warm_cache: true,
             }
         );
         let defaults = parse_args(&s(&["sweep", "fig9"])).unwrap();
@@ -1527,8 +1768,128 @@ mod tests {
                 smoke: false,
                 requests: None,
                 progress: false,
+                warm_cache: false,
             }
         );
+    }
+
+    #[test]
+    fn parses_snapshot_options() {
+        let cmd = parse_args(&s(&[
+            "snapshot",
+            "save",
+            "warm.snap",
+            "--workload",
+            "proj_3",
+            "--system",
+            "IDA-E20",
+            "--smoke",
+            "--requests",
+            "500",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Snapshot {
+                action: "save".into(),
+                path: PathBuf::from("warm.snap"),
+                workload: Some("proj_3".into()),
+                system: "IDA-E20".into(),
+                smoke: true,
+                requests: Some(500),
+            }
+        );
+        let inspect = parse_args(&s(&["snapshot", "inspect", "warm.snap"])).unwrap();
+        assert_eq!(
+            inspect,
+            Command::Snapshot {
+                action: "inspect".into(),
+                path: PathBuf::from("warm.snap"),
+                workload: None,
+                system: "Baseline".into(),
+                smoke: false,
+                requests: None,
+            }
+        );
+        // save without a workload, a bogus action, and a missing path all
+        // fail at parse time.
+        assert!(parse_args(&s(&["snapshot", "save", "warm.snap"])).is_err());
+        assert!(parse_args(&s(&["snapshot", "diff", "warm.snap"])).is_err());
+        assert!(parse_args(&s(&["snapshot", "inspect"])).is_err());
+        assert!(parse_args(&s(&["snapshot", "inspect", "--smoke"])).is_err());
+    }
+
+    #[test]
+    fn snapshot_save_restore_inspect_round_trip() {
+        let dir = std::env::temp_dir().join(format!("ida-cli-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("warm.snap");
+
+        let saved = run(Command::Snapshot {
+            action: "save".into(),
+            path: path.clone(),
+            workload: Some("proj_3".into()),
+            system: "Baseline".into(),
+            smoke: true,
+            requests: Some(300),
+        })
+        .unwrap();
+        assert!(saved.contains("cache key"), "no cache key in: {saved}");
+        assert!(path.exists());
+
+        let inspected = run(Command::Snapshot {
+            action: "inspect".into(),
+            path: path.clone(),
+            workload: None,
+            system: "Baseline".into(),
+            smoke: true,
+            requests: None,
+        })
+        .unwrap();
+        assert!(inspected.contains("proj_3/Baseline"), "{inspected}");
+        assert!(inspected.contains("300 measured requests"), "{inspected}");
+
+        // Restoring runs the measured trace; twice gives identical output
+        // (the file is read-only state, so each restore forks fresh).
+        let r1 = run(Command::Snapshot {
+            action: "restore".into(),
+            path: path.clone(),
+            workload: None,
+            system: "Baseline".into(),
+            smoke: true,
+            requests: None,
+        })
+        .unwrap();
+        let r2 = run(Command::Snapshot {
+            action: "restore".into(),
+            path: path.clone(),
+            workload: None,
+            system: "Baseline".into(),
+            smoke: true,
+            requests: None,
+        })
+        .unwrap();
+        assert_eq!(r1, r2);
+        assert!(r1.contains("replayed 300 requests"), "{r1}");
+
+        // A truncated file is rejected with a real error, not a panic.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = run(Command::Snapshot {
+            action: "inspect".into(),
+            path,
+            workload: None,
+            system: "Baseline".into(),
+            smoke: true,
+            requests: None,
+        })
+        .unwrap_err();
+        assert!(
+            err.contains("not a valid snapshot"),
+            "unhelpful error: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -1558,6 +1919,7 @@ mod tests {
             smoke: true,
             requests: None,
             progress: false,
+            warm_cache: false,
         })
         .unwrap_err();
         assert!(err.contains("unknown sweep grid"), "unhelpful error: {err}");

@@ -30,6 +30,15 @@ pub struct RefreshOverhead {
     pub adjusted_wordlines: u64,
 }
 
+ida_snap::snap_struct!(RefreshOverhead {
+    refreshes,
+    valid_pages,
+    target_pages,
+    error_pages,
+    moved_pages,
+    adjusted_wordlines,
+});
+
 impl RefreshOverhead {
     /// An empty accumulator.
     pub fn new() -> Self {

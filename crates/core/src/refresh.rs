@@ -33,6 +33,11 @@ pub enum RefreshMode {
     Ida,
 }
 
+ida_snap::snap_enum!(RefreshMode {
+    0 => RefreshMode::Baseline,
+    1 => RefreshMode::Ida,
+});
+
 /// The planned operations of one block refresh.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RefreshPlan {
@@ -97,6 +102,12 @@ pub struct RefreshPlanner {
     mode: RefreshMode,
     interference: InterferenceModel,
 }
+
+ida_snap::snap_struct!(RefreshPlanner {
+    bits_per_cell,
+    mode,
+    interference,
+});
 
 impl RefreshPlanner {
     /// A planner for `bits_per_cell` flash in the given mode; `interference`

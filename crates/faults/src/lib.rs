@@ -45,6 +45,17 @@ pub struct FaultConfig {
     pub seed: u64,
 }
 
+ida_snap::snap_struct!(FaultConfig {
+    program_fail_prob,
+    erase_fail_prob,
+    transient_read_prob,
+    transient_max_retries,
+    transient_backoff_ns,
+    power_loss_ops,
+    bad_block_threshold,
+    seed,
+});
+
 impl FaultConfig {
     /// A plan that injects nothing (the default for every simulation).
     pub fn none() -> Self {
@@ -171,6 +182,22 @@ pub struct AgingConfig {
     /// Seed for the read-retry ladder's private RNG stream.
     pub seed: u64,
 }
+
+ida_snap::snap_struct!(AgingConfig {
+    rated_pe_cycles,
+    base_rber,
+    wear_coeff,
+    disturb_coeff,
+    retention_coeff,
+    ladder_gain,
+    ladder_depth,
+    scrub_period,
+    scrub_chunk,
+    disturb_threshold,
+    retention_threshold,
+    wear_spread_target,
+    seed,
+});
 
 impl AgingConfig {
     /// A model that ages nothing (the default for every simulation).
@@ -310,6 +337,23 @@ pub struct FaultInjector {
     next_loss: usize,
     stats: FaultStats,
 }
+
+ida_snap::snap_struct!(FaultStats {
+    program_fails,
+    erase_fails,
+    transient_reads,
+    power_losses,
+});
+
+// Serialized mid-stream: the RNG, the op counter and the power-loss
+// schedule cursor all resume exactly where the capture left them.
+ida_snap::snap_struct!(FaultInjector {
+    cfg,
+    rng,
+    ops_issued,
+    next_loss,
+    stats,
+});
 
 impl FaultInjector {
     /// Arm a plan. The persistent-operation counter starts at zero, so

@@ -105,8 +105,24 @@ macro_rules! flat_addr {
                 $name(v)
             }
         }
+
+        impl ida_snap::Snap for $name {
+            fn encode(&self, w: &mut ida_snap::Writer) {
+                ida_snap::Snap::encode(&self.0, w);
+            }
+            fn decode(r: &mut ida_snap::Reader<'_>) -> Result<Self, ida_snap::SnapError> {
+                Ok($name(<$repr as ida_snap::Snap>::decode(r)?))
+            }
+        }
     };
 }
+
+ida_snap::snap_enum!(PageType {
+    0 => PageType::Lsb,
+    1 => PageType::Csb,
+    2 => PageType::Msb,
+    3 => PageType::Top,
+});
 
 flat_addr!(
     /// Flat die index across the whole SSD (channel-major).

@@ -47,6 +47,17 @@ pub struct Geometry {
     pub page_size_bytes: u32,
 }
 
+ida_snap::snap_struct!(Geometry {
+    channels,
+    chips_per_channel,
+    dies_per_chip,
+    planes_per_die,
+    blocks_per_plane,
+    wordlines_per_block,
+    bits_per_cell,
+    page_size_bytes,
+});
+
 impl Geometry {
     /// The paper's baseline 512 GB TLC SSD (Table II): 4 channels,
     /// 4 chips/channel, 2 dies/chip, 2 planes/die, 5472 blocks/plane,

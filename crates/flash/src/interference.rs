@@ -75,6 +75,14 @@ impl InterferenceModel {
     }
 }
 
+// The live RNG is serialized (not just the seed) so a restored model
+// continues the exact draw sequence of the captured one.
+ida_snap::snap_struct!(InterferenceModel {
+    corrupt_prob,
+    rng_seed,
+    rng,
+});
+
 impl PartialEq for InterferenceModel {
     fn eq(&self, other: &Self) -> bool {
         self.corrupt_prob == other.corrupt_prob && self.rng_seed == other.rng_seed

@@ -48,6 +48,16 @@ pub struct FlashTiming {
     pub ecc_decode: SimTime,
 }
 
+ida_snap::snap_struct!(FlashTiming {
+    read_base,
+    delta_tr,
+    program,
+    erase,
+    voltage_adjust,
+    transfer,
+    ecc_decode,
+});
+
 impl FlashTiming {
     /// The paper's TLC timing (Table II): 50/100/150 µs reads, 2.3 ms
     /// program, 3 ms erase, 48 µs transfer, 20 µs ECC decode.

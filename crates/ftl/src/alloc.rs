@@ -27,6 +27,17 @@ pub struct Allocator {
     spares: Vec<Vec<BlockAddr>>,
 }
 
+// Free-pool deque order is allocation-order-significant, so every field
+// (including the derived CWDP plane order) is serialized verbatim.
+ida_snap::snap_struct!(Allocator {
+    geometry,
+    plane_order,
+    cursor,
+    free,
+    active,
+    spares,
+});
+
 impl Allocator {
     /// An allocator with every block of every plane in its free pool.
     pub fn new(geometry: Geometry) -> Self {

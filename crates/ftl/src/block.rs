@@ -28,6 +28,14 @@ pub enum BlockState {
     Bad,
 }
 
+ida_snap::snap_enum!(BlockState {
+    0 => BlockState::Free,
+    1 => BlockState::Open,
+    2 => BlockState::Closed,
+    3 => BlockState::Ida,
+    4 => BlockState::Bad,
+});
+
 #[derive(Debug, Clone)]
 struct BlockInfo {
     state: BlockState,
@@ -75,6 +83,22 @@ struct PlaneIndex {
     /// Reclaimable blocks currently indexed in this plane.
     len: usize,
 }
+
+ida_snap::snap_struct!(BlockInfo {
+    state,
+    write_ptr,
+    valid_pages,
+    erase_count,
+    closed_at,
+    wl_masks,
+    wl_reads,
+});
+
+ida_snap::snap_struct!(PlaneIndex {
+    buckets,
+    min_valid,
+    len,
+});
 
 impl PlaneIndex {
     fn new(pages_per_block: u32) -> Self {
@@ -139,6 +163,18 @@ pub struct BlockTable {
     /// counts) never needs rebuilding: a uniform shift preserves order.
     wear_offset: u32,
 }
+
+ida_snap::snap_struct!(BlockTable {
+    geometry,
+    blocks,
+    index,
+    ida_blocks,
+    adjusted_wordlines,
+    bad_blocks,
+    in_use,
+    total_erases,
+    wear_offset,
+});
 
 impl BlockTable {
     /// A table with every block free.

@@ -38,6 +38,11 @@ impl CodingVariant {
     }
 }
 
+ida_snap::snap_enum!(CodingVariant {
+    0 => CodingVariant::Conventional,
+    1 => CodingVariant::Tlc232,
+});
+
 /// Configuration of the flash translation layer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FtlConfig {
@@ -80,6 +85,22 @@ pub struct FtlConfig {
     /// warm-up, so warm-up traffic stays byte-identical to a fresh run).
     pub aging: AgingConfig,
 }
+
+ida_snap::snap_struct!(FtlConfig {
+    geometry,
+    overprovision,
+    refresh_period,
+    refresh_mode,
+    adjust_error_rate,
+    seed,
+    gc_low_watermark,
+    gc_high_watermark,
+    coding,
+    lsb_placement,
+    spare_blocks_per_plane,
+    faults,
+    aging,
+});
 
 impl FtlConfig {
     /// Number of logical pages exposed to the host after over-provisioning.

@@ -110,6 +110,91 @@ pub struct Ftl {
     next_scrub_at: Option<SimTime>,
 }
 
+// Manual snapshot impl: every mutable field travels verbatim except the
+// trace sink (process-local; restored to null — the embedding simulator
+// re-attaches its own handle) and `read_only`, whose `&'static str` reason
+// round-trips through the closed set of literals used by
+// `enter_read_only`.
+impl ida_snap::Snap for Ftl {
+    fn encode(&self, w: &mut ida_snap::Writer) {
+        self.cfg.encode(w);
+        self.geometry.encode(w);
+        self.sense_conventional.encode(w);
+        self.sense_merged.encode(w);
+        self.map.encode(w);
+        self.blocks.encode(w);
+        self.alloc.encode(w);
+        self.refresh_q.encode(w);
+        self.planner.encode(w);
+        self.stats.encode(w);
+        self.refresh_target.encode(w);
+        self.oob.encode(w);
+        self.injector.encode(w);
+        self.power_lost.encode(w);
+        self.in_recovery.encode(w);
+        self.read_only.map(str::to_owned).encode(w);
+        self.op_origin.encode(w);
+        self.scrub_cursor.encode(w);
+        self.next_scrub_at.encode(w);
+    }
+
+    fn decode(r: &mut ida_snap::Reader<'_>) -> Result<Self, ida_snap::SnapError> {
+        let cfg = FtlConfig::decode(r)?;
+        let geometry = Geometry::decode(r)?;
+        let sense_conventional = Vec::decode(r)?;
+        let sense_merged = Vec::decode(r)?;
+        let map = PageMap::decode(r)?;
+        let blocks = BlockTable::decode(r)?;
+        let alloc = Allocator::decode(r)?;
+        let refresh_q = RefreshQueue::decode(r)?;
+        let planner = RefreshPlanner::decode(r)?;
+        let stats = FtlStats::decode(r)?;
+        let refresh_target = Option::decode(r)?;
+        let oob = OobStore::decode(r)?;
+        let injector = FaultInjector::decode(r)?;
+        let power_lost = bool::decode(r)?;
+        let in_recovery = bool::decode(r)?;
+        let read_only = match Option::<String>::decode(r)? {
+            None => None,
+            Some(s) => Some(match s.as_str() {
+                "relocation space exhausted" => "relocation space exhausted",
+                "GC reserve exhausted" => "GC reserve exhausted",
+                "spare pool exhausted" => "spare pool exhausted",
+                other => {
+                    return Err(ida_snap::SnapError::new(format!(
+                        "unknown read-only reason {other:?}"
+                    )))
+                }
+            }),
+        };
+        let op_origin = OpOrigin::decode(r)?;
+        let scrub_cursor = u32::decode(r)?;
+        let next_scrub_at = Option::decode(r)?;
+        Ok(Ftl {
+            cfg,
+            geometry,
+            sense_conventional,
+            sense_merged,
+            map,
+            blocks,
+            alloc,
+            refresh_q,
+            planner,
+            stats,
+            refresh_target,
+            trace: SinkHandle::null(),
+            oob,
+            injector,
+            power_lost,
+            in_recovery,
+            read_only,
+            op_origin,
+            scrub_cursor,
+            next_scrub_at,
+        })
+    }
+}
+
 impl Ftl {
     /// Build an FTL over an empty (all-erased) flash array.
     pub fn new(cfg: FtlConfig) -> Self {

@@ -23,6 +23,17 @@ pub struct PageMap {
     p2l: Vec<Option<Lpn>>,
 }
 
+impl ida_snap::Snap for Lpn {
+    fn encode(&self, w: &mut ida_snap::Writer) {
+        ida_snap::Snap::encode(&self.0, w);
+    }
+    fn decode(r: &mut ida_snap::Reader<'_>) -> Result<Self, ida_snap::SnapError> {
+        Ok(Lpn(ida_snap::Snap::decode(r)?))
+    }
+}
+
+ida_snap::snap_struct!(PageMap { l2p, p2l });
+
 impl PageMap {
     /// A map for `logical_pages` LPNs over `physical_pages` flash pages,
     /// initially fully unmapped.

@@ -36,6 +36,33 @@ pub enum PageRecord {
     Failed,
 }
 
+impl ida_snap::Snap for PageRecord {
+    fn encode(&self, w: &mut ida_snap::Writer) {
+        match self {
+            PageRecord::Erased => 0u8.encode(w),
+            PageRecord::Data { lpn, seq } => {
+                1u8.encode(w);
+                lpn.encode(w);
+                seq.encode(w);
+            }
+            PageRecord::Failed => 2u8.encode(w),
+        }
+    }
+    fn decode(r: &mut ida_snap::Reader<'_>) -> Result<Self, ida_snap::SnapError> {
+        match u8::decode(r)? {
+            0 => Ok(PageRecord::Erased),
+            1 => Ok(PageRecord::Data {
+                lpn: u64::decode(r)?,
+                seq: u64::decode(r)?,
+            }),
+            2 => Ok(PageRecord::Failed),
+            tag => Err(ida_snap::SnapError::new(format!(
+                "bad PageRecord tag {tag}"
+            ))),
+        }
+    }
+}
+
 /// Persistent per-block metadata.
 #[derive(Debug, Clone, Default)]
 struct BlockOob {
@@ -59,6 +86,22 @@ pub struct OobStore {
     blocks: Vec<BlockOob>,
     next_seq: u64,
 }
+
+ida_snap::snap_struct!(BlockOob {
+    bad,
+    spare,
+    erase_count,
+    merged,
+    committed,
+    intent,
+});
+
+ida_snap::snap_struct!(OobStore {
+    geometry,
+    pages,
+    blocks,
+    next_seq,
+});
 
 impl OobStore {
     /// A fresh store: every page erased, every block clean.

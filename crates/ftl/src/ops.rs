@@ -61,6 +61,45 @@ pub enum FlashOpKind {
     VoltageAdjust,
 }
 
+ida_snap::snap_enum!(Priority {
+    0 => Priority::HostRead,
+    1 => Priority::HostWrite,
+    2 => Priority::Background,
+});
+
+ida_snap::snap_enum!(OpOrigin {
+    0 => OpOrigin::Host,
+    1 => OpOrigin::Gc,
+    2 => OpOrigin::Refresh,
+});
+
+impl ida_snap::Snap for FlashOpKind {
+    fn encode(&self, w: &mut ida_snap::Writer) {
+        match self {
+            FlashOpKind::Read { senses } => {
+                0u8.encode(w);
+                senses.encode(w);
+            }
+            FlashOpKind::Program => 1u8.encode(w),
+            FlashOpKind::Erase => 2u8.encode(w),
+            FlashOpKind::VoltageAdjust => 3u8.encode(w),
+        }
+    }
+    fn decode(r: &mut ida_snap::Reader<'_>) -> Result<Self, ida_snap::SnapError> {
+        match u8::decode(r)? {
+            0 => Ok(FlashOpKind::Read {
+                senses: u32::decode(r)?,
+            }),
+            1 => Ok(FlashOpKind::Program),
+            2 => Ok(FlashOpKind::Erase),
+            3 => Ok(FlashOpKind::VoltageAdjust),
+            tag => Err(ida_snap::SnapError::new(format!(
+                "bad FlashOpKind tag {tag}"
+            ))),
+        }
+    }
+}
+
 /// One unit of physical flash work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlashOp {
@@ -79,6 +118,16 @@ pub struct FlashOp {
     /// Who emitted the op (attribution class for queued requests behind it).
     pub origin: OpOrigin,
 }
+
+ida_snap::snap_struct!(FlashOp {
+    kind,
+    die,
+    channel,
+    block,
+    page,
+    priority,
+    origin,
+});
 
 impl FlashOp {
     /// Time the die's array is busy executing this op.

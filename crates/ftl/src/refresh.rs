@@ -22,6 +22,30 @@ pub struct RefreshQueue {
     heap: BinaryHeap<Reverse<Entry>>,
 }
 
+ida_snap::snap_struct!(Entry {
+    due,
+    block,
+    closed_at,
+});
+
+// A BinaryHeap's internal layout depends on insertion history, so the heap
+// travels as a sorted vec: the multiset of entries (which fully determines
+// the pop sequence) is preserved, giving a behaviorally identical queue
+// with a canonical byte form.
+impl ida_snap::Snap for RefreshQueue {
+    fn encode(&self, w: &mut ida_snap::Writer) {
+        let mut entries: Vec<Entry> = self.heap.iter().map(|Reverse(e)| *e).collect();
+        entries.sort_unstable();
+        ida_snap::Snap::encode(&entries, w);
+    }
+    fn decode(r: &mut ida_snap::Reader<'_>) -> Result<Self, ida_snap::SnapError> {
+        let entries: Vec<Entry> = ida_snap::Snap::decode(r)?;
+        Ok(RefreshQueue {
+            heap: entries.into_iter().map(Reverse).collect(),
+        })
+    }
+}
+
 impl RefreshQueue {
     /// An empty queue.
     pub fn new() -> Self {

@@ -59,6 +59,34 @@ pub struct FtlStats {
     pub refresh_overhead: RefreshOverhead,
 }
 
+ida_snap::snap_struct!(FtlStats {
+    host_writes,
+    host_reads,
+    gc_copies,
+    gc_runs,
+    erases,
+    refreshes,
+    refresh_moves,
+    voltage_adjusts,
+    ida_conversions,
+    ida_reads,
+    injected_program_fails,
+    injected_erase_fails,
+    transient_read_faults,
+    write_redirects,
+    retired_blocks,
+    power_losses,
+    recoveries,
+    rejected_writes,
+    scrub_passes,
+    scrub_relocations,
+    wear_level_moves,
+    ecc_uncorrectables,
+    ladder_retries,
+    rber_e9_sum,
+    refresh_overhead,
+});
+
 impl FtlStats {
     /// Write amplification: total page programs per host page write.
     pub fn write_amplification(&self) -> f64 {

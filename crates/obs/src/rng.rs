@@ -12,6 +12,8 @@ pub struct Rng64 {
     s: [u64; 4],
 }
 
+ida_snap::snap_struct!(Rng64 { s });
+
 impl Rng64 {
     /// Seed the generator from a single `u64` via SplitMix64.
     pub fn seed_from_u64(seed: u64) -> Self {
@@ -151,5 +153,18 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn empty_integer_range_rejected() {
         let _ = Rng64::seed_from_u64(0).gen_below(0);
+    }
+
+    #[test]
+    fn snapshot_resumes_mid_stream() {
+        use ida_snap::Snap;
+        let mut r = Rng64::seed_from_u64(0xFEED);
+        for _ in 0..17 {
+            r.next_u64();
+        }
+        let mut restored = Rng64::from_snap_bytes(&r.to_snap_bytes()).unwrap();
+        for _ in 0..100 {
+            assert_eq!(restored.next_u64(), r.next_u64());
+        }
     }
 }

@@ -1,0 +1,629 @@
+//! Deterministic binary snapshot encoding.
+//!
+//! The warm-state cache (ISSUE 9) needs every piece of mutable simulator
+//! state serialized so a restored simulator is *bit-for-bit* equivalent to
+//! one that ran warm-up live. JSON would work but is slow and bulky for
+//! multi-megabyte L2P maps, so this crate provides a minimal fixed-width
+//! little-endian binary codec:
+//!
+//! - [`Snap`]: encode/decode for primitives, tuples, arrays and the
+//!   standard containers used by the simulator (`Vec`, `VecDeque`,
+//!   `Option`, `BTreeSet`, `String`).
+//! - [`snap_struct!`] / [`snap_enum!`]: field-by-field impl macros invoked
+//!   *inside* the defining crate (they need access to private fields).
+//! - [`frame`]: a self-describing outer frame (`magic ‖ version ‖ len ‖
+//!   fnv1a ‖ payload`) so corrupt or stale spill files are detected and
+//!   rebuilt instead of silently restored.
+//! - [`fnv1a`]: the same hash used repo-wide, reused both for frame
+//!   integrity and for warm-up cache keys.
+//!
+//! Determinism rules: every integer is fixed-width little-endian, `usize`
+//! travels as `u64`, `f64` as its IEEE-754 bit pattern, and containers are
+//! length-prefixed. There is no varint, no alignment and no padding — the
+//! byte stream is a pure function of the value, which is what makes
+//! snapshot bytes usable as cache-key material.
+
+use std::collections::{BTreeSet, VecDeque};
+
+/// Decode failure: the byte stream does not describe a value of the
+/// requested type (truncated, bad tag, bad frame, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapError(pub String);
+
+impl std::fmt::Display for SnapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+impl SnapError {
+    /// Shorthand constructor.
+    pub fn new(msg: impl Into<String>) -> Self {
+        SnapError(msg.into())
+    }
+}
+
+/// Append-only encode sink.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Append raw bytes.
+    #[inline]
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Finish, yielding the encoded payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Cursor over an encoded payload.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf` starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Take the next `n` bytes.
+    #[inline]
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        // `n <= remaining` implies `pos + n <= len`, so the arithmetic
+        // cannot overflow; keeping the hot path to one compare lets the
+        // per-field calls in big decode loops inline away.
+        if n <= self.buf.len() - self.pos {
+            let out = &self.buf[self.pos..self.pos + n];
+            self.pos += n;
+            Ok(out)
+        } else {
+            Err(self.truncated(n))
+        }
+    }
+
+    #[cold]
+    fn truncated(&self, n: usize) -> SnapError {
+        SnapError::new(format!(
+            "truncated: need {n} bytes at offset {}, have {}",
+            self.pos,
+            self.buf.len() - self.pos
+        ))
+    }
+
+    /// Bytes remaining.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Error unless the payload was fully consumed (catches layout drift
+    /// between the encoder and decoder).
+    pub fn finish(&self) -> Result<(), SnapError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SnapError::new(format!(
+                "{} trailing bytes after decode",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+/// Deterministic binary encode/decode.
+pub trait Snap: Sized {
+    /// Append this value's canonical byte form.
+    fn encode(&self, w: &mut Writer);
+    /// Decode one value from the cursor.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError>;
+
+    /// Encode a whole slice of values. Containers route through this so
+    /// primitive element types can override it with a bulk byte copy;
+    /// the byte form is identical to element-by-element encoding.
+    fn encode_slice(slice: &[Self], w: &mut Writer) {
+        for v in slice {
+            v.encode(w);
+        }
+    }
+
+    /// Decode `len` values. The bulk counterpart of [`Snap::encode_slice`];
+    /// overrides must consume exactly the bytes element-wise decoding
+    /// would.
+    fn decode_vec(len: usize, r: &mut Reader<'_>) -> Result<Vec<Self>, SnapError> {
+        // Bound the pre-allocation by what the stream could possibly hold
+        // (1 byte per element minimum) so a corrupt length cannot OOM.
+        let mut out = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            out.push(Self::decode(r)?);
+        }
+        Ok(out)
+    }
+
+    /// Convenience: encode to a fresh buffer.
+    fn to_snap_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Convenience: decode a value that must span the whole buffer.
+    fn from_snap_bytes(buf: &[u8]) -> Result<Self, SnapError> {
+        let mut r = Reader::new(buf);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+macro_rules! snap_int {
+    ($($ty:ty),*) => {
+        $(
+            impl Snap for $ty {
+                // `#[inline]` matters here: the workspace builds without LTO,
+                // so without it these one-liners stay as cross-crate calls in
+                // the multi-megabyte snapshot loops of ida-ftl/ida-ssd.
+                #[inline]
+                fn encode(&self, w: &mut Writer) {
+                    w.bytes(&self.to_le_bytes());
+                }
+                #[inline]
+                fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+                    let b = r.take(std::mem::size_of::<$ty>())?;
+                    Ok(<$ty>::from_le_bytes(b.try_into().expect("sized take")))
+                }
+                // Bulk forms: the little-endian byte layout of a run of
+                // integers IS the element-wise encoding, so the whole
+                // slice moves as one copy instead of one call per value.
+                fn encode_slice(slice: &[Self], w: &mut Writer) {
+                    w.buf.reserve(std::mem::size_of::<$ty>() * slice.len());
+                    for v in slice {
+                        w.buf.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                fn decode_vec(len: usize, r: &mut Reader<'_>) -> Result<Vec<Self>, SnapError> {
+                    const W: usize = std::mem::size_of::<$ty>();
+                    let bytes = len
+                        .checked_mul(W)
+                        .ok_or_else(|| SnapError::new(format!("vec length overflow: {len}")))?;
+                    let b = r.take(bytes)?;
+                    Ok(b.chunks_exact(W)
+                        .map(|c| <$ty>::from_le_bytes(c.try_into().expect("sized chunk")))
+                        .collect())
+                }
+            }
+        )*
+    };
+}
+
+snap_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128);
+
+impl Snap for usize {
+    #[inline]
+    fn encode(&self, w: &mut Writer) {
+        (*self as u64).encode(w);
+    }
+    #[inline]
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let v = u64::decode(r)?;
+        usize::try_from(v).map_err(|_| SnapError::new(format!("usize overflow: {v}")))
+    }
+}
+
+impl Snap for bool {
+    #[inline]
+    fn encode(&self, w: &mut Writer) {
+        (*self as u8).encode(w);
+    }
+    #[inline]
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(SnapError::new(format!("bad bool byte {b}"))),
+        }
+    }
+    fn encode_slice(slice: &[Self], w: &mut Writer) {
+        w.buf.reserve(slice.len());
+        w.buf.extend(slice.iter().map(|&v| v as u8));
+    }
+    fn decode_vec(len: usize, r: &mut Reader<'_>) -> Result<Vec<Self>, SnapError> {
+        let b = r.take(len)?;
+        if let Some(bad) = b.iter().find(|&&x| x > 1) {
+            return Err(SnapError::new(format!("bad bool byte {bad}")));
+        }
+        Ok(b.iter().map(|&x| x == 1).collect())
+    }
+}
+
+impl Snap for f64 {
+    #[inline]
+    fn encode(&self, w: &mut Writer) {
+        self.to_bits().encode(w);
+    }
+    #[inline]
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(f64::from_bits(u64::decode(r)?))
+    }
+}
+
+impl Snap for String {
+    fn encode(&self, w: &mut Writer) {
+        self.len().encode(w);
+        w.bytes(self.as_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let len = usize::decode(r)?;
+        let b = r.take(len)?;
+        String::from_utf8(b.to_vec()).map_err(|e| SnapError::new(format!("bad utf-8: {e}")))
+    }
+}
+
+impl<T: Snap> Snap for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => 0u8.encode(w),
+            Some(v) => {
+                1u8.encode(w);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            b => Err(SnapError::new(format!("bad option tag {b}"))),
+        }
+    }
+}
+
+impl<T: Snap> Snap for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        self.len().encode(w);
+        T::encode_slice(self, w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let len = usize::decode(r)?;
+        T::decode_vec(len, r)
+    }
+}
+
+impl<T: Snap> Snap for VecDeque<T> {
+    fn encode(&self, w: &mut Writer) {
+        self.len().encode(w);
+        let (head, tail) = self.as_slices();
+        T::encode_slice(head, w);
+        T::encode_slice(tail, w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Vec::<T>::decode(r)?.into())
+    }
+}
+
+impl<T: Snap + Ord> Snap for BTreeSet<T> {
+    fn encode(&self, w: &mut Writer) {
+        self.len().encode(w);
+        for v in self {
+            v.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let len = usize::decode(r)?;
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Snap, const N: usize> Snap for [T; N] {
+    fn encode(&self, w: &mut Writer) {
+        T::encode_slice(self, w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        T::decode_vec(N, r)?
+            .try_into()
+            .map_err(|_| SnapError::new("array length mismatch"))
+    }
+}
+
+macro_rules! snap_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Snap),+> Snap for ($($name,)+) {
+            fn encode(&self, w: &mut Writer) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $( $name.encode(w); )+
+            }
+            fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+                Ok(($($name::decode(r)?,)+))
+            }
+        }
+    };
+}
+
+snap_tuple!(A);
+snap_tuple!(A, B);
+snap_tuple!(A, B, C);
+snap_tuple!(A, B, C, D);
+
+/// Implement [`Snap`] for a struct field-by-field, in declaration order.
+/// Must be invoked in the struct's own module (it reads private fields).
+#[macro_export]
+macro_rules! snap_struct {
+    ($ty:ty { $($field:ident),* $(,)? }) => {
+        impl $crate::Snap for $ty {
+            fn encode(&self, w: &mut $crate::Writer) {
+                $( $crate::Snap::encode(&self.$field, w); )*
+            }
+            fn decode(r: &mut $crate::Reader<'_>) -> Result<Self, $crate::SnapError> {
+                Ok(Self { $( $field: $crate::Snap::decode(r)? ),* })
+            }
+        }
+    };
+}
+
+/// Implement [`Snap`] for a unit-variant enum with explicit `u8` tags.
+#[macro_export]
+macro_rules! snap_enum {
+    ($ty:ty { $($idx:literal => $variant:path),* $(,)? }) => {
+        impl $crate::Snap for $ty {
+            fn encode(&self, w: &mut $crate::Writer) {
+                let tag: u8 = match self {
+                    $( $variant => $idx, )*
+                };
+                $crate::Snap::encode(&tag, w);
+            }
+            fn decode(r: &mut $crate::Reader<'_>) -> Result<Self, $crate::SnapError> {
+                match <u8 as $crate::Snap>::decode(r)? {
+                    $( $idx => Ok($variant), )*
+                    tag => Err($crate::SnapError::new(format!(
+                        concat!("bad ", stringify!($ty), " tag {}"),
+                        tag
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+/// FNV-1a 64-bit over `bytes` — the repo's standard content hash, reused
+/// here for frame integrity and warm-up cache keys.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Self-describing outer frame: `IDASNAP1 ‖ version:u32 ‖ len:u64 ‖
+/// fnv1a:u64 ‖ payload`. Spill files and CLI snapshot files always travel
+/// framed so truncation and corruption are detected before decode.
+pub mod frame {
+    use super::{fnv1a, SnapError};
+
+    /// Frame magic, also the file signature of `.snap` spill files.
+    pub const MAGIC: &[u8; 8] = b"IDASNAP1";
+    /// Current payload-layout version. Bump whenever any `Snap` impl's
+    /// field order changes; stale spill files are then rebuilt, not
+    /// misdecoded.
+    pub const VERSION: u32 = 1;
+    /// Frame header length in bytes.
+    pub const HEADER_LEN: usize = 8 + 4 + 8 + 8;
+
+    /// Decoded frame metadata (for `idasim snapshot inspect`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Meta {
+        /// Layout version recorded in the header.
+        pub version: u32,
+        /// Payload length in bytes.
+        pub payload_len: u64,
+        /// FNV-1a hash of the payload.
+        pub hash: u64,
+    }
+
+    /// Wrap `payload` in a verified frame.
+    pub fn seal(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Parse and verify a frame, returning its metadata and payload.
+    pub fn open(buf: &[u8]) -> Result<(Meta, &[u8]), SnapError> {
+        if buf.len() < HEADER_LEN {
+            return Err(SnapError::new("frame shorter than header"));
+        }
+        if &buf[..8] != MAGIC {
+            return Err(SnapError::new("bad frame magic"));
+        }
+        let version = u32::from_le_bytes(buf[8..12].try_into().expect("sized"));
+        if version != VERSION {
+            return Err(SnapError::new(format!(
+                "frame version {version}, expected {VERSION}"
+            )));
+        }
+        let payload_len = u64::from_le_bytes(buf[12..20].try_into().expect("sized"));
+        let hash = u64::from_le_bytes(buf[20..28].try_into().expect("sized"));
+        let payload = &buf[HEADER_LEN..];
+        if payload.len() as u64 != payload_len {
+            return Err(SnapError::new(format!(
+                "frame declares {payload_len} payload bytes, carries {}",
+                payload.len()
+            )));
+        }
+        if fnv1a(payload) != hash {
+            return Err(SnapError::new("frame hash mismatch (corrupt payload)"));
+        }
+        Ok((
+            Meta {
+                version,
+                payload_len,
+                hash,
+            },
+            payload,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Snap + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_snap_bytes();
+        assert_eq!(T::from_snap_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u8::MAX);
+        round_trip(0xBEEFu16);
+        round_trip(0xDEAD_BEEFu32);
+        round_trip(u64::MAX - 7);
+        round_trip(u128::MAX / 3);
+        round_trip(-42i64);
+        round_trip(true);
+        round_trip(false);
+        round_trip(1.6180339887f64);
+        round_trip(f64::NEG_INFINITY);
+        round_trip(usize::MAX / 2);
+        round_trip(String::from("warm-up cache κλειδί"));
+    }
+
+    #[test]
+    fn nan_bit_pattern_preserved() {
+        let v = f64::from_bits(0x7FF8_0000_0000_1234);
+        let bytes = v.to_snap_bytes();
+        assert_eq!(f64::from_snap_bytes(&bytes).unwrap().to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Vec::<u64>::new());
+        round_trip(Some(vec![0u8, 9]));
+        round_trip(Option::<u32>::None);
+        round_trip(VecDeque::from([7u64, 8, 9]));
+        round_trip(BTreeSet::from([(3u32, 1u32), (1, 2)]));
+        round_trip([1u64, 2, 3]);
+        round_trip((1u32, 2u64, true));
+        round_trip(vec![Some((1u32, false)), None]);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let a = vec![(1u64, Some(2u32)), (3, None)];
+        assert_eq!(a.to_snap_bytes(), a.to_snap_bytes());
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let bytes = 0xABCDu64.to_snap_bytes();
+        assert!(u64::from_snap_bytes(&bytes[..7]).is_err());
+        // Trailing bytes also rejected by from_snap_bytes.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(u64::from_snap_bytes(&long).is_err());
+    }
+
+    #[test]
+    fn corrupt_length_does_not_allocate_wildly() {
+        // A Vec claiming u64::MAX elements must error, not OOM.
+        let mut w = Writer::new();
+        u64::MAX.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert!(Vec::<u8>::from_snap_bytes(&bytes).is_err());
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        a: u32,
+        b: Vec<bool>,
+    }
+    snap_struct!(Demo { a, b });
+
+    #[derive(Debug, PartialEq)]
+    enum Mode {
+        Off,
+        On,
+    }
+    snap_enum!(Mode { 0 => Mode::Off, 1 => Mode::On });
+
+    #[test]
+    fn macros_round_trip() {
+        round_trip(Demo {
+            a: 5,
+            b: vec![true, false],
+        });
+        round_trip(Mode::Off);
+        round_trip(Mode::On);
+        assert!(Mode::from_snap_bytes(&[9]).is_err());
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn frame_round_trip_and_rejects_corruption() {
+        let payload = b"hello snapshot".to_vec();
+        let framed = frame::seal(&payload);
+        let (meta, got) = frame::open(&framed).unwrap();
+        assert_eq!(got, payload.as_slice());
+        assert_eq!(meta.payload_len, payload.len() as u64);
+        assert_eq!(meta.version, frame::VERSION);
+
+        // Flip one payload byte: hash mismatch.
+        let mut bad = framed.clone();
+        *bad.last_mut().unwrap() ^= 1;
+        assert!(frame::open(&bad).is_err());
+        // Truncate: length mismatch.
+        assert!(frame::open(&framed[..framed.len() - 1]).is_err());
+        // Bad magic.
+        let mut nomagic = framed.clone();
+        nomagic[0] = b'X';
+        assert!(frame::open(&nomagic).is_err());
+        // Wrong version.
+        let mut vers = framed;
+        vers[8] ^= 0xFF;
+        assert!(frame::open(&vers).is_err());
+    }
+}

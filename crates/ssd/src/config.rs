@@ -18,6 +18,8 @@ pub struct SsdConfig {
     pub retry: RetryConfig,
 }
 
+ida_snap::snap_struct!(SsdConfig { ftl, timing, retry });
+
 impl SsdConfig {
     /// The paper's baseline TLC SSD at experiment scale (scaled geometry,
     /// Table II timing, baseline refresh).

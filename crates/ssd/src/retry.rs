@@ -28,6 +28,12 @@ pub struct RetryConfig {
     pub seed: u64,
 }
 
+ida_snap::snap_struct!(RetryConfig {
+    failure_prob,
+    max_retries,
+    seed,
+});
+
 impl RetryConfig {
     /// No retries (early lifetime; the paper's default system). The seed
     /// is irrelevant (the sampler never draws) and left at zero.
@@ -65,6 +71,8 @@ pub struct RetryModel {
     cfg: RetryConfig,
     rng: Rng64,
 }
+
+ida_snap::snap_struct!(RetryModel { cfg, rng });
 
 impl RetryModel {
     /// A sampler for `cfg`.
@@ -113,6 +121,8 @@ pub struct ReadLadder {
     depth: u32,
     rng: Rng64,
 }
+
+ida_snap::snap_struct!(ReadLadder { gain, depth, rng });
 
 impl ReadLadder {
     /// A ladder with the given RBER→failure-probability `gain` and

@@ -164,6 +164,28 @@ impl DieState {
     }
 }
 
+ida_snap::snap_struct!(SimOp {
+    op,
+    req,
+    retries,
+    fault_attempts,
+    fault_backoff,
+    enqueued_at,
+    charged_until,
+    charges,
+});
+
+ida_snap::snap_struct!(DieState {
+    read_free_at,
+    other_free_at,
+    wake_at,
+    dirty,
+    read_hold,
+    other_hold,
+    busy_until,
+    queues,
+});
+
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     /// The `i`-th trace entry arrives.
@@ -222,6 +244,72 @@ pub struct Simulator {
     channel_busy: Vec<u128>,
 }
 
+// Snapshot payload: every field that influences future simulation,
+// verbatim — including live RNG streams, die/channel occupancy and
+// leftover queued work. Excluded as process-local observers: the trace
+// sink (restored null), the gauge sampler (restored disabled) and the
+// stderr progress flag (restored off); callers re-attach observability
+// after restore exactly as they would after `Simulator::new`.
+impl ida_snap::Snap for Simulator {
+    fn encode(&self, w: &mut ida_snap::Writer) {
+        self.cfg.encode(w);
+        self.ftl.encode(w);
+        self.retry.encode(w);
+        self.ladder.encode(w);
+        self.dies.encode(w);
+        self.channels.encode(w);
+        self.clock.encode(w);
+        self.flash_ops.encode(w);
+        self.queued_ops.encode(w);
+        self.dirty_dies.encode(w);
+        // The wake heap's internal layout depends on insertion history;
+        // its *multiset* of (time, die) entries — a total order, so the
+        // pop sequence is fully determined — travels as a sorted vec.
+        let mut wakes: Vec<(SimTime, u32)> = self.wake_heap.iter().map(|Reverse(e)| *e).collect();
+        wakes.sort_unstable();
+        wakes.encode(w);
+        self.spans.encode(w);
+        self.die_busy.encode(w);
+        self.channel_busy.encode(w);
+    }
+
+    fn decode(r: &mut ida_snap::Reader<'_>) -> Result<Self, ida_snap::SnapError> {
+        let cfg = SsdConfig::decode(r)?;
+        let ftl = Ftl::decode(r)?;
+        let retry = RetryModel::decode(r)?;
+        let ladder = Option::decode(r)?;
+        let dies = Vec::decode(r)?;
+        let channels = Vec::decode(r)?;
+        let clock = SimTime::decode(r)?;
+        let flash_ops = u64::decode(r)?;
+        let queued_ops = u64::decode(r)?;
+        let dirty_dies = Vec::decode(r)?;
+        let wakes: Vec<(SimTime, u32)> = Vec::decode(r)?;
+        let spans = bool::decode(r)?;
+        let die_busy = Vec::decode(r)?;
+        let channel_busy = Vec::decode(r)?;
+        Ok(Simulator {
+            cfg,
+            ftl,
+            retry,
+            ladder,
+            dies,
+            channels,
+            clock,
+            trace: SinkHandle::null(),
+            gauges: GaugeSet::disabled(),
+            progress: false,
+            flash_ops,
+            queued_ops,
+            dirty_dies,
+            wake_heap: wakes.into_iter().map(Reverse).collect(),
+            spans,
+            die_busy,
+            channel_busy,
+        })
+    }
+}
+
 impl Simulator {
     /// Build a simulator over an empty SSD.
     pub fn new(cfg: SsdConfig) -> Self {
@@ -251,6 +339,28 @@ impl Simulator {
             die_busy: vec![0; g.total_dies() as usize],
             channel_busy: vec![0; g.channels as usize],
         }
+    }
+
+    /// Serialize the complete mutable simulation state into a framed,
+    /// deterministic byte blob. A simulator restored from it with
+    /// [`Simulator::from_snapshot`] continues bit-for-bit identically to
+    /// this one (reports, traces and RNG draws included), which is what
+    /// lets the sweep engine run one warm-up and fork every dependent
+    /// cell from the cached bytes.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = ida_snap::Writer::new();
+        ida_snap::Snap::encode(self, &mut w);
+        ida_snap::frame::seal(&w.into_bytes())
+    }
+
+    /// Rebuild a simulator from [`Simulator::snapshot`] bytes. The frame
+    /// is verified (magic, version, length, content hash) before decode,
+    /// so corrupt or stale spill files fail loudly instead of restoring
+    /// silently wrong state. Observability (trace sink, gauges, progress)
+    /// is reset to off — re-attach after restore as after `new`.
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, ida_snap::SnapError> {
+        let (_, payload) = ida_snap::frame::open(bytes)?;
+        ida_snap::Snap::from_snap_bytes(payload)
     }
 
     /// Attach a trace sink. The handle is shared with the FTL, so FTL

@@ -29,6 +29,8 @@
 //!   fresh run.
 //! - [`jsonv`]: the minimal JSON reader the journal loader uses, kept
 //!   dependency-free like the rest of the workspace.
+//! - [`warm`]: a keyed, single-flight cache of serialized warm simulator
+//!   states, so cells that share a warm-up phase run it once and fork.
 
 pub mod agg;
 pub mod cell;
@@ -36,9 +38,11 @@ pub mod journal;
 pub mod jsonv;
 pub mod pool;
 pub mod spec;
+pub mod warm;
 
 pub use agg::SweepOutcome;
 pub use cell::{derive_stream_seed, Cell};
 pub use journal::{JournalRecord, JournalWriter};
 pub use pool::{run_cells, CellOutcome, CellStatus, SweepConfig};
 pub use spec::SweepSpec;
+pub use warm::{WarmCache, WarmStats};

@@ -13,11 +13,13 @@
 
 use crate::cell::Cell;
 use crate::journal::{self, JournalWriter};
+use crate::warm::WarmCache;
 use ida_obs::progress::Progress;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 
 /// How a sweep runs: parallelism, retry budget, checkpointing, progress.
 #[derive(Debug, Clone)]
@@ -30,6 +32,12 @@ pub struct SweepConfig {
     pub journal: Option<PathBuf>,
     /// Report progress (with ETA) on stderr.
     pub progress: bool,
+    /// Shared warm-state snapshot cache (`None` = every cell runs its
+    /// own warm-up). Job closures that support forking consult it via
+    /// [`SweepConfig::warm_cache`]; because a cache hit restores
+    /// byte-identical simulator state, enabling it never changes sweep
+    /// output — only how often the warm-up work is repeated.
+    pub warm: Option<Arc<WarmCache>>,
 }
 
 impl Default for SweepConfig {
@@ -39,6 +47,7 @@ impl Default for SweepConfig {
             max_attempts: 2,
             journal: None,
             progress: false,
+            warm: None,
         }
     }
 }
@@ -62,6 +71,22 @@ impl SweepConfig {
     pub fn with_journal(mut self, path: PathBuf) -> Self {
         self.journal = Some(path);
         self
+    }
+
+    /// Attach a warm-state snapshot cache, spilling under the journal
+    /// directory when checkpointing is on (memory-only otherwise).
+    pub fn with_warm_cache(mut self) -> Self {
+        let spill = self
+            .journal
+            .as_deref()
+            .map(crate::warm::spill_dir_for_journal);
+        self.warm = Some(Arc::new(WarmCache::new(spill)));
+        self
+    }
+
+    /// The warm cache, if one is attached.
+    pub fn warm_cache(&self) -> Option<&WarmCache> {
+        self.warm.as_deref()
     }
 
     /// The configuration selected by environment variables: `IDA_JOBS`

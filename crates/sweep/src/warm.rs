@@ -1,0 +1,379 @@
+//! The warm-state snapshot cache: run each distinct warm-up once, fork
+//! every dependent cell from the captured snapshot.
+//!
+//! Sweep grids repeat the same expensive warm-up (prefill + aging +
+//! refresh churn) for every cell that differs only in a *post*-warm-up
+//! axis — fault level, aging level, offered load. The cache keys warm
+//! states by a caller-computed fingerprint of everything that *does*
+//! influence the warm-up and hands back the serialized simulator bytes,
+//! so N sibling cells cost one warm-up instead of N.
+//!
+//! Guarantees:
+//!
+//! - **Single-flight**: when two workers need the same key concurrently,
+//!   exactly one runs the build closure; the other blocks on a condvar
+//!   until the snapshot is ready. A build that panics wakes the waiters
+//!   and lets the next claimant rebuild — no deadlock, no poisoned key.
+//! - **Determinism-neutral**: the cache stores exactly the bytes the
+//!   build closure produced, and [`ida_snap`]'s differential invariant
+//!   (restore → run ≡ keep running) means a cache hit is byte-for-byte
+//!   indistinguishable from re-running the warm-up. The sweep's
+//!   any-worker-count byte-identical aggregate guarantee is preserved.
+//! - **Spill/resume**: with a spill directory (the journal directory, in
+//!   practice), snapshots are persisted as `{key:016x}.snap` and
+//!   revalidated by their [`ida_snap::frame`] header on reload, so a
+//!   killed-and-resumed sweep skips even the first warm-up per key.
+//!   Corrupt or truncated spill files are ignored and rebuilt.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One key's state in the in-memory table.
+#[derive(Debug)]
+enum Slot {
+    /// Some worker is running the build closure right now.
+    Building,
+    /// The snapshot bytes, shared by every forker.
+    Ready(Arc<Vec<u8>>),
+}
+
+/// Hit/miss counters, snapshotted by [`WarmCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Served from memory (includes waits on an in-flight build).
+    pub hits: u64,
+    /// Served by revalidating a spill file from a previous run.
+    pub disk_hits: u64,
+    /// The build closure ran.
+    pub misses: u64,
+}
+
+impl WarmStats {
+    /// Total snapshots served without running a warm-up.
+    pub fn total_hits(&self) -> u64 {
+        self.hits + self.disk_hits
+    }
+}
+
+/// A keyed, single-flight cache of serialized warm simulator states.
+#[derive(Debug)]
+pub struct WarmCache {
+    slots: Mutex<HashMap<u64, Slot>>,
+    ready: Condvar,
+    spill: Option<PathBuf>,
+    hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Clears a `Building` claim if the build closure unwinds, waking every
+/// waiter so one of them can re-claim the key. Disarmed on success.
+struct BuildGuard<'a> {
+    cache: &'a WarmCache,
+    key: u64,
+    armed: bool,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut slots = self.cache.slots.lock().unwrap();
+            slots.remove(&self.key);
+            self.cache.ready.notify_all();
+        }
+    }
+}
+
+/// Keep freed multi-megabyte blocks inside the process instead of
+/// returning them to the kernel.
+///
+/// A warm-cached sweep allocates and frees a decoded simulator image
+/// (tens of MB of page map, OOB store and block table) once per cell.
+/// glibc serves blocks that big from dedicated `mmap` regions and
+/// `munmap`s them on free, so every cell re-faults its whole working
+/// set; under a virtualized kernel (where a minor fault costs tens of
+/// microseconds, not one) that page churn was costing more system time
+/// than the cache saved in user time. Raising `M_MMAP_THRESHOLD` routes
+/// the blocks through the ordinary heap and raising `M_TRIM_THRESHOLD`
+/// stops `free` from shrinking the heap top between cells — after the
+/// first few cells the whole per-cell working set is recycled without a
+/// single fault. Both are best-effort process-wide hints: sizing is
+/// unchanged, only *where* the bytes come from, so this is invisible to
+/// results. No-op off glibc.
+fn retain_freed_memory() {
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    {
+        // Values from glibc's malloc.h; the libc crate is not a
+        // dependency, so declare mallopt directly.
+        const M_TRIM_THRESHOLD: i32 = -1;
+        const M_MMAP_THRESHOLD: i32 = -3;
+        extern "C" {
+            fn mallopt(param: i32, value: i32) -> i32;
+        }
+        // SAFETY: mallopt only adjusts allocator tuning parameters; it
+        // touches no caller-owned memory and is safe at any point.
+        unsafe {
+            mallopt(M_MMAP_THRESHOLD, 64 << 20);
+            mallopt(M_TRIM_THRESHOLD, 512 << 20);
+        }
+    }
+}
+
+impl WarmCache {
+    /// A cache, optionally spilling snapshots under `spill` (created if
+    /// absent; spill failures degrade to memory-only, never to errors).
+    pub fn new(spill: Option<PathBuf>) -> Self {
+        retain_freed_memory();
+        let spill = spill.filter(|dir| std::fs::create_dir_all(dir).is_ok());
+        WarmCache {
+            slots: Mutex::new(HashMap::new()),
+            ready: Condvar::new(),
+            spill,
+            hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The snapshot for `key`, building it with `build` exactly once per
+    /// key no matter how many workers ask concurrently.
+    pub fn get_or_build(&self, key: u64, build: impl FnOnce() -> Vec<u8>) -> Arc<Vec<u8>> {
+        {
+            let mut slots = self.slots.lock().unwrap();
+            loop {
+                match slots.get(&key) {
+                    Some(Slot::Ready(bytes)) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return bytes.clone();
+                    }
+                    Some(Slot::Building) => {
+                        slots = self.ready.wait(slots).unwrap();
+                    }
+                    None => {
+                        if let Some(bytes) = self.load_spill(key) {
+                            let bytes = Arc::new(bytes);
+                            slots.insert(key, Slot::Ready(bytes.clone()));
+                            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                            self.ready.notify_all();
+                            return bytes;
+                        }
+                        slots.insert(key, Slot::Building);
+                        break;
+                    }
+                }
+            }
+        }
+        // We hold the (lock-free) build claim; the guard releases it if
+        // `build` panics so waiters do not deadlock on a dead builder.
+        let mut guard = BuildGuard {
+            cache: self,
+            key,
+            armed: true,
+        };
+        let bytes = Arc::new(build());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.store_spill(key, &bytes);
+        let mut slots = self.slots.lock().unwrap();
+        slots.insert(key, Slot::Ready(bytes.clone()));
+        guard.armed = false;
+        self.ready.notify_all();
+        drop(slots);
+        bytes
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> WarmStats {
+        WarmStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A one-line human/CI-greppable summary, e.g.
+    /// `warm-cache: 66 hits (0 from disk), 22 misses (22 warm-ups for 88 cells)`.
+    pub fn stats_line(&self, cells: usize) -> String {
+        let s = self.stats();
+        format!(
+            "warm-cache: {} hits ({} from disk), {} misses ({} warm-ups for {} cells)",
+            s.total_hits(),
+            s.disk_hits,
+            s.misses,
+            s.misses,
+            cells
+        )
+    }
+
+    fn spill_path(&self, key: u64) -> Option<PathBuf> {
+        self.spill
+            .as_ref()
+            .map(|d| d.join(format!("{key:016x}.snap")))
+    }
+
+    /// A spilled snapshot, if present and frame-valid (magic, version,
+    /// length and content hash all check out). Anything else — missing,
+    /// torn write, corruption — means "rebuild".
+    fn load_spill(&self, key: u64) -> Option<Vec<u8>> {
+        let path = self.spill_path(key)?;
+        let bytes = std::fs::read(&path).ok()?;
+        ida_snap::frame::open(&bytes).ok()?;
+        Some(bytes)
+    }
+
+    /// Persist via temp-file + rename so resumed runs never see a torn
+    /// spill file. Failures are silently tolerated (memory still works).
+    fn store_spill(&self, key: u64, bytes: &[u8]) {
+        let Some(path) = self.spill_path(key) else {
+            return;
+        };
+        let tmp = path.with_extension("snap.tmp");
+        if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+/// Spill directory for a sweep journal at `journal`: a `warm/` sibling
+/// next to the journal file, so `--resume` runs find their snapshots.
+pub fn spill_dir_for_journal(journal: &Path) -> PathBuf {
+    journal
+        .parent()
+        .unwrap_or_else(|| Path::new("."))
+        .join("warm")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn payload(tag: u8) -> Vec<u8> {
+        ida_snap::frame::seal(&[tag; 64])
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = WarmCache::new(None);
+        let built = AtomicU32::new(0);
+        let make = || {
+            built.fetch_add(1, Ordering::SeqCst);
+            payload(7)
+        };
+        let a = cache.get_or_build(42, make);
+        let b = cache.get_or_build(42, || unreachable!("second lookup must hit"));
+        assert_eq!(a, b);
+        assert_eq!(built.load(Ordering::SeqCst), 1);
+        assert_eq!(
+            cache.stats(),
+            WarmStats {
+                hits: 1,
+                disk_hits: 0,
+                misses: 1
+            }
+        );
+    }
+
+    #[test]
+    fn concurrent_same_key_builds_once() {
+        let cache = Arc::new(WarmCache::new(None));
+        let built = Arc::new(AtomicU32::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = cache.clone();
+            let built = built.clone();
+            handles.push(std::thread::spawn(move || {
+                cache.get_or_build(9, || {
+                    built.fetch_add(1, Ordering::SeqCst);
+                    // Widen the race window so waiters really block.
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    payload(9)
+                })
+            }));
+        }
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(built.load(Ordering::SeqCst), 1, "single-flight violated");
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 7);
+    }
+
+    #[test]
+    fn panicking_build_releases_the_key() {
+        let cache = Arc::new(WarmCache::new(None));
+        let crash = {
+            let cache = cache.clone();
+            std::thread::spawn(move || {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.get_or_build(5, || panic!("builder died"));
+                }));
+            })
+        };
+        crash.join().unwrap();
+        // The key is free again: the next claimant rebuilds, no deadlock.
+        let bytes = cache.get_or_build(5, || payload(5));
+        assert_eq!(*bytes, payload(5));
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn spill_survives_a_new_cache_and_rejects_corruption() {
+        let dir = std::env::temp_dir().join(format!("ida-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let first = WarmCache::new(Some(dir.clone()));
+        let bytes = first.get_or_build(0xAB, || payload(1));
+        assert_eq!(first.stats().misses, 1);
+
+        // A fresh cache (resumed run) finds the spill file.
+        let resumed = WarmCache::new(Some(dir.clone()));
+        let reloaded = resumed.get_or_build(0xAB, || unreachable!("spill must hit"));
+        assert_eq!(bytes, reloaded);
+        assert_eq!(
+            resumed.stats(),
+            WarmStats {
+                hits: 0,
+                disk_hits: 1,
+                misses: 0
+            }
+        );
+
+        // Corrupt the spill file: the next fresh cache rebuilds.
+        let path = dir.join(format!("{:016x}.snap", 0xAB_u64));
+        let mut raw = std::fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        let rebuilt = WarmCache::new(Some(dir.clone()));
+        let again = rebuilt.get_or_build(0xAB, || payload(2));
+        assert_eq!(*again, payload(2));
+        assert_eq!(rebuilt.stats().misses, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_line_is_greppable() {
+        let cache = WarmCache::new(None);
+        cache.get_or_build(1, || payload(1));
+        cache.get_or_build(1, || unreachable!());
+        cache.get_or_build(2, || payload(2));
+        assert_eq!(
+            cache.stats_line(3),
+            "warm-cache: 1 hits (0 from disk), 2 misses (2 warm-ups for 3 cells)"
+        );
+    }
+
+    #[test]
+    fn journal_spill_dir_is_a_sibling() {
+        assert_eq!(
+            spill_dir_for_journal(Path::new("/tmp/run/journal.jsonl")),
+            PathBuf::from("/tmp/run/warm")
+        );
+        assert_eq!(
+            spill_dir_for_journal(Path::new("j.jsonl")),
+            PathBuf::from("warm")
+        );
+    }
+}
