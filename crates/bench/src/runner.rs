@@ -258,30 +258,32 @@ pub struct WorkloadRun {
 }
 
 /// Build the `SsdConfig` for a system under test.
+///
+/// # Panics
+///
+/// On a structurally invalid configuration (zero geometry, out-of-range
+/// error rate). Cells run under `catch_unwind`, so inside a sweep this
+/// becomes a per-cell failure record rather than taking down the run.
 pub fn system_config(
     system: SystemUnderTest,
     geometry: Geometry,
     timing: FlashTiming,
     retry: RetryConfig,
 ) -> SsdConfig {
-    let mut cfg = SsdConfig {
-        ftl: ida_ftl::FtlConfig {
-            geometry,
-            ..ida_ftl::FtlConfig::default()
-        },
-        timing,
-        retry,
+    let builder = SsdConfig::builder()
+        .geometry(geometry)
+        .timing(timing)
+        .retry(retry);
+    let builder = match system {
+        SystemUnderTest::Baseline => builder.refresh_mode(RefreshMode::Baseline),
+        SystemUnderTest::Ida { error_rate } => builder
+            .refresh_mode(RefreshMode::Ida)
+            .adjust_error_rate(error_rate),
     };
-    match system {
-        SystemUnderTest::Baseline => {
-            cfg.ftl.refresh_mode = RefreshMode::Baseline;
-        }
-        SystemUnderTest::Ida { error_rate } => {
-            cfg.ftl.refresh_mode = RefreshMode::Ida;
-            cfg.ftl.adjust_error_rate = error_rate;
-        }
+    match builder.build() {
+        Ok(cfg) => cfg,
+        Err(e) => panic!("invalid system config: {e}"),
     }
-    cfg
 }
 
 /// Convert a workload trace to simulator host ops.

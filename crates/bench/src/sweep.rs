@@ -307,14 +307,108 @@ pub fn run_grid(
     scale: &ExperimentScale,
     cfg: &SweepConfig,
 ) -> std::io::Result<SweepOutcome> {
+    run_grid_on(spec, scale, cfg, Backend::Local)
+}
+
+/// Where a grid's cells execute. Either way the aggregate is the same
+/// bytes — the backend only decides which processes burn the CPU.
+#[derive(Debug)]
+pub enum Backend {
+    /// The in-process worker pool, on `cfg.jobs` threads.
+    Local,
+    /// The distributed fabric: this process becomes the coordinator and
+    /// serves cells to `idasim worker` processes over the listener.
+    Distributed {
+        /// The already-bound coordinator listener.
+        listener: std::net::TcpListener,
+    },
+}
+
+/// [`run_grid`] with an explicit execution [`Backend`].
+///
+/// # Errors
+///
+/// Journal I/O and listener errors; cell panics (local or remote) and
+/// worker disconnects become per-cell failure records.
+pub fn run_grid_on(
+    spec: &SweepSpec,
+    scale: &ExperimentScale,
+    cfg: &SweepConfig,
+    backend: Backend,
+) -> std::io::Result<SweepOutcome> {
     let cells = spec.cells();
-    let outcomes = ida_sweep::run_cells(&spec.name, &cells, cfg, |cell| {
-        run_cell_cached(cell, scale, cfg.warm_cache())
-    })?;
+    let outcomes = match backend {
+        Backend::Local => ida_sweep::run_cells(&spec.name, &cells, cfg, |cell| {
+            run_cell_cached(cell, scale, cfg.warm_cache())
+        })?,
+        Backend::Distributed { listener } => ida_sweep::net::serve(
+            &spec.name,
+            &cells,
+            cfg,
+            &setup_json(scale),
+            listener,
+            |ev| eprintln!("{}", ev.to_json_line()),
+        )?,
+    };
     Ok(SweepOutcome {
         sweep: spec.name.clone(),
         outcomes,
     })
+}
+
+/// The coordinator→worker experiment-setup payload: the scale knobs a
+/// worker needs to execute cells byte-identically to a local run. The
+/// geometry never travels — every built-in scale uses the workspace's
+/// scaled-8GB device, so only the trace knobs vary.
+pub fn setup_json(scale: &ExperimentScale) -> String {
+    JsonObj::new()
+        .u64("requests", scale.requests as u64)
+        .f64("refresh_period_frac", scale.refresh_period_frac)
+        .finish()
+}
+
+/// Rebuild an [`ExperimentScale`] from a coordinator's setup payload.
+///
+/// # Errors
+///
+/// Returns a message for malformed or incomplete payloads.
+pub fn scale_from_setup(setup: &str) -> Result<ExperimentScale, String> {
+    let v = jsonv::parse(setup).map_err(|e| format!("bad setup payload: {e}"))?;
+    let requests = v
+        .get("requests")
+        .and_then(|x| x.as_f64())
+        .ok_or("setup payload missing requests")? as usize;
+    let frac = v
+        .get("refresh_period_frac")
+        .and_then(|x| x.as_f64())
+        .ok_or("setup payload missing refresh_period_frac")?;
+    let mut scale = ExperimentScale::smoke().with_requests(requests);
+    scale.refresh_period_frac = frac;
+    Ok(scale)
+}
+
+/// Run a fabric worker executing built-in-grid cells: rebuild the
+/// coordinator's scale from the `Welcome` setup and run each cell
+/// exactly as the local pool would. The process-wide warm cache
+/// rendezvouses snapshot images through the coordinator, so a warm-up
+/// built by any worker on the fabric is forked by all of them.
+///
+/// # Errors
+///
+/// Connection and handshake failures (when no connection succeeds).
+pub fn run_grid_worker(
+    addr: &str,
+    threads: usize,
+    wait: std::time::Duration,
+) -> std::io::Result<ida_sweep::WorkerReport> {
+    let warm = ida_sweep::WarmCache::new(None)
+        .with_remote(Box::new(ida_sweep::WarmPort::connect(addr, wait)?));
+    let report = ida_sweep::net::run_worker(addr, threads, wait, |cell, setup| {
+        let scale = scale_from_setup(setup).unwrap_or_else(|e| panic!("{e}"));
+        run_cell_cached(cell, &scale, Some(&warm))
+    })?;
+    eprintln!("{}", warm.stats_line(report.ran));
+    Ok(report)
 }
 
 /// A numeric metric from a cell's payload (`None` if the cell failed or

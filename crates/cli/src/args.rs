@@ -1,0 +1,221 @@
+//! Shared option scanning for `idasim` subcommands.
+//!
+//! Every subcommand used to hand-roll the same
+//! `--jobs/--journal/--out/--smoke/--requests/--progress/--seed` loops,
+//! each with its own copy of the error strings. This module owns those
+//! flags once: a subcommand declares which shared flags it accepts via
+//! [`CommonArgs::accepting`], folds [`CommonArgs::take`] into its scan
+//! loop, and keeps only its command-specific matches. The [`value`] and
+//! [`parsed`] helpers give command-specific flags the same uniform
+//! `"{flag} needs {what}"` / `"bad {label}: {e}"` phrasing.
+
+use ida_sweep::pool::parse_jobs;
+use std::path::PathBuf;
+
+/// `--jobs N` — worker threads.
+pub const JOBS: &str = "--jobs";
+/// `--journal <path>` — checkpoint journal.
+pub const JOURNAL: &str = "--journal";
+/// `--out <path>` — machine-readable output file.
+pub const OUT: &str = "--out";
+/// `--smoke` — reduced CI scale.
+pub const SMOKE: &str = "--smoke";
+/// `--requests N` — measured request count override.
+pub const REQUESTS: &str = "--requests";
+/// `--progress` — progress heartbeat on stderr.
+pub const PROGRESS: &str = "--progress";
+/// `--seed N` — stream seed.
+pub const SEED: &str = "--seed";
+
+/// Consume the value following the flag at `args[*i]`, advancing `*i`
+/// past both.
+///
+/// # Errors
+///
+/// `"{flag} needs {what}"` when the value is missing.
+pub fn value<'a>(
+    args: &'a [String],
+    i: &mut usize,
+    flag: &str,
+    what: &str,
+) -> Result<&'a str, String> {
+    let v = args
+        .get(*i + 1)
+        .ok_or_else(|| format!("{flag} needs {what}"))?;
+    *i += 2;
+    Ok(v)
+}
+
+/// [`value`] followed by a parse, with the uniform `"bad {label}: {e}"`
+/// error phrasing.
+///
+/// # Errors
+///
+/// A missing value reports `"{flag} needs {what}"`; a malformed one
+/// reports `"bad {label}: {e}"`.
+pub fn parsed<T: std::str::FromStr>(
+    args: &[String],
+    i: &mut usize,
+    flag: &str,
+    what: &str,
+    label: &str,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    value(args, i, flag, what)?
+        .parse()
+        .map_err(|e| format!("bad {label}: {e}"))
+}
+
+/// The flags shared across subcommands, parsed once with one set of
+/// error messages. A subcommand opts into the subset it supports;
+/// everything else falls through to its own match (and from there to
+/// the `unknown option` rejection).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommonArgs {
+    accepted: &'static [&'static str],
+    /// Worker threads (`None` = `IDA_JOBS` or all cores).
+    pub jobs: Option<usize>,
+    /// Checkpoint journal path.
+    pub journal: Option<PathBuf>,
+    /// Machine-readable output path.
+    pub out: Option<PathBuf>,
+    /// Use the smoke-test scale.
+    pub smoke: bool,
+    /// Measured request count override.
+    pub requests: Option<usize>,
+    /// Report progress on stderr.
+    pub progress: bool,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl CommonArgs {
+    /// A scanner accepting exactly the listed shared flags.
+    pub fn accepting(accepted: &'static [&'static str]) -> Self {
+        CommonArgs {
+            accepted,
+            ..CommonArgs::default()
+        }
+    }
+
+    /// Try to consume `args[*i]` as an accepted shared flag. Returns
+    /// `Ok(true)` (and advances `*i`) when consumed, `Ok(false)` when the
+    /// flag is not one of this subcommand's shared flags.
+    ///
+    /// # Errors
+    ///
+    /// A missing or malformed value for a shared flag.
+    pub fn take(&mut self, args: &[String], i: &mut usize) -> Result<bool, String> {
+        let flag = args[*i].as_str();
+        if !self.accepted.contains(&flag) {
+            return Ok(false);
+        }
+        match flag {
+            JOBS => self.jobs = Some(parse_jobs(value(args, i, JOBS, "a value")?)?),
+            JOURNAL => self.journal = Some(PathBuf::from(value(args, i, JOURNAL, "a path")?)),
+            OUT => self.out = Some(PathBuf::from(value(args, i, OUT, "a path")?)),
+            SMOKE => {
+                self.smoke = true;
+                *i += 1;
+            }
+            REQUESTS => {
+                self.requests = Some(parsed(args, i, REQUESTS, "a value", "request count")?)
+            }
+            PROGRESS => {
+                self.progress = true;
+                *i += 1;
+            }
+            SEED => self.seed = parsed(args, i, SEED, "a value", "seed")?,
+            // A caller listed a flag this module does not own; let its
+            // own match (or the unknown-option rejection) handle it.
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn take_consumes_only_accepted_flags() {
+        let args = s(&["--jobs", "4", "--smoke", "--seed", "7"]);
+        let mut c = CommonArgs::accepting(&[JOBS, SMOKE]);
+        let mut i = 0;
+        assert!(c.take(&args, &mut i).unwrap());
+        assert_eq!(i, 2);
+        assert!(c.take(&args, &mut i).unwrap());
+        assert_eq!(i, 3);
+        // --seed is not accepted here: left for the caller.
+        assert!(!c.take(&args, &mut i).unwrap());
+        assert_eq!(i, 3);
+        assert_eq!(c.jobs, Some(4));
+        assert!(c.smoke);
+        assert_eq!(c.seed, 0);
+    }
+
+    #[test]
+    fn missing_values_use_the_uniform_phrasing() {
+        let mut c = CommonArgs::accepting(&[JOBS, JOURNAL, OUT, REQUESTS, SEED]);
+        for (args, msg) in [
+            (s(&["--jobs"]), "--jobs needs a value"),
+            (s(&["--journal"]), "--journal needs a path"),
+            (s(&["--out"]), "--out needs a path"),
+            (s(&["--requests"]), "--requests needs a value"),
+            (s(&["--seed"]), "--seed needs a value"),
+        ] {
+            let mut i = 0;
+            assert_eq!(c.take(&args, &mut i).unwrap_err(), msg);
+        }
+    }
+
+    #[test]
+    fn malformed_values_keep_their_pinned_messages() {
+        let mut c = CommonArgs::accepting(&[JOBS, REQUESTS, SEED]);
+        let mut i = 0;
+        let zero = c.take(&s(&["--jobs", "0"]), &mut i).unwrap_err();
+        assert!(zero.contains("at least 1"), "unhelpful: {zero}");
+        let mut i = 0;
+        let word = c.take(&s(&["--jobs", "four"]), &mut i).unwrap_err();
+        assert!(word.contains("positive integer"), "unhelpful: {word}");
+        let mut i = 0;
+        let req = c.take(&s(&["--requests", "many"]), &mut i).unwrap_err();
+        assert!(req.contains("bad request count"), "unhelpful: {req}");
+        let mut i = 0;
+        let seed = c.take(&s(&["--seed", "x"]), &mut i).unwrap_err();
+        assert!(seed.contains("bad seed"), "unhelpful: {seed}");
+    }
+
+    #[test]
+    fn parsed_helper_reports_both_failure_shapes() {
+        let mut i = 0;
+        assert_eq!(
+            parsed::<u64>(
+                &s(&["--epochs"]),
+                &mut i,
+                "--epochs",
+                "a value",
+                "epoch count"
+            )
+            .unwrap_err(),
+            "--epochs needs a value"
+        );
+        let mut i = 0;
+        let err = parsed::<u64>(
+            &s(&["--epochs", "soon"]),
+            &mut i,
+            "--epochs",
+            "a value",
+            "epoch count",
+        )
+        .unwrap_err();
+        assert!(err.starts_with("bad epoch count:"), "unhelpful: {err}");
+    }
+}

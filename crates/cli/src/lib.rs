@@ -3,6 +3,9 @@
 //! Kept as a library so the argument parsing and command dispatch are unit
 //! testable; `main.rs` is a thin shell around [`run`].
 
+pub mod args;
+
+use crate::args::CommonArgs;
 use ida_bench::load::{
     load_metrics_json, nominal_iops, run_capacity, run_load_obs, LoadSpec, CAPACITY_MAX_ITERS,
 };
@@ -13,19 +16,29 @@ use ida_bench::runner::{
 };
 use ida_bench::soak::{run_soak, soak_metrics_json, soak_run_from_json};
 use ida_bench::suite::{compare_json, run_suite};
-use ida_bench::sweep::{builtin_grid, parse_system, render, run_grid, BUILTIN_GRIDS};
+use ida_bench::sweep::{
+    builtin_grid, parse_system, render, run_grid, run_grid_on, run_grid_worker, Backend,
+    BUILTIN_GRIDS,
+};
 use ida_flash::timing::FlashTiming;
 use ida_host::{AdmissionPolicy, ArrivalSpec};
 use ida_obs::json::JsonObj;
 use ida_ssd::retry::RetryConfig;
 use ida_ssd::Simulator;
-use ida_sweep::pool::parse_jobs;
 use ida_sweep::{derive_stream_seed, SweepConfig};
 use ida_sweep::{SweepOutcome, SweepSpec};
 use ida_workloads::stats::characterize;
 use ida_workloads::suite::{paper_workload, paper_workloads};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+
+/// Default coordinator address for `serve`/`worker` when neither
+/// `--listen` nor `--connect` is given: loopback, fixed port.
+pub const DEFAULT_FABRIC_ADDR: &str = "127.0.0.1:7141";
+
+/// How long a worker retries its initial connection — workers may be
+/// launched moments before the coordinator binds its listener.
+const FABRIC_CONNECT_WAIT: std::time::Duration = std::time::Duration::from_secs(10);
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +88,31 @@ pub enum Command {
         /// Share warm-up state across cells: run each unique warm-up
         /// once, fork the rest from its snapshot (output is unchanged).
         warm_cache: bool,
+    },
+    /// Coordinate a distributed sweep: serve cells to `idasim worker`
+    /// processes and aggregate their results.
+    Serve {
+        /// Grid name (same set as `sweep`).
+        grid: String,
+        /// Listen address, e.g. `127.0.0.1:7141`.
+        listen: String,
+        /// Checkpoint journal path (resume skips journaled cells).
+        journal: Option<PathBuf>,
+        /// Write the aggregated JSON here (stdout gets the rendered
+        /// table); without it the JSON itself goes to stdout.
+        out: Option<PathBuf>,
+        /// Use the smoke-test scale.
+        smoke: bool,
+        /// Override the measured request count.
+        requests: Option<usize>,
+    },
+    /// Join a distributed sweep as a worker: claim and execute cells
+    /// from an `idasim serve` coordinator.
+    Worker {
+        /// Coordinator address to connect to.
+        connect: String,
+        /// Worker connections/threads (`None` = `IDA_JOBS` or all cores).
+        jobs: Option<usize>,
     },
     /// Capture, replay, or describe a framed warm-state snapshot.
     Snapshot {
@@ -219,56 +257,43 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .get(1)
                 .ok_or("compare needs a workload name (try `idasim list`)")?
                 .clone();
+            let mut c = CommonArgs::accepting(&[args::REQUESTS, args::PROGRESS]);
             let mut error_rate = 0.2;
-            let mut requests = 6_000;
             let mut trace_out = None;
             let mut metrics_json = None;
             let mut trace_filter = None;
-            let mut progress = false;
             let mut i = 2;
             while i < args.len() {
+                if c.take(args, &mut i)? {
+                    continue;
+                }
                 match args[i].as_str() {
                     "--error-rate" => {
-                        error_rate = args
-                            .get(i + 1)
-                            .ok_or("--error-rate needs a value")?
-                            .parse()
-                            .map_err(|e| format!("bad error rate: {e}"))?;
-                        i += 2;
-                    }
-                    "--requests" => {
-                        requests = args
-                            .get(i + 1)
-                            .ok_or("--requests needs a value")?
-                            .parse()
-                            .map_err(|e| format!("bad request count: {e}"))?;
-                        i += 2;
+                        error_rate =
+                            args::parsed(args, &mut i, "--error-rate", "a value", "error rate")?;
                     }
                     "--trace-out" => {
-                        trace_out = Some(PathBuf::from(
-                            args.get(i + 1).ok_or("--trace-out needs a path")?,
-                        ));
-                        i += 2;
+                        trace_out = Some(PathBuf::from(args::value(
+                            args,
+                            &mut i,
+                            "--trace-out",
+                            "a path",
+                        )?));
                     }
                     "--metrics-json" => {
-                        metrics_json = Some(PathBuf::from(
-                            args.get(i + 1).ok_or("--metrics-json needs a path")?,
-                        ));
-                        i += 2;
+                        metrics_json = Some(PathBuf::from(args::value(
+                            args,
+                            &mut i,
+                            "--metrics-json",
+                            "a path",
+                        )?));
                     }
                     "--trace-filter" => {
-                        let spec = args
-                            .get(i + 1)
-                            .ok_or("--trace-filter needs a class list")?
-                            .clone();
+                        let spec = args::value(args, &mut i, "--trace-filter", "a class list")?
+                            .to_string();
                         // Validate eagerly so a typo fails before any run.
                         ida_obs::trace::parse_trace_filter(&spec)?;
                         trace_filter = Some(spec);
-                        i += 2;
-                    }
-                    "--progress" => {
-                        progress = true;
-                        i += 1;
                     }
                     other => return Err(format!("unknown option: {other}")),
                 }
@@ -279,11 +304,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             Ok(Command::Compare {
                 workload,
                 error_rate,
-                requests,
+                requests: c.requests.unwrap_or(6_000),
                 trace_out,
                 metrics_json,
                 trace_filter,
-                progress,
+                progress: c.progress,
             })
         }
         Some("sweep") => {
@@ -297,47 +322,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     )
                 })?
                 .clone();
-            let mut jobs = None;
-            let mut journal = None;
-            let mut out = None;
-            let mut smoke = false;
-            let mut requests = None;
-            let mut progress = false;
+            let mut c = CommonArgs::accepting(&[
+                args::JOBS,
+                args::JOURNAL,
+                args::OUT,
+                args::SMOKE,
+                args::REQUESTS,
+                args::PROGRESS,
+            ]);
             let mut warm_cache = false;
             let mut i = 2;
             while i < args.len() {
+                if c.take(args, &mut i)? {
+                    continue;
+                }
                 match args[i].as_str() {
-                    "--jobs" => {
-                        jobs = Some(parse_jobs(args.get(i + 1).ok_or("--jobs needs a value")?)?);
-                        i += 2;
-                    }
-                    "--journal" => {
-                        journal = Some(PathBuf::from(
-                            args.get(i + 1).ok_or("--journal needs a path")?,
-                        ));
-                        i += 2;
-                    }
-                    "--out" => {
-                        out = Some(PathBuf::from(args.get(i + 1).ok_or("--out needs a path")?));
-                        i += 2;
-                    }
-                    "--smoke" => {
-                        smoke = true;
-                        i += 1;
-                    }
-                    "--requests" => {
-                        requests = Some(
-                            args.get(i + 1)
-                                .ok_or("--requests needs a value")?
-                                .parse()
-                                .map_err(|e| format!("bad request count: {e}"))?,
-                        );
-                        i += 2;
-                    }
-                    "--progress" => {
-                        progress = true;
-                        i += 1;
-                    }
                     "--warm-cache" => {
                         warm_cache = true;
                         i += 1;
@@ -347,13 +346,68 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Sweep {
                 grid,
-                jobs,
-                journal,
-                out,
-                smoke,
-                requests,
-                progress,
+                jobs: c.jobs,
+                journal: c.journal,
+                out: c.out,
+                smoke: c.smoke,
+                requests: c.requests,
+                progress: c.progress,
                 warm_cache,
+            })
+        }
+        Some("serve") => {
+            let grid = args
+                .get(1)
+                .filter(|g| !g.starts_with("--"))
+                .ok_or_else(|| {
+                    format!(
+                        "serve needs a grid name (one of: {})",
+                        BUILTIN_GRIDS.join(", ")
+                    )
+                })?
+                .clone();
+            let mut c =
+                CommonArgs::accepting(&[args::JOURNAL, args::OUT, args::SMOKE, args::REQUESTS]);
+            let mut listen = DEFAULT_FABRIC_ADDR.to_string();
+            let mut i = 2;
+            while i < args.len() {
+                if c.take(args, &mut i)? {
+                    continue;
+                }
+                match args[i].as_str() {
+                    "--listen" => {
+                        listen = args::value(args, &mut i, "--listen", "an address")?.to_string();
+                    }
+                    other => return Err(format!("unknown option: {other}")),
+                }
+            }
+            Ok(Command::Serve {
+                grid,
+                listen,
+                journal: c.journal,
+                out: c.out,
+                smoke: c.smoke,
+                requests: c.requests,
+            })
+        }
+        Some("worker") => {
+            let mut c = CommonArgs::accepting(&[args::JOBS]);
+            let mut connect = DEFAULT_FABRIC_ADDR.to_string();
+            let mut i = 1;
+            while i < args.len() {
+                if c.take(args, &mut i)? {
+                    continue;
+                }
+                match args[i].as_str() {
+                    "--connect" => {
+                        connect = args::value(args, &mut i, "--connect", "an address")?.to_string();
+                    }
+                    other => return Err(format!("unknown option: {other}")),
+                }
+            }
+            Ok(Command::Worker {
+                connect,
+                jobs: c.jobs,
             })
         }
         Some("snapshot") => {
@@ -367,33 +421,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     .filter(|p| !p.starts_with("--"))
                     .ok_or("snapshot needs a file path after the action")?,
             );
+            let mut c = CommonArgs::accepting(&[args::SMOKE, args::REQUESTS]);
             let mut workload = None;
             let mut system = "Baseline".to_string();
-            let mut smoke = false;
-            let mut requests = None;
             let mut i = 3;
             while i < args.len() {
+                if c.take(args, &mut i)? {
+                    continue;
+                }
                 match args[i].as_str() {
                     "--workload" => {
-                        workload = Some(args.get(i + 1).ok_or("--workload needs a name")?.clone());
-                        i += 2;
+                        workload =
+                            Some(args::value(args, &mut i, "--workload", "a name")?.to_string());
                     }
                     "--system" => {
-                        system = args.get(i + 1).ok_or("--system needs a name")?.clone();
-                        i += 2;
-                    }
-                    "--smoke" => {
-                        smoke = true;
-                        i += 1;
-                    }
-                    "--requests" => {
-                        requests = Some(
-                            args.get(i + 1)
-                                .ok_or("--requests needs a value")?
-                                .parse()
-                                .map_err(|e| format!("bad request count: {e}"))?,
-                        );
-                        i += 2;
+                        system = args::value(args, &mut i, "--system", "a name")?.to_string();
                     }
                     other => return Err(format!("unknown option: {other}")),
                 }
@@ -406,8 +448,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 path,
                 workload,
                 system,
-                smoke,
-                requests,
+                smoke: c.smoke,
+                requests: c.requests,
             })
         }
         Some("soak") => {
@@ -416,68 +458,32 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .filter(|g| !g.starts_with("--"))
                 .ok_or("soak needs a workload name (try `idasim list`)")?
                 .clone();
+            let mut c = CommonArgs::accepting(&[
+                args::JOBS,
+                args::JOURNAL,
+                args::OUT,
+                args::SMOKE,
+                args::REQUESTS,
+                args::PROGRESS,
+            ]);
             let mut level = "mid".to_string();
             let mut error_rate = 0.2;
             let mut epochs = ida_bench::soak::SOAK_EPOCHS;
-            let mut jobs = None;
-            let mut journal = None;
-            let mut out = None;
-            let mut smoke = false;
-            let mut requests = None;
-            let mut progress = false;
             let mut i = 2;
             while i < args.len() {
+                if c.take(args, &mut i)? {
+                    continue;
+                }
                 match args[i].as_str() {
                     "--level" => {
-                        level = args.get(i + 1).ok_or("--level needs a value")?.clone();
-                        i += 2;
+                        level = args::value(args, &mut i, "--level", "a value")?.to_string();
                     }
                     "--error-rate" => {
-                        error_rate = args
-                            .get(i + 1)
-                            .ok_or("--error-rate needs a value")?
-                            .parse()
-                            .map_err(|e| format!("bad error rate: {e}"))?;
-                        i += 2;
+                        error_rate =
+                            args::parsed(args, &mut i, "--error-rate", "a value", "error rate")?;
                     }
                     "--epochs" => {
-                        epochs = args
-                            .get(i + 1)
-                            .ok_or("--epochs needs a value")?
-                            .parse()
-                            .map_err(|e| format!("bad epoch count: {e}"))?;
-                        i += 2;
-                    }
-                    "--jobs" => {
-                        jobs = Some(parse_jobs(args.get(i + 1).ok_or("--jobs needs a value")?)?);
-                        i += 2;
-                    }
-                    "--journal" => {
-                        journal = Some(PathBuf::from(
-                            args.get(i + 1).ok_or("--journal needs a path")?,
-                        ));
-                        i += 2;
-                    }
-                    "--out" => {
-                        out = Some(PathBuf::from(args.get(i + 1).ok_or("--out needs a path")?));
-                        i += 2;
-                    }
-                    "--smoke" => {
-                        smoke = true;
-                        i += 1;
-                    }
-                    "--requests" => {
-                        requests = Some(
-                            args.get(i + 1)
-                                .ok_or("--requests needs a value")?
-                                .parse()
-                                .map_err(|e| format!("bad request count: {e}"))?,
-                        );
-                        i += 2;
-                    }
-                    "--progress" => {
-                        progress = true;
-                        i += 1;
+                        epochs = args::parsed(args, &mut i, "--epochs", "a value", "epoch count")?;
                     }
                     other => return Err(format!("unknown option: {other}")),
                 }
@@ -500,12 +506,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 level,
                 error_rate,
                 epochs,
-                jobs,
-                journal,
-                out,
-                smoke,
-                requests,
-                progress,
+                jobs: c.jobs,
+                journal: c.journal,
+                out: c.out,
+                smoke: c.smoke,
+                requests: c.requests,
+                progress: c.progress,
             })
         }
         Some("load") => {
@@ -514,126 +520,69 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .filter(|g| !g.starts_with("--"))
                 .ok_or("load needs a workload name (try `idasim list`)")?
                 .clone();
+            let mut c =
+                CommonArgs::accepting(&[args::OUT, args::SMOKE, args::REQUESTS, args::SEED]);
             let mut error_rate = 0.2;
             let mut iops = None;
             let mut arrival = "poisson".to_string();
             let mut tenants = 1;
             let mut admission = "shed".to_string();
             let mut slo_us = 2_000;
-            let mut requests = None;
-            let mut smoke = false;
             let mut capacity = false;
             let mut lo = None;
             let mut hi = None;
-            let mut out = None;
             let mut trace_out = None;
             let mut trace_filter = None;
-            let mut seed = 0;
             let mut i = 2;
             while i < args.len() {
+                if c.take(args, &mut i)? {
+                    continue;
+                }
                 match args[i].as_str() {
                     "--error-rate" => {
-                        error_rate = args
-                            .get(i + 1)
-                            .ok_or("--error-rate needs a value")?
-                            .parse()
-                            .map_err(|e| format!("bad error rate: {e}"))?;
-                        i += 2;
+                        error_rate =
+                            args::parsed(args, &mut i, "--error-rate", "a value", "error rate")?;
                     }
                     "--iops" => {
-                        iops = Some(
-                            args.get(i + 1)
-                                .ok_or("--iops needs a value")?
-                                .parse()
-                                .map_err(|e| format!("bad IOPS: {e}"))?,
-                        );
-                        i += 2;
+                        iops = Some(args::parsed(args, &mut i, "--iops", "a value", "IOPS")?);
                     }
                     "--arrival" => {
-                        arrival = args.get(i + 1).ok_or("--arrival needs a shape")?.clone();
-                        i += 2;
+                        arrival = args::value(args, &mut i, "--arrival", "a shape")?.to_string();
                     }
                     "--tenants" => {
-                        tenants = args
-                            .get(i + 1)
-                            .ok_or("--tenants needs a count")?
-                            .parse()
-                            .map_err(|e| format!("bad tenant count: {e}"))?;
-                        i += 2;
+                        tenants =
+                            args::parsed(args, &mut i, "--tenants", "a count", "tenant count")?;
                     }
                     "--admission" => {
-                        admission = args.get(i + 1).ok_or("--admission needs a policy")?.clone();
-                        i += 2;
+                        admission =
+                            args::value(args, &mut i, "--admission", "a policy")?.to_string();
                     }
                     "--slo-us" => {
-                        slo_us = args
-                            .get(i + 1)
-                            .ok_or("--slo-us needs a value")?
-                            .parse()
-                            .map_err(|e| format!("bad SLO: {e}"))?;
-                        i += 2;
-                    }
-                    "--requests" => {
-                        requests = Some(
-                            args.get(i + 1)
-                                .ok_or("--requests needs a value")?
-                                .parse()
-                                .map_err(|e| format!("bad request count: {e}"))?,
-                        );
-                        i += 2;
-                    }
-                    "--smoke" => {
-                        smoke = true;
-                        i += 1;
+                        slo_us = args::parsed(args, &mut i, "--slo-us", "a value", "SLO")?;
                     }
                     "--capacity" => {
                         capacity = true;
                         i += 1;
                     }
                     "--lo" => {
-                        lo = Some(
-                            args.get(i + 1)
-                                .ok_or("--lo needs a value")?
-                                .parse()
-                                .map_err(|e| format!("bad --lo IOPS: {e}"))?,
-                        );
-                        i += 2;
+                        lo = Some(args::parsed(args, &mut i, "--lo", "a value", "--lo IOPS")?);
                     }
                     "--hi" => {
-                        hi = Some(
-                            args.get(i + 1)
-                                .ok_or("--hi needs a value")?
-                                .parse()
-                                .map_err(|e| format!("bad --hi IOPS: {e}"))?,
-                        );
-                        i += 2;
-                    }
-                    "--out" => {
-                        out = Some(PathBuf::from(args.get(i + 1).ok_or("--out needs a path")?));
-                        i += 2;
+                        hi = Some(args::parsed(args, &mut i, "--hi", "a value", "--hi IOPS")?);
                     }
                     "--trace-out" => {
-                        trace_out = Some(PathBuf::from(
-                            args.get(i + 1).ok_or("--trace-out needs a path")?,
-                        ));
-                        i += 2;
+                        trace_out = Some(PathBuf::from(args::value(
+                            args,
+                            &mut i,
+                            "--trace-out",
+                            "a path",
+                        )?));
                     }
                     "--trace-filter" => {
-                        let spec = args
-                            .get(i + 1)
-                            .ok_or("--trace-filter needs a class list")?
-                            .clone();
+                        let spec = args::value(args, &mut i, "--trace-filter", "a class list")?
+                            .to_string();
                         ida_obs::trace::parse_trace_filter(&spec)?;
                         trace_filter = Some(spec);
-                        i += 2;
-                    }
-                    "--seed" => {
-                        seed = args
-                            .get(i + 1)
-                            .ok_or("--seed needs a value")?
-                            .parse()
-                            .map_err(|e| format!("bad seed: {e}"))?;
-                        i += 2;
                     }
                     other => return Err(format!("unknown option: {other}")),
                 }
@@ -663,71 +612,60 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 tenants,
                 admission,
                 slo_us,
-                requests,
-                smoke,
+                requests: c.requests,
+                smoke: c.smoke,
                 capacity,
                 lo,
                 hi,
-                out,
+                out: c.out,
                 trace_out,
                 trace_filter,
-                seed,
+                seed: c.seed,
             })
         }
         Some("replay") => {
+            let mut c = CommonArgs::accepting(&[args::SMOKE, args::PROGRESS]);
             let mut msr = None;
             let mut error_rate = 0.2;
             let mut closed = None;
-            let mut smoke = false;
             let mut trace_out = None;
             let mut metrics_json = None;
-            let mut progress = false;
             let mut i = 1;
             while i < args.len() {
+                if c.take(args, &mut i)? {
+                    continue;
+                }
                 match args[i].as_str() {
                     "--msr" => {
-                        msr = Some(PathBuf::from(args.get(i + 1).ok_or("--msr needs a path")?));
-                        i += 2;
+                        msr = Some(PathBuf::from(args::value(args, &mut i, "--msr", "a path")?));
                     }
                     "--error-rate" => {
-                        error_rate = args
-                            .get(i + 1)
-                            .ok_or("--error-rate needs a value")?
-                            .parse()
-                            .map_err(|e| format!("bad error rate: {e}"))?;
-                        i += 2;
+                        error_rate =
+                            args::parsed(args, &mut i, "--error-rate", "a value", "error rate")?;
                     }
                     "--closed" => {
-                        let depth: usize = args
-                            .get(i + 1)
-                            .ok_or("--closed needs a queue depth")?
-                            .parse()
-                            .map_err(|e| format!("bad queue depth: {e}"))?;
+                        let depth: usize =
+                            args::parsed(args, &mut i, "--closed", "a queue depth", "queue depth")?;
                         if depth == 0 {
                             return Err("--closed queue depth must be positive".to_string());
                         }
                         closed = Some(depth);
-                        i += 2;
-                    }
-                    "--smoke" => {
-                        smoke = true;
-                        i += 1;
                     }
                     "--trace-out" => {
-                        trace_out = Some(PathBuf::from(
-                            args.get(i + 1).ok_or("--trace-out needs a path")?,
-                        ));
-                        i += 2;
+                        trace_out = Some(PathBuf::from(args::value(
+                            args,
+                            &mut i,
+                            "--trace-out",
+                            "a path",
+                        )?));
                     }
                     "--metrics-json" => {
-                        metrics_json = Some(PathBuf::from(
-                            args.get(i + 1).ok_or("--metrics-json needs a path")?,
-                        ));
-                        i += 2;
-                    }
-                    "--progress" => {
-                        progress = true;
-                        i += 1;
+                        metrics_json = Some(PathBuf::from(args::value(
+                            args,
+                            &mut i,
+                            "--metrics-json",
+                            "a path",
+                        )?));
                     }
                     other => return Err(format!("unknown option: {other}")),
                 }
@@ -740,39 +678,35 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 msr,
                 error_rate,
                 closed,
-                smoke,
+                smoke: c.smoke,
                 trace_out,
                 metrics_json,
-                progress,
+                progress: c.progress,
             })
         }
         Some("bench") => {
-            let mut smoke = false;
-            let mut out = None;
+            let mut c = CommonArgs::accepting(&[args::SMOKE, args::OUT]);
             let mut baseline = None;
             let mut i = 1;
             while i < args.len() {
+                if c.take(args, &mut i)? {
+                    continue;
+                }
                 match args[i].as_str() {
-                    "--smoke" => {
-                        smoke = true;
-                        i += 1;
-                    }
-                    "--out" => {
-                        out = Some(PathBuf::from(args.get(i + 1).ok_or("--out needs a path")?));
-                        i += 2;
-                    }
                     "--baseline" => {
-                        baseline = Some(PathBuf::from(
-                            args.get(i + 1).ok_or("--baseline needs a path")?,
-                        ));
-                        i += 2;
+                        baseline = Some(PathBuf::from(args::value(
+                            args,
+                            &mut i,
+                            "--baseline",
+                            "a path",
+                        )?));
                     }
                     other => return Err(format!("unknown option: {other}")),
                 }
             }
             Ok(Command::Bench {
-                smoke,
-                out,
+                smoke: c.smoke,
+                out: c.out,
                 baseline,
             })
         }
@@ -789,12 +723,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         i += 1;
                     }
                     "--top" => {
-                        top = args
-                            .get(i + 1)
-                            .ok_or("--top needs a count")?
-                            .parse()
-                            .map_err(|e| format!("bad --top count: {e}"))?;
-                        i += 2;
+                        top = args::parsed(args, &mut i, "--top", "a count", "--top count")?;
                     }
                     "--diff" => {
                         let a = args.get(i + 1).ok_or("--diff needs two trace paths")?;
@@ -1006,6 +935,74 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     out.push('\n');
                 }
             }
+        }
+        Command::Serve {
+            grid,
+            listen,
+            journal,
+            out: out_path,
+            smoke,
+            requests,
+        } => {
+            let spec = builtin_grid(&grid).ok_or_else(|| {
+                format!(
+                    "unknown sweep grid {grid} (one of: {})",
+                    BUILTIN_GRIDS.join(", ")
+                )
+            })?;
+            let mut scale = if smoke {
+                ExperimentScale::smoke()
+            } else {
+                ExperimentScale::from_env()
+            };
+            if let Some(r) = requests {
+                scale.requests = r;
+            }
+            let mut cfg = SweepConfig::from_env()?;
+            if journal.is_some() {
+                cfg.journal = journal;
+            }
+            let listener = std::net::TcpListener::bind(&listen)
+                .map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+            // stderr, like fabric events: the aggregate owns stdout.
+            eprintln!(
+                "serving sweep {grid} on {listen}; join with: idasim worker --connect {listen}"
+            );
+            let outcome = run_grid_on(&spec, &scale, &cfg, Backend::Distributed { listener })
+                .map_err(|e| format!("serve failed: {e}"))?;
+            let json = outcome.aggregate_json();
+            match out_path {
+                Some(path) => {
+                    std::fs::write(&path, json + "\n")
+                        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                    out.push_str(&render(&outcome)?);
+                    let _ = writeln!(
+                        out,
+                        "\nsweep {grid} served on {listen}: {}\nwrote aggregate to {}",
+                        outcome.summary(),
+                        path.display()
+                    );
+                }
+                None => {
+                    out.push_str(&json);
+                    out.push('\n');
+                }
+            }
+        }
+        Command::Worker { connect, jobs } => {
+            let jobs = match jobs {
+                Some(j) => j,
+                // Same default ladder as local sweeps: IDA_JOBS, else
+                // all cores.
+                None => SweepConfig::from_env()?.jobs,
+            };
+            let report = run_grid_worker(&connect, jobs, FABRIC_CONNECT_WAIT)
+                .map_err(|e| format!("worker failed: {e}"))?;
+            let _ = writeln!(
+                out,
+                "worker finished sweep {}: {} cell attempt(s) on {jobs} connection(s), {} ok, {} failed",
+                report.sweep, report.ran, report.ok, report.failed
+            );
         }
         Command::Snapshot {
             action,
@@ -1503,6 +1500,9 @@ USAGE:
   idasim sweep <grid> [--jobs N] [--journal <path.jsonl>]
                [--out <path.json>] [--smoke] [--requests N] [--progress]
                [--warm-cache]
+  idasim serve <grid> [--listen 127.0.0.1:7141] [--journal <path.jsonl>]
+               [--out <path.json>] [--smoke] [--requests N]
+  idasim worker [--connect 127.0.0.1:7141] [--jobs N]
   idasim snapshot save <file.snap> --workload <name> [--system Baseline]
                   [--smoke] [--requests N]
   idasim snapshot restore|inspect <file.snap> [--requests N]
@@ -1566,6 +1566,22 @@ each unique warm-up once and forks every sibling cell from its
 snapshot (single-flight across workers, spilled next to --journal for
 resume); it is output-invisible — the aggregate stays byte-identical
 to a cache-off run — and prints a hit/miss line on stderr.
+
+Serve/worker: the distributed sweep fabric. `serve` coordinates a grid
+without executing any cell itself: it owns the queue, the --journal,
+and the aggregation, and hands cells to `idasim worker` processes over
+TCP (frame-sealed messages, protocol-version handshake). Workers claim
+cells one at a time; a worker killed mid-cell has its cell requeued
+(bounded by the same retry budget local sweeps use), and workers may
+join or leave at any point. The aggregate is byte-identical to
+`idasim sweep <grid> --jobs 1` on the same scale, whatever the worker
+population did. Warm-up snapshots rendezvous through the coordinator,
+so each unique warm-up runs once per fabric, not once per worker.
+Resuming a journaled serve re-runs only incomplete cells — a fully
+journaled grid returns without waiting for any worker. Two-worker
+loopback example:
+  idasim serve faults --smoke --journal run/j.jsonl --out run/agg.json &
+  idasim worker --jobs 1 & idasim worker --jobs 1 & wait
 
 Snapshot: captures and replays framed warm-state images. `save` warms
 one (workload, system) pair exactly as the sweep engine would (same
@@ -2131,6 +2147,72 @@ mod tests {
         assert!(USAGE.contains("sweep load"));
         assert!(USAGE.contains("idasim soak"));
         assert!(USAGE.contains("sweep lifetime"));
+        assert!(USAGE.contains("idasim serve"));
+        assert!(USAGE.contains("idasim worker"));
+        assert!(USAGE.contains("--connect"));
+    }
+
+    #[test]
+    fn serve_and_worker_parse_with_defaults_and_flags() {
+        assert_eq!(
+            parse_args(&s(&["serve", "faults", "--smoke"])).unwrap(),
+            Command::Serve {
+                grid: "faults".into(),
+                listen: DEFAULT_FABRIC_ADDR.into(),
+                journal: None,
+                out: None,
+                smoke: true,
+                requests: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&[
+                "serve",
+                "fig10",
+                "--listen",
+                "0.0.0.0:9000",
+                "--journal",
+                "j.jsonl",
+                "--out",
+                "agg.json",
+                "--requests",
+                "800",
+            ]))
+            .unwrap(),
+            Command::Serve {
+                grid: "fig10".into(),
+                listen: "0.0.0.0:9000".into(),
+                journal: Some(PathBuf::from("j.jsonl")),
+                out: Some(PathBuf::from("agg.json")),
+                smoke: false,
+                requests: Some(800),
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&["worker"])).unwrap(),
+            Command::Worker {
+                connect: DEFAULT_FABRIC_ADDR.into(),
+                jobs: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&["worker", "--connect", "10.0.0.2:7141", "--jobs", "2"])).unwrap(),
+            Command::Worker {
+                connect: "10.0.0.2:7141".into(),
+                jobs: Some(2),
+            }
+        );
+        // serve needs a grid; neither takes the other's flags.
+        assert!(parse_args(&s(&["serve"])).unwrap_err().contains("grid"));
+        assert!(parse_args(&s(&["serve", "faults", "--jobs", "2"]))
+            .unwrap_err()
+            .contains("unknown option"));
+        assert!(parse_args(&s(&["worker", "--listen", "x"]))
+            .unwrap_err()
+            .contains("unknown option"));
+        assert!(parse_args(&s(&["worker", "--connect"]))
+            .unwrap_err()
+            .contains("--connect needs an address"));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! possible, and keeping it here (instead of the external `rand` crate)
 //! lets every other crate build offline.
 
+pub mod fabric;
 pub mod gauge;
 pub mod hist;
 pub mod json;
@@ -28,6 +29,7 @@ pub mod rng;
 pub mod span;
 pub mod trace;
 
+pub use fabric::FabricEvent;
 pub use gauge::{GaugePoint, GaugeSeries, GaugeSet};
 pub use hist::LogHistogram;
 pub use progress::Progress;

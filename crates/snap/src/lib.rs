@@ -497,6 +497,76 @@ pub mod frame {
             payload,
         ))
     }
+
+    /// Largest payload a *streamed* frame may declare (64 MiB). A peer
+    /// sending a corrupt length field must not make the reader allocate
+    /// unboundedly; warm-state images — the largest legitimate frames —
+    /// are a few MB.
+    pub const MAX_STREAM_PAYLOAD: u64 = 64 << 20;
+
+    fn invalid(msg: impl Into<String>) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, SnapError::new(msg))
+    }
+
+    /// Write `payload` to `w` as one sealed frame and flush it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the writer's I/O errors.
+    pub fn write_frame<W: std::io::Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+        w.write_all(&seal(payload))?;
+        w.flush()
+    }
+
+    /// Read and verify one sealed frame from a byte stream.
+    ///
+    /// Returns `Ok(None)` on clean end-of-stream at a frame boundary
+    /// (the peer closed between messages). A stream that ends *inside* a
+    /// frame, or carries a bad magic/version/length/hash, is an
+    /// `InvalidData`/`UnexpectedEof` error — never a panic, never an
+    /// unbounded allocation (lengths above [`MAX_STREAM_PAYLOAD`] are
+    /// rejected before any buffer is reserved).
+    ///
+    /// # Errors
+    ///
+    /// The reader's I/O errors, plus `InvalidData` for structurally
+    /// invalid frames.
+    pub fn read_frame<R: std::io::Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
+        let mut header = [0u8; HEADER_LEN];
+        let mut filled = 0;
+        while filled < HEADER_LEN {
+            match r.read(&mut header[filled..]) {
+                Ok(0) if filled == 0 => return Ok(None),
+                Ok(0) => return Err(invalid("stream closed mid-frame header")),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if &header[..8] != MAGIC {
+            return Err(invalid("bad frame magic"));
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().expect("sized"));
+        if version != VERSION {
+            return Err(invalid(format!(
+                "frame version {version}, expected {VERSION}"
+            )));
+        }
+        let payload_len = u64::from_le_bytes(header[12..20].try_into().expect("sized"));
+        let hash = u64::from_le_bytes(header[20..28].try_into().expect("sized"));
+        if payload_len > MAX_STREAM_PAYLOAD {
+            return Err(invalid(format!(
+                "frame declares {payload_len} payload bytes, over the \
+                 {MAX_STREAM_PAYLOAD}-byte stream limit"
+            )));
+        }
+        let mut payload = vec![0u8; payload_len as usize];
+        r.read_exact(&mut payload)?;
+        if fnv1a(&payload) != hash {
+            return Err(invalid("frame hash mismatch (corrupt payload)"));
+        }
+        Ok(Some(payload))
+    }
 }
 
 #[cfg(test)]
@@ -600,6 +670,52 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn stream_frames_round_trip_and_signal_clean_eof() {
+        let mut stream = Vec::new();
+        frame::write_frame(&mut stream, b"first").unwrap();
+        frame::write_frame(&mut stream, b"").unwrap();
+        frame::write_frame(&mut stream, b"third message").unwrap();
+        let mut r = std::io::Cursor::new(stream);
+        assert_eq!(frame::read_frame(&mut r).unwrap().unwrap(), b"first");
+        assert_eq!(frame::read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(
+            frame::read_frame(&mut r).unwrap().unwrap(),
+            b"third message"
+        );
+        // Clean EOF at a frame boundary is None, repeatedly.
+        assert!(frame::read_frame(&mut r).unwrap().is_none());
+        assert!(frame::read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn stream_reader_rejects_torn_and_corrupt_frames() {
+        let mut whole = Vec::new();
+        frame::write_frame(&mut whole, b"payload bytes").unwrap();
+        // Torn header.
+        let mut r = std::io::Cursor::new(whole[..frame::HEADER_LEN / 2].to_vec());
+        assert!(frame::read_frame(&mut r).is_err());
+        // Torn payload.
+        let mut r = std::io::Cursor::new(whole[..whole.len() - 3].to_vec());
+        assert!(frame::read_frame(&mut r).is_err());
+        // Flipped payload bit.
+        let mut bad = whole.clone();
+        *bad.last_mut().unwrap() ^= 0x40;
+        assert!(frame::read_frame(&mut std::io::Cursor::new(bad)).is_err());
+        // Version skew.
+        let mut vers = whole.clone();
+        vers[8] ^= 0xFF;
+        assert!(frame::read_frame(&mut std::io::Cursor::new(vers)).is_err());
+        // Bad magic.
+        let mut magic = whole.clone();
+        magic[0] = b'Z';
+        assert!(frame::read_frame(&mut std::io::Cursor::new(magic)).is_err());
+        // A corrupt length field errors without trying to allocate it.
+        let mut huge = whole;
+        huge[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(frame::read_frame(&mut std::io::Cursor::new(huge)).is_err());
     }
 
     #[test]

@@ -46,9 +46,9 @@ pub mod retry;
 pub mod sim;
 pub mod source;
 
-pub use config::SsdConfig;
+pub use config::{ConfigError, SsdConfig, SsdConfigBuilder};
 pub use metrics::{LatencyStats, ReadBreakdown, Report};
 pub use request::{HostOp, HostOpKind};
 pub use retry::RetryModel;
 pub use sim::{SimError, Simulator};
-pub use source::{ArrivalSource, ListSource, Pull, SourcedOp};
+pub use source::{ArrivalSource, ClosedLoopSource, ListSource, Pull, SourcedOp};

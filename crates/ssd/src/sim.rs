@@ -57,6 +57,9 @@ pub enum SimError {
     /// An [`ArrivalSource`] reported [`Pull::Blocked`] with no request in
     /// flight: no completion can ever unblock it.
     StalledSource,
+    /// A closed-loop run was requested with a zero queue depth: no
+    /// request could ever be admitted.
+    ZeroQueueDepth,
 }
 
 impl std::fmt::Display for SimError {
@@ -71,6 +74,9 @@ impl std::fmt::Display for SimError {
                 f,
                 "arrival source blocked with no request in flight (deadlock)"
             ),
+            SimError::ZeroQueueDepth => {
+                write!(f, "closed-loop queue depth must be positive")
+            }
         }
     }
 }
@@ -595,15 +601,26 @@ impl Simulator {
     /// arrival times are offsets added to the current clock). Returns the
     /// run's metrics; FTL state persists for subsequent runs.
     ///
+    /// A thin wrapper over [`Self::run_source`] with a
+    /// [`ListSource`](crate::ListSource): the pull-based driver is the
+    /// single simulation engine.
+    ///
     /// # Panics
     ///
-    /// Panics if the trace is not sorted by arrival time.
+    /// Panics if the trace is not sorted by arrival time (the documented
+    /// precondition; [`Self::try_run`] is the non-panicking form).
     pub fn run(&mut self, trace: Vec<HostOp>) -> Report {
         assert!(
             trace.windows(2).all(|w| w[0].at <= w[1].at),
             "trace must be sorted by arrival time"
         );
-        self.run_inner(trace, None)
+        match self.run_source(&mut crate::source::ListSource::new(trace)) {
+            Ok(report) => report,
+            // A ListSource never reports Blocked, so the driver cannot
+            // fail on it; keep the impossible branch loud rather than
+            // silently fabricating a Report.
+            Err(e) => unreachable!("list source cannot stall: {e}"),
+        }
     }
 
     /// Like [`Self::run`], but returns a typed error instead of panicking
@@ -622,7 +639,7 @@ impl Simulator {
                 prev: trace[i].at,
             });
         }
-        Ok(self.run_inner(trace, None))
+        self.run_source(&mut crate::source::ListSource::new(trace))
     }
 
     /// Run `trace` in closed-loop mode: arrival timestamps are ignored and
@@ -630,190 +647,36 @@ impl Simulator {
     /// saturation replay used for device-throughput comparisons (Figure
     /// 10). Returns the run's metrics.
     ///
+    /// A thin wrapper over [`Self::run_source`] with a
+    /// [`ClosedLoopSource`](crate::source::ClosedLoopSource).
+    ///
     /// # Panics
     ///
-    /// Panics if `queue_depth == 0`.
+    /// Panics if `queue_depth == 0` (the documented precondition;
+    /// [`Self::try_run_closed_loop`] is the non-panicking form).
     pub fn run_closed_loop(&mut self, trace: Vec<HostOp>, queue_depth: usize) -> Report {
         assert!(queue_depth > 0, "queue depth must be positive");
-        self.run_inner(trace, Some(queue_depth))
+        match self.try_run_closed_loop(trace, queue_depth) {
+            Ok(report) => report,
+            // Depth was just checked and a ClosedLoopSource only blocks
+            // with requests in flight, so the driver cannot fail.
+            Err(e) => unreachable!("closed-loop source cannot stall: {e}"),
+        }
     }
 
-    fn run_inner(&mut self, trace: Vec<HostOp>, closed_depth: Option<usize>) -> Report {
-        let base = self.clock;
-        let mut report = Report {
-            first_arrival: base + closed_depth.map_or(trace.first().map_or(0, |op| op.at), |_| 0),
-            last_completion: base,
-            ..Report::default()
-        };
-        let mut events: EventQueue<Ev> = EventQueue::new();
-        let mut requests: Vec<PendingRequest> = Vec::with_capacity(trace.len());
-        let mut completed = 0usize;
-        let mut events_processed = 0u64;
-        let flash_ops_before = self.flash_ops;
-        let die_busy_before = self.die_busy.clone();
-        let channel_busy_before = self.channel_busy.clone();
-        // Run-local attribution waterfalls, indexed by `Ev::OpDone::span`.
-        let mut span_ns: Vec<PhaseNs> = Vec::new();
-        let mut wake_at: Option<SimTime> = None;
-        // Next trace entry to dispatch in closed-loop mode.
-        let mut next_dispatch = 0usize;
-        let mut progress = if self.progress {
-            Progress::new("sim", trace.len() as u64)
-        } else {
-            Progress::disabled()
-        };
-
-        match closed_depth {
-            None => {
-                if !trace.is_empty() {
-                    events.push(base + trace[0].at, Ev::Arrival(0));
-                }
-            }
-            Some(depth) => {
-                while next_dispatch < trace.len().min(depth) {
-                    events.push(base, Ev::Arrival(next_dispatch));
-                    next_dispatch += 1;
-                }
-            }
-        }
-
-        while let Some((now, ev)) = events.pop() {
-            self.clock = now;
-            events_processed += 1;
-            if self.gauges.enabled() && self.gauges.due(now) {
-                self.sample_gauges(now);
-            }
-            let done_before = completed;
-            // Serve due refreshes before anything else at this instant.
-            if self.ftl.next_refresh_due().is_some_and(|d| d <= now) {
-                let ops = self.ftl.run_due_refreshes(now);
-                self.enqueue_all(now, ops, None);
-                if self.ftl.power_lost() {
-                    self.recover_now(now);
-                }
-            }
-            // ... then any due patrol-scrub pass (same dirty-die path, so
-            // scrub traffic never preempts queued host reads).
-            if self.ftl.next_scrub_due().is_some_and(|d| d <= now) {
-                let ops = self.ftl.run_scrub_pass(now);
-                self.enqueue_all(now, ops, None);
-                if self.ftl.power_lost() {
-                    self.recover_now(now);
-                }
-            }
-            match ev {
-                Ev::Arrival(i) => {
-                    let host = trace[i];
-                    if closed_depth.is_none() && i + 1 < trace.len() {
-                        events.push(base + trace[i + 1].at, Ev::Arrival(i + 1));
-                    }
-                    self.serve_host(now, host, &mut requests, &mut report, &mut completed);
-                    // A request that completed instantly (nothing mapped)
-                    // frees its closed-loop slot immediately.
-                    if closed_depth.is_some()
-                        && requests.last().is_some_and(|r| r.outstanding == 0)
-                        && next_dispatch < trace.len()
-                    {
-                        events.push(now, Ev::Arrival(next_dispatch));
-                        next_dispatch += 1;
-                    }
-                }
-                Ev::DieFree(die) => self.try_start(die, now, &mut events, &mut span_ns),
-                Ev::OpDone { req, span } => {
-                    let r = &mut requests[req];
-                    r.outstanding -= 1;
-                    if r.outstanding == 0 {
-                        let resp = now - r.arrival;
-                        let kind = r.kind;
-                        match kind {
-                            HostOpKind::Read => report.reads.record(resp),
-                            HostOpKind::Write => report.writes.record(resp),
-                        }
-                        self.trace.emit_with(|| TraceEvent::HostComplete {
-                            t: now,
-                            req: req as u64,
-                            class: host_class(kind),
-                            latency_ns: resp,
-                        });
-                        if self.spans {
-                            // The op that completed the request was
-                            // enqueued at its arrival and finished last,
-                            // so its span partitions [arrival, now].
-                            let phases = span_ns.get(span as usize).copied().unwrap_or_default();
-                            debug_assert_eq!(
-                                phases.total(),
-                                resp,
-                                "attribution must partition the response time"
-                            );
-                            match kind {
-                                HostOpKind::Read => report.read_attribution.record(&phases),
-                                HostOpKind::Write => report.write_attribution.record(&phases),
-                            }
-                            self.trace.emit_with(|| TraceEvent::Span {
-                                t: now,
-                                req: req as u64,
-                                class: host_class(kind),
-                                total_ns: resp,
-                                phases,
-                            });
-                        }
-                        report.last_completion = report.last_completion.max(now);
-                        completed += 1;
-                        // Closed loop: a freed slot admits the next request.
-                        if closed_depth.is_some() && next_dispatch < trace.len() {
-                            events.push(now, Ev::Arrival(next_dispatch));
-                            next_dispatch += 1;
-                        }
-                    }
-                }
-                Ev::RefreshWake => {
-                    wake_at = None;
-                }
-            }
-            if completed > done_before {
-                progress.tick((completed - done_before) as u64);
-            }
-            // Start any dies made runnable by newly enqueued work or a
-            // wake-up that came due at this instant.
-            self.kick_dirty_dies(now, &mut events, &mut span_ns);
-            // Stop once every host request has completed.
-            let all_arrived = requests.len() == trace.len();
-            if all_arrived && completed == requests.len() {
-                break;
-            }
-            // Keep a wake event pending for the next refresh/scrub so idle
-            // gaps still run background maintenance at the right time.
-            if let Some(due) = self.next_background_due() {
-                let due = due.max(now);
-                if wake_at.is_none_or(|w| due < w) {
-                    events.push(due, Ev::RefreshWake);
-                    wake_at = Some(due);
-                }
-            }
-        }
-        progress.finish();
-        if self.gauges.enabled() {
-            // One final sample so every run ends with a data point.
-            self.sample_gauges(self.clock);
-            report.gauges = self.gauges.take_series();
-        }
-        report.ftl = *self.ftl.stats();
-        report.in_use_blocks = self.ftl.blocks().in_use_blocks();
-        report.events_processed = events_processed;
-        report.flash_ops = self.flash_ops - flash_ops_before;
-        report.die_busy_ns = self
-            .die_busy
-            .iter()
-            .zip(&die_busy_before)
-            .map(|(a, b)| a - b)
-            .collect();
-        report.channel_busy_ns = self
-            .channel_busy
-            .iter()
-            .zip(&channel_busy_before)
-            .map(|(a, b)| a - b)
-            .collect();
-        report
+    /// Like [`Self::run_closed_loop`], but returns a typed error instead
+    /// of panicking on a zero queue depth.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ZeroQueueDepth`] when `queue_depth == 0`.
+    pub fn try_run_closed_loop(
+        &mut self,
+        trace: Vec<HostOp>,
+        queue_depth: usize,
+    ) -> Result<Report, SimError> {
+        let mut source = crate::source::ClosedLoopSource::new(trace, queue_depth)?;
+        self.run_source(&mut source)
     }
 
     /// Run a timed simulation pulling arrivals from `source` until it
@@ -822,8 +685,13 @@ impl Simulator {
     /// the next op while the current one is being served (open-loop
     /// lookahead) and re-pulled after each completion when it had reported
     /// [`Pull::Blocked`], so window-limited and rate-limited sources
-    /// compose. With a [`ListSource`](crate::ListSource) over a sorted
-    /// trace this reproduces [`Self::run`] byte-for-byte.
+    /// compose.
+    ///
+    /// This is the **single event-loop driver**: [`Self::run`],
+    /// [`Self::try_run`], [`Self::run_closed_loop`], and
+    /// [`Self::try_run_closed_loop`] are thin wrappers handing it a
+    /// [`ListSource`](crate::ListSource) or a
+    /// [`ClosedLoopSource`](crate::source::ClosedLoopSource).
     ///
     /// # Errors
     ///
@@ -853,6 +721,11 @@ impl Simulator {
         // Whether an Arrival event is scheduled but not yet processed; at
         // most one is in flight so the source sees completions in between.
         let mut arrival_pending = false;
+        let mut progress = if self.progress {
+            Progress::new("sim", source.size_hint().unwrap_or(0))
+        } else {
+            Progress::disabled()
+        };
 
         // Schedule a pulled op's arrival. Past arrivals clamp to `now`.
         fn schedule(
@@ -888,6 +761,7 @@ impl Simulator {
             if self.gauges.enabled() && self.gauges.due(now) {
                 self.sample_gauges(now);
             }
+            let done_before = completed;
             // Serve due refreshes before anything else at this instant.
             if self.ftl.next_refresh_due().is_some_and(|d| d <= now) {
                 let ops = self.ftl.run_due_refreshes(now);
@@ -1026,6 +900,9 @@ impl Simulator {
                     wake_at = None;
                 }
             }
+            if completed > done_before {
+                progress.tick((completed - done_before) as u64);
+            }
             // Start any dies made runnable by newly enqueued work or a
             // wake-up that came due at this instant.
             self.kick_dirty_dies(now, &mut events, &mut span_ns);
@@ -1033,6 +910,8 @@ impl Simulator {
             if source_done && !arrival_pending && completed == requests.len() {
                 break;
             }
+            // Keep a wake event pending for the next refresh/scrub so idle
+            // gaps still run background maintenance at the right time.
             if let Some(due) = self.next_background_due() {
                 let due = due.max(now);
                 if wake_at.is_none_or(|w| due < w) {
@@ -1041,7 +920,9 @@ impl Simulator {
                 }
             }
         }
+        progress.finish();
         if self.gauges.enabled() {
+            // One final sample so every run ends with a data point.
             self.sample_gauges(self.clock);
             report.gauges = self.gauges.take_series();
         }
@@ -1400,7 +1281,11 @@ impl Simulator {
                 }
                 return;
             }
-            let sim_op = d.dequeue().expect("peeked");
+            // The peek above guarantees a queued op; bail out rather than
+            // panic if that invariant is ever broken.
+            let Some(sim_op) = d.dequeue() else {
+                return;
+            };
             *queued_ops -= 1;
             let want_span = *spans && sim_op.req.is_some();
             let mut ph = PhaseNs::zero();
@@ -1993,6 +1878,94 @@ mod tests {
         // Serialized closed-loop at depth 1: every read pays the full
         // uncontended latency, none of them queue behind each other.
         assert_eq!(report.reads.mean() as u64, 118 * NS_PER_US);
+    }
+
+    #[test]
+    fn closed_loop_source_matches_the_closed_loop_path() {
+        // The driver contract behind run_closed_loop: a manually built
+        // ClosedLoopSource driven through run_source must reproduce the
+        // wrapper's Report byte-for-byte at every depth, including
+        // depth 1 (fully serialized) and depths larger than the trace.
+        // (This test was written against the pre-unification run_inner
+        // body and proved byte-identity before that body was deleted.)
+        let mut trace = write_then_read_trace(48, 0);
+        // Unmapped reads complete instantly, exercising the
+        // instant-completion slot-free path.
+        for i in 0..8u64 {
+            trace.push(HostOp {
+                at: 0,
+                kind: HostOpKind::Read,
+                lpn: 1_000 + i,
+                pages: 1,
+            });
+        }
+        for depth in [1usize, 4, 32, 100] {
+            let mut a = Simulator::new(SsdConfig::tiny_test());
+            a.prefill(0..48);
+            let ra = a.run_closed_loop(trace.clone(), depth);
+            let mut b = Simulator::new(SsdConfig::tiny_test());
+            b.prefill(0..48);
+            let mut src =
+                crate::source::ClosedLoopSource::new(trace.clone(), depth).expect("positive depth");
+            let rb = b.run_source(&mut src).expect("closed loop never stalls");
+            assert_eq!(ra, rb, "reports diverge at depth {depth}");
+            assert_eq!(a.now(), b.now(), "clocks diverge at depth {depth}");
+        }
+    }
+
+    #[test]
+    fn closed_loop_source_matches_on_empty_trace() {
+        let mut a = Simulator::new(SsdConfig::tiny_test());
+        let ra = a.run_closed_loop(Vec::new(), 8);
+        let mut b = Simulator::new(SsdConfig::tiny_test());
+        let mut src = crate::source::ClosedLoopSource::new(Vec::new(), 8).expect("positive depth");
+        let rb = b.run_source(&mut src).expect("empty source");
+        assert_eq!(ra, rb);
+        assert_eq!(ra.events_processed, 0);
+    }
+
+    #[test]
+    fn zero_depth_closed_loop_source_is_a_typed_error() {
+        let err = crate::source::ClosedLoopSource::new(Vec::new(), 0).unwrap_err();
+        assert_eq!(err, SimError::ZeroQueueDepth);
+        assert!(err.to_string().contains("queue depth"));
+    }
+
+    #[test]
+    fn try_run_closed_loop_matches_the_panicking_wrapper() {
+        let trace = write_then_read_trace(16, 0);
+        let mut a = Simulator::new(SsdConfig::tiny_test());
+        a.prefill(0..16);
+        let ra = a.run_closed_loop(trace.clone(), 4);
+        let mut b = Simulator::new(SsdConfig::tiny_test());
+        b.prefill(0..16);
+        let rb = b.try_run_closed_loop(trace, 4).expect("valid depth");
+        assert_eq!(ra, rb);
+        let err = b.try_run_closed_loop(Vec::new(), 0).unwrap_err();
+        assert_eq!(err, SimError::ZeroQueueDepth);
+    }
+
+    #[test]
+    fn open_loop_wrapper_matches_a_manual_list_source() {
+        // The driver contract behind run/try_run: identical Reports to a
+        // manually driven ListSource, including the persistent-clock
+        // second run. (Also written against the pre-unification body.)
+        let trace = write_then_read_trace(32, 70 * NS_PER_US);
+        let mut a = Simulator::new(SsdConfig::tiny_test());
+        a.prefill(0..32);
+        let ra1 = a.run(trace.clone());
+        let ra2 = a.run(trace.clone());
+        let mut b = Simulator::new(SsdConfig::tiny_test());
+        b.prefill(0..32);
+        let rb1 = b
+            .run_source(&mut crate::source::ListSource::new(trace.clone()))
+            .expect("list source never stalls");
+        let rb2 = b
+            .run_source(&mut crate::source::ListSource::new(trace))
+            .expect("list source never stalls");
+        assert_eq!(ra1, rb1);
+        assert_eq!(ra2, rb2);
+        assert_eq!(a.now(), b.now());
     }
 
     #[test]

@@ -55,6 +55,12 @@ pub trait ArrivalSource {
     fn on_complete(&mut self, now: SimTime, token: u64, kind: HostOpKind, latency_ns: SimTime) {
         let _ = (now, token, kind, latency_ns);
     }
+
+    /// How many ops this source expects to yield in total, if known —
+    /// feeds the run's progress heartbeat. Default: unknown.
+    fn size_hint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Replays a pre-listed trace open-loop through the pull interface.
@@ -86,6 +92,70 @@ impl ArrivalSource for ListSource {
             }
             None => Pull::Done,
         }
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        Some(self.trace.len() as u64)
+    }
+}
+
+/// Replays a pre-listed trace closed-loop: arrival timestamps are
+/// ignored and exactly `depth` requests are kept outstanding — the
+/// saturation replay behind
+/// [`Simulator::run_closed_loop`](crate::Simulator::run_closed_loop)
+/// (Figure 10's device-throughput comparison). Tokens are trace indices.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopSource {
+    trace: Vec<HostOp>,
+    depth: usize,
+    next: usize,
+    in_flight: usize,
+}
+
+impl ClosedLoopSource {
+    /// Wrap a trace, keeping `depth` requests in flight.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `depth == 0` (no request could ever be admitted).
+    pub fn new(trace: Vec<HostOp>, depth: usize) -> Result<Self, crate::sim::SimError> {
+        if depth == 0 {
+            return Err(crate::sim::SimError::ZeroQueueDepth);
+        }
+        Ok(ClosedLoopSource {
+            trace,
+            depth,
+            next: 0,
+            in_flight: 0,
+        })
+    }
+}
+
+impl ArrivalSource for ClosedLoopSource {
+    fn next(&mut self, _now: SimTime) -> Pull {
+        let Some(&op) = self.trace.get(self.next) else {
+            return Pull::Done;
+        };
+        if self.in_flight >= self.depth {
+            return Pull::Blocked;
+        }
+        let token = self.next as u64;
+        self.next += 1;
+        self.in_flight += 1;
+        Pull::Op(SourcedOp {
+            // The closed loop dispatches as soon as a slot frees: the
+            // trace's own timestamps are ignored.
+            op: HostOp { at: 0, ..op },
+            token,
+        })
+    }
+
+    fn on_complete(&mut self, _now: SimTime, _token: u64, _kind: HostOpKind, _latency_ns: SimTime) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        Some(self.trace.len() as u64)
     }
 }
 

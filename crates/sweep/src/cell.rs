@@ -28,6 +28,18 @@ pub struct Cell {
     pub stream_seed: u64,
 }
 
+// Cells travel over the distributed-sweep fabric inside Assign
+// messages; the coordinator ships the fully derived cell (including
+// the stream seed), so a worker never needs the spec.
+ida_snap::snap_struct!(Cell {
+    index,
+    workload,
+    system,
+    params,
+    replicate,
+    stream_seed
+});
+
 impl Cell {
     /// The stable cell ID: `workload/system[/k=v...]/r<replicate>`.
     pub fn id(&self) -> String {

@@ -31,11 +31,16 @@
 //!   dependency-free like the rest of the workspace.
 //! - [`warm`]: a keyed, single-flight cache of serialized warm simulator
 //!   states, so cells that share a warm-up phase run it once and fork.
+//! - [`net`]: the distributed fabric — a TCP coordinator ([`net::serve`])
+//!   and worker loop ([`net::run_worker`]) speaking frame-sealed
+//!   messages, with lease/requeue fault tolerance. The aggregate stays
+//!   byte-identical to a local serial run for any worker population.
 
 pub mod agg;
 pub mod cell;
 pub mod journal;
 pub mod jsonv;
+pub mod net;
 pub mod pool;
 pub mod spec;
 pub mod warm;
@@ -43,6 +48,7 @@ pub mod warm;
 pub use agg::SweepOutcome;
 pub use cell::{derive_stream_seed, Cell};
 pub use journal::{JournalRecord, JournalWriter};
+pub use net::{run_worker, serve, WarmPort, WorkerReport, PROTO_VERSION};
 pub use pool::{run_cells, CellOutcome, CellStatus, SweepConfig};
-pub use spec::SweepSpec;
-pub use warm::{WarmCache, WarmStats};
+pub use spec::{SpecError, SweepSpec, SweepSpecBuilder};
+pub use warm::{WarmCache, WarmRemote, WarmStats};

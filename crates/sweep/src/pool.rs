@@ -308,7 +308,11 @@ where
     }
 }
 
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+/// Render a `catch_unwind` payload the way failure records expect.
+/// Shared with the fabric worker loop (`crate::net`) so a cell that
+/// panics remotely produces the byte-identical error record a local
+/// run would.
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = panic.downcast_ref::<&str>() {
         format!("panicked: {s}")
     } else if let Some(s) = panic.downcast_ref::<String>() {

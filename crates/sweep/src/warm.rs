@@ -30,6 +30,19 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+/// A remote peer that can serve and accept warm snapshots — in
+/// practice the distributed-sweep coordinator, reached over a dedicated
+/// fabric connection (see `ida_sweep::net::WarmPort`). Both calls are
+/// best-effort: a lost or empty peer degrades to building locally,
+/// never to an error, and fetched images are revalidated by their
+/// [`ida_snap::frame`] header exactly like spill files.
+pub trait WarmRemote: Send {
+    /// The snapshot bytes for `key`, if the peer holds them.
+    fn fetch(&mut self, key: u64) -> Option<Vec<u8>>;
+    /// Offer a freshly built snapshot for `key` to the peer.
+    fn publish(&mut self, key: u64, bytes: &[u8]);
+}
+
 /// One key's state in the in-memory table.
 #[derive(Debug)]
 enum Slot {
@@ -46,6 +59,8 @@ pub struct WarmStats {
     pub hits: u64,
     /// Served by revalidating a spill file from a previous run.
     pub disk_hits: u64,
+    /// Served by a remote peer (the sweep coordinator's image store).
+    pub remote_hits: u64,
     /// The build closure ran.
     pub misses: u64,
 }
@@ -53,19 +68,30 @@ pub struct WarmStats {
 impl WarmStats {
     /// Total snapshots served without running a warm-up.
     pub fn total_hits(&self) -> u64 {
-        self.hits + self.disk_hits
+        self.hits + self.disk_hits + self.remote_hits
     }
 }
 
 /// A keyed, single-flight cache of serialized warm simulator states.
-#[derive(Debug)]
 pub struct WarmCache {
     slots: Mutex<HashMap<u64, Slot>>,
     ready: Condvar,
     spill: Option<PathBuf>,
+    remote: Mutex<Option<Box<dyn WarmRemote>>>,
     hits: AtomicU64,
     disk_hits: AtomicU64,
+    remote_hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl std::fmt::Debug for WarmCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarmCache")
+            .field("spill", &self.spill)
+            .field("remote", &self.remote.lock().unwrap().is_some())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
 }
 
 /// Clears a `Building` claim if the build closure unwinds, waking every
@@ -131,10 +157,21 @@ impl WarmCache {
             slots: Mutex::new(HashMap::new()),
             ready: Condvar::new(),
             spill,
+            remote: Mutex::new(None),
             hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
+            remote_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// Attach a remote snapshot peer (builder-style, before the cache is
+    /// shared). Once attached, a local miss consults the peer before
+    /// running the build closure, and locally built snapshots are
+    /// offered back so other workers on the fabric can fork them.
+    pub fn with_remote(self, remote: Box<dyn WarmRemote>) -> Self {
+        *self.remote.lock().unwrap() = Some(remote);
+        self
     }
 
     /// The snapshot for `key`, building it with `build` exactly once per
@@ -172,8 +209,21 @@ impl WarmCache {
             key,
             armed: true,
         };
-        let bytes = Arc::new(build());
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Peer consult: dearer than disk, far cheaper than a warm-up.
+        // Only a locally built snapshot is offered back — a fetched one
+        // is already on the peer by definition.
+        let bytes = match self.fetch_remote(key) {
+            Some(bytes) => {
+                self.remote_hits.fetch_add(1, Ordering::Relaxed);
+                Arc::new(bytes)
+            }
+            None => {
+                let bytes = Arc::new(build());
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.publish_remote(key, &bytes);
+                bytes
+            }
+        };
         self.store_spill(key, &bytes);
         let mut slots = self.slots.lock().unwrap();
         slots.insert(key, Slot::Ready(bytes.clone()));
@@ -188,22 +238,41 @@ impl WarmCache {
         WarmStats {
             hits: self.hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            remote_hits: self.remote_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
     }
 
     /// A one-line human/CI-greppable summary, e.g.
-    /// `warm-cache: 66 hits (0 from disk), 22 misses (22 warm-ups for 88 cells)`.
+    /// `warm-cache: 66 hits (0 from disk, 0 from peers), 22 misses (22 warm-ups for 88 cells)`.
     pub fn stats_line(&self, cells: usize) -> String {
         let s = self.stats();
         format!(
-            "warm-cache: {} hits ({} from disk), {} misses ({} warm-ups for {} cells)",
+            "warm-cache: {} hits ({} from disk, {} from peers), {} misses ({} warm-ups for {} cells)",
             s.total_hits(),
             s.disk_hits,
+            s.remote_hits,
             s.misses,
             s.misses,
             cells
         )
+    }
+
+    /// A frame-valid snapshot from the remote peer, if one is attached
+    /// and holds the key. Invalid bytes are dropped, same as corrupt
+    /// spill files.
+    fn fetch_remote(&self, key: u64) -> Option<Vec<u8>> {
+        let mut remote = self.remote.lock().unwrap();
+        let bytes = remote.as_mut()?.fetch(key)?;
+        ida_snap::frame::open(&bytes).ok()?;
+        Some(bytes)
+    }
+
+    /// Best-effort offer of a locally built snapshot to the peer.
+    fn publish_remote(&self, key: u64, bytes: &[u8]) {
+        if let Some(remote) = self.remote.lock().unwrap().as_mut() {
+            remote.publish(key, bytes);
+        }
     }
 
     fn spill_path(&self, key: u64) -> Option<PathBuf> {
@@ -270,6 +339,7 @@ mod tests {
             WarmStats {
                 hits: 1,
                 disk_hits: 0,
+                remote_hits: 0,
                 misses: 1
             }
         );
@@ -336,6 +406,7 @@ mod tests {
             WarmStats {
                 hits: 0,
                 disk_hits: 1,
+                remote_hits: 0,
                 misses: 0
             }
         );
@@ -361,7 +432,55 @@ mod tests {
         cache.get_or_build(2, || payload(2));
         assert_eq!(
             cache.stats_line(3),
-            "warm-cache: 1 hits (0 from disk), 2 misses (2 warm-ups for 3 cells)"
+            "warm-cache: 1 hits (0 from disk, 0 from peers), 2 misses (2 warm-ups for 3 cells)"
+        );
+    }
+
+    /// An in-memory [`WarmRemote`] stand-in recording the traffic.
+    struct FakePeer {
+        images: HashMap<u64, Vec<u8>>,
+        published: Vec<u64>,
+    }
+
+    impl WarmRemote for FakePeer {
+        fn fetch(&mut self, key: u64) -> Option<Vec<u8>> {
+            self.images.get(&key).cloned()
+        }
+        fn publish(&mut self, key: u64, bytes: &[u8]) {
+            self.published.push(key);
+            self.images.insert(key, bytes.to_vec());
+        }
+    }
+
+    #[test]
+    fn remote_peer_is_consulted_before_building_and_offered_local_builds() {
+        let peer = FakePeer {
+            // Key 1 is on the peer; key 3 is on the peer but corrupt.
+            images: HashMap::from([(1, payload(11)), (3, b"garbage".to_vec())]),
+            published: Vec::new(),
+        };
+        let cache = WarmCache::new(None).with_remote(Box::new(peer));
+
+        // Peer hit: the build closure must not run.
+        let fetched = cache.get_or_build(1, || unreachable!("peer must serve key 1"));
+        assert_eq!(*fetched, payload(11));
+
+        // Peer miss: build locally, then offer the image back.
+        let built = cache.get_or_build(2, || payload(22));
+        assert_eq!(*built, payload(22));
+
+        // Corrupt peer image: rejected by frame validation, rebuilt.
+        let rebuilt = cache.get_or_build(3, || payload(33));
+        assert_eq!(*rebuilt, payload(33));
+
+        assert_eq!(
+            cache.stats(),
+            WarmStats {
+                hits: 0,
+                disk_hits: 0,
+                remote_hits: 1,
+                misses: 2
+            }
         );
     }
 
